@@ -1,0 +1,121 @@
+// Ablation E18: thread-pool fan-out of the two parallel hot paths —
+// fault-graph construction (rows of the triangular weight matrix) and
+// lower-cover evaluation (independent merge closures). Sweeps explicit pool
+// sizes so the speedup curve is visible on one machine.
+#include "bench_support.hpp"
+
+#include "fault/fault_graph.hpp"
+#include "partition/lower_cover.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ffsm;
+
+std::vector<Partition> random_partitions(std::uint32_t n,
+                                         std::size_t machines,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Partition> out;
+  for (std::size_t k = 0; k < machines; ++k) {
+    std::vector<std::uint32_t> assignment(n);
+    const std::uint64_t blocks = 2 + rng.below(n - 1);
+    for (auto& a : assignment)
+      a = static_cast<std::uint32_t>(rng.below(blocks));
+    out.emplace_back(std::move(assignment));
+  }
+  return out;
+}
+
+Dfsm big_counter_top() {
+  auto alphabet = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mod_counter(alphabet, "A", 16, "0"));
+  machines.push_back(make_mod_counter(alphabet, "B", 16, "1"));
+  return reachable_cross_product(machines).top;  // 256 states
+}
+
+void report() {
+  std::printf("== Ablation: parallel speedup ==\n");
+  const Dfsm top = big_counter_top();
+  const Partition identity = Partition::identity(top.size());
+  const auto parts = random_partitions(2048, 16, 9);
+
+  TextTable table({"threads", "lower_cover(256-top) ms",
+                   "fault graph(2048,16) ms"});
+  for (const std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
+    ThreadPool pool(threads);
+    LowerCoverOptions cover_options;
+    cover_options.pool = &pool;
+
+    WallTimer cover_timer;
+    benchmark::DoNotOptimize(lower_cover(top, identity, cover_options));
+    const double cover_ms = cover_timer.elapsed_ms();
+
+    FaultGraphOptions graph_options;
+    graph_options.pool = &pool;
+    WallTimer graph_timer;
+    benchmark::DoNotOptimize(
+        FaultGraph::build(2048, parts, graph_options));
+    const double graph_ms = graph_timer.elapsed_ms();
+
+    table.add_row({std::to_string(threads), std::to_string(cover_ms),
+                   std::to_string(graph_ms)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void lower_cover_threads(benchmark::State& state) {
+  const Dfsm top = big_counter_top();
+  const Partition identity = Partition::identity(top.size());
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  LowerCoverOptions options;
+  options.pool = &pool;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lower_cover(top, identity, options));
+}
+BENCHMARK(lower_cover_threads)
+    ->RangeMultiplier(2)
+    ->Range(1, 16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void fault_graph_threads(benchmark::State& state) {
+  const auto parts = random_partitions(2048, 16, 9);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  FaultGraphOptions options;
+  options.pool = &pool;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(FaultGraph::build(2048, parts, options));
+}
+BENCHMARK(fault_graph_threads)
+    ->RangeMultiplier(2)
+    ->Range(1, 16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void serial_vs_parallel_generation(benchmark::State& state) {
+  // End-to-end Algorithm 2 with and without parallel lower covers.
+  auto alphabet = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mod_counter(alphabet, "A", 12, "0"));
+  machines.push_back(make_mod_counter(alphabet, "B", 12, "1"));
+  const CrossProduct cp = reachable_cross_product(machines);
+  const auto originals = bench::original_partitions(cp);
+  GenerateOptions options;
+  options.f = 1;
+  options.parallel = state.range(0) != 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(generate_fusion(cp.top, originals, options));
+  state.SetLabel(options.parallel ? "parallel" : "serial");
+}
+BENCHMARK(serial_vs_parallel_generation)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+FFSM_BENCH_MAIN(report)

@@ -1,0 +1,107 @@
+// Experiment E13: Algorithm 2's cost and its complexity shape.
+//
+// The paper proves O(N^3 * |Sigma| * f) for a top with N states and reports
+// a 13.2-minute worst case on 2009 hardware for its table; here we sweep N
+// (via random machine pairs and counter grids), |Sigma| and f and report
+// wall-clock plus the generator's own work counters so the scaling curve is
+// visible directly in the benchmark output.
+#include "bench_support.hpp"
+
+#include "fsm/random_dfsm.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ffsm;
+
+CrossProduct random_pair_product(std::uint32_t states_each,
+                                 std::uint32_t events, std::uint64_t seed) {
+  auto alphabet = Alphabet::create();
+  std::vector<Dfsm> machines;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    RandomDfsmSpec spec;
+    spec.states = states_each;
+    spec.num_events = events;
+    spec.seed = seed + i;
+    machines.push_back(make_random_connected_dfsm(
+        alphabet, "m" + std::to_string(i), spec));
+  }
+  return reachable_cross_product(machines);
+}
+
+void report() {
+  std::printf("== Algorithm 2 generation cost (random machine pairs) ==\n");
+  TextTable table({"|top|", "|Sigma|", "f", "machines", "descents",
+                   "candidates", "ms"});
+  for (const std::uint32_t states : {6u, 10u, 14u, 18u}) {
+    for (const std::uint32_t f : {1u, 2u}) {
+      const CrossProduct cp = random_pair_product(states, 2, 77);
+      GenerateOptions options;
+      options.f = f;
+      WallTimer timer;
+      const FusionResult result =
+          generate_fusion(cp.top, bench::original_partitions(cp), options);
+      table.add_row({std::to_string(cp.top.size()), "2", std::to_string(f),
+                     std::to_string(result.partitions.size()),
+                     std::to_string(result.stats.descent_steps),
+                     std::to_string(result.stats.candidates_examined),
+                     std::to_string(timer.elapsed_ms())});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void generate_random_pairs(benchmark::State& state) {
+  const auto states = static_cast<std::uint32_t>(state.range(0));
+  const auto f = static_cast<std::uint32_t>(state.range(1));
+  const CrossProduct cp = random_pair_product(states, 2, 123);
+  const auto originals = bench::original_partitions(cp);
+  GenerateOptions options;
+  options.f = f;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(generate_fusion(cp.top, originals, options));
+  state.counters["top_states"] = cp.top.size();
+}
+BENCHMARK(generate_random_pairs)
+    ->ArgsProduct({{6, 10, 14, 18}, {1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+void generate_counter_grid(benchmark::State& state) {
+  // Structured tops (k x k counter grids) descend far faster than the worst
+  // case: block counts collapse geometrically along the lattice path.
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  auto alphabet = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mod_counter(alphabet, "A", k, "0"));
+  machines.push_back(make_mod_counter(alphabet, "B", k, "1"));
+  const CrossProduct cp = reachable_cross_product(machines);
+  const auto originals = bench::original_partitions(cp);
+  GenerateOptions options;
+  options.f = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(generate_fusion(cp.top, originals, options));
+  state.counters["top_states"] = cp.top.size();
+}
+BENCHMARK(generate_counter_grid)
+    ->DenseRange(4, 16, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void generate_event_sweep(benchmark::State& state) {
+  // |Sigma| dependence at fixed top size.
+  const auto events = static_cast<std::uint32_t>(state.range(0));
+  const CrossProduct cp = random_pair_product(10, events, 31);
+  const auto originals = bench::original_partitions(cp);
+  GenerateOptions options;
+  options.f = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(generate_fusion(cp.top, originals, options));
+  state.counters["top_states"] = cp.top.size();
+}
+BENCHMARK(generate_event_sweep)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+FFSM_BENCH_MAIN(report)

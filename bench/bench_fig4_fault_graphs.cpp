@@ -1,0 +1,98 @@
+// Regenerates Fig. 4 (experiment E4): the five fault graphs of the
+// canonical example with every edge weight, plus build-cost benchmarks of
+// the fault-graph substrate (O(machines * N^2) construction, O(1) per-edge
+// updates).
+#include "bench_support.hpp"
+
+#include "fault/fault_graph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ffsm;
+
+void report() {
+  std::printf("== Fig. 4: fault graphs of the canonical example ==\n");
+  auto alphabet = Alphabet::create();
+  const Dfsm top = make_paper_top(alphabet);
+
+  const Partition p_a(std::vector<std::uint32_t>{0, 1, 2, 0});
+  const Partition p_b(std::vector<std::uint32_t>{0, 1, 2, 2});
+  const Partition p_m1(std::vector<std::uint32_t>{0, 1, 0, 2});
+  const Partition p_m2(std::vector<std::uint32_t>{0, 1, 1, 2});
+  const Partition p_m6(std::vector<std::uint32_t>{0, 0, 0, 1});
+  const Partition p_top = Partition::identity(4);
+
+  const std::vector<std::pair<std::string, std::vector<Partition>>> graphs{
+      {"(i)   G({A})", {p_a}},
+      {"(ii)  G({A,B})", {p_a, p_b}},
+      {"(iii) G({A,B,M1,M2})", {p_a, p_b, p_m1, p_m2}},
+      {"(iv)  G({A,B,M1,TOP})", {p_a, p_b, p_m1, p_top}},
+      {"(v)   G({A,B,M6,TOP})", {p_a, p_b, p_m6, p_top}}};
+
+  TextTable table({"graph", "d(01)", "d(02)", "d(03)", "d(12)", "d(13)",
+                   "d(23)", "dmin"});
+  for (const auto& [label, machines] : graphs) {
+    const FaultGraph g = FaultGraph::build(4, machines);
+    table.add_row({label, std::to_string(g.weight(0, 1)),
+                   std::to_string(g.weight(0, 2)),
+                   std::to_string(g.weight(0, 3)),
+                   std::to_string(g.weight(1, 2)),
+                   std::to_string(g.weight(1, 3)),
+                   std::to_string(g.weight(2, 3)),
+                   std::to_string(g.dmin())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+std::vector<Partition> random_partitions(std::uint32_t n,
+                                         std::size_t machines,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Partition> out;
+  for (std::size_t k = 0; k < machines; ++k) {
+    std::vector<std::uint32_t> assignment(n);
+    const std::uint64_t blocks = 2 + rng.below(n - 1);
+    for (auto& a : assignment)
+      a = static_cast<std::uint32_t>(rng.below(blocks));
+    out.emplace_back(std::move(assignment));
+  }
+  return out;
+}
+
+void build_fault_graph(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto machines = random_partitions(n, 8, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(FaultGraph::build(n, machines));
+  state.counters["edges"] = static_cast<double>(n) * (n - 1) / 2;
+}
+BENCHMARK(build_fault_graph)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void dmin_scan(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const FaultGraph g = FaultGraph::build(n, random_partitions(n, 8, 3));
+  for (auto _ : state) benchmark::DoNotOptimize(g.dmin());
+}
+BENCHMARK(dmin_scan)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void weakest_edges(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const FaultGraph g = FaultGraph::build(n, random_partitions(n, 8, 3));
+  for (auto _ : state) benchmark::DoNotOptimize(g.weakest_edges());
+}
+BENCHMARK(weakest_edges)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+FFSM_BENCH_MAIN(report)

@@ -1,0 +1,75 @@
+// Regenerates Fig. 5 (experiment E5): the set representation of machine A
+// with respect to the canonical top, and benchmarks Algorithm 1's BFS
+// homomorphism mapping across machine sizes.
+#include "bench_support.hpp"
+
+#include "partition/quotient.hpp"
+#include "recovery/set_representation.hpp"
+
+namespace {
+
+using namespace ffsm;
+
+void report() {
+  std::printf("== Fig. 5: set representation of states ==\n");
+  auto alphabet = Alphabet::create();
+  const Dfsm top = make_paper_top(alphabet);
+  const Dfsm a = make_paper_machine_a(alphabet);
+  const Dfsm b = make_paper_machine_b(alphabet);
+
+  for (const Dfsm* m : {&a, &b}) {
+    const SetRepresentation rep = set_representation(top, *m);
+    std::printf("%s:", m->name().c_str());
+    for (std::size_t s = 0; s < rep.sets.size(); ++s) {
+      std::printf("  %s={", m->state_name(static_cast<State>(s)).c_str());
+      for (std::size_t i = 0; i < rep.sets[s].size(); ++i)
+        std::printf("%s%s", i ? "," : "",
+                    top.state_name(rep.sets[s][i]).c_str());
+      std::printf("}");
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: a0={t0,t3} a1={t1} a2={t2})\n\n");
+}
+
+void set_representation_counters(benchmark::State& state) {
+  // Algorithm 1 on a k^2-state top against one k-state component.
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  auto alphabet = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mod_counter(alphabet, "A", k, "0"));
+  machines.push_back(make_mod_counter(alphabet, "B", k, "1"));
+  const CrossProduct cp = reachable_cross_product(machines);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(set_representation(cp.top, machines[0]));
+  state.counters["top_states"] = cp.top.size();
+}
+BENCHMARK(set_representation_counters)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+void set_representation_quotient(benchmark::State& state) {
+  // Round trip: quotient a shift-register top by a closed partition, then
+  // recover the partition via Algorithm 1.
+  const auto bits = static_cast<std::uint32_t>(state.range(0));
+  auto alphabet = Alphabet::create();
+  const Dfsm top = make_shift_register(alphabet, "sr", bits);
+  // Closed partition: forget the oldest bit (classic shift-register
+  // congruence).
+  std::vector<std::uint32_t> assignment(top.size());
+  for (std::uint32_t s = 0; s < top.size(); ++s)
+    assignment[s] = s & ((1u << (bits - 1)) - 1);
+  const Partition p{std::move(assignment)};
+  const Dfsm quotient = quotient_machine(top, p, "q");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(set_representation(top, quotient));
+  state.counters["top_states"] = top.size();
+}
+BENCHMARK(set_representation_quotient)
+    ->DenseRange(4, 12, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+FFSM_BENCH_MAIN(report)

@@ -1,0 +1,101 @@
+// Experiment E14: Algorithm 3's O((n+m) * N) recovery cost.
+//
+// Two sweeps pin the two factors independently: machine count (n+m) at
+// fixed top size, and top size N at fixed machine count. The report prints
+// a small latency table; the benchmarks confirm linearity.
+#include "bench_support.hpp"
+
+#include "recovery/recovery.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ffsm;
+
+struct RecoverySetup {
+  std::uint32_t top_size;
+  std::vector<Partition> machines;
+  std::vector<MachineReport> reports;
+};
+
+RecoverySetup make_setup(std::uint32_t n, std::size_t machine_count,
+                         std::uint64_t seed, std::size_t crashes) {
+  Xoshiro256 rng(seed);
+  RecoverySetup setup;
+  setup.top_size = n;
+  const State truth = static_cast<State>(rng.below(n));
+  for (std::size_t k = 0; k < machine_count; ++k) {
+    std::vector<std::uint32_t> assignment(n);
+    const std::uint64_t blocks = 2 + rng.below(n - 1);
+    for (auto& a : assignment)
+      a = static_cast<std::uint32_t>(rng.below(blocks));
+    setup.machines.emplace_back(std::move(assignment));
+    setup.reports.push_back(
+        k < crashes ? MachineReport::crashed()
+                    : MachineReport::of(setup.machines.back().block_of(truth)));
+  }
+  return setup;
+}
+
+void report() {
+  std::printf("== Algorithm 3 recovery latency, O((n+m)*N) ==\n");
+  TextTable table({"N (top states)", "n+m (machines)", "microseconds"});
+  for (const std::uint32_t n : {64u, 256u, 1024u}) {
+    for (const std::size_t machines : {8u, 32u, 128u}) {
+      const RecoverySetup setup = make_setup(n, machines, 5, 2);
+      WallTimer timer;
+      constexpr int kReps = 100;
+      for (int i = 0; i < kReps; ++i)
+        benchmark::DoNotOptimize(
+            recover(setup.top_size, setup.machines, setup.reports));
+      table.add_row({std::to_string(n), std::to_string(machines),
+                     std::to_string(timer.elapsed_ms() * 1000.0 / kReps)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void recover_machine_sweep(benchmark::State& state) {
+  const RecoverySetup setup =
+      make_setup(256, static_cast<std::size_t>(state.range(0)), 11, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        recover(setup.top_size, setup.machines, setup.reports));
+}
+BENCHMARK(recover_machine_sweep)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+void recover_top_sweep(benchmark::State& state) {
+  const RecoverySetup setup =
+      make_setup(static_cast<std::uint32_t>(state.range(0)), 32, 13, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        recover(setup.top_size, setup.machines, setup.reports));
+}
+BENCHMARK(recover_top_sweep)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void recover_with_liars(benchmark::State& state) {
+  // Byzantine decode cost equals crash decode cost: counting is oblivious
+  // to whether reports are honest.
+  RecoverySetup setup = make_setup(256, 32, 17, 0);
+  Xoshiro256 rng(19);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto victim = static_cast<std::size_t>(rng.below(32));
+    setup.reports[victim] = MachineReport::of(0);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        recover(setup.top_size, setup.machines, setup.reports));
+}
+BENCHMARK(recover_with_liars)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+FFSM_BENCH_MAIN(report)

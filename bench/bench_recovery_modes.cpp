@@ -1,0 +1,134 @@
+// Experiment E19 (extension): recovery-mechanism comparison.
+//
+// Three ways to bring a crashed machine back:
+//   * fusion (Algorithm 3)  — O((n+m)·N), no log, m small backups;
+//   * log replay            — O(T) for a T-event history, no backups at all;
+//   * replication           — O(1) state copy, n*f backup machines.
+// The report shows the latency crossover between fusion and replay as the
+// history grows; replication is the constant-but-expensive floor.
+#include "bench_support.hpp"
+
+#include "recovery/recovery.hpp"
+#include "replication/replication.hpp"
+#include "sim/event_log.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ffsm;
+
+struct Setup {
+  std::shared_ptr<Alphabet> alphabet = Alphabet::create();
+  std::vector<Dfsm> machines;
+  CrossProduct cross;
+  std::vector<Partition> all;  // originals + fusion
+  EventLog log;
+  State truth = 0;
+};
+
+Setup make_setup(std::size_t history) {
+  Setup s;
+  s.machines.push_back(make_mesi(s.alphabet));
+  s.machines.push_back(make_tcp(s.alphabet));
+  s.machines.push_back(make_paper_machine_a(s.alphabet));
+  s.machines.push_back(make_paper_machine_b(s.alphabet));
+  s.cross = reachable_cross_product(s.machines);
+  s.all = bench::original_partitions(s.cross);
+  GenerateOptions options;
+  options.f = 1;
+  FusionResult fusion = generate_fusion(s.cross.top, s.all, options);
+  for (Partition& p : fusion.partitions) s.all.push_back(std::move(p));
+
+  std::vector<EventId> support(s.cross.top.events().begin(),
+                               s.cross.top.events().end());
+  Xoshiro256 rng(17);
+  s.truth = s.cross.top.initial();
+  for (std::size_t i = 0; i < history; ++i) {
+    const EventId e = support[rng.below(support.size())];
+    s.log.append(e);
+    s.truth = s.cross.top.step(s.truth, e);
+  }
+  return s;
+}
+
+std::vector<MachineReport> crash_reports(const Setup& s, std::size_t victim) {
+  std::vector<MachineReport> reports;
+  for (std::size_t i = 0; i < s.all.size(); ++i)
+    reports.push_back(i == victim
+                          ? MachineReport::crashed()
+                          : MachineReport::of(s.all[i].block_of(s.truth)));
+  return reports;
+}
+
+void report() {
+  std::printf("== Recovery latency: fusion vs log replay vs replication ==\n");
+  TextTable table({"history T", "fusion us", "replay us", "replica-copy us"});
+  for (const std::size_t history : {1000u, 10000u, 100000u, 1000000u}) {
+    const Setup s = make_setup(history);
+    const auto reports = crash_reports(s, 1);
+
+    WallTimer fusion_timer;
+    constexpr int kReps = 50;
+    for (int r = 0; r < kReps; ++r)
+      benchmark::DoNotOptimize(
+          recover(s.cross.top.size(), s.all, reports));
+    const double fusion_us = fusion_timer.elapsed_ms() * 1000 / kReps;
+
+    WallTimer replay_timer;
+    for (int r = 0; r < kReps; ++r)
+      benchmark::DoNotOptimize(replay_recover(s.machines[1], s.log));
+    const double replay_us = replay_timer.elapsed_ms() * 1000 / kReps;
+
+    // Replication: copy the replica's state (plus a bounds check) — model
+    // it as the optional read it is.
+    const std::vector<std::optional<State>> replicas{State{3}};
+    WallTimer copy_timer;
+    for (int r = 0; r < kReps; ++r)
+      benchmark::DoNotOptimize(replica_recover_crash(replicas));
+    const double copy_us = copy_timer.elapsed_ms() * 1000 / kReps;
+
+    table.add_row({with_thousands(history), std::to_string(fusion_us),
+                   std::to_string(replay_us), std::to_string(copy_us)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("(fusion is T-independent; replay scales with history)\n\n");
+}
+
+void fusion_recovery(benchmark::State& state) {
+  const Setup s = make_setup(100);
+  const auto reports = crash_reports(s, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(recover(s.cross.top.size(), s.all, reports));
+}
+BENCHMARK(fusion_recovery)->Unit(benchmark::kMicrosecond);
+
+void replay_recovery(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(replay_recover(s.machines[1], s.log));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(s.log.size()));
+}
+BENCHMARK(replay_recovery)
+    ->RangeMultiplier(10)
+    ->Range(1000, 1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+void checkpointed_replay(benchmark::State& state) {
+  // Replay from a checkpoint at 90% of the log.
+  const Setup s = make_setup(100000);
+  const std::size_t checkpoint = 90000;
+  const State at_checkpoint =
+      s.machines[1].run(s.log.view().subspan(0, checkpoint));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(replay_recover_from(
+        s.machines[1], at_checkpoint, s.log, checkpoint));
+}
+BENCHMARK(checkpointed_replay)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+FFSM_BENCH_MAIN(report)

@@ -1,0 +1,86 @@
+// Experiment E20 (extension, paper section 7): machine-count versus
+// machine-size trade-off via the relaxed generator.
+//
+// coverage_fraction = 1 reproduces Algorithm 2 (fewest machines, each
+// covering every weakest edge); smaller fractions allow more, smaller
+// machines. The report sweeps the fraction over catalog systems and prints
+// the resulting backup shapes and total state space.
+#include "bench_support.hpp"
+
+#include "fusion/fusion.hpp"
+#include "fusion/relaxed.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ffsm;
+
+void report() {
+  std::printf("== Relaxed fusion: count vs size trade-off ==\n");
+  TextTable table({"machine set", "fraction", "backups", "block counts",
+                   "total states"});
+  const auto rows = make_results_table_rows();
+  for (const std::size_t row_idx : {2u, 4u}) {
+    const TableRowSpec& row = rows[row_idx];
+    const CrossProduct cp = reachable_cross_product(row.machines);
+    const auto originals = bench::original_partitions(cp);
+    for (const double fraction : {1.0, 0.5, 0.25}) {
+      RelaxedOptions options;
+      options.f = row.faults;
+      options.coverage_fraction = fraction;
+      const RelaxedResult result =
+          generate_relaxed_fusion(cp.top, originals, options);
+      std::string sizes;
+      std::uint64_t total = 0;
+      for (const Partition& p : result.partitions) {
+        if (!sizes.empty()) sizes += ' ';
+        sizes += std::to_string(p.block_count());
+        total += p.block_count();
+      }
+      table.add_row({row.label.substr(0, 28), std::to_string(fraction),
+                     std::to_string(result.partitions.size()),
+                     "[" + sizes + "]", std::to_string(total)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void relaxed_generate(benchmark::State& state) {
+  const auto rows = make_results_table_rows();
+  const TableRowSpec& row = rows[2];
+  const CrossProduct cp = reachable_cross_product(row.machines);
+  const auto originals = bench::original_partitions(cp);
+  RelaxedOptions options;
+  options.f = row.faults;
+  options.coverage_fraction =
+      static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        generate_relaxed_fusion(cp.top, originals, options));
+}
+BENCHMARK(relaxed_generate)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void relaxed_validates(benchmark::State& state) {
+  // Validation cost of the produced fusion (is_fusion = full graph build).
+  const auto rows = make_results_table_rows();
+  const TableRowSpec& row = rows[2];
+  const CrossProduct cp = reachable_cross_product(row.machines);
+  const auto originals = bench::original_partitions(cp);
+  RelaxedOptions options;
+  options.f = row.faults;
+  options.coverage_fraction = 0.5;
+  const RelaxedResult result =
+      generate_relaxed_fusion(cp.top, originals, options);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(is_fusion(cp.top.size(), originals,
+                                       result.partitions, row.faults));
+}
+BENCHMARK(relaxed_validates)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+FFSM_BENCH_MAIN(report)

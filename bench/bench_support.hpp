@@ -1,0 +1,50 @@
+// Shared helpers for the benchmark harnesses: every bench binary first
+// prints the paper artifact it regenerates (table rows / figure series) and
+// then runs its google-benchmark timings, so `./bench_x` alone reproduces
+// the experiment and `./bench_x --benchmark_filter=...` digs into cost.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fsm/machine_catalog.hpp"
+#include "fsm/product.hpp"
+#include "fusion/generator.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm::bench {
+
+/// Originals of a cross product as partitions.
+inline std::vector<Partition> original_partitions(const CrossProduct& cp) {
+  std::vector<Partition> out;
+  out.reserve(cp.machine_count());
+  for (std::uint32_t i = 0; i < cp.machine_count(); ++i)
+    out.emplace_back(cp.component_assignment(i));
+  return out;
+}
+
+/// "39 39" style size list.
+inline std::string size_list(const std::vector<Dfsm>& machines) {
+  std::string out;
+  for (const Dfsm& m : machines) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(m.size());
+  }
+  return out.empty() ? "-" : out;
+}
+
+/// Standard entry point: print the report, then run benchmarks.
+#define FFSM_BENCH_MAIN(report_fn)                                   \
+  int main(int argc, char** argv) {                                  \
+    report_fn();                                                     \
+    ::benchmark::Initialize(&argc, argv);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    return 0;                                                        \
+  }
+
+}  // namespace ffsm::bench

@@ -1,0 +1,116 @@
+#include "fault/fault_graph.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+FaultGraph::FaultGraph(std::uint32_t n)
+    : n_(n),
+      weights_(static_cast<std::size_t>(n) * (n > 0 ? n - 1 : 0) / 2, 0) {}
+
+FaultGraph FaultGraph::build(std::uint32_t n,
+                             std::span<const Partition> machines,
+                             const FaultGraphOptions& options) {
+  FaultGraph g(n);
+  if (n < 2 || machines.empty()) {
+    g.machines_ = static_cast<std::uint32_t>(machines.size());
+    return g;
+  }
+  for (const Partition& p : machines) FFSM_EXPECTS(p.size() == n);
+
+  // Parallelise over rows i: each (i, *) stripe of the triangle is written
+  // by exactly one chunk, accumulating all machines, so the result is
+  // deterministic and race-free.
+  const auto row = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto ui = static_cast<std::uint32_t>(i);
+      std::uint32_t* stripe = &g.weights_[g.edge_index(ui, ui + 1)];
+      for (const Partition& p : machines) {
+        const auto assignment = p.assignment();
+        const std::uint32_t bi = assignment[i];
+        for (std::uint32_t j = ui + 1; j < n; ++j)
+          stripe[j - ui - 1] += (assignment[j] != bi) ? 1u : 0u;
+      }
+    }
+  };
+  if (options.parallel) {
+    ParallelOptions popt;
+    popt.pool = options.pool;
+    popt.serial_threshold = 64;  // rows; each row is O(n * machines)
+    parallel_for_chunked(0, n - 1, row, popt);
+  } else {
+    row(0, n - 1);
+  }
+  g.machines_ = static_cast<std::uint32_t>(machines.size());
+  return g;
+}
+
+void FaultGraph::add_machine(const Partition& p) {
+  FFSM_EXPECTS(p.size() == n_);
+  const auto assignment = p.assignment();
+  std::size_t idx = 0;
+  for (std::uint32_t i = 0; i + 1 < n_; ++i) {
+    const std::uint32_t bi = assignment[i];
+    for (std::uint32_t j = i + 1; j < n_; ++j, ++idx)
+      weights_[idx] += (assignment[j] != bi) ? 1u : 0u;
+  }
+  ++machines_;
+}
+
+void FaultGraph::remove_machine(const Partition& p) {
+  FFSM_EXPECTS(p.size() == n_);
+  FFSM_EXPECTS(machines_ > 0);
+  const auto assignment = p.assignment();
+  std::size_t idx = 0;
+  for (std::uint32_t i = 0; i + 1 < n_; ++i) {
+    const std::uint32_t bi = assignment[i];
+    for (std::uint32_t j = i + 1; j < n_; ++j, ++idx) {
+      if (assignment[j] != bi) {
+        FFSM_EXPECTS(weights_[idx] > 0);
+        weights_[idx] -= 1;
+      }
+    }
+  }
+  --machines_;
+}
+
+std::uint32_t FaultGraph::weight(std::uint32_t i, std::uint32_t j) const {
+  FFSM_EXPECTS(i < n_ && j < n_ && i != j);
+  if (i > j) std::swap(i, j);
+  return weights_[edge_index(i, j)];
+}
+
+std::uint32_t FaultGraph::dmin() const noexcept {
+  if (weights_.empty()) return kInfinity;
+  return *std::min_element(weights_.begin(), weights_.end());
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+FaultGraph::weakest_edges() const {
+  const std::uint32_t d = dmin();
+  if (d == kInfinity) return {};
+  return edges_with_weight(d);
+}
+
+std::vector<std::size_t> FaultGraph::weight_histogram() const {
+  std::vector<std::size_t> histogram(machines_ + 1, 0);
+  for (const auto w : weights_) {
+    FFSM_ASSERT(w <= machines_);
+    ++histogram[w];
+  }
+  return histogram;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+FaultGraph::edges_with_weight(std::uint32_t w) const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::size_t idx = 0;
+  for (std::uint32_t i = 0; i + 1 < n_; ++i)
+    for (std::uint32_t j = i + 1; j < n_; ++j, ++idx)
+      if (weights_[idx] == w) edges.emplace_back(i, j);
+  return edges;
+}
+
+}  // namespace ffsm

@@ -1,0 +1,98 @@
+// Fault graphs (paper Definition 3 and 4).
+//
+// For a top machine T with N states and a set of machines M (each a closed
+// partition of T's states), the fault graph G(T, M) is the complete graph on
+// T's states whose edge (ti, tj) weighs the number of machines separating ti
+// from tj. The minimum edge weight dmin determines fault tolerance:
+//   * Theorem 1: M tolerates f crash faults      iff dmin > f
+//   * Theorem 2: M tolerates f Byzantine faults  iff dmin > 2f
+//
+// Weights live in a flat upper-triangular array; machines can be added and
+// removed incrementally (+-1 per separated pair), which Algorithm 2's outer
+// loop exploits.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "util/parallel.hpp"
+
+namespace ffsm {
+
+/// Options for FaultGraph::build.
+struct FaultGraphOptions {
+  ThreadPool* pool = nullptr;
+  bool parallel = true;
+};
+
+class FaultGraph {
+ public:
+  /// Edge weight meaning "no pair exists" (top has < 2 states): dmin() of an
+  /// empty edge set is infinite — a single-state system needs no
+  /// distinguishing machines.
+  static constexpr std::uint32_t kInfinity =
+      std::numeric_limits<std::uint32_t>::max();
+
+  FaultGraph() = default;
+
+  /// Graph over `n` top states with zero weights (no machines yet).
+  explicit FaultGraph(std::uint32_t n);
+
+  /// Graph with all `machines` accumulated. Each partition must cover n
+  /// elements.
+  [[nodiscard]] static FaultGraph build(
+      std::uint32_t n, std::span<const Partition> machines,
+      const FaultGraphOptions& options = {});
+
+  /// Number of top states (nodes).
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return n_; }
+
+  /// Number of machines accumulated.
+  [[nodiscard]] std::uint32_t machine_count() const noexcept {
+    return machines_;
+  }
+
+  /// +1 on every edge the machine separates.
+  void add_machine(const Partition& p);
+
+  /// -1 on every edge the machine separates (exact inverse of add_machine;
+  /// the same partition must previously have been added).
+  void remove_machine(const Partition& p);
+
+  /// Edge weight = the paper's distance d(ti, tj). Requires i != j.
+  [[nodiscard]] std::uint32_t weight(std::uint32_t i, std::uint32_t j) const;
+
+  /// Minimum edge weight; kInfinity when fewer than two nodes exist.
+  [[nodiscard]] std::uint32_t dmin() const noexcept;
+
+  /// All edges of weight dmin() — the "weakest edges" driving Algorithm 2.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  weakest_edges() const;
+
+  /// All edges with the given weight.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  edges_with_weight(std::uint32_t w) const;
+
+  /// histogram[w] = number of edges of weight w, for w in 0..machine_count.
+  /// Useful diagnostics: the mass near dmin tells how hard the next fusion
+  /// machine has to work.
+  [[nodiscard]] std::vector<std::size_t> weight_histogram() const;
+
+ private:
+  [[nodiscard]] std::size_t edge_index(std::uint32_t i,
+                                       std::uint32_t j) const noexcept {
+    // i < j assumed; row-major upper triangle.
+    return static_cast<std::size_t>(i) * n_ -
+           static_cast<std::size_t>(i) * (i + 1) / 2 + (j - i - 1);
+  }
+
+  std::uint32_t n_ = 0;
+  std::uint32_t machines_ = 0;
+  std::vector<std::uint32_t> weights_;  // n*(n-1)/2 entries
+};
+
+}  // namespace ffsm

@@ -1,0 +1,30 @@
+#include "fault/tolerance.hpp"
+
+namespace ffsm {
+
+ToleranceReport analyze_tolerance(const FaultGraph& graph) {
+  ToleranceReport report;
+  report.dmin = graph.dmin();
+  if (report.dmin == FaultGraph::kInfinity) {
+    report.crash_faults = FaultGraph::kInfinity;
+    report.byzantine_faults = FaultGraph::kInfinity;
+    return report;
+  }
+  report.crash_faults = report.dmin > 0 ? report.dmin - 1 : 0;
+  report.byzantine_faults = report.dmin > 0 ? (report.dmin - 1) / 2 : 0;
+  return report;
+}
+
+bool can_tolerate_crash_faults(const FaultGraph& graph, std::uint32_t f) {
+  const std::uint32_t d = graph.dmin();
+  return d == FaultGraph::kInfinity || d > f;
+}
+
+bool can_tolerate_byzantine_faults(const FaultGraph& graph, std::uint32_t f) {
+  const std::uint32_t d = graph.dmin();
+  if (d == FaultGraph::kInfinity) return true;
+  // dmin > 2f without overflowing 2*f: f <= (d-1)/2 in integers.
+  return d > 0 && f <= (d - 1) / 2;
+}
+
+}  // namespace ffsm

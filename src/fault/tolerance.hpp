@@ -1,0 +1,31 @@
+// Fault-tolerance predicates derived from the fault graph (paper Theorems 1
+// and 2, Observation 1).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_graph.hpp"
+
+namespace ffsm {
+
+/// Observation 1 applied to a fault graph: the number of crash and Byzantine
+/// faults a set of machines tolerates inherently.
+struct ToleranceReport {
+  std::uint32_t dmin = 0;
+  /// dmin - 1 (saturating at 0; kInfinity when the top is a single state).
+  std::uint32_t crash_faults = 0;
+  /// (dmin - 1) / 2, same conventions.
+  std::uint32_t byzantine_faults = 0;
+};
+
+[[nodiscard]] ToleranceReport analyze_tolerance(const FaultGraph& graph);
+
+/// Theorem 1: the machine set tolerates f crash faults iff dmin > f.
+[[nodiscard]] bool can_tolerate_crash_faults(const FaultGraph& graph,
+                                             std::uint32_t f);
+
+/// Theorem 2: the machine set tolerates f Byzantine faults iff dmin > 2f.
+[[nodiscard]] bool can_tolerate_byzantine_faults(const FaultGraph& graph,
+                                                 std::uint32_t f);
+
+}  // namespace ffsm

@@ -1,0 +1,28 @@
+#include "fsm/alphabet.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+EventId Alphabet::intern(std::string_view name) {
+  FFSM_EXPECTS(!name.empty());
+  if (const auto it = index_.find(std::string(name)); it != index_.end())
+    return it->second;
+  const auto id = static_cast<EventId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<EventId> Alphabet::find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Alphabet::name(EventId id) const {
+  FFSM_EXPECTS(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace ffsm

@@ -1,0 +1,49 @@
+// Event alphabet registry.
+//
+// The paper's system model (§2) drives every machine with a common, totally
+// ordered stream of events; each machine subscribes to a subset and ignores
+// the rest. An Alphabet is the process-wide registry mapping event names to
+// dense EventIds so machines, cross products and simulators can exchange
+// events as integers. It is append-only: interning never invalidates ids.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ffsm {
+
+using EventId = std::uint32_t;
+
+/// Append-only mapping between event names and dense EventIds.
+/// Not thread-safe for concurrent interning; typically fully built before
+/// any parallel phase starts.
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  EventId intern(std::string_view name);
+
+  /// Returns the id of `name` if already interned.
+  [[nodiscard]] std::optional<EventId> find(std::string_view name) const;
+
+  [[nodiscard]] const std::string& name(EventId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+  /// Convenience: a fresh shared alphabet.
+  [[nodiscard]] static std::shared_ptr<Alphabet> create() {
+    return std::make_shared<Alphabet>();
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, EventId> index_;
+};
+
+}  // namespace ffsm

@@ -1,0 +1,57 @@
+#include "fsm/isomorphism.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+std::vector<State> canonical_numbering(const Dfsm& machine) {
+  const State n = machine.size();
+  std::vector<State> canon(n, kInvalidState);
+  std::vector<State> queue;
+  queue.reserve(n);
+  canon[machine.initial()] = 0;
+  queue.push_back(machine.initial());
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const State s = queue[head];
+    for (std::uint32_t e = 0;
+         e < static_cast<std::uint32_t>(machine.events().size()); ++e) {
+      const State t = machine.step_local(s, e);
+      if (canon[t] == kInvalidState) {
+        canon[t] = static_cast<State>(queue.size());
+        queue.push_back(t);
+      }
+    }
+  }
+  // Reachability is a machine invariant, so the numbering is total.
+  FFSM_ENSURES(queue.size() == n);
+  return canon;
+}
+
+namespace {
+
+/// Transition table rewritten into canonical numbering, rows in canonical
+/// state order.
+std::vector<State> canonical_table(const Dfsm& machine) {
+  const std::vector<State> canon = canonical_numbering(machine);
+  const auto k = static_cast<std::uint32_t>(machine.events().size());
+  std::vector<State> table(static_cast<std::size_t>(machine.size()) * k);
+  for (State s = 0; s < machine.size(); ++s)
+    for (std::uint32_t e = 0; e < k; ++e)
+      table[static_cast<std::size_t>(canon[s]) * k + e] =
+          canon[machine.step_local(s, e)];
+  return table;
+}
+
+}  // namespace
+
+bool isomorphic(const Dfsm& x, const Dfsm& y) {
+  if (x.size() != y.size()) return false;
+  if (x.events().size() != y.events().size()) return false;
+  if (!std::equal(x.events().begin(), x.events().end(), y.events().begin()))
+    return false;
+  return canonical_table(x) == canonical_table(y);
+}
+
+}  // namespace ffsm

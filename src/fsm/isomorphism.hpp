@@ -1,0 +1,24 @@
+// Isomorphism of connected deterministic machines.
+//
+// Because every state is reachable and transitions are deterministic, a DFSM
+// has a canonical state numbering: breadth-first discovery order from the
+// initial state, exploring events in ascending EventId order. Two machines
+// are isomorphic (same behaviour up to state renaming) iff their canonical
+// transition tables coincide. This is O(n * |Sigma|) — no backtracking search
+// is ever needed for this machine class.
+#pragma once
+
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+
+namespace ffsm {
+
+/// Canonical renumbering: result[s] = canonical index of state s (BFS order).
+[[nodiscard]] std::vector<State> canonical_numbering(const Dfsm& machine);
+
+/// True iff x and y are isomorphic: same subscribed events, same size, and
+/// identical canonical transition tables.
+[[nodiscard]] bool isomorphic(const Dfsm& x, const Dfsm& y);
+
+}  // namespace ffsm

@@ -1,0 +1,117 @@
+#include "fsm/minimize.hpp"
+
+#include <unordered_map>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+namespace {
+
+/// Renumbers arbitrary block tags to 0..k-1 by first occurrence.
+std::uint32_t normalize(std::vector<std::uint32_t>& blocks) {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  remap.reserve(blocks.size());
+  for (auto& b : blocks) {
+    const auto [it, inserted] =
+        remap.emplace(b, static_cast<std::uint32_t>(remap.size()));
+    b = it->second;
+  }
+  return static_cast<std::uint32_t>(remap.size());
+}
+
+struct SignatureHash {
+  std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (const std::uint32_t s : v) {
+      h ^= s;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> moore_partition(
+    const Dfsm& machine, std::span<const std::uint32_t> labels) {
+  FFSM_EXPECTS(labels.size() == machine.size());
+  const std::uint32_t n = machine.size();
+  const auto k = static_cast<std::uint32_t>(machine.events().size());
+
+  std::vector<std::uint32_t> blocks(labels.begin(), labels.end());
+  std::uint32_t num_blocks = normalize(blocks);
+
+  // Iterated signature refinement: two states stay together iff they have the
+  // same label and their successors stay together on every event. Each round
+  // either increases the block count or reaches the fixpoint, so at most n
+  // rounds run; each round is O(n * k).
+  while (true) {
+    std::unordered_map<std::vector<std::uint32_t>, std::uint32_t,
+                       SignatureHash>
+        index;
+    std::vector<std::uint32_t> next(n);
+    std::vector<std::uint32_t> sig(k + 1);
+    for (State s = 0; s < n; ++s) {
+      sig[0] = blocks[s];
+      for (std::uint32_t e = 0; e < k; ++e)
+        sig[e + 1] = blocks[machine.step_local(s, e)];
+      const auto [it, inserted] =
+          index.emplace(sig, static_cast<std::uint32_t>(index.size()));
+      next[s] = it->second;
+    }
+    const auto next_count = static_cast<std::uint32_t>(index.size());
+    if (next_count == num_blocks) break;
+    blocks = std::move(next);
+    num_blocks = next_count;
+  }
+  normalize(blocks);
+  return blocks;
+}
+
+Dfsm moore_minimize(const Dfsm& machine, std::span<const std::uint32_t> labels,
+                    std::string name) {
+  const std::vector<std::uint32_t> blocks = moore_partition(machine, labels);
+  std::uint32_t num_blocks = 0;
+  for (const auto b : blocks) num_blocks = std::max(num_blocks, b + 1);
+
+  // Representative state per block (first occurrence).
+  std::vector<State> rep(num_blocks, kInvalidState);
+  for (State s = 0; s < machine.size(); ++s)
+    if (rep[blocks[s]] == kInvalidState) rep[blocks[s]] = s;
+
+  DfsmBuilder builder(std::move(name),
+                      std::const_pointer_cast<Alphabet>(machine.alphabet()));
+  builder.states(num_blocks, "m");
+  for (const EventId e : machine.events()) builder.event(machine.alphabet()->name(e));
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    const State r = rep[b];
+    for (std::uint32_t pos = 0;
+         pos < static_cast<std::uint32_t>(machine.events().size()); ++pos)
+      builder.transition(b, machine.events()[pos],
+                         blocks[machine.step_local(r, pos)]);
+  }
+  builder.set_initial(blocks[machine.initial()]);
+  return builder.build();
+}
+
+bool all_states_reachable(const Dfsm& machine) {
+  std::vector<bool> seen(machine.size(), false);
+  std::vector<State> queue{machine.initial()};
+  seen[machine.initial()] = true;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (std::uint32_t e = 0;
+         e < static_cast<std::uint32_t>(machine.events().size()); ++e) {
+      const State t = machine.step_local(queue[head], e);
+      if (!seen[t]) {
+        seen[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  for (State s = 0; s < machine.size(); ++s)
+    if (!seen[s]) return false;
+  return true;
+}
+
+}  // namespace ffsm

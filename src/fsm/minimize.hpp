@@ -1,0 +1,40 @@
+// Machine reduction (paper section 1: "we implicitly assume that the input
+// machines to our algorithm are reduced a priori using these techniques",
+// referring to Huffman/Hopcroft minimisation of completely specified
+// machines).
+//
+// A bare DFSM has no outputs, so classical minimisation is parameterised by
+// an output labelling: moore_partition computes the coarsest partition that
+// refines the labelling and is closed under the transition function
+// (Moore-style partition refinement); moore_minimize quotients by it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+
+namespace ffsm {
+
+/// Coarsest partition P of machine states such that
+///  (a) states in one block carry equal `labels`, and
+///  (b) s ~ t implies delta(s,e) ~ delta(t,e) for every subscribed event.
+/// Returns a normalized block assignment (blocks numbered by first
+/// occurrence). `labels` must have machine.size() entries.
+[[nodiscard]] std::vector<std::uint32_t> moore_partition(
+    const Dfsm& machine, std::span<const std::uint32_t> labels);
+
+/// Quotient of `machine` by moore_partition(machine, labels).
+/// The result simulates `machine` exactly w.r.t. the labelling: running both
+/// on any sequence keeps label(machine state) == label(min state).
+[[nodiscard]] Dfsm moore_minimize(const Dfsm& machine,
+                                  std::span<const std::uint32_t> labels,
+                                  std::string name);
+
+/// True when every state is reachable from the initial state (the library's
+/// standing model assumption; builders enforce it, this re-checks).
+[[nodiscard]] bool all_states_reachable(const Dfsm& machine);
+
+}  // namespace ffsm

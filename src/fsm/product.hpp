@@ -1,0 +1,52 @@
+// Reachable cross product (paper section 2).
+//
+// Given machines A1..An over a shared alphabet, the cross product runs them
+// in lockstep on the union of their event sets; pruning states unreachable
+// from the joint initial state yields R({A1..An}), the paper's top machine.
+// Every Ai induces a closed partition of the top's states (states agreeing on
+// the i-th tuple component form a block); those assignments are the bridge
+// into the partition/fault/fusion modules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+
+namespace ffsm {
+
+/// Result of reachable_cross_product().
+struct CrossProduct {
+  /// R(A): subscribes to the union of component events; state names t0, t1..
+  /// in BFS discovery order from the joint initial state.
+  Dfsm top;
+
+  /// tuples[t][i] = state of machine i when the top is in state t.
+  std::vector<std::vector<State>> tuples;
+
+  /// Number of component machines n.
+  [[nodiscard]] std::uint32_t machine_count() const noexcept {
+    return tuples.empty() ? 0u
+                          : static_cast<std::uint32_t>(tuples.front().size());
+  }
+
+  /// Block assignment of component i over the top's states:
+  /// result[t] = tuples[t][i]. This is machine i's closed partition of the
+  /// top (blocks identified by machine-i state).
+  [[nodiscard]] std::vector<std::uint32_t> component_assignment(
+      std::uint32_t i) const;
+
+  /// Human-readable "{a0,b1}" label of top state t, built from the component
+  /// machines' state names.
+  [[nodiscard]] std::string tuple_label(State t,
+                                        std::span<const Dfsm> machines) const;
+};
+
+/// Computes R(machines). All machines must share one Alphabet instance.
+/// Throws ContractViolation on empty input or mismatched alphabets.
+[[nodiscard]] CrossProduct reachable_cross_product(
+    std::span<const Dfsm> machines, std::string top_name = "TOP");
+
+}  // namespace ffsm

@@ -1,0 +1,27 @@
+// Seeded random connected DFSMs for property tests and benchmark workloads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fsm/dfsm.hpp"
+
+namespace ffsm {
+
+struct RandomDfsmSpec {
+  std::uint32_t states = 4;
+  /// Events "e0".."e{num_events-1}" are interned and all subscribed.
+  std::uint32_t num_events = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a uniformly seeded machine in which every state is reachable:
+/// a random spanning in-tree from the initial state is laid down first, then
+/// every remaining (state, event) slot gets a uniform random target.
+/// Deterministic for a fixed (spec, alphabet interning order).
+[[nodiscard]] Dfsm make_random_connected_dfsm(
+    const std::shared_ptr<Alphabet>& alphabet, std::string name,
+    const RandomDfsmSpec& spec);
+
+}  // namespace ffsm

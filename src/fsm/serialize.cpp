@@ -1,0 +1,121 @@
+#include "fsm/serialize.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+std::string to_text(const Dfsm& machine) {
+  std::ostringstream out;
+  out << "dfsm " << machine.name() << '\n';
+  for (const EventId e : machine.events())
+    out << "event " << machine.alphabet()->name(e) << '\n';
+  for (State s = 0; s < machine.size(); ++s)
+    out << "state " << machine.state_name(s) << '\n';
+  out << "initial " << machine.state_name(machine.initial()) << '\n';
+  for (State s = 0; s < machine.size(); ++s)
+    for (std::uint32_t pos = 0;
+         pos < static_cast<std::uint32_t>(machine.events().size()); ++pos)
+      out << "trans " << machine.state_name(s) << ' '
+          << machine.alphabet()->name(machine.events()[pos]) << ' '
+          << machine.state_name(machine.step_local(s, pos)) << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+Dfsm from_text(std::string_view text,
+               const std::shared_ptr<Alphabet>& alphabet) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::unique_ptr<DfsmBuilder> builder;
+  bool ended = false;
+
+  while (std::getline(in, line)) {
+    // Strip comments and surrounding whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream words(line);
+    std::string directive;
+    if (!(words >> directive)) continue;  // blank line
+    if (ended)
+      throw ContractViolation("from_text: content after 'end'");
+
+    if (directive == "dfsm") {
+      std::string name;
+      if (!(words >> name))
+        throw ContractViolation("from_text: 'dfsm' requires a name");
+      if (builder)
+        throw ContractViolation("from_text: duplicate 'dfsm' directive");
+      builder = std::make_unique<DfsmBuilder>(name, alphabet);
+      continue;
+    }
+    if (!builder)
+      throw ContractViolation("from_text: expected 'dfsm <name>' first");
+
+    if (directive == "event") {
+      std::string name;
+      if (!(words >> name))
+        throw ContractViolation("from_text: 'event' requires a name");
+      builder->event(name);
+    } else if (directive == "state") {
+      std::string name;
+      if (!(words >> name))
+        throw ContractViolation("from_text: 'state' requires a name");
+      builder->state(name);
+    } else if (directive == "initial") {
+      std::string name;
+      if (!(words >> name))
+        throw ContractViolation("from_text: 'initial' requires a state");
+      builder->set_initial(name);
+    } else if (directive == "trans") {
+      std::string from, on, to;
+      if (!(words >> from >> on >> to))
+        throw ContractViolation(
+            "from_text: 'trans' requires <from> <event> <to>");
+      builder->transition(from, on, to);
+    } else if (directive == "end") {
+      ended = true;
+    } else {
+      throw ContractViolation("from_text: unknown directive '" + directive +
+                              "'");
+    }
+  }
+  if (!builder) throw ContractViolation("from_text: empty input");
+  if (!ended) throw ContractViolation("from_text: missing 'end'");
+  return builder->build();
+}
+
+std::string to_dot(const Dfsm& machine) {
+  std::ostringstream out;
+  out << "digraph \"" << machine.name() << "\" {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=circle];\n"
+      << "  \"" << machine.state_name(machine.initial())
+      << "\" [shape=doublecircle];\n";
+  // Merge parallel edges into one label per (from, to) pair.
+  for (State s = 0; s < machine.size(); ++s) {
+    std::vector<std::pair<State, std::string>> edges;
+    for (std::uint32_t pos = 0;
+         pos < static_cast<std::uint32_t>(machine.events().size()); ++pos) {
+      const State t = machine.step_local(s, pos);
+      const std::string& ev = machine.alphabet()->name(machine.events()[pos]);
+      bool merged = false;
+      for (auto& [dst, label] : edges)
+        if (dst == t) {
+          label += "," + ev;
+          merged = true;
+          break;
+        }
+      if (!merged) edges.emplace_back(t, ev);
+    }
+    for (const auto& [dst, label] : edges)
+      out << "  \"" << machine.state_name(s) << "\" -> \""
+          << machine.state_name(dst) << "\" [label=\"" << label << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ffsm

@@ -1,0 +1,36 @@
+// Plain-text and Graphviz serialisation of machines.
+//
+// Text format (line-oriented, '#' comments):
+//   dfsm <name>
+//   event <event-name>            (one per subscribed event)
+//   state <state-name>            (one per state, in index order)
+//   initial <state-name>
+//   trans <from> <event> <to>     (one per (state, event) pair)
+//   end
+//
+// The format round-trips exactly: parse(to_text(m)) is structurally equal to
+// m given the same Alphabet (EventIds are re-interned by name).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "fsm/dfsm.hpp"
+
+namespace ffsm {
+
+/// Serialises a machine to the text format above.
+[[nodiscard]] std::string to_text(const Dfsm& machine);
+
+/// Parses one machine from the text format. Throws ContractViolation on
+/// malformed input (unknown directive, missing transition, bad state name).
+[[nodiscard]] Dfsm from_text(std::string_view text,
+                             const std::shared_ptr<Alphabet>& alphabet);
+
+/// Graphviz DOT rendering (states as nodes, transitions labelled by event;
+/// the initial state is marked with a double circle).
+[[nodiscard]] std::string to_dot(const Dfsm& machine);
+
+}  // namespace ffsm

@@ -1,0 +1,103 @@
+#include "fusion/exhaustive.hpp"
+
+#include <algorithm>
+
+#include "fault/fault_graph.hpp"
+#include "fusion/fusion.hpp"
+#include "partition/lattice.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+namespace {
+
+/// C(n, k) with saturation.
+std::uint64_t choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    if (result > UINT64_MAX / (n - i)) return UINT64_MAX;
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+}  // namespace
+
+ExhaustiveResult find_optimal_fusion(const Dfsm& top,
+                                     std::span<const Partition> originals,
+                                     const ExhaustiveOptions& options) {
+  const std::uint32_t n = top.size();
+  for (const Partition& p : originals) FFSM_EXPECTS(p.size() == n);
+
+  ExhaustiveResult result;
+  const FaultGraph base = FaultGraph::build(n, originals);
+  const std::uint32_t m = minimum_fusion_size(options.f, base.dmin());
+  if (m == 0) return result;  // inherently tolerant
+
+  const ClosedPartitionLattice lattice =
+      enumerate_lattice(top, options.max_lattice);
+  const std::size_t L = lattice.nodes.size();
+  // Fusions are multisets (e.g. two copies of the top is a legal
+  // (2,2)-fusion), so the space is C(L + m - 1, m).
+  if (choose(L + m - 1, m) > options.max_subsets)
+    throw ContractViolation(
+        "find_optimal_fusion: search space exceeds max_subsets");
+
+  // Candidates sorted by block count so cheap machines are tried first and
+  // the running best prunes aggressively.
+  std::vector<std::size_t> order(L);
+  for (std::size_t i = 0; i < L; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return lattice.nodes[a].partition.block_count() <
+           lattice.nodes[b].partition.block_count();
+  });
+
+  std::uint64_t best_total = UINT64_MAX;
+  std::vector<Partition> best;
+  std::vector<std::size_t> picked;
+
+  // DFS over ordered subsets with total-size pruning: candidates are
+  // ascending in size, so a partial sum already at/above best_total (plus
+  // the smallest possible completion) cannot improve.
+  const auto dfs = [&](auto&& self, std::size_t start,
+                       std::uint64_t partial_total,
+                       FaultGraph& graph) -> void {
+    if (picked.size() == m) {
+      ++result.subsets_checked;
+      const std::uint32_t d = graph.dmin();
+      if ((d == FaultGraph::kInfinity || d > options.f) &&
+          partial_total < best_total) {
+        best_total = partial_total;
+        best.clear();
+        for (const auto idx : picked)
+          best.push_back(lattice.nodes[idx].partition);
+      }
+      return;
+    }
+    for (std::size_t pos = start; pos < L; ++pos) {
+      const Partition& candidate = lattice.nodes[order[pos]].partition;
+      const std::uint64_t next_total =
+          partial_total + candidate.block_count();
+      // Remaining picks each cost at least this candidate's size (ordering).
+      const std::uint64_t completion =
+          next_total + (m - picked.size() - 1) * candidate.block_count();
+      if (completion >= best_total) break;  // ordered: no later pos helps
+      graph.add_machine(candidate);
+      picked.push_back(order[pos]);
+      self(self, pos, next_total, graph);  // same pos: multisets allowed
+      picked.pop_back();
+      graph.remove_machine(candidate);
+    }
+  };
+
+  FaultGraph graph = base;
+  dfs(dfs, 0, 0, graph);
+
+  FFSM_ASSERT(!best.empty());  // m tops always qualify, so a best exists
+  result.partitions = std::move(best);
+  result.total_states = best_total;
+  return result;
+}
+
+}  // namespace ffsm

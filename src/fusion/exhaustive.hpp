@@ -1,0 +1,51 @@
+// Exhaustive optimal fusion search (ground truth for small systems).
+//
+// Algorithm 2 is greedy: it provably returns a *minimal* fusion (no
+// coordinatewise-smaller one exists) of minimum machine count, but not
+// necessarily the fusion with the smallest total state space. For tops whose
+// closed partition lattice is enumerable, this module searches every
+// m-subset of lattice elements (m = the Theorem-4 minimum) and returns one
+// minimizing total block count — the yardstick bench_greedy_vs_optimal uses
+// to score the greedy.
+//
+// Complexity is C(L, m) * fusion-check for a lattice of L elements: strictly
+// a small-system tool, guarded by limits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+struct ExhaustiveOptions {
+  std::uint32_t f = 1;
+  /// Abort (throw) if the lattice exceeds this many elements.
+  std::size_t max_lattice = 256;
+  /// Abort (throw) if C(lattice, m) exceeds this many candidate subsets.
+  std::uint64_t max_subsets = 5'000'000;
+};
+
+struct ExhaustiveResult {
+  /// An optimal (f, m)-fusion, m = minimum_fusion_size(f, dmin(originals));
+  /// empty when the originals already tolerate f faults.
+  std::vector<Partition> partitions;
+  /// Sum of block counts of the chosen machines.
+  std::uint64_t total_states = 0;
+  /// Number of subsets actually evaluated.
+  std::uint64_t subsets_checked = 0;
+};
+
+/// Finds a total-state-space-optimal minimum-count fusion by exhaustive
+/// search over the closed partition lattice. Throws ContractViolation when
+/// the limits are exceeded or no fusion of the minimum size exists within
+/// the lattice (cannot happen: the lattice contains the top).
+[[nodiscard]] ExhaustiveResult find_optimal_fusion(
+    const Dfsm& top, std::span<const Partition> originals,
+    const ExhaustiveOptions& options = {});
+
+}  // namespace ffsm

@@ -1,0 +1,34 @@
+#include "fusion/fusion.hpp"
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+bool is_fusion(std::uint32_t top_size, std::span<const Partition> originals,
+               std::span<const Partition> fusion, std::uint32_t f) {
+  std::vector<Partition> all;
+  all.reserve(originals.size() + fusion.size());
+  all.insert(all.end(), originals.begin(), originals.end());
+  all.insert(all.end(), fusion.begin(), fusion.end());
+  const FaultGraph g = FaultGraph::build(top_size, all);
+  const std::uint32_t d = g.dmin();
+  return d == FaultGraph::kInfinity || d > f;
+}
+
+bool fusion_exists(std::uint32_t f, std::uint32_t m,
+                   std::uint32_t dmin_of_originals) {
+  if (dmin_of_originals == FaultGraph::kInfinity) return true;
+  // m + dmin > f without overflow.
+  return m > f || dmin_of_originals > f - m;
+}
+
+std::uint32_t minimum_fusion_size(std::uint32_t f,
+                                  std::uint32_t dmin_of_originals) {
+  if (dmin_of_originals == FaultGraph::kInfinity) return 0;
+  if (dmin_of_originals > f) return 0;
+  return f - dmin_of_originals + 1;
+}
+
+}  // namespace ffsm

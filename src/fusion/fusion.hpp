@@ -1,0 +1,53 @@
+// (f, m)-fusion theory (paper section 4).
+//
+// Given originals A (closed partitions of the top) and a candidate backup
+// set F, F is an (f, m)-fusion of A when |F| = m and dmin(A ∪ F) > f
+// (Definition 5). This header provides the predicate plus the counting
+// results around it:
+//   * Theorem 3 — any (m-t)-subset of an (f,m)-fusion is an (f-t, m-t)-fusion;
+//   * Theorem 4 — an (f,m)-fusion exists iff m + dmin(A) > f;
+//   * the minimum backup count implied by Theorem 4 is f - dmin(A) + 1
+//     (the paper's Theorem 5 prose says "f - dmin(A)", an off-by-one slip:
+//     its own f=2 walk-through produces two machines from dmin(A)=1, and
+//     Algorithm 2 runs until dmin reaches f+1, adding one machine per unit).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fault/fault_graph.hpp"
+#include "fsm/dfsm.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+/// Definition 5: dmin over A ∪ F exceeds f. `top_size` is |X_top|; all
+/// partitions must cover top_size elements.
+[[nodiscard]] bool is_fusion(std::uint32_t top_size,
+                             std::span<const Partition> originals,
+                             std::span<const Partition> fusion,
+                             std::uint32_t f);
+
+/// Theorem 4: an (f, m)-fusion of machines with the given dmin exists iff
+/// m + dmin > f.
+[[nodiscard]] bool fusion_exists(std::uint32_t f, std::uint32_t m,
+                                 std::uint32_t dmin_of_originals);
+
+/// Smallest m for which an (f, m)-fusion exists: max(0, f - dmin + 1).
+/// Returns 0 when the originals already tolerate f faults.
+[[nodiscard]] std::uint32_t minimum_fusion_size(std::uint32_t f,
+                                                std::uint32_t dmin_of_originals);
+
+/// Crash faults an (f, m)-fusion system survives per Theorem 1 applied to
+/// A ∪ F; provided for symmetric naming with byzantine_capacity.
+[[nodiscard]] inline std::uint32_t crash_capacity(std::uint32_t dmin) {
+  return dmin == FaultGraph::kInfinity ? dmin : (dmin > 0 ? dmin - 1 : 0);
+}
+
+/// Byzantine faults the same system survives per Theorem 2: (dmin-1)/2.
+[[nodiscard]] inline std::uint32_t byzantine_capacity(std::uint32_t dmin) {
+  return dmin == FaultGraph::kInfinity ? dmin
+                                       : (dmin > 0 ? (dmin - 1) / 2 : 0);
+}
+
+}  // namespace ffsm

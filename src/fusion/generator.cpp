@@ -1,0 +1,116 @@
+#include "fusion/generator.hpp"
+
+#include <algorithm>
+
+#include "partition/quotient.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+namespace {
+
+/// True iff `p` separates both endpoints of every listed edge.
+bool covers_all(const Partition& p,
+                std::span<const std::pair<std::uint32_t, std::uint32_t>>
+                    edges) {
+  for (const auto& [i, j] : edges)
+    if (!p.separates(i, j)) return false;
+  return true;
+}
+
+/// Applies the descent policy to the viable candidates; `viable` is
+/// non-empty.
+std::size_t pick(const std::vector<const Partition*>& viable,
+                 DescentPolicy policy) {
+  switch (policy) {
+    case DescentPolicy::kFirstFound:
+      return 0;
+    case DescentPolicy::kFewestBlocks: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < viable.size(); ++i)
+        if (viable[i]->block_count() < viable[best]->block_count()) best = i;
+      return best;
+    }
+    case DescentPolicy::kMostBlocks: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < viable.size(); ++i)
+        if (viable[i]->block_count() > viable[best]->block_count()) best = i;
+      return best;
+    }
+  }
+  FFSM_ASSERT(false);
+  return 0;
+}
+
+}  // namespace
+
+FusionResult generate_fusion(const Dfsm& top,
+                             std::span<const Partition> originals,
+                             const GenerateOptions& options) {
+  const std::uint32_t n = top.size();
+  for (const Partition& p : originals) FFSM_EXPECTS(p.size() == n);
+
+  FusionResult result;
+  FaultGraph graph = FaultGraph::build(
+      n, originals, {.pool = options.pool, .parallel = options.parallel});
+  result.stats.dmin_before = graph.dmin();
+
+  LowerCoverOptions cover_options;
+  cover_options.pool = options.pool;
+  cover_options.parallel = options.parallel;
+
+  // Outer loop: one fusion machine per iteration until dmin exceeds f.
+  // dmin == kInfinity (single-state top) tolerates everything already.
+  while (graph.dmin() != FaultGraph::kInfinity && graph.dmin() <= options.f) {
+    // Weakest edges are fixed for the whole descent (Lemma 1): the candidate
+    // machine increases dmin iff it separates every one of them.
+    const auto weakest = graph.weakest_edges();
+    FFSM_ASSERT(!weakest.empty());
+
+    // Descend from the top of the lattice (identity partition separates all
+    // pairs, hence always covers the weakest edges — Theorem 4's existence
+    // argument).
+    Partition current = Partition::identity(n);
+    while (true) {
+      const std::vector<Partition> cover =
+          lower_cover(top, current, cover_options);
+      result.stats.candidates_examined += cover.size();
+      std::vector<const Partition*> viable;
+      for (const Partition& c : cover)
+        if (covers_all(c, weakest)) viable.push_back(&c);
+      if (viable.empty()) break;
+      current = *viable[pick(viable, options.policy)];
+      ++result.stats.descent_steps;
+    }
+
+    graph.add_machine(current);
+    result.partitions.push_back(std::move(current));
+    ++result.stats.machines_added;
+  }
+
+  result.stats.dmin_after = graph.dmin();
+  FFSM_ENSURES(result.stats.dmin_after == FaultGraph::kInfinity ||
+               result.stats.dmin_after > options.f);
+  return result;
+}
+
+GeneratedBackups generate_backup_machines(const CrossProduct& product,
+                                          const GenerateOptions& options) {
+  std::vector<Partition> originals;
+  originals.reserve(product.machine_count());
+  for (std::uint32_t i = 0; i < product.machine_count(); ++i)
+    originals.emplace_back(product.component_assignment(i));
+
+  FusionResult fusion = generate_fusion(product.top, originals, options);
+
+  GeneratedBackups backups;
+  backups.stats = fusion.stats;
+  backups.machines.reserve(fusion.partitions.size());
+  for (std::size_t i = 0; i < fusion.partitions.size(); ++i)
+    backups.machines.push_back(quotient_machine(
+        product.top, fusion.partitions[i], "F" + std::to_string(i + 1)));
+  backups.partitions = std::move(fusion.partitions);
+  return backups;
+}
+
+}  // namespace ffsm

@@ -1,0 +1,93 @@
+// Algorithm 2 (paper section 5.1): generate the minimum set of backup
+// machines tolerating f crash faults (equivalently floor(f/2) Byzantine
+// faults, Theorem 2).
+//
+// Outer loop: while dmin(A ∪ F) <= f, find one more fusion machine and add
+// it — each addition raises dmin by exactly 1, so exactly
+// f + 1 - dmin(A) machines are produced.
+//
+// Inner loop (lattice descent): start from the top (identity partition,
+// which separates everything) and repeatedly move to a lower-cover element
+// that still covers every *weakest edge* of the current fault graph
+// G(A ∪ F); stop when no such element exists. The weakest-edge set is fixed
+// for the whole descent (it only changes when F changes — paper Lemma 1), so
+// it is computed once per outer iteration.
+//
+// The paper's line 6 is nondeterministic ("∃ F ∈ C"); DescentPolicy selects
+// which viable candidate to follow, which affects the size (not the
+// validity or count) of the generated machines — see
+// bench_ablation_policy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/fault_graph.hpp"
+#include "fsm/dfsm.hpp"
+#include "fsm/product.hpp"
+#include "partition/lower_cover.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+enum class DescentPolicy {
+  /// Follow the first viable lower-cover element (the paper's literal
+  /// reading; order is the enumeration order of lower_cover).
+  kFirstFound,
+  /// Follow the viable element with the fewest blocks — descends toward the
+  /// smallest machines fastest (library default).
+  kFewestBlocks,
+  /// Follow the viable element with the most blocks — most conservative
+  /// descent.
+  kMostBlocks,
+};
+
+struct GenerateOptions {
+  /// Crash faults to tolerate (use 2*f here to tolerate f Byzantine faults).
+  std::uint32_t f = 1;
+  DescentPolicy policy = DescentPolicy::kFewestBlocks;
+  /// Fan lower-cover closure evaluation out across the thread pool.
+  bool parallel = true;
+  ThreadPool* pool = nullptr;
+};
+
+struct GenerateStats {
+  /// Outer-loop iterations == number of fusion machines produced.
+  std::uint32_t machines_added = 0;
+  /// Total lattice-descent steps across all outer iterations.
+  std::uint32_t descent_steps = 0;
+  /// Total lower-cover candidate partitions examined.
+  std::uint64_t candidates_examined = 0;
+  std::uint32_t dmin_before = 0;
+  std::uint32_t dmin_after = 0;
+};
+
+struct FusionResult {
+  /// Generated fusion machines as closed partitions of the top, in
+  /// generation order.
+  std::vector<Partition> partitions;
+  GenerateStats stats;
+};
+
+/// Runs Algorithm 2 on originals expressed as closed partitions of `top`.
+/// Postcondition: dmin(originals ∪ result) > f, and result.partitions.size()
+/// == minimum_fusion_size(f, dmin(originals)).
+[[nodiscard]] FusionResult generate_fusion(
+    const Dfsm& top, std::span<const Partition> originals,
+    const GenerateOptions& options = {});
+
+/// Convenience wrapper over a cross product: derives the originals'
+/// partitions from the component assignments, runs Algorithm 2, and builds
+/// the backup DFSMs as quotients of the top (named "F1", "F2", ...).
+struct GeneratedBackups {
+  std::vector<Partition> partitions;
+  std::vector<Dfsm> machines;
+  GenerateStats stats;
+};
+
+[[nodiscard]] GeneratedBackups generate_backup_machines(
+    const CrossProduct& product, const GenerateOptions& options = {});
+
+}  // namespace ffsm

@@ -1,0 +1,63 @@
+#include "fusion/order.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+namespace {
+
+/// Depth-first search for a matching assigning each f[i] a distinct g[j]
+/// with f[i] <= g[j]; tracks whether any pair can be strict. Returns true
+/// when a full matching with >= 1 strict pair exists.
+bool match(std::span<const Partition> f, std::span<const Partition> g,
+           std::size_t i, std::vector<bool>& used, bool any_strict) {
+  if (i == f.size()) return any_strict;
+  for (std::size_t j = 0; j < g.size(); ++j) {
+    if (used[j]) continue;
+    if (!Partition::leq(f[i], g[j])) continue;  // need f[i] <= g[j]
+    used[j] = true;
+    const bool strict = !(f[i] == g[j]);
+    if (match(f, g, i + 1, used, any_strict || strict)) return true;
+    used[j] = false;
+  }
+  return false;
+}
+
+bool multiset_equal(std::span<const Partition> f,
+                    std::span<const Partition> g) {
+  if (f.size() != g.size()) return false;
+  std::vector<bool> used(g.size(), false);
+  for (const Partition& p : f) {
+    bool found = false;
+    for (std::size_t j = 0; j < g.size() && !found; ++j)
+      if (!used[j] && p == g[j]) {
+        used[j] = true;
+        found = true;
+      }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool fusion_less(std::span<const Partition> f, std::span<const Partition> g) {
+  FFSM_EXPECTS(f.size() == g.size());
+  FFSM_EXPECTS(f.size() <= 12);
+  if (f.empty()) return false;
+  std::vector<bool> used(g.size(), false);
+  return match(f, g, 0, used, /*any_strict=*/false);
+}
+
+FusionOrdering compare_fusions(std::span<const Partition> f,
+                               std::span<const Partition> g) {
+  if (multiset_equal(f, g)) return FusionOrdering::kEqual;
+  if (fusion_less(f, g)) return FusionOrdering::kLess;
+  if (fusion_less(g, f)) return FusionOrdering::kGreater;
+  return FusionOrdering::kIncomparable;
+}
+
+}  // namespace ffsm

@@ -1,0 +1,31 @@
+// Order among (f, m)-fusions (paper Definition 6).
+//
+// F < G iff the machines of G can be ordered G1..Gm such that Fi <= Gi for
+// all i with at least one strict inequality. Finding the ordering is a
+// bipartite matching problem; fusions are small (m is the number of backup
+// machines), so we search permutations directly with memoised pruning.
+#pragma once
+
+#include <span>
+
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+enum class FusionOrdering {
+  kLess,          // F < G
+  kEqual,         // multiset-equal
+  kGreater,       // F > G
+  kIncomparable,
+};
+
+/// True iff F < G per Definition 6. Requires |F| == |G| and |F| <= 12
+/// (permutation search).
+[[nodiscard]] bool fusion_less(std::span<const Partition> f,
+                               std::span<const Partition> g);
+
+/// Three-way comparison of equal-size fusions.
+[[nodiscard]] FusionOrdering compare_fusions(std::span<const Partition> f,
+                                             std::span<const Partition> g);
+
+}  // namespace ffsm

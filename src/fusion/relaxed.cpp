@@ -1,0 +1,82 @@
+#include "fusion/relaxed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/fault_graph.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+namespace {
+
+std::size_t coverage(const Partition& p,
+                     std::span<const std::pair<std::uint32_t, std::uint32_t>>
+                         edges) {
+  std::size_t covered = 0;
+  for (const auto& [i, j] : edges) covered += p.separates(i, j) ? 1u : 0u;
+  return covered;
+}
+
+}  // namespace
+
+RelaxedResult generate_relaxed_fusion(const Dfsm& top,
+                                      std::span<const Partition> originals,
+                                      const RelaxedOptions& options) {
+  FFSM_EXPECTS(options.coverage_fraction > 0.0);
+  FFSM_EXPECTS(options.coverage_fraction <= 1.0);
+  const std::uint32_t n = top.size();
+  for (const Partition& p : originals) FFSM_EXPECTS(p.size() == n);
+
+  RelaxedResult result;
+  FaultGraph graph = FaultGraph::build(
+      n, originals, {.pool = options.pool, .parallel = options.parallel});
+  result.stats.dmin_before = graph.dmin();
+
+  LowerCoverOptions cover_options;
+  cover_options.pool = options.pool;
+  cover_options.parallel = options.parallel;
+
+  while (graph.dmin() != FaultGraph::kInfinity && graph.dmin() <= options.f) {
+    const auto weakest = graph.weakest_edges();
+    FFSM_ASSERT(!weakest.empty());
+    const auto target = static_cast<std::size_t>(std::max<double>(
+        1.0, std::ceil(options.coverage_fraction *
+                       static_cast<double>(weakest.size()))));
+
+    // Greedy descent maximising weakest-edge coverage, never dropping below
+    // the target. The identity partition covers everything, so the loop
+    // invariant "current covers >= target" holds from the start.
+    Partition current = Partition::identity(n);
+    while (true) {
+      const std::vector<Partition> cover =
+          lower_cover(top, current, cover_options);
+      result.stats.candidates_examined += cover.size();
+      std::size_t best_cover = 0;
+      const Partition* best = nullptr;
+      for (const Partition& c : cover) {
+        const std::size_t covered = coverage(c, weakest);
+        if (covered >= target && covered > best_cover) {
+          best_cover = covered;
+          best = &c;
+        }
+      }
+      if (best == nullptr) break;
+      current = *best;
+      ++result.stats.descent_steps;
+    }
+
+    // Progress: `current` separates >= target >= 1 weakest edges, so the
+    // weakest set strictly shrinks (or dmin rises) every iteration.
+    graph.add_machine(current);
+    result.partitions.push_back(std::move(current));
+    ++result.stats.machines_added;
+  }
+
+  result.stats.dmin_after = graph.dmin();
+  FFSM_ENSURES(result.stats.dmin_after == FaultGraph::kInfinity ||
+               result.stats.dmin_after > options.f);
+  return result;
+}
+
+}  // namespace ffsm

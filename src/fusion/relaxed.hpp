@@ -1,0 +1,57 @@
+// Relaxed fusion generation — the paper's section 7 extension:
+//
+//   "our algorithm returns the minimum number of backup machines required
+//    ... We may be able to generate smaller machines if the system under
+//    consideration permits a larger number of backup machines."
+//
+// Algorithm 2 forces every backup to cover ALL weakest edges of the current
+// fault graph, which pins its size from below. The relaxed generator lets a
+// backup cover only a fraction of the current *deficit* edge set and keeps
+// adding machines until every edge reaches weight f+1:
+//
+//   while dmin <= f:
+//     W := weakest edges
+//     descend the lattice greedily, maximising |covered ∩ W|, as long as the
+//     candidate still covers >= ceil(coverage_fraction * |W|) edges;
+//     add the reached machine (it covers >= 1 weakest edge, so the deficit
+//     strictly shrinks and the loop terminates).
+//
+// coverage_fraction = 1 reproduces Algorithm 2's behaviour (each machine
+// covers the full weakest set, so each outer round raises dmin by one);
+// smaller fractions trade more machines for (often) smaller ones —
+// quantified in bench_relaxed_fusion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+#include "fusion/generator.hpp"
+#include "partition/lower_cover.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+struct RelaxedOptions {
+  /// Crash faults to tolerate (2*b for b Byzantine faults).
+  std::uint32_t f = 1;
+  /// Fraction of the current weakest-edge set every backup must keep
+  /// covering while descending; clamped to (0, 1]. 1.0 == Algorithm 2.
+  double coverage_fraction = 0.5;
+  bool parallel = true;
+  ThreadPool* pool = nullptr;
+};
+
+struct RelaxedResult {
+  std::vector<Partition> partitions;
+  GenerateStats stats;
+};
+
+/// Generates an (f, m)-fusion with m >= minimum_fusion_size(f, dmin(A)).
+/// Postcondition: dmin(originals ∪ partitions) > f.
+[[nodiscard]] RelaxedResult generate_relaxed_fusion(
+    const Dfsm& top, std::span<const Partition> originals,
+    const RelaxedOptions& options = {});
+
+}  // namespace ffsm

@@ -1,0 +1,107 @@
+#include "partition/closure.hpp"
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+bool is_closed(const Dfsm& machine, const Partition& p) {
+  FFSM_EXPECTS(p.size() == machine.size());
+  const auto k = static_cast<std::uint32_t>(machine.events().size());
+  constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
+  // image[block][event] = block of the successors seen so far.
+  std::vector<std::uint32_t> image(
+      static_cast<std::size_t>(p.block_count()) * k, kUnset);
+  for (State s = 0; s < machine.size(); ++s) {
+    const std::uint32_t b = p.block_of(s);
+    for (std::uint32_t e = 0; e < k; ++e) {
+      const std::uint32_t target = p.block_of(machine.step_local(s, e));
+      auto& slot = image[static_cast<std::size_t>(b) * k + e];
+      if (slot == kUnset)
+        slot = target;
+      else if (slot != target)
+        return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Plain union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n) : parent_(n), size_(n, 1) {
+    for (std::uint32_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true when the two classes were distinct and are now united.
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace
+
+Partition merge_closure(const Dfsm& machine, const Partition& p,
+                        std::span<const std::pair<State, State>> merges) {
+  FFSM_EXPECTS(p.size() == machine.size());
+  const std::uint32_t n = machine.size();
+  const auto k = static_cast<std::uint32_t>(machine.events().size());
+
+  UnionFind uf(n);
+  std::vector<std::pair<State, State>> queue;
+  queue.reserve(merges.size() + n);
+
+  // Seed with the base partition: link every element to its block's first
+  // element. The successor pairs are enqueued too, so the algorithm is
+  // correct even when the base partition is not closed.
+  {
+    constexpr State kUnset = kInvalidState;
+    std::vector<State> first(p.block_count(), kUnset);
+    for (State s = 0; s < n; ++s) {
+      State& f = first[p.block_of(s)];
+      if (f == kUnset)
+        f = s;
+      else
+        queue.emplace_back(f, s);
+    }
+  }
+  queue.insert(queue.end(), merges.begin(), merges.end());
+
+  // Congruence closure: uniting x and y forces delta(x,e) ~ delta(y,e).
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const auto [x, y] = queue[head];
+    FFSM_EXPECTS(x < n && y < n);
+    if (!uf.unite(x, y)) continue;
+    for (std::uint32_t e = 0; e < k; ++e)
+      queue.emplace_back(machine.step_local(x, e), machine.step_local(y, e));
+  }
+
+  std::vector<std::uint32_t> assignment(n);
+  for (State s = 0; s < n; ++s) assignment[s] = uf.find(s);
+  Partition result{std::move(assignment)};
+  FFSM_ENSURES(is_closed(machine, result));
+  return result;
+}
+
+}  // namespace ffsm

@@ -1,0 +1,32 @@
+// Closed partitions and the merge closure (paper section 2.1).
+//
+// A partition P of a machine T's states is *closed* (an SP partition /
+// congruence) when every event maps each block into a single block. The
+// merge closure of (P, pairs) is the finest closed partition that is coarser
+// than or equal to P and unites each given pair — exactly the "new largest
+// closed partition which is less than this new (possibly not closed)
+// partition" used by the paper's lower-cover construction (Definition 2).
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "fsm/dfsm.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+/// True iff every subscribed event maps each block of `p` into one block.
+[[nodiscard]] bool is_closed(const Dfsm& machine, const Partition& p);
+
+/// Finest closed partition Q with Q <= p (coarser or equal) in which every
+/// pair (a,b) of `merges` shares a block.
+///
+/// Union-find congruence closure: seed with p's blocks and the requested
+/// pairs; whenever two classes unite, their successor pairs under every
+/// event are enqueued. O((N + |merges|) * |Sigma| * alpha(N)).
+[[nodiscard]] Partition merge_closure(
+    const Dfsm& machine, const Partition& p,
+    std::span<const std::pair<State, State>> merges);
+
+}  // namespace ffsm

@@ -1,0 +1,79 @@
+#include "partition/lower_cover.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "partition/closure.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
+                                   const LowerCoverOptions& options) {
+  FFSM_EXPECTS(p.size() == machine.size());
+  FFSM_EXPECTS(is_closed(machine, p));
+
+  const std::uint32_t blocks = p.block_count();
+  if (blocks <= 1) return {};  // bottom: nothing below
+
+  // Representative element of each block.
+  std::vector<State> rep(blocks, kInvalidState);
+  for (State s = 0; s < p.size(); ++s)
+    if (rep[p.block_of(s)] == kInvalidState) rep[p.block_of(s)] = s;
+
+  // All unordered block pairs.
+  std::vector<std::pair<State, State>> pairs;
+  pairs.reserve(static_cast<std::size_t>(blocks) * (blocks - 1) / 2);
+  for (std::uint32_t i = 0; i < blocks; ++i)
+    for (std::uint32_t j = i + 1; j < blocks; ++j)
+      pairs.emplace_back(rep[i], rep[j]);
+
+  // Independent merge closures, one per pair.
+  std::vector<Partition> candidates(pairs.size());
+  const auto evaluate = [&](std::size_t idx) {
+    const std::pair<State, State> merge[1] = {pairs[idx]};
+    candidates[idx] = merge_closure(machine, p, merge);
+  };
+  if (options.parallel) {
+    ParallelOptions popt;
+    popt.pool = options.pool;
+    popt.serial_threshold = 16;
+    parallel_for(0, pairs.size(), evaluate, popt);
+  } else {
+    for (std::size_t i = 0; i < pairs.size(); ++i) evaluate(i);
+  }
+
+  // Deduplicate.
+  std::vector<Partition> unique;
+  {
+    std::unordered_set<std::size_t> seen;
+    for (auto& c : candidates) {
+      // hash()-based pre-filter, exact check on collision.
+      const std::size_t h = c.hash();
+      if (seen.contains(h)) {
+        bool duplicate = false;
+        for (const auto& u : unique)
+          if (u == c) {
+            duplicate = true;
+            break;
+          }
+        if (duplicate) continue;
+      }
+      seen.insert(h);
+      unique.push_back(std::move(c));
+    }
+  }
+
+  // Keep maximal elements: drop q when some other candidate r sits strictly
+  // between q and p (q < r). Every candidate is < p already.
+  std::vector<Partition> result;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < unique.size() && !dominated; ++j)
+      if (i != j && Partition::less(unique[i], unique[j])) dominated = true;
+    if (!dominated) result.push_back(unique[i]);
+  }
+  return result;
+}
+
+}  // namespace ffsm

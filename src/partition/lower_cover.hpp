@@ -1,0 +1,36 @@
+// Lower cover of a closed partition (paper Definition 2).
+//
+// The lower cover of machine M consists of the *maximal* closed partitions
+// strictly less (coarser) than M. Following Lee–Yannakakis and the paper's
+// construction, every lower-cover element arises as the merge closure of M
+// with one pair of its blocks united; we therefore enumerate all
+// block-pair closures, deduplicate, and keep the maximal ones.
+//
+// Complexity: O(B^2) closures for B blocks, each O(N * |Sigma| * alpha);
+// the closures are independent, so they fan out across the thread pool.
+#pragma once
+
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+#include "partition/partition.hpp"
+#include "util/parallel.hpp"
+
+namespace ffsm {
+
+struct LowerCoverOptions {
+  /// Evaluate block-pair closures in parallel on this pool (nullptr =
+  /// global pool). Parallelism only kicks in past ParallelOptions'
+  /// serial threshold of pairs.
+  ThreadPool* pool = nullptr;
+  bool parallel = true;
+};
+
+/// Maximal closed partitions strictly below `p` on `machine`'s transition
+/// structure. For the single-block partition (bottom) this is empty.
+/// `p` must be closed.
+[[nodiscard]] std::vector<Partition> lower_cover(
+    const Dfsm& machine, const Partition& p,
+    const LowerCoverOptions& options = {});
+
+}  // namespace ffsm

@@ -1,0 +1,42 @@
+#include "partition/meet_join.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "partition/closure.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+Partition partition_join(const Partition& p, const Partition& q) {
+  FFSM_EXPECTS(p.size() == q.size());
+  // Tag each element with the pair (p-block, q-block); Partition's
+  // constructor renumbers by first occurrence. Pack the pair into one tag.
+  const std::uint32_t qb = q.block_count();
+  std::vector<std::uint32_t> assignment(p.size());
+  for (std::uint32_t i = 0; i < p.size(); ++i)
+    assignment[i] = p.block_of(i) * qb + q.block_of(i);
+  return Partition(std::move(assignment));
+}
+
+Partition partition_meet(const Dfsm& machine, const Partition& p,
+                         const Partition& q) {
+  FFSM_EXPECTS(p.size() == machine.size());
+  FFSM_EXPECTS(q.size() == machine.size());
+  // Union of the relations: seed from p and merge q's blocks on top, then
+  // take the congruence closure. Link every element of a q-block to the
+  // block's first element.
+  std::vector<std::pair<State, State>> merges;
+  constexpr State kUnset = kInvalidState;
+  std::vector<State> first(q.block_count(), kUnset);
+  for (State s = 0; s < machine.size(); ++s) {
+    State& f = first[q.block_of(s)];
+    if (f == kUnset)
+      f = s;
+    else
+      merges.emplace_back(f, s);
+  }
+  return merge_closure(machine, p, merges);
+}
+
+}  // namespace ffsm

@@ -1,0 +1,31 @@
+// Meet and join in the closed partition lattice (paper section 2.1: "the
+// set of all closed partitions corresponding to a machine form a lattice
+// under the <= relation").
+//
+// With the paper's order (smaller = coarser):
+//   * join(P, Q)  — least upper bound: the coarsest partition finer than
+//     both, i.e. the common refinement (intersection of the equivalence
+//     relations). The intersection of two congruences is a congruence, so
+//     closedness is preserved without any closure pass.
+//   * meet(top, P, Q) — greatest lower bound: the finest partition coarser
+//     than both, i.e. the transitive closure of the union of the relations,
+//     re-closed under the transition function (for congruences the result
+//     of merge_closure is exactly the congruence join of universal algebra).
+#pragma once
+
+#include "fsm/dfsm.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+/// Least upper bound (common refinement). Both inputs must partition the
+/// same element count. Closed inputs yield a closed result.
+[[nodiscard]] Partition partition_join(const Partition& p, const Partition& q);
+
+/// Greatest lower bound over `machine`'s transition structure: the finest
+/// *closed* partition coarser than both inputs. Inputs need not be closed;
+/// the result always is.
+[[nodiscard]] Partition partition_meet(const Dfsm& machine, const Partition& p,
+                                       const Partition& q);
+
+}  // namespace ffsm

@@ -1,0 +1,50 @@
+#include "partition/quotient.hpp"
+
+#include "partition/closure.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+Dfsm quotient_machine(const Dfsm& machine, const Partition& p,
+                      std::string name) {
+  FFSM_EXPECTS(p.size() == machine.size());
+  if (!is_closed(machine, p))
+    throw ContractViolation("quotient_machine(" + name +
+                            "): partition is not closed");
+
+  // Representative source state per block.
+  std::vector<State> rep(p.block_count(), kInvalidState);
+  for (State s = 0; s < machine.size(); ++s)
+    if (rep[p.block_of(s)] == kInvalidState) rep[p.block_of(s)] = s;
+
+  DfsmBuilder builder(std::move(name),
+                      std::const_pointer_cast<Alphabet>(machine.alphabet()));
+  builder.states(p.block_count(), "m");
+  for (const EventId e : machine.events())
+    builder.event(machine.alphabet()->name(e));
+  for (std::uint32_t b = 0; b < p.block_count(); ++b)
+    for (std::uint32_t pos = 0;
+         pos < static_cast<std::uint32_t>(machine.events().size()); ++pos)
+      builder.transition(b, machine.events()[pos],
+                         p.block_of(machine.step_local(rep[b], pos)));
+  builder.set_initial(p.block_of(machine.initial()));
+  return builder.build();
+}
+
+std::string block_label(const Dfsm& machine, const Partition& p,
+                        std::uint32_t block) {
+  FFSM_EXPECTS(p.size() == machine.size());
+  FFSM_EXPECTS(block < p.block_count());
+  std::string out = "{";
+  bool first = true;
+  for (State s = 0; s < machine.size(); ++s) {
+    if (p.block_of(s) != block) continue;
+    if (!first) out += ',';
+    out += machine.state_name(s);
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace ffsm

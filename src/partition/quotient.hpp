@@ -1,0 +1,29 @@
+// Quotient machines: the DFSM corresponding to a closed partition.
+//
+// "A closed partition P corresponds to a distinct machine. Each state s of
+// such a machine corresponds to a set of states in machine A" (paper §2.1).
+// The quotient subscribes to the same events as the source machine; its
+// state b on event e moves to the block containing delta(s, e) for any
+// (equivalently every) s in block b.
+#pragma once
+
+#include <string>
+
+#include "fsm/dfsm.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+/// Builds the quotient of `machine` by closed partition `p`.
+/// State i of the result is block i of `p` (first-occurrence numbering); its
+/// initial state is the block containing machine.initial().
+/// Throws ContractViolation if `p` is not closed.
+[[nodiscard]] Dfsm quotient_machine(const Dfsm& machine, const Partition& p,
+                                    std::string name);
+
+/// Descriptive state names for a quotient: block i is rendered as the set of
+/// source-state names it contains, e.g. "{t0,t3}".
+[[nodiscard]] std::string block_label(const Dfsm& machine, const Partition& p,
+                                      std::uint32_t block);
+
+}  // namespace ffsm

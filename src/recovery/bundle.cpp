@@ -1,0 +1,166 @@
+#include "recovery/bundle.hpp"
+
+#include <sstream>
+
+#include "fsm/serialize.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+namespace {
+
+void emit_partition(std::ostringstream& out, const Partition& p) {
+  out << "blocks";
+  for (std::uint32_t i = 0; i < p.size(); ++i) out << ' ' << p.block_of(i);
+  out << '\n';
+}
+
+Partition parse_blocks(std::istringstream& words, std::uint32_t expected) {
+  std::vector<std::uint32_t> assignment;
+  assignment.reserve(expected);
+  std::uint32_t b = 0;
+  while (words >> b) assignment.push_back(b);
+  if (assignment.size() != expected)
+    throw ContractViolation(
+        "bundle_from_text: 'blocks' count does not match the top size");
+  return Partition(std::move(assignment));
+}
+
+/// Collects lines up to and including the next "end" line (the dfsm text
+/// terminator) and parses them as one machine.
+Dfsm parse_embedded_machine(std::istream& in,
+                            const std::shared_ptr<Alphabet>& alphabet) {
+  std::string text;
+  std::string line;
+  while (std::getline(in, line)) {
+    text += line;
+    text += '\n';
+    std::istringstream words(line);
+    std::string head;
+    if (words >> head && head == "end") return from_text(text, alphabet);
+  }
+  throw ContractViolation("bundle_from_text: unterminated embedded machine");
+}
+
+}  // namespace
+
+std::vector<Partition> FusionBundle::all_partitions() const {
+  std::vector<Partition> all;
+  all.reserve(original_partitions.size() + backup_partitions.size());
+  all.insert(all.end(), original_partitions.begin(),
+             original_partitions.end());
+  all.insert(all.end(), backup_partitions.begin(), backup_partitions.end());
+  return all;
+}
+
+FusionBundle make_bundle(const CrossProduct& product,
+                         std::span<const Dfsm> originals,
+                         const GeneratedBackups& backups,
+                         std::uint32_t faults) {
+  FFSM_EXPECTS(originals.size() == product.machine_count());
+  FFSM_EXPECTS(backups.machines.size() == backups.partitions.size());
+  FusionBundle bundle;
+  bundle.faults = faults;
+  bundle.top = product.top;
+  for (std::uint32_t i = 0; i < product.machine_count(); ++i) {
+    bundle.original_names.push_back(originals[i].name());
+    bundle.original_partitions.emplace_back(product.component_assignment(i));
+  }
+  bundle.backup_partitions = backups.partitions;
+  bundle.backup_machines = backups.machines;
+  return bundle;
+}
+
+std::string bundle_to_text(const FusionBundle& bundle) {
+  std::ostringstream out;
+  out << "fusion-bundle v1\n";
+  out << "faults " << bundle.faults << '\n';
+  out << "top\n" << to_text(bundle.top);
+  for (std::size_t i = 0; i < bundle.original_partitions.size(); ++i) {
+    out << "original " << bundle.original_names[i] << '\n';
+    emit_partition(out, bundle.original_partitions[i]);
+  }
+  for (std::size_t j = 0; j < bundle.backup_partitions.size(); ++j) {
+    out << "backup " << bundle.backup_machines[j].name() << '\n';
+    emit_partition(out, bundle.backup_partitions[j]);
+    out << "machine\n" << to_text(bundle.backup_machines[j]);
+  }
+  out << "end-bundle\n";
+  return out.str();
+}
+
+FusionBundle bundle_from_text(std::string_view text,
+                              const std::shared_ptr<Alphabet>& alphabet) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+
+  if (!std::getline(in, line) || line != "fusion-bundle v1")
+    throw ContractViolation("bundle_from_text: missing 'fusion-bundle v1'");
+
+  FusionBundle bundle;
+  bool have_top = false;
+  bool ended = false;
+  std::string pending_backup_name;
+
+  while (std::getline(in, line)) {
+    std::istringstream words(line);
+    std::string directive;
+    if (!(words >> directive)) continue;
+    if (ended)
+      throw ContractViolation("bundle_from_text: content after 'end-bundle'");
+
+    if (directive == "faults") {
+      if (!(words >> bundle.faults))
+        throw ContractViolation("bundle_from_text: bad 'faults' line");
+    } else if (directive == "top") {
+      bundle.top = parse_embedded_machine(in, alphabet);
+      have_top = true;
+    } else if (directive == "original") {
+      std::string name;
+      if (!(words >> name))
+        throw ContractViolation("bundle_from_text: 'original' needs a name");
+      if (!have_top)
+        throw ContractViolation("bundle_from_text: 'original' before 'top'");
+      bundle.original_names.push_back(name);
+      std::getline(in, line);
+      std::istringstream blocks(line);
+      std::string head;
+      blocks >> head;
+      if (head != "blocks")
+        throw ContractViolation("bundle_from_text: expected 'blocks' line");
+      bundle.original_partitions.push_back(
+          parse_blocks(blocks, bundle.top.size()));
+    } else if (directive == "backup") {
+      if (!have_top)
+        throw ContractViolation("bundle_from_text: 'backup' before 'top'");
+      if (!(words >> pending_backup_name))
+        throw ContractViolation("bundle_from_text: 'backup' needs a name");
+      std::getline(in, line);
+      std::istringstream blocks(line);
+      std::string head;
+      blocks >> head;
+      if (head != "blocks")
+        throw ContractViolation("bundle_from_text: expected 'blocks' line");
+      bundle.backup_partitions.push_back(
+          parse_blocks(blocks, bundle.top.size()));
+    } else if (directive == "machine") {
+      if (bundle.backup_machines.size() + 1 != bundle.backup_partitions.size())
+        throw ContractViolation(
+            "bundle_from_text: 'machine' without preceding 'backup'");
+      bundle.backup_machines.push_back(parse_embedded_machine(in, alphabet));
+    } else if (directive == "end-bundle") {
+      ended = true;
+    } else {
+      throw ContractViolation("bundle_from_text: unknown directive '" +
+                              directive + "'");
+    }
+  }
+  if (!ended) throw ContractViolation("bundle_from_text: missing 'end-bundle'");
+  if (!have_top) throw ContractViolation("bundle_from_text: missing 'top'");
+  if (bundle.backup_machines.size() != bundle.backup_partitions.size())
+    throw ContractViolation(
+        "bundle_from_text: backup machine/partition count mismatch");
+  return bundle;
+}
+
+}  // namespace ffsm

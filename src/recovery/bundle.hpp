@@ -1,0 +1,67 @@
+// Fusion deployment bundles.
+//
+// The paper's workflow is generate-once, deploy-forever: Algorithm 2 runs
+// offline, then the backup machines ship to spare nodes and the partitions
+// ship to whoever performs recovery. A FusionBundle captures everything
+// recovery needs — the top machine, every machine's closed partition, and
+// the runnable backup DFSMs — in one self-contained, versioned text
+// artifact that round-trips through the serializer.
+//
+// Format (line-oriented, embeds the dfsm text format):
+//   fusion-bundle v1
+//   faults <f>
+//   top
+//   <dfsm text ...>
+//   original <name>
+//   blocks <b0> <b1> ... <b{N-1}>        (block of each top state)
+//   backup <name>
+//   blocks <...>
+//   machine
+//   <dfsm text ...>                      (one per backup)
+//   end-bundle
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+#include "fsm/product.hpp"
+#include "fusion/generator.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+struct FusionBundle {
+  /// Crash-fault tolerance the bundle was generated for.
+  std::uint32_t faults = 0;
+  /// The reachable cross product the partitions refer to.
+  Dfsm top;
+  /// One entry per original machine: its name and closed partition.
+  std::vector<std::string> original_names;
+  std::vector<Partition> original_partitions;
+  /// One entry per generated backup: partition plus runnable machine.
+  std::vector<Partition> backup_partitions;
+  std::vector<Dfsm> backup_machines;
+
+  /// All partitions, originals first — the layout recover() expects.
+  [[nodiscard]] std::vector<Partition> all_partitions() const;
+};
+
+/// Assembles a bundle from a cross product and Algorithm 2's output.
+[[nodiscard]] FusionBundle make_bundle(const CrossProduct& product,
+                                       std::span<const Dfsm> originals,
+                                       const GeneratedBackups& backups,
+                                       std::uint32_t faults);
+
+/// Serialises the bundle to the text format above.
+[[nodiscard]] std::string bundle_to_text(const FusionBundle& bundle);
+
+/// Parses a bundle; events are re-interned by name into `alphabet`.
+/// Throws ContractViolation on malformed input or inconsistent sizes.
+[[nodiscard]] FusionBundle bundle_from_text(
+    std::string_view text, const std::shared_ptr<Alphabet>& alphabet);
+
+}  // namespace ffsm

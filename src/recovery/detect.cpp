@@ -1,0 +1,36 @@
+#include "recovery/detect.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+DetectionResult detect_byzantine_fault(std::uint32_t top_size,
+                                       std::span<const Partition> machines,
+                                       std::span<const MachineReport> reports) {
+  FFSM_EXPECTS(top_size >= 1);
+  FFSM_EXPECTS(machines.size() == reports.size());
+
+  DetectionResult result;
+  std::vector<std::uint32_t> counts(top_size, 0);
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (!reports[i].block) continue;
+    FFSM_EXPECTS(machines[i].size() == top_size);
+    FFSM_EXPECTS(*reports[i].block < machines[i].block_count());
+    ++result.reporting;
+    const auto assignment = machines[i].assignment();
+    for (State t = 0; t < top_size; ++t)
+      if (assignment[t] == *reports[i].block) ++counts[t];
+  }
+
+  for (State t = 0; t < top_size; ++t) {
+    if (counts[t] == result.reporting) {
+      result.consistent = true;
+      result.witness = t;
+      return result;
+    }
+  }
+  result.consistent = result.reporting == 0;  // vacuously consistent
+  return result;
+}
+
+}  // namespace ffsm

@@ -1,0 +1,42 @@
+// Fault detection (paper §1: "In order to build reliable systems, it is
+// important to detect these faults and recover the correct state").
+//
+// Before paying for recovery, a monitor can check whether the reporting
+// machines are *consistent*: is there any top state contained in every
+// reported block? If yes, the reports could all be honest (and any
+// "lie" whose block still contains the true state is indistinguishable
+// from — and equivalent to — the truth, because blocks partition the top's
+// states). If no, at least one machine is Byzantine-faulty right now.
+//
+// Detection is one counting pass, O((n+m)·N) like Algorithm 3, and shares
+// its vote counts, so detect-then-recover costs the same as recover alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+#include "partition/partition.hpp"
+#include "recovery/recovery.hpp"
+
+namespace ffsm {
+
+struct DetectionResult {
+  /// True when some top state lies in every reporting machine's block —
+  /// the reports are mutually consistent (no *detectable* fault).
+  bool consistent = false;
+  /// A witness state when consistent (the candidate system state).
+  std::optional<State> witness;
+  /// Number of machines that actually reported (non-crashed).
+  std::uint32_t reporting = 0;
+};
+
+/// Checks report consistency. Crashed machines (no report) are skipped: a
+/// crash is detected out-of-band in the model, not by this vote.
+[[nodiscard]] DetectionResult detect_byzantine_fault(
+    std::uint32_t top_size, std::span<const Partition> machines,
+    std::span<const MachineReport> reports);
+
+}  // namespace ffsm

@@ -1,0 +1,51 @@
+#include "recovery/recovery.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+RecoveryResult recover(std::uint32_t top_size,
+                       std::span<const Partition> machines,
+                       std::span<const MachineReport> reports) {
+  FFSM_EXPECTS(top_size >= 1);
+  FFSM_EXPECTS(machines.size() == reports.size());
+  for (const Partition& p : machines) FFSM_EXPECTS(p.size() == top_size);
+
+  RecoveryResult result;
+  result.counts.assign(top_size, 0);
+
+  // count[t] += 1 for every reporting machine whose block contains t
+  // (the paper's loop over the states' set representations).
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (!reports[i].block) continue;  // crashed
+    const std::uint32_t block = *reports[i].block;
+    FFSM_EXPECTS(block < machines[i].block_count());
+    const auto assignment = machines[i].assignment();
+    for (State t = 0; t < top_size; ++t)
+      if (assignment[t] == block) ++result.counts[t];
+  }
+
+  // Argmax with uniqueness tracking.
+  result.top_state = 0;
+  result.max_count = result.counts[0];
+  result.unique = true;
+  for (State t = 1; t < top_size; ++t) {
+    if (result.counts[t] > result.max_count) {
+      result.max_count = result.counts[t];
+      result.top_state = t;
+      result.unique = true;
+    } else if (result.counts[t] == result.max_count) {
+      result.unique = false;
+    }
+  }
+
+  result.corrected_blocks.resize(machines.size());
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    result.corrected_blocks[i] = machines[i].block_of(result.top_state);
+    if (reports[i].block && *reports[i].block != result.corrected_blocks[i])
+      result.contradicting_machines.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace ffsm

@@ -1,0 +1,63 @@
+// Algorithm 3 (paper section 5.2): recover the top state — and with it every
+// machine's state — from the surviving machines' reports.
+//
+// Each machine in A ∪ F reports the block (of its closed partition of the
+// top) it currently occupies, or is marked crashed. The decoder counts, for
+// every top state t, how many reporting machines' blocks contain t, and
+// returns the state with the maximal count (Theorem 6):
+//   * up to f crashes: the true state is counted by all n+m-f survivors and
+//     strictly more often than any other state;
+//   * up to f/2 Byzantine liars: the true state still holds a majority.
+// Cost is O((n+m) * N) for a top with N states, matching the paper.
+//
+// The decoder also reports *which* machines contradict the recovered state —
+// with Byzantine faults these are exactly the liars, enabling correction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+/// One machine's contribution to recovery.
+struct MachineReport {
+  /// Block id within that machine's partition; nullopt = crashed (no
+  /// report).
+  std::optional<std::uint32_t> block;
+
+  [[nodiscard]] static MachineReport crashed() { return {std::nullopt}; }
+  [[nodiscard]] static MachineReport of(std::uint32_t b) { return {b}; }
+};
+
+struct RecoveryResult {
+  /// Recovered top state (argmax of counts; smallest index on ties).
+  State top_state = 0;
+  /// True when the argmax was unique — guaranteed under the fault bounds of
+  /// Theorem 6; false signals more faults than the system tolerates.
+  bool unique = false;
+  std::uint32_t max_count = 0;
+  /// counts[t] = number of reporting machines whose block contains t.
+  std::vector<std::uint32_t> counts;
+  /// Indices of reporting machines whose reported block does not contain
+  /// top_state. Empty for pure crash faults; the liars under Byzantine
+  /// faults.
+  std::vector<std::size_t> contradicting_machines;
+  /// corrected_blocks[i] = the block machine i *should* occupy given
+  /// top_state (valid for every machine, crashed or lying).
+  std::vector<std::uint32_t> corrected_blocks;
+};
+
+/// Runs Algorithm 3. `machines[i]` is machine i's closed partition of the
+/// top (use CrossProduct::component_assignment for originals and the
+/// generator's partitions for backups); `reports` aligns with `machines`.
+/// All partitions must cover `top_size` elements.
+[[nodiscard]] RecoveryResult recover(std::uint32_t top_size,
+                                     std::span<const Partition> machines,
+                                     std::span<const MachineReport> reports);
+
+}  // namespace ffsm

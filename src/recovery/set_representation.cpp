@@ -1,0 +1,51 @@
+#include "recovery/set_representation.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+SetRepresentation set_representation(const Dfsm& top, const Dfsm& machine) {
+  FFSM_EXPECTS(top.alphabet() == machine.alphabet());
+  FFSM_EXPECTS(top.size() >= 1);
+
+  SetRepresentation rep;
+  rep.machine_state_of.assign(top.size(), kInvalidState);
+  rep.machine_state_of[top.initial()] = machine.initial();
+
+  // BFS over the top; assign machine states along the homomorphism.
+  std::vector<State> queue{top.initial()};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const State t = queue[head];
+    const State a = rep.machine_state_of[t];
+    for (std::uint32_t pos = 0;
+         pos < static_cast<std::uint32_t>(top.events().size()); ++pos) {
+      const State t_next = top.step_local(t, pos);
+      const State a_next = machine.step(a, top.events()[pos]);
+      State& slot = rep.machine_state_of[t_next];
+      if (slot == kInvalidState) {
+        slot = a_next;
+        queue.push_back(t_next);
+      } else if (slot != a_next) {
+        throw ContractViolation(
+            "set_representation: machine '" + machine.name() +
+            "' is not less than or equal to '" + top.name() +
+            "' (conflicting assignment at top state " +
+            top.state_name(t_next) + ")");
+      }
+    }
+  }
+  FFSM_ASSERT(queue.size() == top.size());  // tops are reachable machines
+
+  rep.sets.assign(machine.size(), {});
+  for (State t = 0; t < top.size(); ++t)
+    rep.sets[rep.machine_state_of[t]].push_back(t);
+  for (const auto& set : rep.sets)
+    if (set.empty())
+      throw ContractViolation(
+          "set_representation: machine '" + machine.name() +
+          "' has a state unreachable under '" + top.name() +
+          "' — machines must be reachable and driven by the same stream");
+  return rep;
+}
+
+}  // namespace ffsm

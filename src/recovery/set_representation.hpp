@@ -1,0 +1,46 @@
+// Algorithm 1 (paper section 5): set representation of a machine's states.
+//
+// Every machine A <= T corresponds to a closed partition of T's states; the
+// "set representation" writes each A-state as the set of T-states mapping to
+// it (Fig. 5: a0 = {t0,t3}, a1 = {t1}, a2 = {t2}). We compute it by the
+// BFS homomorphism walk the paper sketches: map T's initial state to A's
+// initial state, then propagate over every event, checking consistency. A
+// conflicting assignment proves A is *not* less than or equal to T, which is
+// reported as an error.
+#pragma once
+
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+#include "partition/partition.hpp"
+
+namespace ffsm {
+
+struct SetRepresentation {
+  /// machine_state_of[t] = state of the smaller machine when the top is in
+  /// state t (the homomorphism T -> A).
+  std::vector<State> machine_state_of;
+
+  /// sets[a] = ascending top states represented by machine state a — the
+  /// paper's set notation. Every machine state appears (machines are
+  /// reachable), so no set is empty.
+  std::vector<std::vector<State>> sets;
+
+  /// The corresponding closed partition of the top. Block numbering follows
+  /// first occurrence over top states, which may differ from machine state
+  /// numbering; block_of_machine_state maps between them.
+  [[nodiscard]] Partition to_partition() const {
+    return Partition(std::vector<std::uint32_t>(machine_state_of.begin(),
+                                                machine_state_of.end()));
+  }
+};
+
+/// Computes the set representation of `machine` with respect to `top`.
+/// `machine` steps by global EventId, so events the machine ignores simply
+/// hold its state — this is how machines over sub-alphabets embed.
+/// Throws ContractViolation when `machine` is not <= `top` (the BFS hits an
+/// inconsistent assignment), or when the machines disagree on alphabets.
+[[nodiscard]] SetRepresentation set_representation(const Dfsm& top,
+                                                   const Dfsm& machine);
+
+}  // namespace ffsm

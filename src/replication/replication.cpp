@@ -1,0 +1,71 @@
+#include "replication/replication.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+namespace {
+
+/// a*b with saturation at UINT64_MAX.
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > UINT64_MAX / b) return UINT64_MAX;
+  return a * b;
+}
+
+}  // namespace
+
+ReplicationPlan make_replication_plan(std::span<const Dfsm> machines,
+                                      std::uint32_t f, FaultModel model) {
+  FFSM_EXPECTS(!machines.empty());
+  ReplicationPlan plan;
+  plan.copies_per_machine = replication_copies(model, f);
+  plan.backups.reserve(machines.size() * plan.copies_per_machine);
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    for (std::uint32_t c = 0; c < plan.copies_per_machine; ++c) {
+      plan.backups.push_back(machines[i]);  // identical copy
+      plan.source.push_back(i);
+    }
+  }
+  return plan;
+}
+
+std::uint64_t replication_state_space(std::span<const Dfsm> machines,
+                                      std::uint32_t f, FaultModel model) {
+  std::uint64_t product = 1;
+  for (const Dfsm& m : machines) product = saturating_mul(product, m.size());
+  std::uint64_t total = 1;
+  for (std::uint32_t c = 0; c < replication_copies(model, f); ++c)
+    total = saturating_mul(total, product);
+  return total;
+}
+
+std::uint64_t fusion_state_space(std::span<const Dfsm> backups) {
+  std::uint64_t product = 1;
+  for (const Dfsm& m : backups) product = saturating_mul(product, m.size());
+  return product;
+}
+
+std::optional<State> replica_recover_crash(
+    std::span<const std::optional<State>> replica_states) {
+  for (const auto& s : replica_states)
+    if (s) return s;
+  return std::nullopt;
+}
+
+std::optional<State> replica_recover_byzantine(
+    std::span<const State> reported_states) {
+  FFSM_EXPECTS(!reported_states.empty());
+  std::unordered_map<State, std::size_t> votes;
+  for (const State s : reported_states) ++votes[s];
+  const auto best = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (best->second * 2 <= reported_states.size()) return std::nullopt;
+  return best->first;
+}
+
+}  // namespace ffsm

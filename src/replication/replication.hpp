@@ -1,0 +1,63 @@
+// Replication baseline (paper sections 1 and 6).
+//
+// Classical state-machine replication tolerates f crash faults with f copies
+// of each machine (n*f backups) and f Byzantine faults with 2f copies
+// (2*n*f backups, majority voting). This module implements that baseline —
+// both the plan (which backups exist) and the per-machine recovery rules —
+// and the state-space accounting the paper's results table compares:
+//   |Replication| = (prod_i |Mi|)^f          (crash;     ^(2f) Byzantine)
+//   |Fusion|      =  prod_j |Fj|
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+
+namespace ffsm {
+
+enum class FaultModel { kCrash, kByzantine };
+
+/// Copies of each original required by replication under the model.
+[[nodiscard]] constexpr std::uint32_t replication_copies(FaultModel model,
+                                                         std::uint32_t f) {
+  return model == FaultModel::kCrash ? f : 2 * f;
+}
+
+struct ReplicationPlan {
+  /// All backup machines: copies_per_machine replicas of each original, in
+  /// original order ("<name>#copy" names).
+  std::vector<Dfsm> backups;
+  /// backups[k] replicates machines[source[k]].
+  std::vector<std::size_t> source;
+  std::uint32_t copies_per_machine = 0;
+};
+
+/// Builds the replication backup set for the given fault model.
+[[nodiscard]] ReplicationPlan make_replication_plan(
+    std::span<const Dfsm> machines, std::uint32_t f, FaultModel model);
+
+/// Paper's accounting of backup state space for replication:
+/// (prod |Mi|)^copies. Saturates at UINT64_MAX.
+[[nodiscard]] std::uint64_t replication_state_space(
+    std::span<const Dfsm> machines, std::uint32_t f, FaultModel model);
+
+/// Paper's accounting for a fusion backup set: prod |Fj| (1 when empty).
+/// Saturates at UINT64_MAX.
+[[nodiscard]] std::uint64_t fusion_state_space(std::span<const Dfsm> backups);
+
+/// Crash recovery for one replicated machine: any live replica's state.
+/// nullopt when every replica (and the original) crashed — replication's
+/// failure mode once faults exceed f.
+[[nodiscard]] std::optional<State> replica_recover_crash(
+    std::span<const std::optional<State>> replica_states);
+
+/// Byzantine recovery for one replicated machine: strict majority over the
+/// 2f+1 reported states (original + 2f copies). nullopt when no strict
+/// majority exists.
+[[nodiscard]] std::optional<State> replica_recover_byzantine(
+    std::span<const State> reported_states);
+
+}  // namespace ffsm

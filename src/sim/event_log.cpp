@@ -1,0 +1,18 @@
+#include "sim/event_log.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+State replay_recover(const Dfsm& machine, const EventLog& log) {
+  return machine.run(log.view());
+}
+
+State replay_recover_from(const Dfsm& machine, State checkpoint_state,
+                          const EventLog& log, std::size_t position) {
+  FFSM_EXPECTS(position <= log.size());
+  FFSM_EXPECTS(checkpoint_state < machine.size());
+  return machine.run(checkpoint_state, log.view().subspan(position));
+}
+
+}  // namespace ffsm

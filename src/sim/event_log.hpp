@@ -1,0 +1,50 @@
+// Durable event log and replay-based recovery — the classical alternative
+// the paper's model implicitly competes with.
+//
+// If every environment event is journaled to failure-resistant storage, a
+// crashed machine can be recovered by replaying the whole log into a fresh
+// copy: no backup machines at all, but recovery costs O(T) for a T-event
+// history (and the log grows without bound). Fusion recovery costs
+// O((n+m)·N) independent of T. bench_recovery_modes quantifies the
+// crossover; this module provides the log and the replay decoder.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fsm/dfsm.hpp"
+
+namespace ffsm {
+
+/// Append-only journal of delivered events.
+class EventLog {
+ public:
+  void append(EventId event) { events_.push_back(event); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  [[nodiscard]] std::span<const EventId> view() const noexcept {
+    return events_;
+  }
+
+  /// Truncates the log (e.g. after a checkpoint).
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<EventId> events_;
+};
+
+/// Replay recovery: the machine's state after the full journal, starting
+/// from its initial state. O(|log|) steps.
+[[nodiscard]] State replay_recover(const Dfsm& machine, const EventLog& log);
+
+/// Checkpointed replay: resume from (checkpoint_state, events after the
+/// checkpoint position). O(|log| - position).
+[[nodiscard]] State replay_recover_from(const Dfsm& machine,
+                                        State checkpoint_state,
+                                        const EventLog& log,
+                                        std::size_t position);
+
+}  // namespace ffsm

@@ -1,0 +1,10 @@
+#include "sim/event_source.hpp"
+
+// Header-only implementations; this translation unit anchors the vtable of
+// EventSource so the library owns its key function.
+
+namespace ffsm {
+
+// (intentionally empty)
+
+}  // namespace ffsm

@@ -1,0 +1,63 @@
+// Event sources for the distributed-system simulator.
+//
+// The paper's environment (clients) issues a totally ordered stream of
+// events applied to every server (§2). An EventSource abstracts where that
+// stream comes from: a fixed script, or a seeded random draw over the
+// alphabet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fsm/alphabet.hpp"
+#include "util/rng.hpp"
+
+namespace ffsm {
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Next event in the stream; nullopt when exhausted.
+  virtual std::optional<EventId> next() = 0;
+};
+
+/// Replays a fixed sequence.
+class ScriptedEventSource final : public EventSource {
+ public:
+  explicit ScriptedEventSource(std::vector<EventId> events)
+      : events_(std::move(events)) {}
+
+  std::optional<EventId> next() override {
+    if (position_ >= events_.size()) return std::nullopt;
+    return events_[position_++];
+  }
+
+ private:
+  std::vector<EventId> events_;
+  std::size_t position_ = 0;
+};
+
+/// Draws `count` events uniformly from `support` (seeded, reproducible).
+class RandomEventSource final : public EventSource {
+ public:
+  RandomEventSource(std::vector<EventId> support, std::size_t count,
+                    std::uint64_t seed)
+      : support_(std::move(support)), remaining_(count), rng_(seed) {}
+
+  std::optional<EventId> next() override {
+    if (remaining_ == 0 || support_.empty()) return std::nullopt;
+    --remaining_;
+    return support_[rng_.below(support_.size())];
+  }
+
+ private:
+  std::vector<EventId> support_;
+  std::size_t remaining_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ffsm

@@ -1,0 +1,38 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+std::vector<PlannedFault> plan_faults(const FaultPlanSpec& spec) {
+  FFSM_EXPECTS(spec.crashes + spec.byzantine <= spec.server_count);
+  Xoshiro256 rng(spec.seed);
+
+  // Sample distinct victims by partial Fisher-Yates.
+  std::vector<std::size_t> victims(spec.server_count);
+  for (std::size_t i = 0; i < victims.size(); ++i) victims[i] = i;
+  const std::size_t faults = spec.crashes + spec.byzantine;
+  for (std::size_t i = 0; i < faults; ++i) {
+    const std::size_t j = i + rng.below(victims.size() - i);
+    std::swap(victims[i], victims[j]);
+  }
+
+  std::vector<PlannedFault> plan;
+  plan.reserve(faults);
+  for (std::size_t i = 0; i < faults; ++i) {
+    PlannedFault fault;
+    fault.server = victims[i];
+    fault.step = spec.steps == 0 ? 0 : rng.below(spec.steps + 1);
+    fault.byzantine = i >= spec.crashes;
+    plan.push_back(fault);
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const PlannedFault& a, const PlannedFault& b) {
+              return a.step < b.step;
+            });
+  return plan;
+}
+
+}  // namespace ffsm

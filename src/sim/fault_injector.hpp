@@ -1,0 +1,48 @@
+// Fault planning for simulator runs.
+//
+// A fault plan is a list of (step, server, kind) records applied while the
+// event stream runs. Plans are generated from a seed so a failing scenario
+// reproduces exactly. Byzantine corruption strategies:
+//  * kRandomState   — adopt a uniformly random wrong state;
+//  * kStaleInitial  — fall back to the machine's initial state (a reset that
+//                     nobody noticed);
+//  * kColluding     — all liars agree on one wrong top state and report its
+//                     projection, the adversary of the paper's section 5.2
+//                     example (maximally confuses the vote).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ffsm {
+
+enum class ByzantineStrategy {
+  kRandomState,
+  kStaleInitial,
+  kColluding,
+};
+
+struct PlannedFault {
+  /// Applied after this many events have been delivered.
+  std::size_t step = 0;
+  /// Server index within the system (originals first, then backups).
+  std::size_t server = 0;
+  /// false = crash, true = Byzantine corruption.
+  bool byzantine = false;
+};
+
+struct FaultPlanSpec {
+  std::size_t server_count = 0;
+  std::size_t steps = 0;   // length of the event stream
+  std::uint32_t crashes = 0;
+  std::uint32_t byzantine = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Draws crashes + byzantine faults on *distinct* servers at random steps
+/// in [0, steps]. Requires crashes + byzantine <= server_count.
+[[nodiscard]] std::vector<PlannedFault> plan_faults(const FaultPlanSpec& spec);
+
+}  // namespace ffsm

@@ -1,0 +1,27 @@
+#include "sim/server.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+State Server::state() const {
+  FFSM_EXPECTS(state_.has_value());
+  return *state_;
+}
+
+void Server::apply(EventId event) {
+  if (!state_) return;
+  state_ = machine_.step(*state_, event);
+}
+
+void Server::corrupt(State wrong_state) {
+  FFSM_EXPECTS(wrong_state < machine_.size());
+  state_ = wrong_state;
+}
+
+void Server::restore(State correct_state) {
+  FFSM_EXPECTS(correct_state < machine_.size());
+  state_ = correct_state;
+}
+
+}  // namespace ffsm

@@ -1,0 +1,49 @@
+// A simulated server running one DFSM (original or backup).
+//
+// Mirrors the paper's model: servers share no state, receive every event
+// from the environment, and ignore events outside their machine's event set.
+// Crash faults erase the execution state; Byzantine faults silently replace
+// it with an arbitrary (wrong) one — the underlying DFSM itself stays intact
+// in both cases (§2: the machine description survives on permanent storage,
+// only the *current state* is lost or corrupted).
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "fsm/dfsm.hpp"
+
+namespace ffsm {
+
+class Server {
+ public:
+  explicit Server(Dfsm machine)
+      : machine_(std::move(machine)), state_(machine_.initial()) {}
+
+  [[nodiscard]] const Dfsm& machine() const noexcept { return machine_; }
+
+  [[nodiscard]] bool crashed() const noexcept { return !state_.has_value(); }
+
+  /// Current execution state; contract violation when crashed.
+  [[nodiscard]] State state() const;
+
+  /// Applies an environment event; crashed servers drop events (the
+  /// environment quiesces during recovery in the paper's model, but the
+  /// simulator tolerates stragglers by making this a no-op).
+  void apply(EventId event);
+
+  /// Crash fault: lose the execution state.
+  void crash() noexcept { state_.reset(); }
+
+  /// Byzantine fault: silently adopt an arbitrary state.
+  void corrupt(State wrong_state);
+
+  /// Recovery handshake: reinstall the correct state (after Algorithm 3).
+  void restore(State correct_state);
+
+ private:
+  Dfsm machine_;
+  std::optional<State> state_;
+};
+
+}  // namespace ffsm

@@ -1,0 +1,26 @@
+#include "util/dynamic_bitset.hpp"
+
+namespace ffsm {
+
+std::size_t DynamicBitset::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0)
+      return w * kBits + static_cast<std::size_t>(std::countr_zero(words_[w]));
+  }
+  return size_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const noexcept {
+  ++i;
+  if (i >= size_) return size_;
+  std::size_t w = i / kBits;
+  std::uint64_t bits = words_[w] & (~std::uint64_t{0} << (i % kBits));
+  while (true) {
+    if (bits != 0)
+      return w * kBits + static_cast<std::size_t>(std::countr_zero(bits));
+    if (++w == words_.size()) return size_;
+    bits = words_[w];
+  }
+}
+
+}  // namespace ffsm

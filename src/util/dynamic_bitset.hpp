@@ -1,0 +1,123 @@
+// A fixed-capacity dynamic bitset tuned for the set arithmetic this library
+// performs on partition blocks and fault-graph edge sets.
+//
+// std::vector<bool> lacks word-level access and popcount; std::bitset needs a
+// compile-time size. This class stores 64-bit words, exposes the handful of
+// operations we need (set/test/count/and/or/iterate), and keeps unused bits of
+// the last word zero as a class invariant so that word-wise comparisons and
+// popcounts are exact.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Constructs a bitset with `size` bits, all zero.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + kBits - 1) / kBits, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void set(std::size_t i) {
+    FFSM_EXPECTS(i < size_);
+    words_[i / kBits] |= (std::uint64_t{1} << (i % kBits));
+  }
+
+  void reset(std::size_t i) {
+    FFSM_EXPECTS(i < size_);
+    words_[i / kBits] &= ~(std::uint64_t{1} << (i % kBits));
+  }
+
+  void reset_all() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    FFSM_EXPECTS(i < size_);
+    return (words_[i / kBits] >> (i % kBits)) & 1u;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  DynamicBitset& operator|=(const DynamicBitset& rhs) {
+    FFSM_EXPECTS(size_ == rhs.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= rhs.words_[i];
+    return *this;
+  }
+
+  DynamicBitset& operator&=(const DynamicBitset& rhs) {
+    FFSM_EXPECTS(size_ == rhs.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= rhs.words_[i];
+    return *this;
+  }
+
+  /// True iff every bit set in *this is also set in `rhs`.
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& rhs) const {
+    FFSM_EXPECTS(size_ == rhs.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & ~rhs.words_[i]) != 0) return false;
+    return true;
+  }
+
+  /// True iff the two sets share at least one element.
+  [[nodiscard]] bool intersects(const DynamicBitset& rhs) const {
+    FFSM_EXPECTS(size_ == rhs.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & rhs.words_[i]) != 0) return true;
+    return false;
+  }
+
+  friend bool operator==(const DynamicBitset& a,
+                         const DynamicBitset& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Index of the first set bit, or size() when none is set.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+
+  /// Index of the first set bit strictly after `i`, or size() when none.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept;
+
+  /// Calls fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+        fn(w * kBits + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kBits = 64;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ffsm

@@ -1,0 +1,164 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+// A batch is one run_chunks invocation. Lifetime protocol: the batch lives
+// on the caller's stack; workers may only load the batch pointer under the
+// pool mutex while batch_ still points at it, and they announce themselves
+// via active_workers_ before releasing the mutex. The caller retires the
+// batch (batch_ = nullptr) only after every attached worker detached, so no
+// worker can touch a dead batch.
+struct ThreadPool::Batch {
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+  const std::function<void(std::size_t)>* fn = nullptr;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  // The calling thread participates in every batch, so spawn one fewer
+  // worker than the requested parallelism.
+  workers_.reserve(threads > 0 ? threads - 1 : 0);
+  for (std::size_t i = 1; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [this, seen_generation] {
+      return stopping_ ||
+             (batch_ != nullptr && generation_ != seen_generation);
+    });
+    if (stopping_) return;
+
+    Batch* const batch = batch_;
+    seen_generation = generation_;
+    ++active_workers_;
+    lock.unlock();
+
+    while (true) {
+      const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->chunks) break;
+      (*batch->fn)(i);
+    }
+
+    lock.lock();
+    if (--active_workers_ == 0) batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t chunks,
+                            const std::function<void(std::size_t)>& fn) {
+  FFSM_EXPECTS(fn != nullptr);
+  if (chunks == 0) return;
+  if (workers_.empty() || chunks == 1) {
+    for (std::size_t i = 0; i < chunks; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.chunks = chunks;
+  batch.fn = &fn;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    FFSM_ASSERT(batch_ == nullptr);  // run_chunks is not re-entrant
+    batch_ = &batch;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  // The caller participates too; when this loop exits every chunk has been
+  // claimed (not necessarily finished — workers may still be running).
+  while (true) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.chunks) break;
+    fn(i);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [this] { return active_workers_ == 0; });
+    batch_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace {
+
+struct ChunkPlan {
+  std::size_t count = 0;
+  std::size_t size = 0;
+};
+
+ChunkPlan plan_chunks(std::size_t items, const ThreadPool& pool,
+                      const ParallelOptions& options) {
+  const std::size_t parallelism = pool.thread_count() + 1;
+  const std::size_t max_chunks =
+      std::max<std::size_t>(1, parallelism * options.chunks_per_thread);
+  ChunkPlan plan;
+  plan.count = std::min(items, max_chunks);
+  plan.size = (items + plan.count - 1) / plan.count;
+  plan.count = (items + plan.size - 1) / plan.size;
+  return plan;
+}
+
+}  // namespace
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  const ParallelOptions& options) {
+  parallel_for_chunked(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      options);
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    const ParallelOptions& options) {
+  FFSM_EXPECTS(begin <= end);
+  const std::size_t items = end - begin;
+  if (items == 0) return;
+
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::global();
+  if (items < options.serial_threshold || pool.thread_count() == 0) {
+    body(begin, end);
+    return;
+  }
+
+  const ChunkPlan plan = plan_chunks(items, pool, options);
+  pool.run_chunks(plan.count, [&](std::size_t chunk) {
+    const std::size_t lo = begin + chunk * plan.size;
+    const std::size_t hi = std::min(end, lo + plan.size);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+}  // namespace ffsm

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FFSM_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  FFSM_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c]
+          << std::string(widths[c] - row[c].size() + 1, ' ') << '|';
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  out << '|';
+  for (const auto w : widths) out << std::string(w + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.to_string();
+}
+
+std::string with_thousands(unsigned long long value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t since_sep = digits.size() % 3;
+  if (since_sep == 0) since_sep = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && since_sep == 0) {
+      out.push_back(',');
+      since_sep = 3;
+    }
+    out.push_back(digits[i]);
+    --since_sep;
+  }
+  return out;
+}
+
+}  // namespace ffsm

@@ -1,0 +1,41 @@
+// Plain-text table rendering used by the benchmark harnesses and examples to
+// print paper-style result tables (rows of the evaluation table, figure
+// series) in aligned, diffable form.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ffsm {
+
+/// Column-aligned ASCII table with a header row.
+///
+/// Usage:
+///   TextTable t({"Machines", "f", "|T|", "|Fusion|"});
+///   t.add_row({"MESI+TCP+A+B", "1", "131", "85"});
+///   std::cout << t;
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with single-space-padded `|` separators and a rule under the
+  /// header.
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a count with thousands separators ("82944" -> "82,944").
+[[nodiscard]] std::string with_thousands(unsigned long long value);
+
+}  // namespace ffsm

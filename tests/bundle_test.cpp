@@ -1,0 +1,145 @@
+#include "recovery/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsm/machine_catalog.hpp"
+#include "fusion/fusion.hpp"
+#include "recovery/recovery.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+FusionBundle sample_bundle(const std::shared_ptr<Alphabet>& al,
+                           std::uint32_t f = 1) {
+  std::vector<Dfsm> machines;
+  machines.push_back(make_paper_machine_a(al));
+  machines.push_back(make_paper_machine_b(al));
+  const CrossProduct cp = reachable_cross_product(machines);
+  GenerateOptions options;
+  options.f = f;
+  const GeneratedBackups backups = generate_backup_machines(cp, options);
+  return make_bundle(cp, machines, backups, f);
+}
+
+TEST(Bundle, CapturesPipelineOutput) {
+  auto al = Alphabet::create();
+  const FusionBundle bundle = sample_bundle(al);
+  EXPECT_EQ(bundle.faults, 1u);
+  EXPECT_EQ(bundle.top.size(), 4u);
+  EXPECT_EQ(bundle.original_partitions.size(), 2u);
+  EXPECT_EQ(bundle.original_names[0], "A");
+  EXPECT_EQ(bundle.original_names[1], "B");
+  EXPECT_EQ(bundle.backup_machines.size(), 1u);
+  EXPECT_EQ(bundle.backup_partitions.size(), 1u);
+}
+
+TEST(Bundle, AllPartitionsLayoutMatchesRecoverExpectation) {
+  auto al = Alphabet::create();
+  const FusionBundle bundle = sample_bundle(al);
+  const auto all = bundle.all_partitions();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], bundle.original_partitions[0]);
+  EXPECT_EQ(all[2], bundle.backup_partitions[0]);
+}
+
+TEST(Bundle, BundledPartitionsFormAFusion) {
+  auto al = Alphabet::create();
+  const FusionBundle bundle = sample_bundle(al, 2);
+  EXPECT_TRUE(is_fusion(bundle.top.size(), bundle.original_partitions,
+                        bundle.backup_partitions, 2));
+}
+
+TEST(Bundle, TextRoundTrip) {
+  auto al = Alphabet::create();
+  const FusionBundle bundle = sample_bundle(al, 2);
+  const std::string text = bundle_to_text(bundle);
+
+  auto fresh = Alphabet::create();
+  const FusionBundle back = bundle_from_text(text, fresh);
+  EXPECT_EQ(back.faults, 2u);
+  EXPECT_TRUE(back.top.same_structure(bundle.top));
+  ASSERT_EQ(back.original_partitions.size(),
+            bundle.original_partitions.size());
+  for (std::size_t i = 0; i < back.original_partitions.size(); ++i)
+    EXPECT_EQ(back.original_partitions[i], bundle.original_partitions[i]);
+  ASSERT_EQ(back.backup_machines.size(), bundle.backup_machines.size());
+  for (std::size_t j = 0; j < back.backup_machines.size(); ++j) {
+    EXPECT_TRUE(
+        back.backup_machines[j].same_structure(bundle.backup_machines[j]));
+    EXPECT_EQ(back.backup_partitions[j], bundle.backup_partitions[j]);
+  }
+}
+
+TEST(Bundle, ReloadedBundleDrivesRecovery) {
+  // The end-to-end deployment story: serialise, reload elsewhere, recover a
+  // crash using only reloaded data.
+  auto al = Alphabet::create();
+  const std::string text = bundle_to_text(sample_bundle(al, 1));
+
+  auto fresh = Alphabet::create();
+  const FusionBundle bundle = bundle_from_text(text, fresh);
+  const auto all = bundle.all_partitions();
+
+  for (State truth = 0; truth < bundle.top.size(); ++truth) {
+    std::vector<MachineReport> reports;
+    reports.push_back(MachineReport::crashed());  // original A down
+    for (std::size_t i = 1; i < all.size(); ++i)
+      reports.push_back(MachineReport::of(all[i].block_of(truth)));
+    const RecoveryResult r = recover(bundle.top.size(), all, reports);
+    ASSERT_TRUE(r.unique) << "truth " << truth;
+    ASSERT_EQ(r.top_state, truth);
+  }
+}
+
+TEST(Bundle, RejectsMissingHeader) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)bundle_from_text("faults 1\n", al), ContractViolation);
+}
+
+TEST(Bundle, RejectsMissingEnd) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)bundle_from_text("fusion-bundle v1\nfaults 1\n", al),
+               ContractViolation);
+}
+
+TEST(Bundle, RejectsBlocksBeforeTop) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)bundle_from_text(
+                   "fusion-bundle v1\noriginal A\nblocks 0 1\nend-bundle\n",
+                   al),
+               ContractViolation);
+}
+
+TEST(Bundle, RejectsWrongBlockCount) {
+  auto al = Alphabet::create();
+  const std::string good = bundle_to_text(sample_bundle(al, 1));
+  // Truncate the first blocks line by one entry.
+  const auto pos = good.find("blocks ");
+  const auto eol = good.find('\n', pos);
+  std::string bad = good.substr(0, eol - 2) + good.substr(eol);
+  auto fresh = Alphabet::create();
+  EXPECT_THROW((void)bundle_from_text(bad, fresh), ContractViolation);
+}
+
+TEST(Bundle, RejectsMachineWithoutBackup) {
+  auto al = Alphabet::create();
+  EXPECT_THROW(
+      (void)bundle_from_text("fusion-bundle v1\n"
+                             "top\ndfsm t\nevent e\nstate s\ntrans s e s\nend\n"
+                             "machine\ndfsm f\nevent e\nstate s\ntrans s e "
+                             "s\nend\nend-bundle\n",
+                             al),
+      ContractViolation);
+}
+
+TEST(Bundle, RejectsUnknownDirective) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)bundle_from_text("fusion-bundle v1\nwhatever\n", al),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,73 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ffsm {
+namespace {
+
+TEST(Contracts, ExpectsPassesSilently) {
+  FFSM_EXPECTS(1 + 1 == 2);  // must not throw
+}
+
+TEST(Contracts, ExpectsThrowsContractViolation) {
+  EXPECT_THROW(FFSM_EXPECTS(false), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsContractViolation) {
+  EXPECT_THROW(FFSM_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, AssertThrowsContractViolation) {
+  EXPECT_THROW(FFSM_ASSERT(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesTheKind) {
+  try {
+    FFSM_EXPECTS(2 < 1);
+    FAIL() << "must throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, MessageForEnsures) {
+  try {
+    FFSM_ENSURES(false);
+    FAIL() << "must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"),
+              std::string::npos);
+  }
+}
+
+TEST(Contracts, MessageForAssert) {
+  try {
+    FFSM_ASSERT(false);
+    FAIL() << "must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Contracts, IsALogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(FFSM_EXPECTS(false), std::logic_error);
+}
+
+TEST(Contracts, SideEffectsEvaluateOnce) {
+  int calls = 0;
+  const auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  FFSM_EXPECTS(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ffsm

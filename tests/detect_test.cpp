@@ -1,0 +1,149 @@
+#include "recovery/detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+
+std::vector<Partition> canonical_system(const CanonicalExample& ex) {
+  return {ex.p_a, ex.p_b, ex.p_m1, ex.p_m2};
+}
+
+TEST(Detect, HonestReportsAreConsistent) {
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  for (State truth = 0; truth < 4; ++truth) {
+    std::vector<MachineReport> reports;
+    for (const auto& m : machines)
+      reports.push_back(MachineReport::of(m.block_of(truth)));
+    const DetectionResult d = detect_byzantine_fault(4, machines, reports);
+    EXPECT_TRUE(d.consistent);
+    ASSERT_TRUE(d.witness.has_value());
+    EXPECT_EQ(*d.witness, truth);
+    EXPECT_EQ(d.reporting, 4u);
+  }
+}
+
+TEST(Detect, SingleLiarIsDetectedWhenBlockExcludesTruth) {
+  // Truth t3; B lies with {t0}. No top state lies in all four blocks:
+  // A={t0,t3} ∩ B'={t0} ∩ M1={t3} = empty.
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(3)),
+      MachineReport::of(ex.p_b.block_of(0)),  // lie
+      MachineReport::of(ex.p_m1.block_of(3)),
+      MachineReport::of(ex.p_m2.block_of(3))};
+  const DetectionResult d = detect_byzantine_fault(4, machines, reports);
+  EXPECT_FALSE(d.consistent);
+  EXPECT_FALSE(d.witness.has_value());
+}
+
+TEST(Detect, ExhaustiveSingleLiarDetection) {
+  // Every liar x wrong block x truth is detected — a lying block never
+  // contains the truth (blocks partition the states), so consistency
+  // always breaks somewhere... UNLESS all other machines' blocks happen to
+  // share some other state. With dmin = 3, one liar is always caught.
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  for (std::size_t liar = 0; liar < machines.size(); ++liar)
+    for (State truth = 0; truth < 4; ++truth)
+      for (std::uint32_t wrong = 0; wrong < machines[liar].block_count();
+           ++wrong) {
+        if (wrong == machines[liar].block_of(truth)) continue;
+        std::vector<MachineReport> reports;
+        for (std::size_t i = 0; i < machines.size(); ++i)
+          reports.push_back(MachineReport::of(
+              i == liar ? wrong : machines[i].block_of(truth)));
+        const DetectionResult d =
+            detect_byzantine_fault(4, machines, reports);
+        EXPECT_FALSE(d.consistent)
+            << "liar " << liar << " wrong " << wrong << " truth " << truth;
+      }
+}
+
+TEST(Detect, UndetectableWithTooFewMachines) {
+  // With just {A, B} (dmin 1), a lie can be consistent with a *different*
+  // state: truth t0 (A={t0,t3}, B={t0}); if B lies with block {t2,t3},
+  // the pair (A={t0,t3}, B'={t2,t3}) is consistent with t3. Detection
+  // passes — and recovery would land on t3. This is exactly why Theorem 2
+  // requires dmin > 2f.
+  const CanonicalExample ex;
+  const std::vector<Partition> machines{ex.p_a, ex.p_b};
+  const std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(0)),
+      MachineReport::of(ex.p_b.block_of(3))};  // lie toward t3
+  const DetectionResult d = detect_byzantine_fault(4, machines, reports);
+  EXPECT_TRUE(d.consistent);
+  EXPECT_EQ(*d.witness, 3u);  // the adversary's decoy
+}
+
+TEST(Detect, TwoColludingLiarsOfSection3AreStillDetected) {
+  // The paper's 2-liar example (truth t3; B reports {t0}, M1 reports
+  // {t0,t2}): recovery lands on the wrong state t0, but detection still
+  // fires because M2's honest {t3} block excludes t0 — no single state is
+  // in all four blocks. Detection can catch what voting cannot fix.
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(3)),   // honest {t0,t3}
+      MachineReport::of(ex.p_b.block_of(0)),   // lie {t0}
+      MachineReport::of(ex.p_m1.block_of(0)),  // lie {t0,t2}
+      MachineReport::of(ex.p_m2.block_of(3))};  // honest {t3}
+  const DetectionResult d = detect_byzantine_fault(4, machines, reports);
+  EXPECT_FALSE(d.consistent);
+}
+
+TEST(Detect, CrashedMachinesAreSkipped) {
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(2)), MachineReport::crashed(),
+      MachineReport::of(ex.p_m1.block_of(2)), MachineReport::crashed()};
+  const DetectionResult d = detect_byzantine_fault(4, machines, reports);
+  EXPECT_TRUE(d.consistent);
+  EXPECT_EQ(d.reporting, 2u);
+  EXPECT_EQ(*d.witness, 2u);
+}
+
+TEST(Detect, AllCrashedIsVacuouslyConsistent) {
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports(4, MachineReport::crashed());
+  const DetectionResult d = detect_byzantine_fault(4, machines, reports);
+  EXPECT_TRUE(d.consistent);
+  EXPECT_EQ(d.reporting, 0u);
+}
+
+TEST(Detect, MismatchedSpansThrow) {
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports(2, MachineReport::crashed());
+  EXPECT_THROW((void)detect_byzantine_fault(4, machines, reports),
+               ContractViolation);
+}
+
+TEST(Detect, AgreesWithRecoveryOnConsistency) {
+  // When detection says consistent with witness w, recovery's argmax count
+  // equals the reporting count and lands on w (or an equally-supported
+  // state).
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  std::vector<MachineReport> reports;
+  for (const auto& m : machines)
+    reports.push_back(MachineReport::of(m.block_of(1)));
+  const DetectionResult d = detect_byzantine_fault(4, machines, reports);
+  const RecoveryResult r = recover(4, machines, reports);
+  ASSERT_TRUE(d.consistent);
+  EXPECT_EQ(r.max_count, d.reporting);
+  EXPECT_EQ(r.top_state, *d.witness);
+}
+
+}  // namespace
+}  // namespace ffsm

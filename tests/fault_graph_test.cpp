@@ -1,0 +1,188 @@
+#include "fault/fault_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsm/random_dfsm.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+using testing::pt;
+
+TEST(FaultGraph, EmptyGraphHasInfiniteDmin) {
+  const FaultGraph g(1);
+  EXPECT_EQ(g.dmin(), FaultGraph::kInfinity);
+  EXPECT_TRUE(g.weakest_edges().empty());
+}
+
+TEST(FaultGraph, NoMachinesMeansZeroWeights) {
+  const FaultGraph g(4);
+  EXPECT_EQ(g.dmin(), 0u);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t j = i + 1; j < 4; ++j) EXPECT_EQ(g.weight(i, j), 0u);
+}
+
+TEST(FaultGraph, SingleMachineWeights) {
+  // G({A}) per Fig. 4(i): edge (t0,t3) weighs 0, every other edge 1.
+  const CanonicalExample ex;
+  const std::vector<Partition> machines{ex.p_a};
+  const FaultGraph g = FaultGraph::build(4, machines);
+  EXPECT_EQ(g.weight(0, 3), 0u);
+  EXPECT_EQ(g.weight(0, 1), 1u);
+  EXPECT_EQ(g.weight(0, 2), 1u);
+  EXPECT_EQ(g.weight(1, 2), 1u);
+  EXPECT_EQ(g.weight(1, 3), 1u);
+  EXPECT_EQ(g.weight(2, 3), 1u);
+  EXPECT_EQ(g.dmin(), 0u);
+}
+
+TEST(FaultGraph, WeightIsSymmetric) {
+  const CanonicalExample ex;
+  const std::vector<Partition> machines{ex.p_a, ex.p_b};
+  const FaultGraph g = FaultGraph::build(4, machines);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t j = 0; j < 4; ++j)
+      if (i != j) EXPECT_EQ(g.weight(i, j), g.weight(j, i));
+}
+
+TEST(FaultGraph, SelfEdgeThrows) {
+  const FaultGraph g(4);
+  EXPECT_THROW((void)g.weight(2, 2), ContractViolation);
+}
+
+TEST(FaultGraph, AddMachineIncrementsSeparatedPairs) {
+  const CanonicalExample ex;
+  FaultGraph g(4);
+  g.add_machine(ex.p_a);
+  EXPECT_EQ(g.machine_count(), 1u);
+  EXPECT_EQ(g.weight(0, 1), 1u);
+  EXPECT_EQ(g.weight(0, 3), 0u);
+  g.add_machine(ex.p_b);
+  EXPECT_EQ(g.machine_count(), 2u);
+  EXPECT_EQ(g.weight(0, 3), 1u);  // B separates t0 from t3
+  EXPECT_EQ(g.weight(0, 1), 2u);
+}
+
+TEST(FaultGraph, RemoveUndoesAdd) {
+  const CanonicalExample ex;
+  FaultGraph g(4);
+  g.add_machine(ex.p_a);
+  g.add_machine(ex.p_m1);
+  g.remove_machine(ex.p_m1);
+  const std::vector<Partition> reference{ex.p_a};
+  const FaultGraph expected = FaultGraph::build(4, reference);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t j = i + 1; j < 4; ++j)
+      EXPECT_EQ(g.weight(i, j), expected.weight(i, j));
+  EXPECT_EQ(g.machine_count(), 1u);
+}
+
+TEST(FaultGraph, RemoveFromEmptyThrows) {
+  const CanonicalExample ex;
+  FaultGraph g(4);
+  EXPECT_THROW(g.remove_machine(ex.p_a), ContractViolation);
+}
+
+TEST(FaultGraph, MismatchedPartitionSizeThrows) {
+  FaultGraph g(4);
+  EXPECT_THROW(g.add_machine(pt({0, 1})), ContractViolation);
+}
+
+TEST(FaultGraph, WeakestEdgesOfCanonicalPair) {
+  // G({A,B}): weakest edges are (t0,t3) and (t2,t3) with weight 1.
+  const CanonicalExample ex;
+  const std::vector<Partition> machines{ex.p_a, ex.p_b};
+  const FaultGraph g = FaultGraph::build(4, machines);
+  EXPECT_EQ(g.dmin(), 1u);
+  const auto weakest = g.weakest_edges();
+  ASSERT_EQ(weakest.size(), 2u);
+  EXPECT_EQ(weakest[0], (std::pair<std::uint32_t, std::uint32_t>{0, 3}));
+  EXPECT_EQ(weakest[1], (std::pair<std::uint32_t, std::uint32_t>{2, 3}));
+}
+
+TEST(FaultGraph, EdgesWithWeightFiltersExactly) {
+  const CanonicalExample ex;
+  const std::vector<Partition> machines{ex.p_a, ex.p_b};
+  const FaultGraph g = FaultGraph::build(4, machines);
+  EXPECT_EQ(g.edges_with_weight(2).size(), 4u);
+  EXPECT_EQ(g.edges_with_weight(1).size(), 2u);
+  EXPECT_TRUE(g.edges_with_weight(3).empty());
+}
+
+TEST(FaultGraph, TopContributesOneEverywhere) {
+  const CanonicalExample ex;
+  FaultGraph g(4);
+  g.add_machine(ex.p_top);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t j = i + 1; j < 4; ++j) EXPECT_EQ(g.weight(i, j), 1u);
+}
+
+TEST(FaultGraph, BottomContributesNothing) {
+  const CanonicalExample ex;
+  FaultGraph g(4);
+  g.add_machine(ex.p_bottom);
+  EXPECT_EQ(g.dmin(), 0u);
+  EXPECT_EQ(g.weight(0, 1), 0u);
+}
+
+TEST(FaultGraph, BuildMatchesIncrementalConstruction) {
+  // Property: build(machines) == add_machine over each, for random inputs.
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<std::uint32_t>(2 + rng.below(30));
+    std::vector<Partition> machines;
+    const auto count = 1 + rng.below(6);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      std::vector<std::uint32_t> assignment(n);
+      const auto blocks = 1 + rng.below(n);
+      for (auto& a : assignment)
+        a = static_cast<std::uint32_t>(rng.below(blocks));
+      machines.emplace_back(std::move(assignment));
+    }
+    const FaultGraph built = FaultGraph::build(n, machines);
+    FaultGraph incremental(n);
+    for (const auto& p : machines) incremental.add_machine(p);
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t j = i + 1; j < n; ++j)
+        ASSERT_EQ(built.weight(i, j), incremental.weight(i, j))
+            << "trial " << trial;
+  }
+}
+
+TEST(FaultGraph, ParallelAndSerialBuildsAgree) {
+  Xoshiro256 rng(17);
+  const std::uint32_t n = 200;
+  std::vector<Partition> machines;
+  for (int k = 0; k < 8; ++k) {
+    std::vector<std::uint32_t> assignment(n);
+    for (auto& a : assignment)
+      a = static_cast<std::uint32_t>(rng.below(10));
+    machines.emplace_back(std::move(assignment));
+  }
+  FaultGraphOptions serial;
+  serial.parallel = false;
+  FaultGraphOptions parallel;
+  parallel.parallel = true;
+  const FaultGraph gs = FaultGraph::build(n, machines, serial);
+  const FaultGraph gp = FaultGraph::build(n, machines, parallel);
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j)
+      ASSERT_EQ(gs.weight(i, j), gp.weight(i, j));
+}
+
+TEST(FaultGraph, WeightNeverExceedsMachineCount) {
+  const CanonicalExample ex;
+  const std::vector<Partition> machines{ex.p_a, ex.p_b, ex.p_m1, ex.p_m2};
+  const FaultGraph g = FaultGraph::build(4, machines);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t j = i + 1; j < 4; ++j)
+      EXPECT_LE(g.weight(i, j), machines.size());
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,379 @@
+#include "fsm/machine_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fsm/minimize.hpp"
+
+namespace ffsm {
+namespace {
+
+std::vector<EventId> seq(const std::shared_ptr<Alphabet>& al,
+                         std::initializer_list<const char*> names) {
+  std::vector<EventId> events;
+  for (const char* n : names) events.push_back(al->intern(n));
+  return events;
+}
+
+// ---------------------------------------------------------------- counters
+
+TEST(Counters, ModThreeCountsItsEvent) {
+  auto al = Alphabet::create();
+  const Dfsm c = make_mod_counter(al, "c0", 3, "0");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.run(seq(al, {"0", "0"})), 2u);
+  EXPECT_EQ(c.run(seq(al, {"0", "0", "0"})), 0u);  // wraps mod 3
+}
+
+TEST(Counters, IgnoresOtherEvents) {
+  auto al = Alphabet::create();
+  const Dfsm c = make_mod_counter(al, "c0", 3, "0");
+  al->intern("1");
+  EXPECT_EQ(c.run(seq(al, {"1", "0", "1", "1", "0"})), 2u);
+}
+
+TEST(Counters, ModulusOneIsSingleState) {
+  auto al = Alphabet::create();
+  const Dfsm c = make_mod_counter(al, "trivial", 1, "x");
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.run(seq(al, {"x", "x"})), 0u);
+}
+
+TEST(Counters, WeightedCounterImplementsFig1F1) {
+  // F1 = (n0 + n1) mod 3 : +1 on both events.
+  auto al = Alphabet::create();
+  const std::array<std::pair<std::string_view, std::uint32_t>, 2> inc{
+      {{"0", 1u}, {"1", 1u}}};
+  const Dfsm f1 = make_weighted_mod_counter(al, "F1", 3, inc);
+  EXPECT_EQ(f1.size(), 3u);
+  EXPECT_EQ(f1.run(seq(al, {"0", "1", "0", "1"})), 1u);  // 4 mod 3
+}
+
+TEST(Counters, WeightedCounterImplementsFig1F2) {
+  // F2 = (n0 - n1) mod 3 : +1 on "0", +2 (== -1) on "1".
+  auto al = Alphabet::create();
+  const std::array<std::pair<std::string_view, std::uint32_t>, 2> inc{
+      {{"0", 1u}, {"1", 2u}}};
+  const Dfsm f2 = make_weighted_mod_counter(al, "F2", 3, inc);
+  EXPECT_EQ(f2.run(seq(al, {"0", "0", "1"})), 1u);   // 2 - 1
+  EXPECT_EQ(f2.run(seq(al, {"1"})), 2u);             // -1 mod 3
+  EXPECT_EQ(f2.run(seq(al, {"0", "1", "0", "1"})), 0u);
+}
+
+// ------------------------------------------------------- parity and toggle
+
+TEST(Parity, FlipsOnItsEventOnly) {
+  auto al = Alphabet::create();
+  const Dfsm p = make_parity_checker(al, "even1", "1");
+  al->intern("0");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.run(seq(al, {"1", "0", "1", "1"})), 1u);  // three 1s: odd
+  EXPECT_EQ(p.run(seq(al, {"0", "0"})), 0u);
+}
+
+TEST(Toggle, AlternatesState) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_toggle_switch(al, "sw");
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.run(seq(al, {"toggle"})), 1u);
+  EXPECT_EQ(t.run(seq(al, {"toggle", "toggle"})), 0u);
+}
+
+TEST(Toggle, CustomEventName) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_toggle_switch(al, "sw", "flip");
+  EXPECT_TRUE(t.subscribes(*al->find("flip")));
+}
+
+// --------------------------------------------------------- pattern detector
+
+TEST(Pattern, FourStatesForLengthThreePattern) {
+  auto al = Alphabet::create();
+  const Dfsm p = make_pattern_detector(al, "pat", "101");
+  EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(Pattern, ReachesMatchStateExactlyOnPattern) {
+  auto al = Alphabet::create();
+  const Dfsm p = make_pattern_detector(al, "pat", "101");
+  EXPECT_EQ(p.run(seq(al, {"1", "0", "1"})), 3u);
+  EXPECT_NE(p.run(seq(al, {"1", "0", "0"})), 3u);
+  EXPECT_NE(p.run(seq(al, {"1", "1"})), 3u);
+}
+
+TEST(Pattern, TracksLongestBorderAfterMatch) {
+  auto al = Alphabet::create();
+  const Dfsm p = make_pattern_detector(al, "pat", "101");
+  // "10101": overlapping second match via border "1".
+  EXPECT_EQ(p.run(seq(al, {"1", "0", "1", "0", "1"})), 3u);
+  // "1011": after the match, '1' falls back to prefix "1".
+  EXPECT_EQ(p.run(seq(al, {"1", "0", "1", "1"})), 1u);
+}
+
+TEST(Pattern, PrefixStateSemantics) {
+  auto al = Alphabet::create();
+  const Dfsm p = make_pattern_detector(al, "pat", "101");
+  // State == length of longest pattern prefix that suffixes the input.
+  EXPECT_EQ(p.run(seq(al, {"0"})), 0u);
+  EXPECT_EQ(p.run(seq(al, {"1"})), 1u);
+  EXPECT_EQ(p.run(seq(al, {"1", "0"})), 2u);
+  EXPECT_EQ(p.run(seq(al, {"1", "1"})), 1u);
+}
+
+TEST(Pattern, SingleCharPattern) {
+  auto al = Alphabet::create();
+  const Dfsm p = make_pattern_detector(al, "pat", "1");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.run(seq(al, {"1"})), 1u);
+  EXPECT_EQ(p.run(seq(al, {"1", "1"})), 1u);  // border of "1" is empty -> re-enter on 1
+  EXPECT_EQ(p.run(seq(al, {"1", "0"})), 0u);
+}
+
+TEST(Pattern, AllZerosPattern) {
+  auto al = Alphabet::create();
+  const Dfsm p = make_pattern_detector(al, "pat", "000");
+  EXPECT_EQ(p.run(seq(al, {"0", "0", "0"})), 3u);
+  // Border of "000" is "00": one more zero keeps it matched.
+  EXPECT_EQ(p.run(seq(al, {"0", "0", "0", "0"})), 3u);
+  EXPECT_EQ(p.run(seq(al, {"0", "0", "0", "1"})), 0u);
+}
+
+// ----------------------------------------------------------- shift register
+
+TEST(ShiftRegister, HoldsLastBits) {
+  auto al = Alphabet::create();
+  const Dfsm r = make_shift_register(al, "sr", 3);
+  EXPECT_EQ(r.size(), 8u);
+  // 1,0,1 -> 0b101 = 5.
+  EXPECT_EQ(r.run(seq(al, {"1", "0", "1"})), 5u);
+  // Older bits fall off the end.
+  EXPECT_EQ(r.run(seq(al, {"1", "1", "1", "0", "0", "0"})), 0u);
+}
+
+TEST(ShiftRegister, SingleBit) {
+  auto al = Alphabet::create();
+  const Dfsm r = make_shift_register(al, "sr", 1);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.run(seq(al, {"1"})), 1u);
+  EXPECT_EQ(r.run(seq(al, {"1", "0"})), 0u);
+}
+
+// ----------------------------------------------------------------- divider
+
+TEST(Divider, TracksValueModuloDivisor) {
+  auto al = Alphabet::create();
+  const Dfsm d = make_divisibility_checker(al, "div3", 3);
+  EXPECT_EQ(d.size(), 3u);
+  // Reading 1,1,0 = 0b110 = 6; 6 mod 3 = 0.
+  EXPECT_EQ(d.run(seq(al, {"1", "1", "0"})), 0u);
+  // 0b101 = 5; 5 mod 3 = 2.
+  EXPECT_EQ(d.run(seq(al, {"1", "0", "1"})), 2u);
+}
+
+TEST(Divider, BySeven) {
+  auto al = Alphabet::create();
+  const Dfsm d = make_divisibility_checker(al, "div7", 7);
+  EXPECT_EQ(d.size(), 7u);
+  // 0b1001110 = 78; 78 mod 7 = 1.
+  EXPECT_EQ(d.run(seq(al, {"1", "0", "0", "1", "1", "1", "0"})), 1u);
+}
+
+// -------------------------------------------------------------------- MESI
+
+TEST(Mesi, HasFourStatesAndFiveEvents) {
+  auto al = Alphabet::create();
+  const Dfsm m = make_mesi(al);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.events().size(), 5u);
+  EXPECT_EQ(m.state_name(m.initial()), "I");
+}
+
+TEST(Mesi, ReadMissPaths) {
+  auto al = Alphabet::create();
+  const Dfsm m = make_mesi(al);
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_rd"}))), "S");
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_rd_excl"}))), "E");
+}
+
+TEST(Mesi, WriteMakesModified) {
+  auto al = Alphabet::create();
+  const Dfsm m = make_mesi(al);
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_wr"}))), "M");
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_rd", "pr_wr"}))), "M");
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_rd_excl", "pr_wr"}))), "M");
+}
+
+TEST(Mesi, SnoopDowngrades) {
+  auto al = Alphabet::create();
+  const Dfsm m = make_mesi(al);
+  // M --bus_rd--> S (another cache reads: supply data, go shared).
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_wr", "bus_rd"}))), "S");
+  // E --bus_rd--> S.
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_rd_excl", "bus_rd"}))), "S");
+  // Any state --bus_rdx--> I.
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_wr", "bus_rdx"}))), "I");
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_rd", "bus_rdx"}))), "I");
+}
+
+TEST(Mesi, ExclusiveReadHitStaysExclusive) {
+  auto al = Alphabet::create();
+  const Dfsm m = make_mesi(al);
+  EXPECT_EQ(m.state_name(m.run(seq(al, {"pr_rd_excl", "pr_rd"}))), "E");
+}
+
+// --------------------------------------------------------------------- TCP
+
+TEST(Tcp, HasElevenStates) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  EXPECT_EQ(t.size(), 11u);
+  EXPECT_EQ(t.state_name(t.initial()), "CLOSED");
+}
+
+TEST(Tcp, ThreeWayHandshakeServerSide) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  EXPECT_EQ(t.state_name(t.run(seq(al, {"passive_open"}))), "LISTEN");
+  EXPECT_EQ(t.state_name(t.run(seq(al, {"passive_open", "rcv_syn"}))),
+            "SYN_RCVD");
+  EXPECT_EQ(
+      t.state_name(t.run(seq(al, {"passive_open", "rcv_syn", "rcv_ack"}))),
+      "ESTABLISHED");
+}
+
+TEST(Tcp, ThreeWayHandshakeClientSide) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  EXPECT_EQ(t.state_name(t.run(seq(al, {"active_open"}))), "SYN_SENT");
+  EXPECT_EQ(t.state_name(t.run(seq(al, {"active_open", "rcv_syn_ack"}))),
+            "ESTABLISHED");
+}
+
+TEST(Tcp, SimultaneousOpen) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  EXPECT_EQ(t.state_name(t.run(seq(al, {"active_open", "rcv_syn"}))),
+            "SYN_RCVD");
+}
+
+TEST(Tcp, ActiveCloseWalksFinWait) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  const auto established = seq(al, {"active_open", "rcv_syn_ack"});
+  auto path = established;
+  for (const char* e : {"close", "rcv_ack", "rcv_fin", "timeout"})
+    path.push_back(al->intern(e));
+  // ESTABLISHED -> FIN_WAIT_1 -> FIN_WAIT_2 -> TIME_WAIT -> CLOSED.
+  EXPECT_EQ(t.state_name(t.run(path)), "CLOSED");
+}
+
+TEST(Tcp, PassiveCloseWalksCloseWait) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  const auto path =
+      seq(al, {"passive_open", "rcv_syn", "rcv_ack", "rcv_fin", "close",
+               "rcv_ack"});
+  // ESTABLISHED -> CLOSE_WAIT -> LAST_ACK -> CLOSED.
+  EXPECT_EQ(t.state_name(t.run(path)), "CLOSED");
+}
+
+TEST(Tcp, SimultaneousCloseWalksClosing) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  const auto path = seq(
+      al, {"active_open", "rcv_syn_ack", "close", "rcv_fin", "rcv_ack"});
+  // FIN_WAIT_1 -> CLOSING -> TIME_WAIT.
+  EXPECT_EQ(t.state_name(t.run(path)), "TIME_WAIT");
+}
+
+TEST(Tcp, ResetTearsDownEstablished) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  EXPECT_EQ(t.state_name(
+                t.run(seq(al, {"active_open", "rcv_syn_ack", "rcv_rst"}))),
+            "CLOSED");
+}
+
+TEST(Tcp, IrrelevantEventsSelfLoop) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  // rcv_fin in CLOSED is meaningless: self-loop.
+  EXPECT_EQ(t.state_name(t.run(seq(al, {"rcv_fin"}))), "CLOSED");
+  EXPECT_EQ(t.state_name(t.run(seq(al, {"passive_open", "rcv_ack"}))),
+            "LISTEN");
+}
+
+// ----------------------------------------------------- paper machines A / B
+
+TEST(PaperMachines, MachineASemantics) {
+  auto al = Alphabet::create();
+  const Dfsm a = make_paper_machine_a(al);
+  EXPECT_EQ(a.size(), 3u);
+  // Event 1 always returns to a0; event 0 cycles a0->a1->a2->a1.
+  EXPECT_EQ(a.run(seq(al, {"0"})), 1u);
+  EXPECT_EQ(a.run(seq(al, {"0", "0"})), 2u);
+  EXPECT_EQ(a.run(seq(al, {"0", "0", "0"})), 1u);
+  EXPECT_EQ(a.run(seq(al, {"0", "0", "1"})), 0u);
+}
+
+TEST(PaperMachines, MachineBSemantics) {
+  auto al = Alphabet::create();
+  const Dfsm b = make_paper_machine_b(al);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.run(seq(al, {"0"})), 1u);
+  EXPECT_EQ(b.run(seq(al, {"0", "0"})), 2u);
+  EXPECT_EQ(b.run(seq(al, {"1"})), 2u);       // event 1 pins b2
+  EXPECT_EQ(b.run(seq(al, {"1", "0"})), 1u);
+}
+
+TEST(PaperMachines, TopMatchesDesignTable) {
+  auto al = Alphabet::create();
+  const Dfsm top = make_paper_top(al);
+  const EventId e0 = *al->find("0");
+  const EventId e1 = *al->find("1");
+  EXPECT_EQ(top.size(), 4u);
+  EXPECT_EQ(top.step(0, e0), 1u);
+  EXPECT_EQ(top.step(1, e0), 2u);
+  EXPECT_EQ(top.step(2, e0), 1u);
+  EXPECT_EQ(top.step(3, e0), 1u);
+  for (State s = 0; s < 4; ++s) EXPECT_EQ(top.step(s, e1), 3u);
+}
+
+// ------------------------------------------------------------- table rows
+
+TEST(TableRows, FiveRowsWithPaperSizes) {
+  const auto rows = make_results_table_rows();
+  ASSERT_EQ(rows.size(), 5u);
+
+  // Row machine-size products drive the replication column of the paper's
+  // table: 288, 128, 243, 396, 396.
+  const std::array<std::uint64_t, 5> expected_products{288, 128, 243, 396,
+                                                       396};
+  const std::array<std::uint32_t, 5> expected_f{2, 3, 2, 1, 2};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::uint64_t product = 1;
+    for (const Dfsm& m : rows[r].machines) product *= m.size();
+    EXPECT_EQ(product, expected_products[r]) << rows[r].label;
+    EXPECT_EQ(rows[r].faults, expected_f[r]) << rows[r].label;
+  }
+}
+
+TEST(TableRows, AllMachinesReachable) {
+  for (const auto& row : make_results_table_rows())
+    for (const Dfsm& m : row.machines)
+      EXPECT_TRUE(all_states_reachable(m)) << row.label << " / " << m.name();
+}
+
+TEST(TableRows, MachinesWithinARowShareOneAlphabet) {
+  for (const auto& row : make_results_table_rows()) {
+    const auto& alphabet = row.machines.front().alphabet();
+    for (const Dfsm& m : row.machines)
+      EXPECT_EQ(m.alphabet(), alphabet) << row.label;
+  }
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,251 @@
+#include "fsm/dfsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsm/alphabet.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+Dfsm two_state_flipper(const std::shared_ptr<Alphabet>& al) {
+  DfsmBuilder b("flip", al);
+  b.state("s0");
+  b.state("s1");
+  const EventId e = b.event("go");
+  b.transition(0, e, 1);
+  b.transition(1, e, 0);
+  return b.build();
+}
+
+TEST(Alphabet, InternIsIdempotent) {
+  Alphabet al;
+  const EventId a = al.intern("x");
+  EXPECT_EQ(al.intern("x"), a);
+  EXPECT_EQ(al.size(), 1u);
+}
+
+TEST(Alphabet, AssignsDenseIds) {
+  Alphabet al;
+  EXPECT_EQ(al.intern("a"), 0u);
+  EXPECT_EQ(al.intern("b"), 1u);
+  EXPECT_EQ(al.intern("c"), 2u);
+  EXPECT_EQ(al.name(1), "b");
+}
+
+TEST(Alphabet, FindMissesUnknownNames) {
+  Alphabet al;
+  al.intern("known");
+  EXPECT_TRUE(al.find("known").has_value());
+  EXPECT_FALSE(al.find("unknown").has_value());
+}
+
+TEST(Alphabet, EmptyNameRejected) {
+  Alphabet al;
+  EXPECT_THROW(al.intern(""), ContractViolation);
+}
+
+TEST(Alphabet, NameOutOfRangeThrows) {
+  Alphabet al;
+  EXPECT_THROW((void)al.name(0), ContractViolation);
+}
+
+TEST(DfsmBuilder, BuildsMinimalMachine) {
+  auto al = Alphabet::create();
+  const Dfsm m = two_state_flipper(al);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.initial(), 0u);
+  EXPECT_EQ(m.events().size(), 1u);
+  EXPECT_EQ(m.name(), "flip");
+}
+
+TEST(DfsmBuilder, FirstStateIsInitialByDefault) {
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  b.state("start");
+  b.state("other");
+  const EventId e = b.event("e");
+  b.transition(0, e, 1);
+  b.transition(1, e, 1);
+  const Dfsm m = b.build();
+  EXPECT_EQ(m.initial(), *m.find_state("start"));
+}
+
+TEST(DfsmBuilder, SetInitialByName) {
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  b.state("a");
+  b.state("z");
+  const EventId e = b.event("e");
+  b.transition(0, e, 1);
+  b.transition(1, e, 0);
+  b.set_initial("z");
+  EXPECT_EQ(b.build().initial(), 1u);
+}
+
+TEST(DfsmBuilder, MissingTransitionFailsBuild) {
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  b.state("a");
+  b.state("b");
+  const EventId e = b.event("e");
+  b.transition(0, e, 1);  // state b has no transition on e
+  EXPECT_THROW((void)b.build(), ContractViolation);
+}
+
+TEST(DfsmBuilder, DuplicateTransitionRejected) {
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  b.state("a");
+  const EventId e = b.event("e");
+  b.transition(0, e, 0);
+  EXPECT_THROW(b.transition(0, e, 0), ContractViolation);
+}
+
+TEST(DfsmBuilder, UnreachableStateFailsBuild) {
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  b.state("a");
+  b.state("island");
+  const EventId e = b.event("e");
+  b.transition(0, e, 0);
+  b.transition(1, e, 1);
+  EXPECT_THROW((void)b.build(), ContractViolation);
+}
+
+TEST(DfsmBuilder, UnreachableAllowedWhenRequested) {
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  b.state("a");
+  b.state("island");
+  const EventId e = b.event("e");
+  b.transition(0, e, 0);
+  b.transition(1, e, 1);
+  const Dfsm m = b.build(/*allow_unreachable=*/true);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(DfsmBuilder, FillSelfLoopsCompletesTheTable) {
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  b.state("a");
+  b.state("b");
+  const EventId go = b.event("go");
+  b.event("noop");
+  b.transition(0, go, 1);
+  b.transition(1, go, 0);
+  b.fill_self_loops();
+  const Dfsm m = b.build();
+  const EventId noop = *al->find("noop");
+  EXPECT_EQ(m.step(0, noop), 0u);
+  EXPECT_EQ(m.step(1, noop), 1u);
+}
+
+TEST(DfsmBuilder, StateByNameIsIdempotent) {
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  EXPECT_EQ(b.state("x"), b.state("x"));
+}
+
+TEST(Dfsm, StepFollowsTransitions) {
+  auto al = Alphabet::create();
+  const Dfsm m = two_state_flipper(al);
+  const EventId go = *al->find("go");
+  EXPECT_EQ(m.step(0, go), 1u);
+  EXPECT_EQ(m.step(1, go), 0u);
+}
+
+TEST(Dfsm, UnsubscribedEventIsIgnored) {
+  auto al = Alphabet::create();
+  const Dfsm m = two_state_flipper(al);
+  const EventId other = al->intern("other");  // interned after build
+  EXPECT_FALSE(m.subscribes(other));
+  EXPECT_EQ(m.step(0, other), 0u);
+  EXPECT_EQ(m.step(1, other), 1u);
+}
+
+TEST(Dfsm, RunAppliesSequence) {
+  auto al = Alphabet::create();
+  const Dfsm m = two_state_flipper(al);
+  const EventId go = *al->find("go");
+  const EventId other = al->intern("zzz");
+  const std::vector<EventId> seq{go, other, go, go, other};
+  EXPECT_EQ(m.run(seq), 1u);  // three flips from 0
+}
+
+TEST(Dfsm, RunFromExplicitState) {
+  auto al = Alphabet::create();
+  const Dfsm m = two_state_flipper(al);
+  const EventId go = *al->find("go");
+  const std::vector<EventId> seq{go, go};
+  EXPECT_EQ(m.run(1, seq), 1u);
+}
+
+TEST(Dfsm, StepOutOfRangeStateThrows) {
+  auto al = Alphabet::create();
+  const Dfsm m = two_state_flipper(al);
+  EXPECT_THROW((void)m.step(5, 0), ContractViolation);
+}
+
+TEST(Dfsm, StateNamesRoundTrip) {
+  auto al = Alphabet::create();
+  const Dfsm m = two_state_flipper(al);
+  EXPECT_EQ(m.state_name(0), "s0");
+  EXPECT_EQ(m.state_name(1), "s1");
+  EXPECT_EQ(*m.find_state("s1"), 1u);
+  EXPECT_FALSE(m.find_state("nope").has_value());
+}
+
+TEST(Dfsm, EventsAreSortedAscending) {
+  auto al = Alphabet::create();
+  al->intern("later");  // id 0
+  DfsmBuilder b("m", al);
+  b.state("only");
+  const EventId z = b.event("z");   // interned second -> higher id
+  const EventId a = b.event("a");
+  b.transition(0, z, 0);
+  b.transition(0, a, 0);
+  const Dfsm m = b.build();
+  ASSERT_EQ(m.events().size(), 2u);
+  EXPECT_LT(m.events()[0], m.events()[1]);
+}
+
+TEST(Dfsm, SameStructureIgnoresNames) {
+  auto al = Alphabet::create();
+  const Dfsm m1 = two_state_flipper(al);
+  DfsmBuilder b("renamed", al);
+  b.state("x");
+  b.state("y");
+  const EventId e = b.event("go");
+  b.transition(0, e, 1);
+  b.transition(1, e, 0);
+  const Dfsm m2 = b.build();
+  EXPECT_TRUE(m1.same_structure(m2));
+}
+
+TEST(Dfsm, SameStructureDetectsDifferentDelta) {
+  auto al = Alphabet::create();
+  const Dfsm m1 = two_state_flipper(al);
+  DfsmBuilder b("m", al);
+  b.state("s0");
+  b.state("s1");
+  const EventId e = b.event("go");
+  b.transition(0, e, 1);
+  b.transition(1, e, 1);  // differs: absorbs in s1
+  const Dfsm m2 = b.build();
+  EXPECT_FALSE(m1.same_structure(m2));
+}
+
+TEST(Dfsm, EventIndexMatchesSubscription) {
+  auto al = Alphabet::create();
+  const Dfsm m = two_state_flipper(al);
+  const EventId go = *al->find("go");
+  EXPECT_TRUE(m.event_index(go).has_value());
+  EXPECT_EQ(*m.event_index(go), 0u);
+  EXPECT_FALSE(m.event_index(go + 100).has_value());
+}
+
+}  // namespace
+}  // namespace ffsm

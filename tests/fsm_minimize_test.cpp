@@ -1,0 +1,129 @@
+#include "fsm/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "fsm/machine_catalog.hpp"
+#include "fsm/random_dfsm.hpp"
+#include "util/rng.hpp"
+
+namespace ffsm {
+namespace {
+
+std::vector<std::uint32_t> uniform_labels(std::uint32_t n) {
+  return std::vector<std::uint32_t>(n, 0);
+}
+
+std::vector<std::uint32_t> distinct_labels(std::uint32_t n) {
+  std::vector<std::uint32_t> labels(n);
+  std::iota(labels.begin(), labels.end(), 0u);
+  return labels;
+}
+
+TEST(MoorePartition, UniformLabelsCollapseCounter) {
+  // With no observable output, a pure counter collapses to one state.
+  auto al = Alphabet::create();
+  const Dfsm c = make_mod_counter(al, "c", 6, "e");
+  const auto blocks = moore_partition(c, uniform_labels(6));
+  std::uint32_t max_block = 0;
+  for (const auto b : blocks) max_block = std::max(max_block, b);
+  EXPECT_EQ(max_block, 0u);
+}
+
+TEST(MoorePartition, DistinctLabelsKeepEveryState) {
+  auto al = Alphabet::create();
+  const Dfsm c = make_mod_counter(al, "c", 6, "e");
+  const auto blocks = moore_partition(c, distinct_labels(6));
+  for (std::uint32_t s = 0; s < 6; ++s) EXPECT_EQ(blocks[s], s);
+}
+
+TEST(MoorePartition, RefinesByBehaviour) {
+  // 4-state machine: two states behave identically (same label, same
+  // successors) and must merge; the labelled pair must not.
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  b.states(4, "s");
+  const EventId e = b.event("e");
+  b.transition(0, e, 1);
+  b.transition(1, e, 2);
+  b.transition(2, e, 3);
+  b.transition(3, e, 2);  // 2 and 3... check labels below
+  const Dfsm m = b.build();
+  // Label state 0 specially; 2 and 3 share labels but differ in successors'
+  // labels only if those differ.
+  const std::vector<std::uint32_t> labels{1, 0, 0, 0};
+  const auto blocks = moore_partition(m, labels);
+  EXPECT_NE(blocks[0], blocks[1]);  // labels differ
+  // States 2,3: both labelled 0; delta(2)=3, delta(3)=2 — they merge iff
+  // they are bisimilar, which they are (swap symmetry).
+  EXPECT_EQ(blocks[2], blocks[3]);
+  // State 1 -> 2 with label 0 is bisimilar to 2 -> 3 as well.
+  EXPECT_EQ(blocks[1], blocks[2]);
+}
+
+TEST(MoorePartition, ParityVisibleThroughLabels) {
+  // Mod-4 counter with labels = parity: collapses to the mod-2 quotient.
+  auto al = Alphabet::create();
+  const Dfsm c = make_mod_counter(al, "c", 4, "e");
+  const std::vector<std::uint32_t> labels{0, 1, 0, 1};
+  const auto blocks = moore_partition(c, labels);
+  EXPECT_EQ(blocks[0], blocks[2]);
+  EXPECT_EQ(blocks[1], blocks[3]);
+  EXPECT_NE(blocks[0], blocks[1]);
+}
+
+TEST(MooreMinimize, QuotientSimulatesSource) {
+  auto al = Alphabet::create();
+  const Dfsm c = make_mod_counter(al, "c", 4, "e");
+  const std::vector<std::uint32_t> labels{0, 1, 0, 1};
+  const Dfsm min = moore_minimize(c, labels, "c_min");
+  EXPECT_EQ(min.size(), 2u);
+
+  // Lockstep: label of the source state equals label of the minimized state
+  // (labels on the quotient are inherited from any block member).
+  const EventId e = *al->find("e");
+  State s = c.initial();
+  State q = min.initial();
+  for (int i = 0; i < 20; ++i) {
+    s = c.step(s, e);
+    q = min.step(q, e);
+    EXPECT_EQ(labels[s] != 0, q == 1) << "step " << i;
+  }
+}
+
+TEST(MooreMinimize, AlreadyMinimalMachineUnchangedInSize) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  const Dfsm min = moore_minimize(t, distinct_labels(t.size()), "tcp_min");
+  EXPECT_EQ(min.size(), t.size());
+}
+
+TEST(MooreMinimize, RandomMachinesNeverGrow) {
+  auto al = Alphabet::create();
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 20; ++i) {
+    RandomDfsmSpec spec;
+    spec.states = static_cast<std::uint32_t>(3 + rng.below(10));
+    spec.num_events = 2;
+    spec.seed = 1000u + static_cast<std::uint64_t>(i);
+    const Dfsm m = make_random_connected_dfsm(al, "r", spec);
+    // Two-valued labels by state parity.
+    std::vector<std::uint32_t> labels(m.size());
+    for (std::uint32_t s = 0; s < m.size(); ++s) labels[s] = s % 2;
+    const Dfsm min = moore_minimize(m, labels, "rmin");
+    EXPECT_LE(min.size(), m.size());
+    EXPECT_TRUE(all_states_reachable(min));
+  }
+}
+
+TEST(AllStatesReachable, TrueForCatalogMachines) {
+  auto al = Alphabet::create();
+  EXPECT_TRUE(all_states_reachable(make_mesi(al)));
+  EXPECT_TRUE(all_states_reachable(make_tcp(al)));
+  EXPECT_TRUE(all_states_reachable(make_shift_register(al, "sr", 4)));
+}
+
+}  // namespace
+}  // namespace ffsm

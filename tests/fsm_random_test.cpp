@@ -1,0 +1,84 @@
+#include "fsm/random_dfsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fsm/minimize.hpp"
+
+namespace ffsm {
+namespace {
+
+TEST(RandomDfsm, DeterministicForSeed) {
+  auto al = Alphabet::create();
+  RandomDfsmSpec spec;
+  spec.states = 12;
+  spec.num_events = 3;
+  spec.seed = 5;
+  const Dfsm a = make_random_connected_dfsm(al, "a", spec);
+  const Dfsm b = make_random_connected_dfsm(al, "b", spec);
+  EXPECT_TRUE(a.same_structure(b));
+}
+
+TEST(RandomDfsm, DifferentSeedsUsuallyDiffer) {
+  auto al = Alphabet::create();
+  RandomDfsmSpec s1;
+  s1.states = 12;
+  s1.num_events = 3;
+  s1.seed = 5;
+  RandomDfsmSpec s2 = s1;
+  s2.seed = 6;
+  EXPECT_FALSE(make_random_connected_dfsm(al, "a", s1)
+                   .same_structure(make_random_connected_dfsm(al, "b", s2)));
+}
+
+TEST(RandomDfsm, SingleStateMachine) {
+  auto al = Alphabet::create();
+  RandomDfsmSpec spec;
+  spec.states = 1;
+  spec.num_events = 2;
+  const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(all_states_reachable(m));
+}
+
+// Parameterized sweep: every (states, events, seed) combination must yield a
+// fully reachable machine of exactly the requested size — the generator's
+// core contract, used by every property suite downstream.
+class RandomDfsmSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(RandomDfsmSweep, ConnectedAndSized) {
+  const auto [states, events, seed] = GetParam();
+  auto al = Alphabet::create();
+  RandomDfsmSpec spec;
+  spec.states = states;
+  spec.num_events = events;
+  spec.seed = seed;
+  const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+  EXPECT_EQ(m.size(), states);
+  EXPECT_EQ(m.events().size(), events);
+  EXPECT_TRUE(all_states_reachable(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDfsmSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 5u, 16u, 64u),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 2u, 3u, 99u)));
+
+TEST(RandomDfsm, StressManySeedsStayConnected) {
+  auto al = Alphabet::create();
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    RandomDfsmSpec spec;
+    spec.states = 1 + static_cast<std::uint32_t>(seed % 23);
+    spec.num_events = 1 + static_cast<std::uint32_t>(seed % 3);
+    spec.seed = seed;
+    const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+    ASSERT_TRUE(all_states_reachable(m)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,167 @@
+#include "fsm/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/machine_catalog.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+TEST(Serialize, RoundTripsCounter) {
+  auto al = Alphabet::create();
+  const Dfsm c = make_mod_counter(al, "c3", 3, "tick");
+  const Dfsm back = from_text(to_text(c), al);
+  EXPECT_TRUE(c.same_structure(back));
+  EXPECT_EQ(back.name(), "c3");
+}
+
+TEST(Serialize, RoundTripsTcp) {
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  const Dfsm back = from_text(to_text(t), al);
+  EXPECT_TRUE(t.same_structure(back));
+  EXPECT_EQ(back.state_name(back.initial()), "CLOSED");
+}
+
+TEST(Serialize, RoundTripsMesi) {
+  auto al = Alphabet::create();
+  const Dfsm m = make_mesi(al);
+  EXPECT_TRUE(m.same_structure(from_text(to_text(m), al)));
+}
+
+TEST(Serialize, PreservesNonZeroInitial) {
+  auto al = Alphabet::create();
+  DfsmBuilder b("m", al);
+  b.states(3, "s");
+  const EventId e = b.event("e");
+  b.transition(0, e, 1);
+  b.transition(1, e, 2);
+  b.transition(2, e, 0);
+  b.set_initial(2);
+  const Dfsm m = b.build();
+  EXPECT_EQ(from_text(to_text(m), al).initial(), 2u);
+}
+
+TEST(Parse, MinimalHandWrittenMachine) {
+  auto al = Alphabet::create();
+  const Dfsm m = from_text(
+      "dfsm hand\n"
+      "event go\n"
+      "state a\n"
+      "state b\n"
+      "initial a\n"
+      "trans a go b\n"
+      "trans b go a\n"
+      "end\n",
+      al);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.step(0, *al->find("go")), 1u);
+}
+
+TEST(Parse, CommentsAndBlankLinesIgnored) {
+  auto al = Alphabet::create();
+  const Dfsm m = from_text(
+      "# full-line comment\n"
+      "dfsm c\n"
+      "\n"
+      "event e   # trailing comment\n"
+      "state s\n"
+      "trans s e s\n"
+      "end\n",
+      al);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Parse, StatesImplicitlyDeclaredByTrans) {
+  auto al = Alphabet::create();
+  const Dfsm m = from_text(
+      "dfsm implicit\n"
+      "event e\n"
+      "trans x e y\n"
+      "trans y e x\n"
+      "end\n",
+      al);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.initial(), *m.find_state("x"));
+}
+
+TEST(Parse, MissingDfsmHeaderThrows) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)from_text("event e\nend\n", al), ContractViolation);
+}
+
+TEST(Parse, MissingEndThrows) {
+  auto al = Alphabet::create();
+  EXPECT_THROW(
+      (void)from_text("dfsm m\nevent e\nstate s\ntrans s e s\n", al),
+      ContractViolation);
+}
+
+TEST(Parse, UnknownDirectiveThrows) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)from_text("dfsm m\nbogus x\nend\n", al),
+               ContractViolation);
+}
+
+TEST(Parse, ContentAfterEndThrows) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)from_text(
+                   "dfsm m\nevent e\nstate s\ntrans s e s\nend\nstate t\n",
+                   al),
+               ContractViolation);
+}
+
+TEST(Parse, DuplicateDfsmThrows) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)from_text("dfsm m\ndfsm n\nend\n", al),
+               ContractViolation);
+}
+
+TEST(Parse, IncompleteTransThrows) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)from_text("dfsm m\nevent e\ntrans a e\nend\n", al),
+               ContractViolation);
+}
+
+TEST(Parse, EmptyInputThrows) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)from_text("", al), ContractViolation);
+}
+
+TEST(Parse, MissingTransitionSurfacesAtBuild) {
+  auto al = Alphabet::create();
+  EXPECT_THROW((void)from_text(
+                   "dfsm m\nevent e\nstate a\nstate b\n"
+                   "trans a e b\nend\n",  // b has no transition on e
+                   al),
+               ContractViolation);
+}
+
+TEST(Dot, ContainsStatesAndLabels) {
+  auto al = Alphabet::create();
+  const Dfsm c = make_mod_counter(al, "c", 2, "tick");
+  const std::string dot = to_dot(c);
+  EXPECT_NE(dot.find("digraph \"c\""), std::string::npos);
+  EXPECT_NE(dot.find("\"c0\" -> \"c1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"tick\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(Dot, MergesParallelEdges) {
+  auto al = Alphabet::create();
+  // Machine where two events go to the same target: one edge, joint label.
+  DfsmBuilder b("m", al);
+  b.states(2, "s");
+  const EventId x = b.event("x");
+  const EventId y = b.event("y");
+  b.transition(0, x, 1);
+  b.transition(0, y, 1);
+  b.transition(1, x, 1);
+  b.transition(1, y, 1);
+  const std::string dot = to_dot(b.build());
+  EXPECT_NE(dot.find("label=\"x,y\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ffsm

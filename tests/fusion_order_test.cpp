@@ -1,0 +1,105 @@
+#include "fusion/order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+
+TEST(FusionOrder, PaperExampleM1M2LessThanM1Top) {
+  // "Since F < F', F' is not a minimal (2,2)-fusion" where F = {M1, M2} and
+  // F' = {M1, TOP}: M1 <= M1 and M2 < TOP.
+  const CanonicalExample ex;
+  const std::vector<Partition> f{ex.p_m1, ex.p_m2};
+  const std::vector<Partition> g{ex.p_m1, ex.p_top};
+  EXPECT_TRUE(fusion_less(f, g));
+  EXPECT_FALSE(fusion_less(g, f));
+  EXPECT_EQ(compare_fusions(f, g), FusionOrdering::kLess);
+  EXPECT_EQ(compare_fusions(g, f), FusionOrdering::kGreater);
+}
+
+TEST(FusionOrder, M1M2VersusM6TopAreIncomparable) {
+  // Both are valid greedy outputs for f=2; neither dominates the other
+  // under Definition 6 (no matching orders them coordinatewise).
+  const CanonicalExample ex;
+  const std::vector<Partition> f{ex.p_m1, ex.p_m2};
+  const std::vector<Partition> g{ex.p_m6, ex.p_top};
+  EXPECT_EQ(compare_fusions(f, g), FusionOrdering::kIncomparable);
+}
+
+TEST(FusionOrder, EqualFusionsAreEqual) {
+  const CanonicalExample ex;
+  const std::vector<Partition> f{ex.p_m1, ex.p_m2};
+  const std::vector<Partition> g{ex.p_m2, ex.p_m1};  // permuted
+  EXPECT_EQ(compare_fusions(f, g), FusionOrdering::kEqual);
+  EXPECT_FALSE(fusion_less(f, g));
+}
+
+TEST(FusionOrder, StrictInequalityRequired) {
+  // F < F must be false (irreflexive).
+  const CanonicalExample ex;
+  const std::vector<Partition> f{ex.p_m1, ex.p_m2};
+  EXPECT_FALSE(fusion_less(f, f));
+}
+
+TEST(FusionOrder, SingletonFusions) {
+  const CanonicalExample ex;
+  const std::vector<Partition> m6{ex.p_m6};
+  const std::vector<Partition> m1{ex.p_m1};
+  const std::vector<Partition> top{ex.p_top};
+  // M6 <= M1 does NOT hold (M6 is below M1 in the lattice: M6 < M1 means
+  // M6 coarser). Check directions carefully: M6 is in M1's lower cover, so
+  // M6 < M1 in partition order, hence {M6} < {M1} in fusion order.
+  EXPECT_TRUE(fusion_less(m6, m1));
+  EXPECT_TRUE(fusion_less(m1, top));
+  EXPECT_TRUE(fusion_less(m6, top));
+  EXPECT_FALSE(fusion_less(top, m6));
+}
+
+TEST(FusionOrder, MatchingMustBeAPermutation) {
+  // F = {M3, M3} vs G = {A, M1}: M3 <= A and M3 <= M1, so a matching
+  // exists using both coordinates of G.
+  const CanonicalExample ex;
+  const std::vector<Partition> f{ex.p_m3, ex.p_m3};
+  const std::vector<Partition> g{ex.p_a, ex.p_m1};
+  EXPECT_TRUE(fusion_less(f, g));
+}
+
+TEST(FusionOrder, NoMatchingMeansNotLess) {
+  // F = {A, A} vs G = {A, M1}: the second A has no partner (A is not <= M1).
+  const CanonicalExample ex;
+  const std::vector<Partition> f{ex.p_a, ex.p_a};
+  const std::vector<Partition> g{ex.p_a, ex.p_m1};
+  EXPECT_FALSE(fusion_less(f, g));
+  EXPECT_EQ(compare_fusions(f, g), FusionOrdering::kIncomparable);
+}
+
+TEST(FusionOrder, SizeMismatchThrows) {
+  const CanonicalExample ex;
+  const std::vector<Partition> f{ex.p_m1};
+  const std::vector<Partition> g{ex.p_m1, ex.p_m2};
+  EXPECT_THROW((void)fusion_less(f, g), ContractViolation);
+}
+
+TEST(FusionOrder, EmptyFusionsNotLess) {
+  EXPECT_FALSE(fusion_less({}, {}));
+}
+
+TEST(FusionOrder, BottomIsLeastFusion) {
+  const CanonicalExample ex;
+  const std::vector<Partition> bot{ex.p_bottom};
+  for (const Partition& p :
+       {ex.p_a, ex.p_b, ex.p_m1, ex.p_m6, ex.p_top}) {
+    const std::vector<Partition> other{p};
+    EXPECT_TRUE(fusion_less(bot, other)) << p.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ffsm

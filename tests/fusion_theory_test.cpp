@@ -1,0 +1,144 @@
+#include "fusion/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+
+TEST(IsFusion, M1M2IsATwoTwoFusion) {
+  // "the set {M1, M2} forms a (2,2)-fusion of {A, B}".
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m1, ex.p_m2};
+  EXPECT_TRUE(is_fusion(4, ex.originals(), fusion, 2));
+}
+
+TEST(IsFusion, M1M6IsNotATwoTwoFusion) {
+  // The converse of Theorem 3 fails: both are (1,1)-fusions but together
+  // they do not form a (2,2)-fusion.
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m1, ex.p_m6};
+  EXPECT_FALSE(is_fusion(4, ex.originals(), fusion, 2));
+  EXPECT_TRUE(is_fusion(4, ex.originals(), fusion, 1));
+}
+
+TEST(IsFusion, EmptyFusionIffInherentTolerance) {
+  const CanonicalExample ex;
+  // {A,B} tolerates 0 faults: the empty set is a (0,0)-fusion only.
+  EXPECT_TRUE(is_fusion(4, ex.originals(), {}, 0));
+  EXPECT_FALSE(is_fusion(4, ex.originals(), {}, 1));
+  // {A,B,M1} tolerates 1 fault with no additions (f > m case).
+  const std::vector<Partition> with_m1{ex.p_a, ex.p_b, ex.p_m1};
+  EXPECT_TRUE(is_fusion(4, with_m1, {}, 1));
+}
+
+TEST(IsFusion, ReplicationIsASpecialCase) {
+  // {A, A, B, B} is a (2,4)-fusion of {A, B} (section 4, f < m case).
+  const CanonicalExample ex;
+  const std::vector<Partition> replicas{ex.p_a, ex.p_a, ex.p_b, ex.p_b};
+  EXPECT_TRUE(is_fusion(4, ex.originals(), replicas, 2));
+}
+
+TEST(IsFusion, TopIsAlwaysAFusionMachine) {
+  // "Note that, the top is also a fusion": {TOP} is a (1,1)-fusion, and
+  // {TOP, TOP} a (2,2)-fusion, of {A,B}.
+  const CanonicalExample ex;
+  EXPECT_TRUE(
+      is_fusion(4, ex.originals(), std::vector<Partition>{ex.p_top}, 1));
+  EXPECT_TRUE(is_fusion(4, ex.originals(),
+                        std::vector<Partition>{ex.p_top, ex.p_top}, 2));
+}
+
+TEST(IsFusion, M1TopIsATwoTwoFusion) {
+  // "dmin({A, B, M1, TOP}) = 3, and hence F' = {M1, TOP} is a (2,2)-fusion".
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m1, ex.p_top};
+  EXPECT_TRUE(is_fusion(4, ex.originals(), fusion, 2));
+}
+
+TEST(IsFusion, M3M4M5M6IsATwoFourFusion) {
+  // "dmin({A, B, M3, M4, M5, M6}) > 2 and {M3,M4,M5,M6} is a minimal
+  // (2,4)-fusion of {A,B}".
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m3, ex.p_m4, ex.p_m5, ex.p_m6};
+  EXPECT_TRUE(is_fusion(4, ex.originals(), fusion, 2));
+}
+
+TEST(SubsetTheorem, DroppingTMachinesKeepsFMinusTTolerance) {
+  // Theorem 3 on {M1, M2}: each single machine is a (1,1)-fusion.
+  const CanonicalExample ex;
+  EXPECT_TRUE(
+      is_fusion(4, ex.originals(), std::vector<Partition>{ex.p_m1}, 1));
+  EXPECT_TRUE(
+      is_fusion(4, ex.originals(), std::vector<Partition>{ex.p_m2}, 1));
+}
+
+TEST(SubsetTheorem, HoldsForEverySubsetOfM3M4M5M6) {
+  // (2,4)-fusion -> every 3-subset is a (1,3)-fusion and every 2-subset a
+  // (0,2)-fusion.
+  const CanonicalExample ex;
+  const std::vector<Partition> full{ex.p_m3, ex.p_m4, ex.p_m5, ex.p_m6};
+  for (std::size_t skip = 0; skip < full.size(); ++skip) {
+    std::vector<Partition> three;
+    for (std::size_t i = 0; i < full.size(); ++i)
+      if (i != skip) three.push_back(full[i]);
+    EXPECT_TRUE(is_fusion(4, ex.originals(), three, 1)) << "skip " << skip;
+  }
+  for (std::size_t i = 0; i < full.size(); ++i)
+    for (std::size_t j = i + 1; j < full.size(); ++j) {
+      const std::vector<Partition> two{full[i], full[j]};
+      EXPECT_TRUE(is_fusion(4, ex.originals(), two, 0));
+    }
+}
+
+TEST(Existence, TheoremFourOnCanonicalExample) {
+  // dmin({A,B}) = 1: an (f,m)-fusion exists iff m + 1 > f.
+  EXPECT_TRUE(fusion_exists(1, 1, 1));
+  EXPECT_TRUE(fusion_exists(2, 2, 1));
+  EXPECT_FALSE(fusion_exists(2, 1, 1));  // "there cannot exist a
+                                         // (2,1)-fusion for {A,B}"
+  EXPECT_FALSE(fusion_exists(3, 2, 1));
+  EXPECT_TRUE(fusion_exists(0, 0, 1));
+}
+
+TEST(Existence, InfiniteDminAlwaysExists) {
+  EXPECT_TRUE(fusion_exists(100, 0, FaultGraph::kInfinity));
+}
+
+TEST(MinimumFusionSize, MatchesAlgorithmTwoOutputCount) {
+  // f + 1 - dmin machines (the paper's Theorem 5 prose has an off-by-one;
+  // its own f=2 walk-through yields two machines from dmin = 1).
+  EXPECT_EQ(minimum_fusion_size(1, 1), 1u);
+  EXPECT_EQ(minimum_fusion_size(2, 1), 2u);
+  EXPECT_EQ(minimum_fusion_size(5, 1), 5u);
+  EXPECT_EQ(minimum_fusion_size(2, 2), 1u);
+  EXPECT_EQ(minimum_fusion_size(2, 3), 0u);
+  EXPECT_EQ(minimum_fusion_size(0, 0), 1u);
+  EXPECT_EQ(minimum_fusion_size(3, FaultGraph::kInfinity), 0u);
+}
+
+TEST(Capacity, CrashAndByzantineFromDmin) {
+  EXPECT_EQ(crash_capacity(3), 2u);
+  EXPECT_EQ(byzantine_capacity(3), 1u);
+  EXPECT_EQ(crash_capacity(0), 0u);
+  EXPECT_EQ(byzantine_capacity(1), 0u);
+  EXPECT_EQ(byzantine_capacity(5), 2u);
+  EXPECT_EQ(crash_capacity(FaultGraph::kInfinity), FaultGraph::kInfinity);
+}
+
+TEST(IsFusion, ByzantineNeedsDoubleDistance) {
+  // {A,B,F1,F2}-style: a set with dmin 3 handles 2 crash or 1 Byzantine —
+  // expressed through is_fusion with f vs 2f.
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m1, ex.p_m2};
+  EXPECT_TRUE(is_fusion(4, ex.originals(), fusion, 2));   // 2 crash
+  EXPECT_FALSE(is_fusion(4, ex.originals(), fusion, 4));  // not 2 Byzantine
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,185 @@
+#include "fusion/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsm/machine_catalog.hpp"
+#include "fusion/fusion.hpp"
+#include "fusion/minimality.hpp"
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+
+TEST(Generator, PaperWalkthroughFEquals1YieldsM6) {
+  // Section 5.1: descending TOP -> M1 -> M6; "M6 is added to the fusion
+  // set". All descent policies agree here because the viable candidate is
+  // unique at every step.
+  const CanonicalExample ex;
+  for (const auto policy :
+       {DescentPolicy::kFirstFound, DescentPolicy::kFewestBlocks,
+        DescentPolicy::kMostBlocks}) {
+    GenerateOptions options;
+    options.f = 1;
+    options.policy = policy;
+    const FusionResult result =
+        generate_fusion(ex.top, ex.originals(), options);
+    ASSERT_EQ(result.partitions.size(), 1u);
+    EXPECT_EQ(result.partitions[0], ex.p_m6);
+  }
+}
+
+TEST(Generator, PaperWalkthroughFEquals2YieldsM6ThenTop) {
+  // Second iteration: weakest edges of G({A,B,M6}) are all weight-2 edges;
+  // no basis machine covers them all, so the descent stops at TOP itself —
+  // exactly why Fig. 4(v) shows G({A,B,M6,TOP}).
+  const CanonicalExample ex;
+  GenerateOptions options;
+  options.f = 2;
+  const FusionResult result = generate_fusion(ex.top, ex.originals(), options);
+  ASSERT_EQ(result.partitions.size(), 2u);
+  EXPECT_EQ(result.partitions[0], ex.p_m6);
+  EXPECT_EQ(result.partitions[1], ex.p_top);
+}
+
+TEST(Generator, OutputIsAFusion) {
+  const CanonicalExample ex;
+  for (std::uint32_t f = 1; f <= 4; ++f) {
+    GenerateOptions options;
+    options.f = f;
+    const FusionResult result =
+        generate_fusion(ex.top, ex.originals(), options);
+    EXPECT_TRUE(is_fusion(4, ex.originals(), result.partitions, f))
+        << "f = " << f;
+  }
+}
+
+TEST(Generator, ProducesExactlyMinimumCount) {
+  // dmin({A,B}) = 1 -> f+1-1 = f machines.
+  const CanonicalExample ex;
+  for (std::uint32_t f = 1; f <= 5; ++f) {
+    GenerateOptions options;
+    options.f = f;
+    const FusionResult result =
+        generate_fusion(ex.top, ex.originals(), options);
+    EXPECT_EQ(result.partitions.size(), minimum_fusion_size(f, 1))
+        << "f = " << f;
+    EXPECT_EQ(result.stats.machines_added, result.partitions.size());
+  }
+}
+
+TEST(Generator, NoMachinesWhenAlreadyTolerant) {
+  // {A, B, M1} already tolerates one fault.
+  const CanonicalExample ex;
+  const std::vector<Partition> originals{ex.p_a, ex.p_b, ex.p_m1};
+  GenerateOptions options;
+  options.f = 1;
+  const FusionResult result = generate_fusion(ex.top, originals, options);
+  EXPECT_TRUE(result.partitions.empty());
+  EXPECT_EQ(result.stats.dmin_before, 2u);
+  EXPECT_EQ(result.stats.dmin_after, 2u);
+}
+
+TEST(Generator, EachAddedMachineRaisesDminByOne) {
+  const CanonicalExample ex;
+  GenerateOptions options;
+  options.f = 3;
+  const FusionResult result = generate_fusion(ex.top, ex.originals(), options);
+  EXPECT_EQ(result.stats.dmin_before, 1u);
+  EXPECT_EQ(result.stats.dmin_after, 4u);
+  EXPECT_EQ(result.partitions.size(), 3u);
+}
+
+TEST(Generator, StatsCountDescentWork) {
+  const CanonicalExample ex;
+  GenerateOptions options;
+  options.f = 1;
+  const FusionResult result = generate_fusion(ex.top, ex.originals(), options);
+  // TOP -> M1 -> M6 is two descent steps, and at least the two lower covers
+  // were examined.
+  EXPECT_EQ(result.stats.descent_steps, 2u);
+  EXPECT_GE(result.stats.candidates_examined, 4u);
+}
+
+TEST(Generator, SingleStateTopNeedsNothing) {
+  auto al = Alphabet::create();
+  const Dfsm trivial = make_mod_counter(al, "t", 1, "e");
+  const std::vector<Partition> originals{Partition::single_block(1)};
+  GenerateOptions options;
+  options.f = 7;
+  const FusionResult result = generate_fusion(trivial, originals, options);
+  EXPECT_TRUE(result.partitions.empty());
+}
+
+TEST(Generator, SerialAndParallelProduceIdenticalFusions) {
+  const CanonicalExample ex;
+  GenerateOptions serial;
+  serial.f = 2;
+  serial.parallel = false;
+  GenerateOptions parallel;
+  parallel.f = 2;
+  parallel.parallel = true;
+  const FusionResult a = generate_fusion(ex.top, ex.originals(), serial);
+  const FusionResult b = generate_fusion(ex.top, ex.originals(), parallel);
+  EXPECT_EQ(a.partitions, b.partitions);
+}
+
+TEST(Generator, BackupMachinesAreQuotients) {
+  // generate_backup_machines wires cross product -> Algorithm 2 -> quotient.
+  auto al = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_paper_machine_a(al));
+  machines.push_back(make_paper_machine_b(al));
+  const CrossProduct cp = reachable_cross_product(machines);
+  GenerateOptions options;
+  options.f = 1;
+  const GeneratedBackups backups = generate_backup_machines(cp, options);
+  ASSERT_EQ(backups.machines.size(), 1u);
+  EXPECT_EQ(backups.machines[0].name(), "F1");
+  // The (1,1)-fusion of {A,B} is the 2-state machine (M6 in the paper's
+  // numbering; same block structure under the BFS numbering).
+  EXPECT_EQ(backups.machines[0].size(), 2u);
+  EXPECT_EQ(backups.partitions[0].block_count(), 2u);
+}
+
+TEST(Generator, Fig1CountersFindThreeStateFusion) {
+  // Fig. 1: two mod-3 counters; a single 3-state machine (e.g. (n0+n1) mod
+  // 3) tolerates one crash fault, much smaller than the 9-state cross
+  // product.
+  auto al = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mod_counter(al, "A", 3, "0"));
+  machines.push_back(make_mod_counter(al, "B", 3, "1"));
+  const CrossProduct cp = reachable_cross_product(machines);
+  EXPECT_EQ(cp.top.size(), 9u);
+  GenerateOptions options;
+  options.f = 1;
+  const GeneratedBackups backups = generate_backup_machines(cp, options);
+  ASSERT_EQ(backups.machines.size(), 1u);
+  EXPECT_EQ(backups.machines[0].size(), 3u);  // beats the 9-state top
+}
+
+TEST(Generator, PostconditionHoldsOnCatalogRows) {
+  for (const auto& row : make_results_table_rows()) {
+    const CrossProduct cp = reachable_cross_product(row.machines);
+    GenerateOptions options;
+    options.f = row.faults;
+    const GeneratedBackups backups = generate_backup_machines(cp, options);
+    std::vector<Partition> originals;
+    for (std::uint32_t i = 0; i < cp.machine_count(); ++i)
+      originals.emplace_back(cp.component_assignment(i));
+    EXPECT_TRUE(
+        is_fusion(cp.top.size(), originals, backups.partitions, row.faults))
+        << row.label;
+    // Never more machines than replication's n*f.
+    EXPECT_LE(backups.machines.size(),
+              row.machines.size() * row.faults)
+        << row.label;
+  }
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,201 @@
+// End-to-end pipeline tests over the paper's evaluation machine sets:
+// catalog machines -> cross product -> Algorithm 2 -> fusion property,
+// state-space accounting versus replication, and live fault/recovery runs
+// through the simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsm/machine_catalog.hpp"
+#include "fsm/serialize.hpp"
+#include "fsm/product.hpp"
+#include "fusion/fusion.hpp"
+#include "fusion/generator.hpp"
+#include "replication/replication.hpp"
+#include "sim/system.hpp"
+
+namespace ffsm {
+namespace {
+
+struct RowPipeline {
+  TableRowSpec row;
+  CrossProduct cross;
+  std::vector<Partition> originals;
+  GeneratedBackups backups;
+};
+
+RowPipeline run_row(std::size_t index) {
+  auto rows = make_results_table_rows();
+  RowPipeline p{std::move(rows.at(index)), {}, {}, {}};
+  p.cross = reachable_cross_product(p.row.machines);
+  for (std::uint32_t i = 0; i < p.cross.machine_count(); ++i)
+    p.originals.emplace_back(p.cross.component_assignment(i));
+  GenerateOptions options;
+  options.f = p.row.faults;
+  p.backups = generate_backup_machines(p.cross, options);
+  return p;
+}
+
+class TableRowPipeline : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TableRowPipeline, FusionPropertyHolds) {
+  const RowPipeline p = run_row(GetParam());
+  EXPECT_TRUE(is_fusion(p.cross.top.size(), p.originals, p.backups.partitions,
+                        p.row.faults))
+      << p.row.label;
+}
+
+TEST_P(TableRowPipeline, FusionStateSpaceBeatsReplication) {
+  // The evaluation's headline: |Fusion| << |Replication| on every row.
+  const RowPipeline p = run_row(GetParam());
+  const std::uint64_t fusion = fusion_state_space(p.backups.machines);
+  const std::uint64_t repl = replication_state_space(
+      p.row.machines, p.row.faults, FaultModel::kCrash);
+  EXPECT_LT(fusion, repl) << p.row.label;
+}
+
+TEST_P(TableRowPipeline, BackupCountIsMinimal) {
+  const RowPipeline p = run_row(GetParam());
+  const FaultGraph g =
+      FaultGraph::build(p.cross.top.size(), p.originals);
+  EXPECT_EQ(p.backups.machines.size(),
+            minimum_fusion_size(p.row.faults, g.dmin()))
+      << p.row.label;
+}
+
+TEST_P(TableRowPipeline, BackupsNeverLargerThanTop) {
+  const RowPipeline p = run_row(GetParam());
+  for (const Dfsm& backup : p.backups.machines)
+    EXPECT_LE(backup.size(), p.cross.top.size()) << p.row.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, TableRowPipeline,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+TEST(Integration, Row3EndToEndCrashRecovery) {
+  // Row 3 machines (five 3-state machines) under live crash faults.
+  auto rows = make_results_table_rows();
+  FusedSystemOptions options;
+  options.f = 2;
+  FusedSystem sys(std::move(rows[2].machines), options);
+
+  std::vector<EventId> support(sys.top().events().begin(),
+                               sys.top().events().end());
+  RandomEventSource events(support, 150, 7);
+  sys.run(events);
+
+  sys.crash(0);
+  sys.crash(4);
+  const RecoveryResult r = sys.recover();
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, sys.ghost_top_state());
+  EXPECT_TRUE(sys.verify());
+}
+
+TEST(Integration, Row4MesiTcpByzantineRecovery) {
+  // MESI + TCP + A + B with one Byzantine fault (f = 2 crash-equivalent).
+  auto rows = make_results_table_rows();
+  FusedSystemOptions options;
+  options.f = 2;
+  FusedSystem sys(std::move(rows[3].machines), options);
+
+  std::vector<EventId> support(sys.top().events().begin(),
+                               sys.top().events().end());
+  RandomEventSource events(support, 120, 8);
+  sys.run(events);
+
+  Xoshiro256 rng(9);
+  sys.corrupt(1, ByzantineStrategy::kColluding, rng,
+              sys.most_confusable_state());
+  const RecoveryResult r = sys.recover();
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, sys.ghost_top_state());
+  EXPECT_TRUE(sys.verify());
+}
+
+TEST(Integration, SensorNetworkStyleManyCounters) {
+  // The introduction's sensor-network claim, scaled down: three independent
+  // 3-state sensor counters need only ONE small backup for f=1 — versus one
+  // replica per sensor.
+  auto al = Alphabet::create();
+  std::vector<Dfsm> sensors;
+  sensors.push_back(make_mod_counter(al, "s_heat", 3, "heat"));
+  sensors.push_back(make_mod_counter(al, "s_light", 3, "light"));
+  sensors.push_back(make_mod_counter(al, "s_humidity", 3, "humidity"));
+
+  const CrossProduct cp = reachable_cross_product(sensors);
+  EXPECT_EQ(cp.top.size(), 27u);
+  GenerateOptions options;
+  options.f = 1;
+  const GeneratedBackups backups = generate_backup_machines(cp, options);
+  ASSERT_EQ(backups.machines.size(), 1u);
+  EXPECT_LE(backups.machines[0].size(), cp.top.size());
+
+  const std::uint64_t repl =
+      replication_state_space(sensors, 1, FaultModel::kCrash);
+  EXPECT_LT(fusion_state_space(backups.machines), repl);
+}
+
+TEST(Integration, CorrelatedSensorsAreInherentlyTolerant) {
+  // When one sensor is a linear combination of the others (humidity =
+  // 2*heat + light mod 3), the set is already 1-fault tolerant: dmin = 2
+  // and Algorithm 2 correctly adds NOTHING (the paper's f > m case).
+  auto al = Alphabet::create();
+  std::vector<Dfsm> sensors;
+  sensors.push_back(make_mod_counter(al, "s_heat", 3, "0"));
+  sensors.push_back(make_mod_counter(al, "s_light", 3, "1"));
+  sensors.push_back(make_weighted_mod_counter(
+      al, "s_humidity", 3,
+      std::array<std::pair<std::string_view, std::uint32_t>, 2>{
+          {{"0", 2u}, {"1", 1u}}}));
+
+  const CrossProduct cp = reachable_cross_product(sensors);
+  EXPECT_EQ(cp.top.size(), 9u);  // third coordinate is determined
+  GenerateOptions options;
+  options.f = 1;
+  const GeneratedBackups backups = generate_backup_machines(cp, options);
+  EXPECT_TRUE(backups.machines.empty());
+  EXPECT_EQ(backups.stats.dmin_before, 2u);
+}
+
+TEST(Integration, ByzantineNeedsDoubleF) {
+  // Build for f crash faults, then check Byzantine capacity is f/2
+  // (Theorem 2) on a real pipeline.
+  auto al = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_paper_machine_a(al));
+  machines.push_back(make_paper_machine_b(al));
+  const CrossProduct cp = reachable_cross_product(machines);
+
+  GenerateOptions options;
+  options.f = 2;
+  const GeneratedBackups backups = generate_backup_machines(cp, options);
+
+  std::vector<Partition> all;
+  for (std::uint32_t i = 0; i < cp.machine_count(); ++i)
+    all.emplace_back(cp.component_assignment(i));
+  all.insert(all.end(), backups.partitions.begin(),
+             backups.partitions.end());
+  const FaultGraph g = FaultGraph::build(cp.top.size(), all);
+  EXPECT_EQ(byzantine_capacity(g.dmin()), 1u);
+  EXPECT_EQ(crash_capacity(g.dmin()), 2u);
+}
+
+TEST(Integration, SerializedBackupsReload) {
+  // Fusion machines survive a serialisation round trip (deployability).
+  auto al = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_paper_machine_a(al));
+  machines.push_back(make_paper_machine_b(al));
+  const CrossProduct cp = reachable_cross_product(machines);
+  GenerateOptions options;
+  options.f = 1;
+  const GeneratedBackups backups = generate_backup_machines(cp, options);
+  for (const Dfsm& m : backups.machines) {
+    const Dfsm back = from_text(to_text(m), al);
+    EXPECT_TRUE(m.same_structure(back));
+  }
+}
+
+}  // namespace
+}  // namespace ffsm

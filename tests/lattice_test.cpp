@@ -1,0 +1,122 @@
+#include "partition/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fsm/machine_catalog.hpp"
+#include "fsm/random_dfsm.hpp"
+#include "partition/closure.hpp"
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+
+TEST(Lattice, CanonicalExampleHasExactlyTenElements) {
+  // Fig. 3 shows top, A, B, M1, M2, M3, M4, M5, M6, bottom.
+  const CanonicalExample ex;
+  const ClosedPartitionLattice lattice = enumerate_lattice(ex.top);
+  EXPECT_EQ(lattice.nodes.size(), 10u);
+}
+
+TEST(Lattice, ContainsEveryNamedPartition) {
+  const CanonicalExample ex;
+  const ClosedPartitionLattice lattice = enumerate_lattice(ex.top);
+  for (const Partition& p :
+       {ex.p_top, ex.p_a, ex.p_b, ex.p_m1, ex.p_m2, ex.p_m3, ex.p_m4,
+        ex.p_m5, ex.p_m6, ex.p_bottom})
+    EXPECT_TRUE(lattice.find(p).has_value()) << p.to_string();
+}
+
+TEST(Lattice, TopIsNodeZeroAndIdentity) {
+  const CanonicalExample ex;
+  const ClosedPartitionLattice lattice = enumerate_lattice(ex.top);
+  EXPECT_EQ(lattice.top_index(), 0u);
+  EXPECT_EQ(lattice.nodes[0].partition, ex.p_top);
+}
+
+TEST(Lattice, BottomIsSingleBlock) {
+  const CanonicalExample ex;
+  const ClosedPartitionLattice lattice = enumerate_lattice(ex.top);
+  EXPECT_EQ(lattice.nodes[lattice.bottom_index()].partition, ex.p_bottom);
+}
+
+TEST(Lattice, BasisIsABM1M2) {
+  const CanonicalExample ex;
+  const ClosedPartitionLattice lattice = enumerate_lattice(ex.top);
+  const auto basis = lattice.basis();
+  EXPECT_EQ(basis.size(), 4u);
+  std::vector<Partition> found;
+  for (const auto i : basis) found.push_back(lattice.nodes[i].partition);
+  for (const Partition& p : {ex.p_a, ex.p_b, ex.p_m1, ex.p_m2})
+    EXPECT_NE(std::find(found.begin(), found.end(), p), found.end())
+        << p.to_string();
+}
+
+TEST(Lattice, CoverEdgesRespectOrder) {
+  const CanonicalExample ex;
+  const ClosedPartitionLattice lattice = enumerate_lattice(ex.top);
+  for (const LatticeNode& node : lattice.nodes)
+    for (const auto j : node.lower)
+      EXPECT_TRUE(
+          Partition::less(lattice.nodes[j].partition, node.partition));
+}
+
+TEST(Lattice, EveryNodeIsClosed) {
+  const CanonicalExample ex;
+  const ClosedPartitionLattice lattice = enumerate_lattice(ex.top);
+  for (const LatticeNode& node : lattice.nodes)
+    EXPECT_TRUE(is_closed(ex.top, node.partition));
+}
+
+TEST(Lattice, FindMissesForeignPartition) {
+  const CanonicalExample ex;
+  const ClosedPartitionLattice lattice = enumerate_lattice(ex.top);
+  // {t0,t1}{t2}{t3} is not closed, hence not in the lattice.
+  EXPECT_FALSE(lattice.find(testing::pt({0, 0, 1, 2})).has_value());
+}
+
+TEST(Lattice, MaxNodesCapThrows) {
+  const CanonicalExample ex;
+  EXPECT_THROW((void)enumerate_lattice(ex.top, /*max_nodes=*/3),
+               ContractViolation);
+}
+
+TEST(Lattice, MesiLatticeEnumerates) {
+  auto al = Alphabet::create();
+  const Dfsm mesi = make_mesi(al);
+  const ClosedPartitionLattice lattice = enumerate_lattice(mesi);
+  EXPECT_GE(lattice.nodes.size(), 2u);  // at least top and bottom
+  EXPECT_EQ(lattice.nodes[0].partition, Partition::identity(4));
+}
+
+TEST(Lattice, RandomMachinesAllNodesDistinct) {
+  auto al = Alphabet::create();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomDfsmSpec spec;
+    spec.states = 6;
+    spec.num_events = 2;
+    spec.seed = seed;
+    const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+    const ClosedPartitionLattice lattice = enumerate_lattice(m);
+    for (std::size_t i = 0; i < lattice.nodes.size(); ++i)
+      for (std::size_t j = i + 1; j < lattice.nodes.size(); ++j)
+        ASSERT_FALSE(lattice.nodes[i].partition ==
+                     lattice.nodes[j].partition)
+            << "seed " << seed;
+  }
+}
+
+TEST(LatticeDot, RendersNodesAndEdges) {
+  const CanonicalExample ex;
+  const ClosedPartitionLattice lattice = enumerate_lattice(ex.top);
+  const std::string dot = lattice_to_dot(lattice, ex.top);
+  EXPECT_NE(dot.find("digraph lattice"), std::string::npos);
+  EXPECT_NE(dot.find("{t0,t3}{t1}{t2}"), std::string::npos);  // machine A
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,147 @@
+#include "partition/lower_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fsm/random_dfsm.hpp"
+#include "partition/closure.hpp"
+#include "partition/lattice.hpp"
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+using testing::pt;
+
+bool contains(const std::vector<Partition>& v, const Partition& p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+TEST(LowerCover, OfTopIsTheBasis) {
+  // Fig. 3: "the machines A, B, M1 and M2 constitute the basis".
+  const CanonicalExample ex;
+  const auto cover = lower_cover(ex.top, ex.p_top);
+  EXPECT_EQ(cover.size(), 4u);
+  EXPECT_TRUE(contains(cover, ex.p_a));
+  EXPECT_TRUE(contains(cover, ex.p_b));
+  EXPECT_TRUE(contains(cover, ex.p_m1));
+  EXPECT_TRUE(contains(cover, ex.p_m2));
+}
+
+TEST(LowerCover, OfAIsM3M4) {
+  // Definition 2's example: "the lower cover of machine A consists of
+  // machines M3 and M4".
+  const CanonicalExample ex;
+  const auto cover = lower_cover(ex.top, ex.p_a);
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_TRUE(contains(cover, ex.p_m3));
+  EXPECT_TRUE(contains(cover, ex.p_m4));
+}
+
+TEST(LowerCover, OfM1IsM3M6) {
+  // Section 5.1 walk-through: M6 and M3 are the candidates below M1.
+  const CanonicalExample ex;
+  const auto cover = lower_cover(ex.top, ex.p_m1);
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_TRUE(contains(cover, ex.p_m3));
+  EXPECT_TRUE(contains(cover, ex.p_m6));
+}
+
+TEST(LowerCover, OfTwoBlockPartitionIsBottom) {
+  const CanonicalExample ex;
+  const auto cover = lower_cover(ex.top, ex.p_m6);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], ex.p_bottom);
+}
+
+TEST(LowerCover, OfBottomIsEmpty) {
+  const CanonicalExample ex;
+  EXPECT_TRUE(lower_cover(ex.top, ex.p_bottom).empty());
+}
+
+TEST(LowerCover, NonClosedInputRejected) {
+  const CanonicalExample ex;
+  EXPECT_THROW((void)lower_cover(ex.top, pt({0, 0, 1, 2})),
+               ContractViolation);
+}
+
+TEST(LowerCover, ElementsAreStrictlyBelowAndClosed) {
+  const CanonicalExample ex;
+  for (const Partition& p :
+       {ex.p_top, ex.p_a, ex.p_b, ex.p_m1, ex.p_m2, ex.p_m5}) {
+    for (const Partition& q : lower_cover(ex.top, p)) {
+      EXPECT_TRUE(is_closed(ex.top, q));
+      EXPECT_TRUE(Partition::less(q, p))
+          << q.to_string() << " under " << p.to_string();
+    }
+  }
+}
+
+TEST(LowerCover, ElementsArePairwiseIncomparable) {
+  const CanonicalExample ex;
+  const auto cover = lower_cover(ex.top, ex.p_top);
+  for (const auto& x : cover)
+    for (const auto& y : cover) {
+      if (x == y) continue;
+      EXPECT_FALSE(Partition::leq(x, y));
+    }
+}
+
+TEST(LowerCover, SerialAndParallelAgree) {
+  const CanonicalExample ex;
+  LowerCoverOptions serial;
+  serial.parallel = false;
+  LowerCoverOptions parallel;
+  parallel.parallel = true;
+  auto a = lower_cover(ex.top, ex.p_top, serial);
+  auto b = lower_cover(ex.top, ex.p_top, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& p : a) EXPECT_TRUE(contains(b, p));
+}
+
+// Cross-check against the full lattice on random machines: the lower cover
+// of each node must be exactly the maximal closed partitions strictly below
+// it.
+class LowerCoverVsLattice : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LowerCoverVsLattice, MatchesLatticeDefinition) {
+  auto al = Alphabet::create();
+  RandomDfsmSpec spec;
+  spec.states = 6;
+  spec.num_events = 2;
+  spec.seed = GetParam();
+  const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+  const ClosedPartitionLattice lattice = enumerate_lattice(m);
+
+  for (const LatticeNode& node : lattice.nodes) {
+    // Reference: maximal strictly-below elements from the full lattice.
+    std::vector<Partition> below;
+    for (const LatticeNode& other : lattice.nodes)
+      if (Partition::less(other.partition, node.partition))
+        below.push_back(other.partition);
+    std::vector<Partition> maximal;
+    for (const auto& q : below) {
+      bool dominated = false;
+      for (const auto& r : below)
+        if (!(q == r) && Partition::less(q, r)) {
+          dominated = true;
+          break;
+        }
+      if (!dominated) maximal.push_back(q);
+    }
+
+    const auto cover = lower_cover(m, node.partition);
+    EXPECT_EQ(cover.size(), maximal.size())
+        << "node " << node.partition.to_string();
+    for (const auto& q : maximal)
+      EXPECT_TRUE(contains(cover, q)) << q.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerCoverVsLattice,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,146 @@
+#include "partition/meet_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/random_dfsm.hpp"
+#include "partition/closure.hpp"
+#include "partition/lattice.hpp"
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+using testing::pt;
+
+TEST(Join, CommonRefinementOfCanonicalPair) {
+  // join(A, B) must be the identity here: A and B's blocks intersect in
+  // singletons (that is exactly why R({A,B}) has 4 states).
+  const CanonicalExample ex;
+  EXPECT_EQ(partition_join(ex.p_a, ex.p_b), ex.p_top);
+}
+
+TEST(Join, WithSelfIsIdentityOperation) {
+  const CanonicalExample ex;
+  for (const Partition& p : {ex.p_a, ex.p_m1, ex.p_m6, ex.p_bottom})
+    EXPECT_EQ(partition_join(p, p), p);
+}
+
+TEST(Join, WithBottomIsSelf) {
+  const CanonicalExample ex;
+  for (const Partition& p : {ex.p_a, ex.p_m1, ex.p_m6})
+    EXPECT_EQ(partition_join(p, ex.p_bottom), p);
+}
+
+TEST(Join, WithTopIsTop) {
+  const CanonicalExample ex;
+  for (const Partition& p : {ex.p_a, ex.p_m1, ex.p_m6})
+    EXPECT_EQ(partition_join(p, ex.p_top), ex.p_top);
+}
+
+TEST(Join, M3JoinM4IsA) {
+  // A's two lower-cover elements re-join to A itself (Fig. 3 structure).
+  const CanonicalExample ex;
+  EXPECT_EQ(partition_join(ex.p_m3, ex.p_m4), ex.p_a);
+}
+
+TEST(Join, PreservesClosedness) {
+  const CanonicalExample ex;
+  const Partition all[] = {ex.p_a,  ex.p_b,  ex.p_m1, ex.p_m2,
+                           ex.p_m3, ex.p_m4, ex.p_m5, ex.p_m6};
+  for (const auto& x : all)
+    for (const auto& y : all)
+      EXPECT_TRUE(is_closed(ex.top, partition_join(x, y)))
+          << x.to_string() << " v " << y.to_string();
+}
+
+TEST(Meet, OfCanonicalBasisPairs) {
+  // meet(A, M1): the finest closed partition below both. A ∧ M1 must
+  // contain the merges of both; from Fig. 3 that is M3.
+  const CanonicalExample ex;
+  EXPECT_EQ(partition_meet(ex.top, ex.p_a, ex.p_m1), ex.p_m3);
+}
+
+TEST(Meet, OfDisjointMergersCascades) {
+  // meet(A, B) merges (t0,t3) and (t2,t3) -> all of {t0,t2,t3} with t1
+  // separate = M3.
+  const CanonicalExample ex;
+  EXPECT_EQ(partition_meet(ex.top, ex.p_a, ex.p_b), ex.p_m3);
+}
+
+TEST(Meet, WithTopIsSelf) {
+  const CanonicalExample ex;
+  for (const Partition& p : {ex.p_a, ex.p_m1, ex.p_m6})
+    EXPECT_EQ(partition_meet(ex.top, p, ex.p_top), p);
+}
+
+TEST(Meet, WithBottomIsBottom) {
+  const CanonicalExample ex;
+  for (const Partition& p : {ex.p_a, ex.p_m1})
+    EXPECT_EQ(partition_meet(ex.top, p, ex.p_bottom), ex.p_bottom);
+}
+
+TEST(MeetJoin, OrderConsistency) {
+  // meet <= both inputs <= join, in the paper's order.
+  const CanonicalExample ex;
+  const Partition all[] = {ex.p_a,  ex.p_b,  ex.p_m1, ex.p_m2,
+                           ex.p_m3, ex.p_m4, ex.p_m5, ex.p_m6};
+  for (const auto& x : all)
+    for (const auto& y : all) {
+      const Partition meet = partition_meet(ex.top, x, y);
+      const Partition join = partition_join(x, y);
+      EXPECT_TRUE(Partition::leq(meet, x));
+      EXPECT_TRUE(Partition::leq(meet, y));
+      EXPECT_TRUE(Partition::leq(x, join));
+      EXPECT_TRUE(Partition::leq(y, join));
+    }
+}
+
+TEST(MeetJoin, AbsorptionLaws) {
+  // x = join(x, meet(x, y)) and x = meet(x, join(x, y)).
+  const CanonicalExample ex;
+  const Partition all[] = {ex.p_a, ex.p_b, ex.p_m1, ex.p_m2, ex.p_m6};
+  for (const auto& x : all)
+    for (const auto& y : all) {
+      EXPECT_EQ(partition_join(x, partition_meet(ex.top, x, y)), x);
+      EXPECT_EQ(partition_meet(ex.top, x, partition_join(x, y)), x);
+    }
+}
+
+class MeetJoinRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MeetJoinRandomSweep, LatticeLawsOnEnumeratedLattice) {
+  // On a full enumerated lattice of a random machine: meet and join of any
+  // two nodes are nodes, and commutativity/associativity hold.
+  auto al = Alphabet::create();
+  RandomDfsmSpec spec;
+  spec.states = 6;
+  spec.num_events = 2;
+  spec.seed = GetParam();
+  const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+  const ClosedPartitionLattice lattice = enumerate_lattice(m);
+
+  for (const LatticeNode& x : lattice.nodes) {
+    for (const LatticeNode& y : lattice.nodes) {
+      const Partition meet = partition_meet(m, x.partition, y.partition);
+      const Partition join = partition_join(x.partition, y.partition);
+      EXPECT_TRUE(lattice.find(meet).has_value());
+      EXPECT_TRUE(lattice.find(join).has_value());
+      EXPECT_EQ(meet, partition_meet(m, y.partition, x.partition));
+      EXPECT_EQ(join, partition_join(y.partition, x.partition));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeetJoinRandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(MeetJoin, SizeMismatchThrows) {
+  const CanonicalExample ex;
+  EXPECT_THROW((void)partition_join(ex.p_a, pt({0, 1})), ContractViolation);
+  EXPECT_THROW((void)partition_meet(ex.top, ex.p_a, pt({0, 1})),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,84 @@
+#include "fusion/minimality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fusion/generator.hpp"
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+
+TEST(Minimality, M1TopIsNotMinimal) {
+  // "Since F < F', F' = {M1, TOP} is not a minimal (2,2)-fusion."
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m1, ex.p_top};
+  EXPECT_FALSE(is_minimal_fusion(ex.top, ex.originals(), fusion, 2));
+}
+
+TEST(Minimality, M1M2IsMinimal) {
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m1, ex.p_m2};
+  EXPECT_TRUE(is_minimal_fusion(ex.top, ex.originals(), fusion, 2));
+}
+
+TEST(Minimality, M6IsAMinimalOneOneFusion) {
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m6};
+  EXPECT_TRUE(is_minimal_fusion(ex.top, ex.originals(), fusion, 1));
+}
+
+TEST(Minimality, TopAloneIsNotAMinimalOneOneFusion) {
+  // M1 < TOP also works as a (1,1)-fusion, so {TOP} is not minimal.
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_top};
+  EXPECT_FALSE(is_minimal_fusion(ex.top, ex.originals(), fusion, 1));
+}
+
+TEST(Minimality, NonFusionIsNotMinimal) {
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m1, ex.p_m6};  // not a (2,2)-fusion
+  EXPECT_FALSE(is_minimal_fusion(ex.top, ex.originals(), fusion, 2));
+}
+
+TEST(Minimality, M3M4M5M6IsMinimalTwoFourFusion) {
+  // Quoted directly in section 4.
+  const CanonicalExample ex;
+  const std::vector<Partition> fusion{ex.p_m3, ex.p_m4, ex.p_m5, ex.p_m6};
+  EXPECT_TRUE(is_minimal_fusion(ex.top, ex.originals(), fusion, 2));
+}
+
+TEST(Minimality, GeneratorOutputIsAlwaysMinimal) {
+  // Theorem 5: Algorithm 2 returns a minimal fusion. Exercise all policies
+  // and several f values.
+  const CanonicalExample ex;
+  for (const auto policy :
+       {DescentPolicy::kFirstFound, DescentPolicy::kFewestBlocks,
+        DescentPolicy::kMostBlocks}) {
+    for (std::uint32_t f = 1; f <= 3; ++f) {
+      GenerateOptions options;
+      options.f = f;
+      options.policy = policy;
+      const FusionResult result =
+          generate_fusion(ex.top, ex.originals(), options);
+      EXPECT_TRUE(
+          is_minimal_fusion(ex.top, ex.originals(), result.partitions, f))
+          << "policy " << static_cast<int>(policy) << " f " << f;
+    }
+  }
+}
+
+TEST(Minimality, ReplicationIsNotMinimalHere) {
+  // {A, A, B, B} is a (2,4)-fusion but not minimal: {M3,M4,M5,M6} and
+  // smaller per-coordinate replacements exist. (Replacing A by its lower
+  // cover element M3 keeps the fusion property.)
+  const CanonicalExample ex;
+  const std::vector<Partition> replicas{ex.p_a, ex.p_a, ex.p_b, ex.p_b};
+  EXPECT_FALSE(is_minimal_fusion(ex.top, ex.originals(), replicas, 2));
+}
+
+}  // namespace
+}  // namespace ffsm

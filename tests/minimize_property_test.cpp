@@ -1,0 +1,143 @@
+// Deeper Moore-minimisation properties: the computed partition must equal
+// label-distinguishability by *some word* — verified against a brute-force
+// word search on small machines — and the quotient must be minimal (no two
+// quotient states remain indistinguishable).
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "fsm/machine_catalog.hpp"
+#include "fsm/minimize.hpp"
+#include "fsm/random_dfsm.hpp"
+
+namespace ffsm {
+namespace {
+
+/// Brute force: states s,t are distinguishable iff some event word leads
+/// them to states with different labels. BFS over state pairs.
+std::vector<std::vector<bool>> distinguishable(
+    const Dfsm& m, std::span<const std::uint32_t> labels) {
+  const std::uint32_t n = m.size();
+  std::vector<std::vector<bool>> dist(n, std::vector<bool>(n, false));
+  std::queue<std::pair<State, State>> work;
+  for (State s = 0; s < n; ++s)
+    for (State t = 0; t < n; ++t)
+      if (labels[s] != labels[t] && !dist[s][t]) {
+        dist[s][t] = dist[t][s] = true;
+        work.emplace(s, t);
+      }
+  // Backward closure: if (delta(s,e), delta(t,e)) distinguishable then
+  // (s,t) distinguishable — iterate to fixpoint (forward marking).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (State s = 0; s < n; ++s)
+      for (State t = 0; t < n; ++t) {
+        if (dist[s][t]) continue;
+        for (std::uint32_t e = 0;
+             e < static_cast<std::uint32_t>(m.events().size()); ++e) {
+          if (dist[m.step_local(s, e)][m.step_local(t, e)]) {
+            dist[s][t] = dist[t][s] = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+  }
+  return dist;
+}
+
+class MoorePropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MoorePropertySweep, PartitionEqualsDistinguishability) {
+  auto al = Alphabet::create();
+  RandomDfsmSpec spec;
+  spec.states = 8;
+  spec.num_events = 2;
+  spec.seed = GetParam();
+  const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+  std::vector<std::uint32_t> labels(m.size());
+  for (State s = 0; s < m.size(); ++s) labels[s] = s % 3;
+
+  const auto blocks = moore_partition(m, labels);
+  const auto dist = distinguishable(m, labels);
+  for (State s = 0; s < m.size(); ++s)
+    for (State t = 0; t < m.size(); ++t)
+      EXPECT_EQ(blocks[s] == blocks[t], !dist[s][t])
+          << "states " << s << "," << t;
+}
+
+TEST_P(MoorePropertySweep, QuotientIsItselfMinimal) {
+  auto al = Alphabet::create();
+  RandomDfsmSpec spec;
+  spec.states = 10;
+  spec.num_events = 2;
+  spec.seed = GetParam() * 7 + 1;
+  const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+  std::vector<std::uint32_t> labels(m.size());
+  for (State s = 0; s < m.size(); ++s) labels[s] = s % 2;
+
+  const auto blocks = moore_partition(m, labels);
+  const Dfsm min = moore_minimize(m, labels, "min");
+
+  // Inherited labels on the quotient.
+  std::vector<std::uint32_t> min_labels(min.size());
+  for (State s = 0; s < m.size(); ++s) min_labels[blocks[s]] = labels[s];
+
+  const auto re_minimized = moore_partition(min, min_labels);
+  std::uint32_t block_count = 0;
+  for (const auto b : re_minimized)
+    block_count = std::max(block_count, b + 1);
+  EXPECT_EQ(block_count, min.size());  // nothing merges twice
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoorePropertySweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(MooreOnCatalog, TcpIsIrreducibleUnderStateIdentity) {
+  // Every TCP state is behaviourally distinct when fully observed.
+  auto al = Alphabet::create();
+  const Dfsm t = make_tcp(al);
+  std::vector<std::uint32_t> labels(t.size());
+  for (State s = 0; s < t.size(); ++s) labels[s] = s;
+  const Dfsm min = moore_minimize(t, labels, "tmin");
+  EXPECT_EQ(min.size(), t.size());
+}
+
+TEST(MooreOnCatalog, MesiCollapsesUnderDirtyBit) {
+  // Observing only "is the line dirty" (M vs others): the machine reduces.
+  auto al = Alphabet::create();
+  const Dfsm m = make_mesi(al);
+  const auto dirty = *m.find_state("M");
+  std::vector<std::uint32_t> labels(m.size(), 0);
+  labels[dirty] = 1;
+  const Dfsm min = moore_minimize(m, labels, "mmin");
+  EXPECT_LT(min.size(), m.size());
+  EXPECT_GE(min.size(), 2u);
+}
+
+TEST(MooreOnCatalog, ShiftRegisterUnderMsbLabel) {
+  // Observing only the oldest bit of a 3-bit register: states collapse to
+  // the classes that agree on every future MSB — which requires full
+  // knowledge of the register, so nothing merges.
+  auto al = Alphabet::create();
+  const Dfsm sr = make_shift_register(al, "sr", 3);
+  std::vector<std::uint32_t> labels(sr.size());
+  for (State s = 0; s < sr.size(); ++s) labels[s] = (s >> 2) & 1u;
+  const Dfsm min = moore_minimize(sr, labels, "srmin");
+  EXPECT_EQ(min.size(), sr.size());
+}
+
+TEST(MooreOnCatalog, GrayCounterUnderParityLabel) {
+  // Gray counter observed through index parity collapses to 2 states.
+  auto al = Alphabet::create();
+  const Dfsm g = make_gray_code_counter(al, "g", 3);
+  std::vector<std::uint32_t> labels(g.size());
+  for (State s = 0; s < g.size(); ++s) labels[s] = s % 2;
+  const Dfsm min = moore_minimize(g, labels, "gmin");
+  EXPECT_EQ(min.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ffsm

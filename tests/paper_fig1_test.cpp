@@ -1,0 +1,139 @@
+// Fig. 1 and the introduction's motivating example: mod-3 counters A (0s)
+// and B (1s), the hand-derived fusions F1 = (n0+n1) mod 3 and
+// F2 = (n0-n1) mod 3, and the 9-state reachable cross product.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "fault/fault_graph.hpp"
+#include "fault/tolerance.hpp"
+#include "fsm/machine_catalog.hpp"
+#include "fsm/product.hpp"
+#include "recovery/recovery.hpp"
+#include "recovery/set_representation.hpp"
+#include "util/rng.hpp"
+
+namespace ffsm {
+namespace {
+
+struct Fig1 {
+  std::shared_ptr<Alphabet> alphabet = Alphabet::create();
+  Dfsm a = make_mod_counter(alphabet, "A", 3, "0");
+  Dfsm b = make_mod_counter(alphabet, "B", 3, "1");
+  Dfsm f1 = make_weighted_mod_counter(
+      alphabet, "F1", 3,
+      std::array<std::pair<std::string_view, std::uint32_t>, 2>{
+          {{"0", 1u}, {"1", 1u}}});
+  Dfsm f2 = make_weighted_mod_counter(
+      alphabet, "F2", 3,
+      std::array<std::pair<std::string_view, std::uint32_t>, 2>{
+          {{"0", 1u}, {"1", 2u}}});
+  CrossProduct cross = reachable_cross_product(std::vector<Dfsm>{a, b});
+
+  std::vector<Partition> partitions(std::initializer_list<const Dfsm*> ms) {
+    std::vector<Partition> ps;
+    for (const Dfsm* m : ms)
+      ps.push_back(set_representation(cross.top, *m).to_partition());
+    return ps;
+  }
+};
+
+TEST(Fig1Counters, CrossProductIsNineStates) {
+  Fig1 fig;
+  EXPECT_EQ(fig.cross.top.size(), 9u);
+}
+
+TEST(Fig1Counters, F1AndF2AreLessThanTop) {
+  // Both fusions embed into the cross product (they are machines <= TOP).
+  Fig1 fig;
+  const auto ps = fig.partitions({&fig.f1, &fig.f2});
+  EXPECT_EQ(ps[0].block_count(), 3u);
+  EXPECT_EQ(ps[1].block_count(), 3u);
+}
+
+TEST(Fig1Counters, F1AloneToleratesOneCrashFault) {
+  // "If machine A fails, then by using machine B and the machine F1 we can
+  // compute the current state of the failed machine A."
+  Fig1 fig;
+  const auto ps = fig.partitions({&fig.a, &fig.b, &fig.f1});
+  const FaultGraph g = FaultGraph::build(9, ps);
+  EXPECT_EQ(g.dmin(), 2u);
+  EXPECT_TRUE(can_tolerate_crash_faults(g, 1));
+}
+
+TEST(Fig1Counters, F2AloneAlsoToleratesOneCrashFault) {
+  Fig1 fig;
+  const auto ps = fig.partitions({&fig.a, &fig.b, &fig.f2});
+  EXPECT_TRUE(can_tolerate_crash_faults(FaultGraph::build(9, ps), 1));
+}
+
+TEST(Fig1Counters, F1F2TogetherTolerateOneByzantineFault) {
+  // "DFSMs A and B along with F1 and F2 can tolerate one Byzantine fault."
+  Fig1 fig;
+  const auto ps = fig.partitions({&fig.a, &fig.b, &fig.f1, &fig.f2});
+  const FaultGraph g = FaultGraph::build(9, ps);
+  EXPECT_GE(g.dmin(), 3u);
+  EXPECT_TRUE(can_tolerate_byzantine_faults(g, 1));
+  EXPECT_TRUE(can_tolerate_crash_faults(g, 2));
+}
+
+TEST(Fig1Counters, RecoverAAfterCrashUsingBAndF1) {
+  // Concrete walk-through of the introduction: run a stream, crash A,
+  // recover its counter value from B and F1 alone.
+  Fig1 fig;
+  const auto ps = fig.partitions({&fig.a, &fig.b, &fig.f1});
+  const EventId e0 = *fig.alphabet->find("0");
+  const EventId e1 = *fig.alphabet->find("1");
+
+  // Stream with n0 = 4 (so A should be 1) and n1 = 2.
+  State top = fig.cross.top.initial();
+  State b_state = 0, f1_state = 0;
+  const std::vector<EventId> stream{e0, e1, e0, e0, e1, e0};
+  for (const EventId e : stream) {
+    top = fig.cross.top.step(top, e);
+    b_state = fig.b.step(b_state, e);
+    f1_state = fig.f1.step(f1_state, e);
+  }
+
+  const std::vector<MachineReport> reports{
+      MachineReport::crashed(),                       // A lost
+      MachineReport::of(ps[1].block_of(top)),         // B's block
+      MachineReport::of(ps[2].block_of(top)),         // F1's block
+  };
+  const RecoveryResult r = recover(9, ps, reports);
+  ASSERT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, top);
+  // A's recovered state: block of the A-partition at the recovered top.
+  const Partition pa = fig.partitions({&fig.a})[0];
+  EXPECT_EQ(fig.cross.tuples[r.top_state][0], 1u);  // n0 = 4 mod 3
+  EXPECT_EQ(pa.block_of(r.top_state), pa.block_of(top));
+}
+
+TEST(Fig1Counters, F1IsSmallerThanReachableCrossProduct) {
+  // The punchline: 3 states versus 9.
+  Fig1 fig;
+  EXPECT_LT(fig.f1.size(), fig.cross.top.size());
+  EXPECT_EQ(fig.f1.size(), 3u);
+}
+
+TEST(Fig1Counters, SemanticsOfF1F2TrackCounts) {
+  Fig1 fig;
+  const EventId e0 = *fig.alphabet->find("0");
+  const EventId e1 = *fig.alphabet->find("1");
+  State f1 = 0, f2 = 0;
+  std::uint32_t n0 = 0, n1 = 0;
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const bool zero = rng.chance(0.5);
+    const EventId e = zero ? e0 : e1;
+    (zero ? n0 : n1) += 1;
+    f1 = fig.f1.step(f1, e);
+    f2 = fig.f2.step(f2, e);
+    ASSERT_EQ(f1, (n0 + n1) % 3);
+    ASSERT_EQ(f2, (n0 + 2 * n1) % 3);  // n0 - n1 mod 3
+  }
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,132 @@
+#include "partition/quotient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsm/minimize.hpp"
+#include "fsm/random_dfsm.hpp"
+#include "partition/closure.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+using testing::pt;
+
+TEST(Quotient, BlockCountBecomesStateCount) {
+  const CanonicalExample ex;
+  const Dfsm m1 = quotient_machine(ex.top, ex.p_m1, "M1");
+  EXPECT_EQ(m1.size(), 3u);
+  EXPECT_EQ(m1.name(), "M1");
+}
+
+TEST(Quotient, NonClosedPartitionRejected) {
+  const CanonicalExample ex;
+  EXPECT_THROW((void)quotient_machine(ex.top, pt({0, 0, 1, 2}), "bad"),
+               ContractViolation);
+}
+
+TEST(Quotient, InitialIsBlockOfInitial) {
+  const CanonicalExample ex;
+  const Dfsm m6 = quotient_machine(ex.top, ex.p_m6, "M6");
+  EXPECT_EQ(m6.initial(), ex.p_m6.block_of(ex.top.initial()));
+}
+
+TEST(Quotient, TopQuotientByIdentityIsIsomorphicCopy) {
+  const CanonicalExample ex;
+  const Dfsm q = quotient_machine(ex.top, ex.p_top, "copy");
+  EXPECT_TRUE(q.same_structure(ex.top));
+}
+
+TEST(Quotient, BottomQuotientIsOneState) {
+  const CanonicalExample ex;
+  const Dfsm q = quotient_machine(ex.top, ex.p_bottom, "bot");
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Quotient, M6TransitionsMatchHandDerivation) {
+  // M6 = {t0,t1,t2}{t3}: block0 -0-> block0 (t's cycle), block0 -1-> block1;
+  // block1 -0-> block0, block1 -1-> block1.
+  const CanonicalExample ex;
+  const Dfsm m6 = quotient_machine(ex.top, ex.p_m6, "M6");
+  const EventId e0 = *ex.alphabet->find("0");
+  const EventId e1 = *ex.alphabet->find("1");
+  EXPECT_EQ(m6.step(0, e0), 0u);
+  EXPECT_EQ(m6.step(0, e1), 1u);
+  EXPECT_EQ(m6.step(1, e0), 0u);
+  EXPECT_EQ(m6.step(1, e1), 1u);
+}
+
+TEST(Quotient, SimulationProperty) {
+  // For every event sequence: block(top state) == quotient state.
+  const CanonicalExample ex;
+  const Partition partitions[] = {ex.p_a, ex.p_b,  ex.p_m1, ex.p_m2,
+                                  ex.p_m3, ex.p_m4, ex.p_m5, ex.p_m6};
+  std::vector<EventId> events(ex.top.events().begin(),
+                              ex.top.events().end());
+  for (const Partition& p : partitions) {
+    const Dfsm q = quotient_machine(ex.top, p, "q");
+    Xoshiro256 rng(7);
+    State t = ex.top.initial();
+    State s = q.initial();
+    for (int i = 0; i < 200; ++i) {
+      const EventId e = events[rng.below(events.size())];
+      t = ex.top.step(t, e);
+      s = q.step(s, e);
+      ASSERT_EQ(p.block_of(t), s) << p.to_string() << " step " << i;
+    }
+  }
+}
+
+TEST(Quotient, RandomMachineSimulationProperty) {
+  auto al = Alphabet::create();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomDfsmSpec spec;
+    spec.states = 10;
+    spec.num_events = 2;
+    spec.seed = seed;
+    const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+    // Build a closed partition by merging a random pair.
+    Xoshiro256 rng(seed);
+    const std::pair<State, State> pairs[] = {
+        {static_cast<State>(rng.below(10)),
+         static_cast<State>(rng.below(10))}};
+    const Partition p =
+        merge_closure(m, Partition::identity(10), pairs);
+    const Dfsm q = quotient_machine(m, p, "q");
+
+    State s = m.initial();
+    State b = q.initial();
+    std::vector<EventId> events(m.events().begin(), m.events().end());
+    for (int i = 0; i < 100; ++i) {
+      const EventId e = events[rng.below(events.size())];
+      s = m.step(s, e);
+      b = q.step(b, e);
+      ASSERT_EQ(p.block_of(s), b) << "seed " << seed << " step " << i;
+    }
+  }
+}
+
+TEST(Quotient, QuotientIsReachable) {
+  const CanonicalExample ex;
+  const Dfsm q = quotient_machine(ex.top, ex.p_m3, "M3");
+  EXPECT_TRUE(all_states_reachable(q));
+}
+
+TEST(BlockLabel, RendersStateNames) {
+  const CanonicalExample ex;
+  EXPECT_EQ(block_label(ex.top, ex.p_a, 0), "{t0,t3}");
+  EXPECT_EQ(block_label(ex.top, ex.p_a, 1), "{t1}");
+  EXPECT_EQ(block_label(ex.top, ex.p_m6, 0), "{t0,t1,t2}");
+}
+
+TEST(BlockLabel, OutOfRangeBlockThrows) {
+  const CanonicalExample ex;
+  EXPECT_THROW((void)block_label(ex.top, ex.p_a, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ffsm

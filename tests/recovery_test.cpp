@@ -1,0 +1,204 @@
+#include "recovery/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+
+std::vector<Partition> canonical_system(const CanonicalExample& ex) {
+  return {ex.p_a, ex.p_b, ex.p_m1, ex.p_m2};
+}
+
+TEST(Recovery, PaperCrashExample) {
+  // Section 5.2: "machines B and M1 have crashed and the machines A and M2
+  // are in states {t0,t3} and {t3}... Algorithm 3 will return t3 since
+  // count[3] = 2, greater than count[0] = 1, count[1] = 0, count[2] = 0."
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(3)),   // A: {t0,t3}
+      MachineReport::crashed(),                // B
+      MachineReport::crashed(),                // M1
+      MachineReport::of(ex.p_m2.block_of(3)),  // M2: {t3}
+  };
+  const RecoveryResult r = recover(4, machines, reports);
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, 3u);
+  EXPECT_EQ(r.max_count, 2u);
+  EXPECT_EQ(r.counts, (std::vector<std::uint32_t>{1, 0, 0, 2}));
+}
+
+TEST(Recovery, PaperByzantineOverloadExample) {
+  // Section 3: top is in t3; B and M1 both lie (states {t0} and {t0,t2}).
+  // "If we pick the state which appears the most number of times... we will
+  // determine the state as t0, which we know is incorrect." Two liars
+  // exceed the 1-Byzantine capacity and recovery is wrong — by design.
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(3)),   // truthful {t0,t3}
+      MachineReport::of(ex.p_b.block_of(0)),   // lying {t0}
+      MachineReport::of(ex.p_m1.block_of(0)),  // lying {t0,t2}
+      MachineReport::of(ex.p_m2.block_of(3)),  // truthful {t3}
+  };
+  const RecoveryResult r = recover(4, machines, reports);
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, 0u);  // wrong, exactly as the paper shows
+  EXPECT_EQ(r.counts[0], 3u);
+  EXPECT_EQ(r.counts[3], 2u);
+}
+
+TEST(Recovery, PaperSingleByzantineExample) {
+  // "Assuming that only one of the machines, say B, lies about its state...
+  // we can determine correctly that the state of > is t3."
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(3)),   // {t0,t3}
+      MachineReport::of(ex.p_b.block_of(0)),   // lying {t0}
+      MachineReport::of(ex.p_m1.block_of(3)),  // {t3}
+      MachineReport::of(ex.p_m2.block_of(3)),  // {t3}
+  };
+  const RecoveryResult r = recover(4, machines, reports);
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, 3u);
+  // Liar identification: exactly B contradicts the recovered state.
+  ASSERT_EQ(r.contradicting_machines.size(), 1u);
+  EXPECT_EQ(r.contradicting_machines[0], 1u);
+}
+
+TEST(Recovery, CorrectedBlocksProjectRecoveredState) {
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(2)), MachineReport::crashed(),
+      MachineReport::of(ex.p_m1.block_of(2)),
+      MachineReport::of(ex.p_m2.block_of(2))};
+  const RecoveryResult r = recover(4, machines, reports);
+  ASSERT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, 2u);
+  for (std::size_t i = 0; i < machines.size(); ++i)
+    EXPECT_EQ(r.corrected_blocks[i], machines[i].block_of(2));
+}
+
+TEST(Recovery, AllMachinesCrashedIsAmbiguous) {
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports(4, MachineReport::crashed());
+  const RecoveryResult r = recover(4, machines, reports);
+  EXPECT_FALSE(r.unique);
+  EXPECT_EQ(r.max_count, 0u);
+}
+
+TEST(Recovery, NoFaultsRecoversEveryState) {
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  for (State truth = 0; truth < 4; ++truth) {
+    std::vector<MachineReport> reports;
+    for (const auto& m : machines)
+      reports.push_back(MachineReport::of(m.block_of(truth)));
+    const RecoveryResult r = recover(4, machines, reports);
+    EXPECT_TRUE(r.unique);
+    EXPECT_EQ(r.top_state, truth);
+    EXPECT_EQ(r.max_count, 4u);
+    EXPECT_TRUE(r.contradicting_machines.empty());
+  }
+}
+
+TEST(Recovery, ExhaustiveTwoCrashesAlwaysRecover) {
+  // Theorem 6 for f = 2 on the canonical (2,2)-fusion system: every pair of
+  // crashes, every truth.
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  for (std::size_t c1 = 0; c1 < 4; ++c1)
+    for (std::size_t c2 = c1 + 1; c2 < 4; ++c2)
+      for (State truth = 0; truth < 4; ++truth) {
+        std::vector<MachineReport> reports;
+        for (std::size_t i = 0; i < machines.size(); ++i)
+          reports.push_back(i == c1 || i == c2
+                                ? MachineReport::crashed()
+                                : MachineReport::of(
+                                      machines[i].block_of(truth)));
+        const RecoveryResult r = recover(4, machines, reports);
+        ASSERT_TRUE(r.unique) << c1 << "," << c2 << " truth " << truth;
+        ASSERT_EQ(r.top_state, truth);
+      }
+}
+
+TEST(Recovery, ExhaustiveSingleByzantineAlwaysRecovers) {
+  // Theorem 6 for f/2 = 1 Byzantine fault: any machine, any wrong block,
+  // any truth — the vote still lands on the true state.
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  for (std::size_t liar = 0; liar < 4; ++liar)
+    for (State truth = 0; truth < 4; ++truth)
+      for (std::uint32_t wrong = 0; wrong < machines[liar].block_count();
+           ++wrong) {
+        if (wrong == machines[liar].block_of(truth)) continue;
+        std::vector<MachineReport> reports;
+        for (std::size_t i = 0; i < machines.size(); ++i)
+          reports.push_back(MachineReport::of(
+              i == liar ? wrong : machines[i].block_of(truth)));
+        const RecoveryResult r = recover(4, machines, reports);
+        ASSERT_TRUE(r.unique)
+            << "liar " << liar << " wrong " << wrong << " truth " << truth;
+        ASSERT_EQ(r.top_state, truth);
+        // The liar is identified.
+        ASSERT_EQ(r.contradicting_machines.size(), 1u);
+        ASSERT_EQ(r.contradicting_machines[0], liar);
+      }
+}
+
+TEST(Recovery, CrashPlusByzantineWithinCapacityFails) {
+  // dmin = 3 tolerates 2 crashes OR 1 Byzantine — but one crash plus one
+  // Byzantine liar can already break uniqueness on a weakest edge. This
+  // documents the boundary rather than a library defect.
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  // Truth t3. Crash M2; B lies toward t0.
+  const std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(3)),  // {t0,t3}
+      MachineReport::of(ex.p_b.block_of(0)),  // lie {t0}
+      MachineReport::of(ex.p_m1.block_of(3)),
+      MachineReport::crashed()};
+  const RecoveryResult r = recover(4, machines, reports);
+  // count[3] = A + M1 = 2, count[0] = A + B = 2: ambiguous.
+  EXPECT_FALSE(r.unique);
+}
+
+TEST(Recovery, MismatchedSpansThrow) {
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  const std::vector<MachineReport> reports(3, MachineReport::crashed());
+  EXPECT_THROW((void)recover(4, machines, reports), ContractViolation);
+}
+
+TEST(Recovery, BlockOutOfRangeThrows) {
+  const CanonicalExample ex;
+  const auto machines = canonical_system(ex);
+  std::vector<MachineReport> reports(4, MachineReport::crashed());
+  reports[0] = MachineReport::of(99);
+  EXPECT_THROW((void)recover(4, machines, reports), ContractViolation);
+}
+
+TEST(Recovery, CostGrowsLinearlyInReports) {
+  // Smoke check of the O((n+m)*N) shape: a large system still recovers.
+  const CanonicalExample ex;
+  std::vector<Partition> machines(100, ex.p_top);
+  std::vector<MachineReport> reports;
+  for (int i = 0; i < 100; ++i)
+    reports.push_back(MachineReport::of(ex.p_top.block_of(2)));
+  const RecoveryResult r = recover(4, machines, reports);
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, 2u);
+  EXPECT_EQ(r.max_count, 100u);
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,114 @@
+#include "recovery/set_representation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsm/machine_catalog.hpp"
+#include "fsm/product.hpp"
+#include "partition/quotient.hpp"
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+
+TEST(SetRepresentation, Fig5MachineA) {
+  // Fig. 5: "states a0, a1 and a2 can be represented by the sets {t0,t3},
+  // {t1} and {t2} respectively".
+  const CanonicalExample ex;
+  const SetRepresentation rep = set_representation(ex.top, ex.a);
+  ASSERT_EQ(rep.sets.size(), 3u);
+  EXPECT_EQ(rep.sets[0], (std::vector<State>{0, 3}));
+  EXPECT_EQ(rep.sets[1], (std::vector<State>{1}));
+  EXPECT_EQ(rep.sets[2], (std::vector<State>{2}));
+}
+
+TEST(SetRepresentation, MachineB) {
+  const CanonicalExample ex;
+  const SetRepresentation rep = set_representation(ex.top, ex.b);
+  EXPECT_EQ(rep.sets[0], (std::vector<State>{0}));
+  EXPECT_EQ(rep.sets[1], (std::vector<State>{1}));
+  EXPECT_EQ(rep.sets[2], (std::vector<State>{2, 3}));
+}
+
+TEST(SetRepresentation, PartitionMatchesCanonical) {
+  const CanonicalExample ex;
+  EXPECT_EQ(set_representation(ex.top, ex.a).to_partition(), ex.p_a);
+  EXPECT_EQ(set_representation(ex.top, ex.b).to_partition(), ex.p_b);
+}
+
+TEST(SetRepresentation, TopAgainstItselfIsSingletons) {
+  // "Every state in machine T is a set containing exactly one element."
+  const CanonicalExample ex;
+  const SetRepresentation rep = set_representation(ex.top, ex.top);
+  for (State t = 0; t < 4; ++t) {
+    EXPECT_EQ(rep.machine_state_of[t], t);
+    EXPECT_EQ(rep.sets[t], (std::vector<State>{t}));
+  }
+}
+
+TEST(SetRepresentation, QuotientRoundTrip) {
+  // For any closed partition p: set_representation(top, quotient(top, p))
+  // recovers p exactly (block numbering aligns because the quotient
+  // numbers states by block).
+  const CanonicalExample ex;
+  for (const Partition& p :
+       {ex.p_a, ex.p_b, ex.p_m1, ex.p_m2, ex.p_m3, ex.p_m4, ex.p_m5,
+        ex.p_m6, ex.p_bottom}) {
+    const Dfsm q = quotient_machine(ex.top, p, "q");
+    const SetRepresentation rep = set_representation(ex.top, q);
+    EXPECT_EQ(rep.to_partition(), p) << p.to_string();
+    for (State t = 0; t < 4; ++t)
+      EXPECT_EQ(rep.machine_state_of[t], p.block_of(t));
+  }
+}
+
+TEST(SetRepresentation, UnrelatedMachineRejected) {
+  // A 2-state toggle on event "0" is NOT less than the canonical top
+  // (its parity of 0-events distinguishes states the top merges).
+  const CanonicalExample ex;
+  const Dfsm toggle = make_toggle_switch(ex.alphabet, "tog", "0");
+  EXPECT_THROW((void)set_representation(ex.top, toggle), ContractViolation);
+}
+
+TEST(SetRepresentation, MismatchedAlphabetRejected) {
+  const CanonicalExample ex;
+  auto other = Alphabet::create();
+  const Dfsm foreign = make_paper_machine_a(other);
+  EXPECT_THROW((void)set_representation(ex.top, foreign), ContractViolation);
+}
+
+TEST(SetRepresentation, CrossProductComponentsMatchAssignments) {
+  // For originals, Algorithm 1 over the cross product reproduces exactly
+  // the component assignments (machine state of component i at top state t
+  // = tuples[t][i]).
+  auto al = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mesi(al));
+  machines.push_back(make_mod_counter(al, "c", 3, "pr_wr"));
+  const CrossProduct cp = reachable_cross_product(machines);
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    const SetRepresentation rep = set_representation(cp.top, machines[i]);
+    for (State t = 0; t < cp.top.size(); ++t)
+      EXPECT_EQ(rep.machine_state_of[t], cp.tuples[t][i]);
+  }
+}
+
+TEST(SetRepresentation, SubMachineOverSubAlphabet) {
+  // A machine ignoring most of the top's events still embeds: the counter
+  // only counts "pr_wr" while the top moves on five MESI events.
+  auto al = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mesi(al));
+  machines.push_back(make_mod_counter(al, "c", 5, "pr_wr"));
+  const CrossProduct cp = reachable_cross_product(machines);
+  const SetRepresentation rep = set_representation(cp.top, machines[1]);
+  std::size_t total = 0;
+  for (const auto& set : rep.sets) total += set.size();
+  EXPECT_EQ(total, cp.top.size());  // sets partition the top's states
+}
+
+}  // namespace
+}  // namespace ffsm

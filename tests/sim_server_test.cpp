@@ -1,0 +1,171 @@
+#include "sim/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/machine_catalog.hpp"
+#include "sim/event_source.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+TEST(Server, StartsAtInitialState) {
+  auto al = Alphabet::create();
+  const Server s{make_mod_counter(al, "c", 3, "e")};
+  EXPECT_FALSE(s.crashed());
+  EXPECT_EQ(s.state(), 0u);
+}
+
+TEST(Server, AppliesSubscribedEvents) {
+  auto al = Alphabet::create();
+  Server s{make_mod_counter(al, "c", 3, "e")};
+  const EventId e = *al->find("e");
+  s.apply(e);
+  s.apply(e);
+  EXPECT_EQ(s.state(), 2u);
+}
+
+TEST(Server, IgnoresForeignEvents) {
+  auto al = Alphabet::create();
+  Server s{make_mod_counter(al, "c", 3, "e")};
+  const EventId other = al->intern("other");
+  s.apply(other);
+  EXPECT_EQ(s.state(), 0u);
+}
+
+TEST(Server, CrashLosesState) {
+  auto al = Alphabet::create();
+  Server s{make_mod_counter(al, "c", 3, "e")};
+  s.apply(*al->find("e"));
+  s.crash();
+  EXPECT_TRUE(s.crashed());
+  EXPECT_THROW((void)s.state(), ContractViolation);
+}
+
+TEST(Server, CrashedServerDropsEvents) {
+  auto al = Alphabet::create();
+  Server s{make_mod_counter(al, "c", 3, "e")};
+  s.crash();
+  s.apply(*al->find("e"));  // must not throw
+  EXPECT_TRUE(s.crashed());
+}
+
+TEST(Server, CorruptInstallsWrongState) {
+  auto al = Alphabet::create();
+  Server s{make_mod_counter(al, "c", 3, "e")};
+  s.corrupt(2);
+  EXPECT_FALSE(s.crashed());
+  EXPECT_EQ(s.state(), 2u);
+}
+
+TEST(Server, CorruptOutOfRangeThrows) {
+  auto al = Alphabet::create();
+  Server s{make_mod_counter(al, "c", 3, "e")};
+  EXPECT_THROW(s.corrupt(3), ContractViolation);
+}
+
+TEST(Server, RestoreRevivesCrashedServer) {
+  auto al = Alphabet::create();
+  Server s{make_mod_counter(al, "c", 3, "e")};
+  s.crash();
+  s.restore(1);
+  EXPECT_FALSE(s.crashed());
+  EXPECT_EQ(s.state(), 1u);
+}
+
+TEST(ScriptedEventSource, ReplaysAndExhausts) {
+  ScriptedEventSource src({5, 7, 5});
+  EXPECT_EQ(src.next(), EventId{5});
+  EXPECT_EQ(src.next(), EventId{7});
+  EXPECT_EQ(src.next(), EventId{5});
+  EXPECT_FALSE(src.next().has_value());
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(RandomEventSource, DrawsFromSupportOnly) {
+  RandomEventSource src({2, 4, 8}, 500, 11);
+  std::size_t count = 0;
+  while (const auto e = src.next()) {
+    EXPECT_TRUE(*e == 2 || *e == 4 || *e == 8);
+    ++count;
+  }
+  EXPECT_EQ(count, 500u);
+}
+
+TEST(RandomEventSource, SameSeedSameStream) {
+  RandomEventSource a({1, 2, 3}, 100, 42);
+  RandomEventSource b({1, 2, 3}, 100, 42);
+  while (true) {
+    const auto x = a.next();
+    const auto y = b.next();
+    EXPECT_EQ(x, y);
+    if (!x) break;
+  }
+}
+
+TEST(FaultPlan, RespectsCounts) {
+  FaultPlanSpec spec;
+  spec.server_count = 10;
+  spec.steps = 50;
+  spec.crashes = 3;
+  spec.byzantine = 2;
+  const auto plan = plan_faults(spec);
+  ASSERT_EQ(plan.size(), 5u);
+  std::size_t byz = 0;
+  for (const auto& f : plan) byz += f.byzantine ? 1 : 0;
+  EXPECT_EQ(byz, 2u);
+}
+
+TEST(FaultPlan, VictimsAreDistinct) {
+  FaultPlanSpec spec;
+  spec.server_count = 6;
+  spec.steps = 10;
+  spec.crashes = 4;
+  spec.byzantine = 2;
+  const auto plan = plan_faults(spec);
+  std::vector<bool> seen(6, false);
+  for (const auto& f : plan) {
+    EXPECT_FALSE(seen[f.server]) << "server " << f.server << " hit twice";
+    seen[f.server] = true;
+  }
+}
+
+TEST(FaultPlan, StepsSortedAndWithinStream) {
+  FaultPlanSpec spec;
+  spec.server_count = 8;
+  spec.steps = 30;
+  spec.crashes = 5;
+  const auto plan = plan_faults(spec);
+  for (std::size_t i = 1; i < plan.size(); ++i)
+    EXPECT_LE(plan[i - 1].step, plan[i].step);
+  for (const auto& f : plan) EXPECT_LE(f.step, 30u);
+}
+
+TEST(FaultPlan, TooManyFaultsRejected) {
+  FaultPlanSpec spec;
+  spec.server_count = 2;
+  spec.crashes = 2;
+  spec.byzantine = 1;
+  EXPECT_THROW((void)plan_faults(spec), ContractViolation);
+}
+
+TEST(FaultPlan, DeterministicForSeed) {
+  FaultPlanSpec spec;
+  spec.server_count = 9;
+  spec.steps = 20;
+  spec.crashes = 3;
+  spec.byzantine = 1;
+  spec.seed = 77;
+  const auto a = plan_faults(spec);
+  const auto b = plan_faults(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].server, b[i].server);
+    EXPECT_EQ(a[i].step, b[i].step);
+    EXPECT_EQ(a[i].byzantine, b[i].byzantine);
+  }
+}
+
+}  // namespace
+}  // namespace ffsm

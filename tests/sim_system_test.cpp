@@ -1,0 +1,243 @@
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsm/machine_catalog.hpp"
+
+namespace ffsm {
+namespace {
+
+std::vector<Dfsm> paper_machines(const std::shared_ptr<Alphabet>& al) {
+  std::vector<Dfsm> machines;
+  machines.push_back(make_paper_machine_a(al));
+  machines.push_back(make_paper_machine_b(al));
+  return machines;
+}
+
+FusedSystem make_system(std::uint32_t f) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = f;
+  return FusedSystem(paper_machines(al), options);
+}
+
+TEST(FusedSystem, BuildsExpectedTopology) {
+  const FusedSystem sys = make_system(1);
+  EXPECT_EQ(sys.original_count(), 2u);
+  EXPECT_EQ(sys.backup_count(), 1u);  // dmin 1, f 1 -> one fusion machine
+  EXPECT_EQ(sys.top().size(), 4u);
+  EXPECT_EQ(sys.servers().size(), 3u);
+  EXPECT_EQ(sys.partitions().size(), 3u);
+}
+
+TEST(FusedSystem, FEquals2AddsTwoBackups) {
+  const FusedSystem sys = make_system(2);
+  EXPECT_EQ(sys.backup_count(), 2u);
+}
+
+TEST(FusedSystem, GhostTracksEventStream) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 1;
+  FusedSystem sys(paper_machines(al), options);
+  const EventId e0 = *al->find("0");
+  const EventId e1 = *al->find("1");
+  EXPECT_EQ(sys.ghost_top_state(), 0u);
+  sys.apply(e0);
+  EXPECT_EQ(sys.ghost_top_state(), sys.top().step(0, e0));
+  sys.apply(e1);
+  sys.apply(e0);
+  EXPECT_TRUE(sys.verify());
+}
+
+TEST(FusedSystem, RunPumpsSource) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 1;
+  FusedSystem sys(paper_machines(al), options);
+  RandomEventSource src({*al->find("0"), *al->find("1")}, 200, 5);
+  EXPECT_EQ(sys.run(src), 200u);
+  EXPECT_TRUE(sys.verify());
+}
+
+TEST(FusedSystem, CrashAndRecoverRestoresEveryServer) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 1;
+  FusedSystem sys(paper_machines(al), options);
+  RandomEventSource src({*al->find("0"), *al->find("1")}, 57, 9);
+  sys.run(src);
+
+  sys.crash(0);
+  EXPECT_FALSE(sys.verify());
+  const RecoveryResult r = sys.recover();
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, sys.ghost_top_state());
+  EXPECT_TRUE(sys.verify());
+}
+
+TEST(FusedSystem, EverySingleCrashRecoversAtAnyPoint) {
+  auto al = Alphabet::create();
+  const std::vector<EventId> events{al->intern("0"), al->intern("1")};
+  for (std::size_t victim = 0; victim < 3; ++victim) {
+    for (std::size_t when = 0; when < 20; ++when) {
+      FusedSystemOptions options;
+      options.f = 1;
+      FusedSystem sys(paper_machines(al), options);
+      Xoshiro256 rng(victim * 100 + when);
+      for (std::size_t step = 0; step < when; ++step)
+        sys.apply(events[rng.below(2)]);
+      sys.crash(victim);
+      for (std::size_t step = 0; step < when; ++step)
+        sys.apply(events[rng.below(2)]);
+      const RecoveryResult r = sys.recover();
+      ASSERT_TRUE(r.unique) << "victim " << victim << " when " << when;
+      ASSERT_EQ(r.top_state, sys.ghost_top_state());
+      ASSERT_TRUE(sys.verify());
+    }
+  }
+}
+
+TEST(FusedSystem, ByzantineRandomStateRecovers) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 2;  // 2 crash == 1 Byzantine capacity
+  FusedSystem sys(paper_machines(al), options);
+  RandomEventSource src({*al->find("0"), *al->find("1")}, 30, 3);
+  sys.run(src);
+
+  Xoshiro256 rng(1);
+  sys.corrupt(1, ByzantineStrategy::kRandomState, rng);
+  const RecoveryResult r = sys.recover();
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, sys.ghost_top_state());
+  EXPECT_TRUE(sys.verify());
+}
+
+TEST(FusedSystem, ByzantineColludingWithinCapacityRecovers) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 2;
+  FusedSystem sys(paper_machines(al), options);
+  RandomEventSource src({*al->find("0"), *al->find("1")}, 41, 8);
+  sys.run(src);
+
+  Xoshiro256 rng(2);
+  const State target = sys.most_confusable_state();
+  EXPECT_NE(target, sys.ghost_top_state());
+  sys.corrupt(2, ByzantineStrategy::kColluding, rng, target);
+  const RecoveryResult r = sys.recover();
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, sys.ghost_top_state());
+}
+
+TEST(FusedSystem, StaleInitialStrategySetsInitialState) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 2;
+  FusedSystem sys(paper_machines(al), options);
+  const EventId e0 = *al->find("0");
+  sys.apply(e0);
+  sys.apply(e0);
+  Xoshiro256 rng(3);
+  sys.corrupt(0, ByzantineStrategy::kStaleInitial, rng);
+  EXPECT_EQ(sys.servers()[0].state(),
+            sys.servers()[0].machine().initial());
+  const RecoveryResult r = sys.recover();
+  EXPECT_TRUE(r.unique);
+  EXPECT_TRUE(sys.verify());
+}
+
+TEST(FusedSystem, CorruptCrashedServerThrows) {
+  FusedSystem sys = make_system(1);
+  sys.crash(0);
+  Xoshiro256 rng(4);
+  EXPECT_THROW(sys.corrupt(0, ByzantineStrategy::kRandomState, rng),
+               ContractViolation);
+}
+
+TEST(FusedSystem, TwoCrashesNeedFEquals2) {
+  // With f=1 two crashes may be ambiguous; with f=2 they always recover.
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 2;
+  FusedSystem sys(paper_machines(al), options);
+  RandomEventSource src({*al->find("0"), *al->find("1")}, 23, 6);
+  sys.run(src);
+  sys.crash(0);
+  sys.crash(2);
+  const RecoveryResult r = sys.recover();
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, sys.ghost_top_state());
+  EXPECT_TRUE(sys.verify());
+}
+
+TEST(RunScenario, EndToEndCrashScenario) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 2;
+  FusedSystem sys(paper_machines(al), options);
+
+  FaultPlanSpec spec;
+  spec.server_count = sys.servers().size();
+  spec.steps = 60;
+  spec.crashes = 2;
+  spec.seed = 21;
+  const auto plan = plan_faults(spec);
+
+  RandomEventSource src({*al->find("0"), *al->find("1")}, 60, 22);
+  const ScenarioResult result =
+      run_scenario(sys, src, plan, ByzantineStrategy::kRandomState, 23);
+  EXPECT_EQ(result.events_delivered, 60u);
+  EXPECT_EQ(result.faults_injected, 2u);
+  EXPECT_TRUE(result.recovery_unique);
+  EXPECT_TRUE(result.recovered_correctly);
+  EXPECT_TRUE(result.verified);
+}
+
+TEST(RunScenario, EndToEndByzantineScenario) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 2;  // 1 Byzantine fault capacity
+  FusedSystem sys(paper_machines(al), options);
+
+  FaultPlanSpec spec;
+  spec.server_count = sys.servers().size();
+  spec.steps = 40;
+  spec.byzantine = 1;
+  spec.seed = 31;
+  const auto plan = plan_faults(spec);
+
+  RandomEventSource src({*al->find("0"), *al->find("1")}, 40, 32);
+  const ScenarioResult result =
+      run_scenario(sys, src, plan, ByzantineStrategy::kColluding, 33);
+  EXPECT_TRUE(result.recovery_unique);
+  EXPECT_TRUE(result.recovered_correctly);
+  EXPECT_TRUE(result.verified);
+}
+
+TEST(FusedSystem, MesiTcpSystemEndToEnd) {
+  // Heterogeneous machines with disjoint event subsets.
+  auto al = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mesi(al));
+  machines.push_back(make_mod_counter(al, "wr-count", 3, "pr_wr"));
+  FusedSystemOptions options;
+  options.f = 1;
+  FusedSystem sys(std::move(machines), options);
+
+  std::vector<EventId> support;
+  for (const EventId e : sys.top().events()) support.push_back(e);
+  RandomEventSource src(support, 100, 44);
+  sys.run(src);
+  sys.crash(1);
+  const RecoveryResult r = sys.recover();
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.top_state, sys.ghost_top_state());
+  EXPECT_TRUE(sys.verify());
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,48 @@
+// Shared fixtures for the test suite: the paper's canonical running example
+// (Figs. 2-5) in the paper's own state numbering, plus small literal-partition
+// helpers.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "fsm/machine_catalog.hpp"
+#include "fsm/product.hpp"
+#include "partition/partition.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm::testing {
+
+/// Partition from a literal block assignment, e.g. pt({0,1,2,0}) is the
+/// paper's machine A = {t0,t3}{t1}{t2}.
+inline Partition pt(std::initializer_list<std::uint32_t> assignment) {
+  return Partition(std::vector<std::uint32_t>(assignment));
+}
+
+/// The reconstructed running example of the paper (DESIGN.md section 2).
+/// All partitions use the paper's top-state numbering t0..t3, i.e. they
+/// partition make_paper_top()'s states.
+struct CanonicalExample {
+  std::shared_ptr<Alphabet> alphabet = Alphabet::create();
+  Dfsm a = make_paper_machine_a(alphabet);
+  Dfsm b = make_paper_machine_b(alphabet);
+  Dfsm top = make_paper_top(alphabet);
+
+  // The ten closed partitions of Fig. 3.
+  Partition p_top = Partition::identity(4);
+  Partition p_a = pt({0, 1, 2, 0});        // {t0,t3}{t1}{t2}
+  Partition p_b = pt({0, 1, 2, 2});        // {t0}{t1}{t2,t3}
+  Partition p_m1 = pt({0, 1, 0, 2});       // {t0,t2}{t1}{t3}
+  Partition p_m2 = pt({0, 1, 1, 2});       // {t0}{t1,t2}{t3}
+  Partition p_m3 = pt({0, 1, 0, 0});       // {t0,t2,t3}{t1}
+  Partition p_m4 = pt({0, 1, 1, 0});       // {t0,t3}{t1,t2}
+  Partition p_m5 = pt({0, 1, 1, 1});       // {t0}{t1,t2,t3}
+  Partition p_m6 = pt({0, 0, 0, 1});       // {t0,t1,t2}{t3}
+  Partition p_bottom = Partition::single_block(4);
+
+  std::vector<Partition> originals() const { return {p_a, p_b}; }
+};
+
+}  // namespace ffsm::testing

@@ -1,0 +1,131 @@
+#include "fault/tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "recovery/recovery.hpp"
+#include "test_support.hpp"
+
+namespace ffsm {
+namespace {
+
+using testing::CanonicalExample;
+
+FaultGraph canonical_graph(const std::vector<Partition>& machines) {
+  return FaultGraph::build(4, machines);
+}
+
+TEST(Tolerance, PaperSetToleratesTwoCrashOneByzantine) {
+  // Section 3: {A, B, M1, M2} has dmin 3 -> 2 crash faults, 1 Byzantine.
+  const CanonicalExample ex;
+  const FaultGraph g = canonical_graph({ex.p_a, ex.p_b, ex.p_m1, ex.p_m2});
+  const ToleranceReport report = analyze_tolerance(g);
+  EXPECT_EQ(report.dmin, 3u);
+  EXPECT_EQ(report.crash_faults, 2u);
+  EXPECT_EQ(report.byzantine_faults, 1u);
+}
+
+TEST(Tolerance, OriginalsAloneTolerateNothing) {
+  // "the set of machines {A, B} cannot tolerate even a single fault".
+  const CanonicalExample ex;
+  const FaultGraph g = canonical_graph({ex.p_a, ex.p_b});
+  EXPECT_FALSE(can_tolerate_crash_faults(g, 1));
+  EXPECT_TRUE(can_tolerate_crash_faults(g, 0));
+  EXPECT_FALSE(can_tolerate_byzantine_faults(g, 1));
+}
+
+TEST(Tolerance, ABM1ToleratesOneCrash) {
+  // f > m example: dmin({A, B, M1}) = 2 -> one crash fault, no extra
+  // machines needed.
+  const CanonicalExample ex;
+  const FaultGraph g = canonical_graph({ex.p_a, ex.p_b, ex.p_m1});
+  EXPECT_EQ(g.dmin(), 2u);
+  EXPECT_TRUE(can_tolerate_crash_faults(g, 1));
+  EXPECT_FALSE(can_tolerate_crash_faults(g, 2));
+  EXPECT_FALSE(can_tolerate_byzantine_faults(g, 1));  // needs dmin > 2
+}
+
+TEST(Tolerance, TheoremOneIsExhaustivelyTrueOnCanonicalSet) {
+  // Brute-force check of Theorem 1's forward direction: with dmin = 3,
+  // removing ANY 2 of the 4 machines still recovers every top state
+  // uniquely via Algorithm 3.
+  const CanonicalExample ex;
+  const std::vector<Partition> machines{ex.p_a, ex.p_b, ex.p_m1, ex.p_m2};
+  for (std::size_t c1 = 0; c1 < machines.size(); ++c1) {
+    for (std::size_t c2 = c1; c2 < machines.size(); ++c2) {
+      for (State truth = 0; truth < 4; ++truth) {
+        std::vector<MachineReport> reports;
+        for (std::size_t i = 0; i < machines.size(); ++i) {
+          if (i == c1 || i == c2)
+            reports.push_back(MachineReport::crashed());
+          else
+            reports.push_back(
+                MachineReport::of(machines[i].block_of(truth)));
+        }
+        const RecoveryResult r = recover(4, machines, reports);
+        ASSERT_TRUE(r.unique) << "crashed " << c1 << "," << c2 << " truth "
+                              << truth;
+        ASSERT_EQ(r.top_state, truth);
+      }
+    }
+  }
+}
+
+TEST(Tolerance, TheoremOneConverseFailsBeyondDmin) {
+  // dmin({A,B,M1,M2}) = 3: crashing the three machines separating a weakest
+  // edge leaves that edge ambiguous. Edge (t0,t3) is separated by B, M1,
+  // M2; crash all three and truth t0 vs t3 becomes undecidable.
+  const CanonicalExample ex;
+  const std::vector<Partition> machines{ex.p_a, ex.p_b, ex.p_m1, ex.p_m2};
+  std::vector<MachineReport> reports{
+      MachineReport::of(ex.p_a.block_of(0)),  // A reports {t0,t3}
+      MachineReport::crashed(), MachineReport::crashed(),
+      MachineReport::crashed()};
+  const RecoveryResult r = recover(4, machines, reports);
+  EXPECT_FALSE(r.unique);  // t0 and t3 tie
+}
+
+TEST(Tolerance, SingleStateTopToleratesEverything) {
+  const FaultGraph g(1);
+  const ToleranceReport report = analyze_tolerance(g);
+  EXPECT_EQ(report.dmin, FaultGraph::kInfinity);
+  EXPECT_EQ(report.crash_faults, FaultGraph::kInfinity);
+  EXPECT_TRUE(can_tolerate_crash_faults(g, 1000));
+  EXPECT_TRUE(can_tolerate_byzantine_faults(g, 1000));
+}
+
+TEST(Tolerance, ZeroDminToleratesNothing) {
+  const FaultGraph g(4);  // no machines at all
+  const ToleranceReport report = analyze_tolerance(g);
+  EXPECT_EQ(report.dmin, 0u);
+  EXPECT_EQ(report.crash_faults, 0u);
+  EXPECT_EQ(report.byzantine_faults, 0u);
+  EXPECT_FALSE(can_tolerate_crash_faults(g, 0));
+}
+
+TEST(Tolerance, ByzantineBoundIsHalfOfCrash) {
+  // Observation 1: crash = dmin-1, byzantine = (dmin-1)/2 — check the
+  // integer arithmetic across a range of dmin values using top replicas.
+  const CanonicalExample ex;
+  std::vector<Partition> machines;
+  for (std::uint32_t copies = 1; copies <= 9; ++copies) {
+    machines.push_back(ex.p_top);
+    const FaultGraph g = canonical_graph(machines);
+    const ToleranceReport report = analyze_tolerance(g);
+    EXPECT_EQ(report.dmin, copies);
+    EXPECT_EQ(report.crash_faults, copies - 1);
+    EXPECT_EQ(report.byzantine_faults, (copies - 1) / 2);
+  }
+}
+
+TEST(Tolerance, TheoremTwoBoundary) {
+  const CanonicalExample ex;
+  // dmin = 3: tolerates exactly 1 Byzantine fault, not 2.
+  const FaultGraph g = canonical_graph({ex.p_a, ex.p_b, ex.p_m1, ex.p_m2});
+  EXPECT_TRUE(can_tolerate_byzantine_faults(g, 1));
+  EXPECT_FALSE(can_tolerate_byzantine_faults(g, 2));
+}
+
+}  // namespace
+}  // namespace ffsm

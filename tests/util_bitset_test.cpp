@@ -1,0 +1,187 @@
+#include "util/dynamic_bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace ffsm {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_TRUE(bits.none());
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(DynamicBitset, DefaultConstructedIsZeroSized) {
+  DynamicBitset bits;
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_TRUE(bits.empty());
+}
+
+TEST(DynamicBitset, SetAndTest) {
+  DynamicBitset bits(70);
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(69);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(69));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_FALSE(bits.test(62));
+  EXPECT_EQ(bits.count(), 4u);
+}
+
+TEST(DynamicBitset, ResetClearsOneBit) {
+  DynamicBitset bits(10);
+  bits.set(3);
+  bits.set(7);
+  bits.reset(3);
+  EXPECT_FALSE(bits.test(3));
+  EXPECT_TRUE(bits.test(7));
+  EXPECT_EQ(bits.count(), 1u);
+}
+
+TEST(DynamicBitset, ResetAllClearsEverything) {
+  DynamicBitset bits(130);
+  for (std::size_t i = 0; i < 130; i += 7) bits.set(i);
+  bits.reset_all();
+  EXPECT_TRUE(bits.none());
+}
+
+TEST(DynamicBitset, OutOfRangeAccessThrows) {
+  DynamicBitset bits(8);
+  EXPECT_THROW(bits.set(8), ContractViolation);
+  EXPECT_THROW((void)bits.test(100), ContractViolation);
+  EXPECT_THROW(bits.reset(8), ContractViolation);
+}
+
+TEST(DynamicBitset, OrAccumulates) {
+  DynamicBitset a(80);
+  DynamicBitset b(80);
+  a.set(1);
+  a.set(70);
+  b.set(2);
+  b.set(70);
+  a |= b;
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(a.test(70));
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(DynamicBitset, AndIntersects) {
+  DynamicBitset a(80);
+  DynamicBitset b(80);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  a &= b;
+  EXPECT_FALSE(a.test(1));
+  EXPECT_TRUE(a.test(70));
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(DynamicBitset, MismatchedSizesThrow) {
+  DynamicBitset a(8);
+  DynamicBitset b(9);
+  EXPECT_THROW(a |= b, ContractViolation);
+  EXPECT_THROW(a &= b, ContractViolation);
+  EXPECT_THROW((void)a.is_subset_of(b), ContractViolation);
+  EXPECT_THROW((void)a.intersects(b), ContractViolation);
+}
+
+TEST(DynamicBitset, SubsetRelation) {
+  DynamicBitset small(100);
+  DynamicBitset big(100);
+  small.set(10);
+  small.set(90);
+  big.set(10);
+  big.set(90);
+  big.set(50);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.is_subset_of(small));
+}
+
+TEST(DynamicBitset, EmptySetIsSubsetOfAll) {
+  DynamicBitset empty(64);
+  DynamicBitset any(64);
+  any.set(5);
+  EXPECT_TRUE(empty.is_subset_of(any));
+  EXPECT_TRUE(empty.is_subset_of(empty));
+}
+
+TEST(DynamicBitset, Intersects) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  a.set(100);
+  b.set(101);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(100);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(DynamicBitset, FindFirstAndNext) {
+  DynamicBitset bits(200);
+  EXPECT_EQ(bits.find_first(), 200u);
+  bits.set(5);
+  bits.set(64);
+  bits.set(199);
+  EXPECT_EQ(bits.find_first(), 5u);
+  EXPECT_EQ(bits.find_next(5), 64u);
+  EXPECT_EQ(bits.find_next(64), 199u);
+  EXPECT_EQ(bits.find_next(199), 200u);
+  EXPECT_EQ(bits.find_next(0), 5u);
+}
+
+TEST(DynamicBitset, ForEachVisitsAscending) {
+  DynamicBitset bits(150);
+  const std::vector<std::size_t> expected{0, 63, 64, 65, 127, 128, 149};
+  for (const auto i : expected) bits.set(i);
+  std::vector<std::size_t> seen;
+  bits.for_each([&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitset, EqualityComparesContent) {
+  DynamicBitset a(64);
+  DynamicBitset b(64);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_FALSE(a == b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DynamicBitset, RandomizedCountMatchesReference) {
+  Xoshiro256 rng(42);
+  DynamicBitset bits(517);
+  std::vector<bool> reference(517, false);
+  for (int i = 0; i < 1000; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.below(517));
+    if (rng.chance(0.5)) {
+      bits.set(idx);
+      reference[idx] = true;
+    } else {
+      bits.reset(idx);
+      reference[idx] = false;
+    }
+  }
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(bits.test(i), reference[i]) << "bit " << i;
+    expected += reference[i] ? 1 : 0;
+  }
+  EXPECT_EQ(bits.count(), expected);
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(TextTable, MismatchedRowWidthThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, RendersHeaderAndRule) {
+  TextTable t({"col"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| col |"), std::string::npos);
+  EXPECT_NE(s.find("|-----|"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumnsToWidestCell) {
+  TextTable t({"x", "name"});
+  t.add_row({"1234567", "a"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| x       | name |"), std::string::npos);
+  EXPECT_NE(s.find("| 1234567 | a    |"), std::string::npos);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, StreamsViaOperator) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+TEST(WithThousands, SmallNumbersUnchanged) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+}
+
+TEST(WithThousands, InsertsSeparators) {
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(82944), "82,944");
+  EXPECT_EQ(with_thousands(2097152), "2,097,152");
+  EXPECT_EQ(with_thousands(1234567890), "1,234,567,890");
+}
+
+TEST(WithThousands, ExactGroupBoundaries) {
+  EXPECT_EQ(with_thousands(100), "100");
+  EXPECT_EQ(with_thousands(100000), "100,000");
+  EXPECT_EQ(with_thousands(1000000), "1,000,000");
+}
+
+}  // namespace
+}  // namespace ffsm

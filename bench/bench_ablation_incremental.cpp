@@ -31,6 +31,71 @@ std::vector<Partition> random_partitions(std::uint32_t n,
 }
 
 void report() {
+  bench::JsonReporter json("ablation_incremental");
+
+  // Engine-level ablation: the full Algorithm 2 run with the incremental
+  // engine (delta-maintained fault graph + closure memo) against the
+  // recompute-everything baseline. Same results, strictly less work.
+  std::printf("== Ablation: incremental engine vs full recomputation ==\n");
+  {
+    const CrossProduct cp = bench::counter_pair_product(12);
+    const auto originals = bench::original_partitions(cp);
+
+    GenerateOptions incremental;
+    incremental.f = 2;
+    incremental.incremental = true;
+    GenerateOptions full = incremental;
+    full.incremental = false;
+
+    FusionResult inc_result;
+    FusionResult full_result;
+    const double inc_ms = json.measure_ms(
+        "engine_incremental",
+        [&] { inc_result = generate_fusion(cp.top, originals, incremental); },
+        3, 1);
+    const double full_ms = json.measure_ms(
+        "engine_full_recompute",
+        [&] { full_result = generate_fusion(cp.top, originals, full); }, 3,
+        1);
+
+    TextTable engine({"mode", "ms", "closures evaluated",
+                      "graph edges examined", "cover cache hits"});
+    engine.add_row({"incremental", std::to_string(inc_ms),
+                    std::to_string(inc_result.stats.closures_evaluated),
+                    std::to_string(inc_result.stats.graph_edges_examined),
+                    std::to_string(inc_result.stats.cover_cache_hits)});
+    engine.add_row({"full recompute", std::to_string(full_ms),
+                    std::to_string(full_result.stats.closures_evaluated),
+                    std::to_string(full_result.stats.graph_edges_examined),
+                    std::to_string(full_result.stats.cover_cache_hits)});
+    std::printf("%s", engine.to_string().c_str());
+    const bool identical = inc_result.partitions == full_result.partitions;
+    const bool fewer =
+        inc_result.stats.closures_evaluated <
+            full_result.stats.closures_evaluated &&
+        inc_result.stats.graph_edges_examined <
+            full_result.stats.graph_edges_examined;
+    std::printf("bit-identical=%s strictly-fewer-candidates=%s\n\n",
+                identical ? "yes" : "NO (BUG)", fewer ? "yes" : "NO (BUG)");
+    bench::require(identical,
+                   "incremental engine partitions bit-identical to full "
+                   "recomputation");
+    bench::require(fewer,
+                   "incremental engine examines strictly fewer candidates");
+    json.add_metric("engine", "bit_identical", identical ? 1.0 : 0.0);
+    json.add_metric("engine", "incremental_closures",
+                    static_cast<double>(inc_result.stats.closures_evaluated));
+    json.add_metric(
+        "engine", "full_closures",
+        static_cast<double>(full_result.stats.closures_evaluated));
+    json.add_metric(
+        "engine", "incremental_graph_edges",
+        static_cast<double>(inc_result.stats.graph_edges_examined));
+    json.add_metric(
+        "engine", "full_graph_edges",
+        static_cast<double>(full_result.stats.graph_edges_examined));
+  }
+
   std::printf("== Ablation: incremental vs rebuild fault graph ==\n");
   TextTable table({"N", "machines", "rebuild ms", "incremental ms",
                    "speedup"});

@@ -30,19 +30,17 @@ std::vector<Partition> random_partitions(std::uint32_t n,
 }
 
 Dfsm big_counter_top() {
-  auto alphabet = Alphabet::create();
-  std::vector<Dfsm> machines;
-  machines.push_back(make_mod_counter(alphabet, "A", 16, "0"));
-  machines.push_back(make_mod_counter(alphabet, "B", 16, "1"));
-  return reachable_cross_product(machines).top;  // 256 states
+  return bench::counter_pair_product(16).top;  // 256 states
 }
 
 void report() {
+  bench::JsonReporter json("ablation_parallel");
   std::printf("== Ablation: parallel speedup ==\n");
   const Dfsm top = big_counter_top();
   const Partition identity = Partition::identity(top.size());
   const auto parts = random_partitions(2048, 16, 9);
 
+  std::vector<Partition> serial_cover;
   TextTable table({"threads", "lower_cover(256-top) ms",
                    "fault graph(2048,16) ms"});
   for (const std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
@@ -50,21 +48,77 @@ void report() {
     LowerCoverOptions cover_options;
     cover_options.pool = &pool;
 
-    WallTimer cover_timer;
-    benchmark::DoNotOptimize(lower_cover(top, identity, cover_options));
-    const double cover_ms = cover_timer.elapsed_ms();
+    std::vector<Partition> cover;
+    const double cover_ms = json.measure_ms(
+        "lower_cover_t" + std::to_string(threads),
+        [&] { cover = lower_cover(top, identity, cover_options); }, 3, 1);
+    if (threads == 1)
+      serial_cover = cover;
+    else
+      bench::require(cover == serial_cover,
+                     "lower cover independent of thread count");
 
     FaultGraphOptions graph_options;
     graph_options.pool = &pool;
-    WallTimer graph_timer;
-    benchmark::DoNotOptimize(
-        FaultGraph::build(2048, parts, graph_options));
-    const double graph_ms = graph_timer.elapsed_ms();
+    const double graph_ms = json.measure_ms(
+        "fault_graph_t" + std::to_string(threads),
+        [&] {
+          benchmark::DoNotOptimize(
+              FaultGraph::build(2048, parts, graph_options));
+        },
+        3, 1);
 
     table.add_row({std::to_string(threads), std::to_string(cover_ms),
                    std::to_string(graph_ms)});
   }
   std::printf("%s\n", table.to_string().c_str());
+
+  // Batched multi-client fan-out: many fusion requests sharing one top,
+  // served by generate_fusion_batch with a shared closure cache, against
+  // the same requests served one by one without sharing.
+  std::printf("== Ablation: batched requests vs one-by-one ==\n");
+  {
+    const CrossProduct cp = bench::counter_pair_product(12);
+    const auto originals = bench::original_partitions(cp);
+
+    std::vector<FusionRequest> requests;
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      FusionRequest r;
+      r.originals = originals;
+      r.f = 1 + c % 3;
+      requests.push_back(std::move(r));
+    }
+
+    ThreadPool pool(8);
+    const double one_by_one_ms = json.measure_ms(
+        "requests8_one_by_one",
+        [&] {
+          for (const FusionRequest& r : requests) {
+            GenerateOptions options;
+            options.f = r.f;
+            options.policy = r.policy;
+            options.pool = &pool;
+            benchmark::DoNotOptimize(
+                generate_fusion(cp.top, r.originals, options));
+          }
+        },
+        3, 1);
+    const double batched_ms = json.measure_ms(
+        "requests8_batched",
+        [&] {
+          BatchOptions options;
+          options.pool = &pool;
+          benchmark::DoNotOptimize(
+              generate_fusion_batch(cp.top, requests, options));
+        },
+        3, 1);
+    std::printf("8 requests: one-by-one %.2f ms, batched %.2f ms "
+                "(%.2fx)\n\n",
+                one_by_one_ms, batched_ms,
+                batched_ms > 0 ? one_by_one_ms / batched_ms : 0.0);
+    json.add_metric("requests8", "batch_speedup",
+                    batched_ms > 0 ? one_by_one_ms / batched_ms : 0.0);
+  }
 }
 
 void lower_cover_threads(benchmark::State& state) {
@@ -98,11 +152,7 @@ BENCHMARK(fault_graph_threads)
 
 void serial_vs_parallel_generation(benchmark::State& state) {
   // End-to-end Algorithm 2 with and without parallel lower covers.
-  auto alphabet = Alphabet::create();
-  std::vector<Dfsm> machines;
-  machines.push_back(make_mod_counter(alphabet, "A", 12, "0"));
-  machines.push_back(make_mod_counter(alphabet, "B", 12, "1"));
-  const CrossProduct cp = reachable_cross_product(machines);
+  const CrossProduct cp = bench::counter_pair_product(12);
   const auto originals = bench::original_partitions(cp);
   GenerateOptions options;
   options.f = 1;

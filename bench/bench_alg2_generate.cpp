@@ -31,6 +31,8 @@ CrossProduct random_pair_product(std::uint32_t states_each,
 }
 
 void report() {
+  bench::JsonReporter json("alg2_generate");
+
   std::printf("== Algorithm 2 generation cost (random machine pairs) ==\n");
   TextTable table({"|top|", "|Sigma|", "f", "machines", "descents",
                    "candidates", "ms"});
@@ -50,6 +52,49 @@ void report() {
     }
   }
   std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("== Catalog machines, f=2: serial vs parallel (8 threads) ==\n");
+  // Two 16-state catalog counters, 256-state top: big enough that the
+  // identity partition's lower cover (C(256,2) closures) dominates.
+  const CrossProduct cp = bench::counter_pair_product(16);
+  const auto originals = bench::original_partitions(cp);
+
+  GenerateOptions serial;
+  serial.f = 2;
+  serial.parallel = false;
+  FusionResult serial_result;
+  const double serial_ms = json.measure_ms(
+      "catalog_f2_serial",
+      [&] { serial_result = generate_fusion(cp.top, originals, serial); },
+      3, 1);
+
+  ThreadPool pool(8);
+  GenerateOptions parallel;
+  parallel.f = 2;
+  parallel.parallel = true;
+  parallel.pool = &pool;
+  FusionResult parallel_result;
+  const double parallel_ms = json.measure_ms(
+      "catalog_f2_parallel8",
+      [&] {
+        parallel_result = generate_fusion(cp.top, originals, parallel);
+      },
+      3, 1);
+
+  const bool identical =
+      serial_result.partitions == parallel_result.partitions;
+  const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
+  json.add_metric("catalog_f2", "speedup_8threads", speedup);
+  json.add_metric("catalog_f2", "bit_identical", identical ? 1.0 : 0.0);
+  json.add_metric("catalog_f2", "machines_added",
+                  static_cast<double>(serial_result.stats.machines_added));
+  std::printf(
+      "top=%u serial=%.2f ms parallel(8)=%.2f ms speedup=%.2fx "
+      "bit-identical=%s\n\n",
+      cp.top.size(), serial_ms, parallel_ms, speedup,
+      identical ? "yes" : "NO (BUG)");
+  bench::require(identical,
+                 "catalog f=2 parallel partitions bit-identical to serial");
 }
 
 void generate_random_pairs(benchmark::State& state) {

@@ -8,7 +8,8 @@ namespace ffsm {
 
 FaultGraph::FaultGraph(std::uint32_t n)
     : n_(n),
-      weights_(static_cast<std::size_t>(n) * (n > 0 ? n - 1 : 0) / 2, 0) {}
+      weights_(static_cast<std::size_t>(n) * (n > 0 ? n - 1 : 0) / 2, 0),
+      dmin_(weights_.empty() ? kInfinity : 0) {}
 
 FaultGraph FaultGraph::build(std::uint32_t n,
                              std::span<const Partition> machines,
@@ -44,18 +45,41 @@ FaultGraph FaultGraph::build(std::uint32_t n,
     row(0, n - 1);
   }
   g.machines_ = static_cast<std::uint32_t>(machines.size());
+  g.edges_examined_ +=
+      static_cast<std::uint64_t>(machines.size()) * g.weights_.size();
+  g.rescan_dmin();
   return g;
+}
+
+void FaultGraph::rescan_dmin() {
+  dmin_ = weights_.empty()
+              ? kInfinity
+              : *std::min_element(weights_.begin(), weights_.end());
+  edges_examined_ += weights_.size();
+  weakest_valid_ = false;
 }
 
 void FaultGraph::add_machine(const Partition& p) {
   FFSM_EXPECTS(p.size() == n_);
   const auto assignment = p.assignment();
+  // Single delta pass: apply the +1s and re-derive dmin from the updated
+  // weights as they stream by — dmin stays O(1) to read with no separate
+  // scan. The weakest-edge list itself is derived lazily: hot loops that
+  // only read dmin() between add/remove calls (the exhaustive DFS) must not
+  // pay for materializing up to O(N^2) pairs per call.
+  std::uint32_t new_min = kInfinity;
   std::size_t idx = 0;
   for (std::uint32_t i = 0; i + 1 < n_; ++i) {
     const std::uint32_t bi = assignment[i];
-    for (std::uint32_t j = i + 1; j < n_; ++j, ++idx)
-      weights_[idx] += (assignment[j] != bi) ? 1u : 0u;
+    for (std::uint32_t j = i + 1; j < n_; ++j, ++idx) {
+      const std::uint32_t w =
+          (weights_[idx] += (assignment[j] != bi) ? 1u : 0u);
+      if (w < new_min) new_min = w;
+    }
   }
+  edges_examined_ += weights_.size();
+  dmin_ = new_min;
+  weakest_valid_ = false;
   ++machines_;
 }
 
@@ -63,6 +87,7 @@ void FaultGraph::remove_machine(const Partition& p) {
   FFSM_EXPECTS(p.size() == n_);
   FFSM_EXPECTS(machines_ > 0);
   const auto assignment = p.assignment();
+  std::uint32_t new_min = kInfinity;
   std::size_t idx = 0;
   for (std::uint32_t i = 0; i + 1 < n_; ++i) {
     const std::uint32_t bi = assignment[i];
@@ -71,8 +96,12 @@ void FaultGraph::remove_machine(const Partition& p) {
         FFSM_EXPECTS(weights_[idx] > 0);
         weights_[idx] -= 1;
       }
+      if (weights_[idx] < new_min) new_min = weights_[idx];
     }
   }
+  edges_examined_ += weights_.size();
+  dmin_ = new_min;
+  weakest_valid_ = false;
   --machines_;
 }
 
@@ -82,16 +111,18 @@ std::uint32_t FaultGraph::weight(std::uint32_t i, std::uint32_t j) const {
   return weights_[edge_index(i, j)];
 }
 
-std::uint32_t FaultGraph::dmin() const noexcept {
-  if (weights_.empty()) return kInfinity;
-  return *std::min_element(weights_.begin(), weights_.end());
-}
-
-std::vector<std::pair<std::uint32_t, std::uint32_t>>
+const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
 FaultGraph::weakest_edges() const {
-  const std::uint32_t d = dmin();
-  if (d == kInfinity) return {};
-  return edges_with_weight(d);
+  if (!weakest_valid_) {
+    if (dmin_ == kInfinity) {
+      weakest_.clear();
+    } else {
+      weakest_ = edges_with_weight(dmin_);
+      edges_examined_ += weights_.size();  // the scan is real work: count it
+    }
+    weakest_valid_ = true;
+  }
+  return weakest_;
 }
 
 std::vector<std::size_t> FaultGraph::weight_histogram() const {

@@ -9,7 +9,13 @@
 //
 // Weights live in a flat upper-triangular array; machines can be added and
 // removed incrementally (+-1 per separated pair), which Algorithm 2's outer
-// loop exploits.
+// loop exploits. dmin is maintained as a delta update in the same pass that
+// touches the weights (paper Lemma 1: adding a machine moves dmin by at
+// most one), so it reads in O(1); the weakest-edge set is derived by one
+// further O(E) scan on first use after a mutation and then memoized,
+// keeping add/remove allocation-free for hot loops that only poll dmin
+// (exhaustive DFS). All passes — build, add, remove, and the lazy scans —
+// are counted by edges_examined() for the incremental-vs-rebuild ablation.
 #pragma once
 
 #include <cstdint>
@@ -56,7 +62,8 @@ class FaultGraph {
     return machines_;
   }
 
-  /// +1 on every edge the machine separates.
+  /// +1 on every edge the machine separates; dmin is re-derived in the same
+  /// single pass (delta update, no extra scan, no allocation).
   void add_machine(const Partition& p);
 
   /// -1 on every edge the machine separates (exact inverse of add_machine;
@@ -66,12 +73,24 @@ class FaultGraph {
   /// Edge weight = the paper's distance d(ti, tj). Requires i != j.
   [[nodiscard]] std::uint32_t weight(std::uint32_t i, std::uint32_t j) const;
 
-  /// Minimum edge weight; kInfinity when fewer than two nodes exist.
-  [[nodiscard]] std::uint32_t dmin() const noexcept;
+  /// Minimum edge weight; kInfinity when fewer than two nodes exist. O(1):
+  /// maintained incrementally by add/remove_machine and build.
+  [[nodiscard]] std::uint32_t dmin() const noexcept { return dmin_; }
 
   /// All edges of weight dmin() — the "weakest edges" driving Algorithm 2.
-  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  /// Derived by one scan on first call after a mutation, then memoized;
+  /// (i, j) lexicographic order. The lazy memo writes mutable state, so
+  /// unlike the other const members this is NOT safe to call concurrently
+  /// on a shared graph.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
   weakest_edges() const;
+
+  /// Cumulative number of edge-weight slots examined by build / add /
+  /// remove / lazy weakest-edge scans since construction — the work metric
+  /// for the incremental-vs-rebuild ablation (bench_ablation_incremental).
+  [[nodiscard]] std::uint64_t edges_examined() const noexcept {
+    return edges_examined_;
+  }
 
   /// All edges with the given weight.
   [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
@@ -90,9 +109,20 @@ class FaultGraph {
            static_cast<std::size_t>(i) * (i + 1) / 2 + (j - i - 1);
   }
 
+  /// Recomputes dmin_ with one serial scan and invalidates the weakest-edge
+  /// cache; used after bulk weight writes (build).
+  void rescan_dmin();
+
   std::uint32_t n_ = 0;
   std::uint32_t machines_ = 0;
   std::vector<std::uint32_t> weights_;  // n*(n-1)/2 entries
+  std::uint32_t dmin_ = kInfinity;
+  // mutable: the lazy weakest-edge derivation is counted too.
+  mutable std::uint64_t edges_examined_ = 0;
+  // Weakest-edge memo, (i, j) lexicographic; re-derived lazily after any
+  // mutation (add/remove/build invalidate it).
+  mutable std::vector<std::pair<std::uint32_t, std::uint32_t>> weakest_;
+  mutable bool weakest_valid_ = false;
 };
 
 }  // namespace ffsm

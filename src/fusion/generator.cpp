@@ -1,6 +1,7 @@
 #include "fusion/generator.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "partition/quotient.hpp"
 #include "util/contracts.hpp"
@@ -51,20 +52,47 @@ FusionResult generate_fusion(const Dfsm& top,
   for (const Partition& p : originals) FFSM_EXPECTS(p.size() == n);
 
   FusionResult result;
-  FaultGraph graph = FaultGraph::build(
-      n, originals, {.pool = options.pool, .parallel = options.parallel});
+  const FaultGraphOptions graph_options{.pool = options.pool,
+                                        .parallel = options.parallel};
+  FaultGraph graph = FaultGraph::build(n, originals, graph_options);
   result.stats.dmin_before = graph.dmin();
+
+  // The memo turns the shared prefix of all descents (every descent starts
+  // at the identity partition) into lookups; a caller-provided cache extends
+  // the sharing across requests (generate_fusion_batch). incremental=false
+  // is the recompute-everything ablation baseline, so it ignores any
+  // supplied cache too.
+  LowerCoverCache local_cache;
+  LowerCoverCache* cache =
+      !options.incremental
+          ? nullptr
+          : (options.cache != nullptr ? options.cache : &local_cache);
 
   LowerCoverOptions cover_options;
   cover_options.pool = options.pool;
   cover_options.parallel = options.parallel;
+  cover_options.cache = cache;
 
   // Outer loop: one fusion machine per iteration until dmin exceeds f.
   // dmin == kInfinity (single-state top) tolerates everything already.
-  while (graph.dmin() != FaultGraph::kInfinity && graph.dmin() <= options.f) {
+  while (true) {
+    if (!options.incremental && result.stats.machines_added > 0) {
+      // Ablation baseline: rebuild G(A ∪ F) from every machine instead of
+      // taking the O(E) delta update add_machine already applied.
+      result.stats.graph_edges_examined += graph.edges_examined();
+      std::vector<Partition> all(originals.begin(), originals.end());
+      all.insert(all.end(), result.partitions.begin(),
+                 result.partitions.end());
+      graph = FaultGraph::build(n, all, graph_options);
+    }
+    if (graph.dmin() == FaultGraph::kInfinity || graph.dmin() > options.f)
+      break;
+
     // Weakest edges are fixed for the whole descent (Lemma 1): the candidate
-    // machine increases dmin iff it separates every one of them.
-    const auto weakest = graph.weakest_edges();
+    // machine increases dmin iff it separates every one of them. One memoized
+    // O(E) derivation per outer iteration — versus a full graph rebuild plus
+    // scan on the non-incremental path.
+    const auto& weakest = graph.weakest_edges();
     FFSM_ASSERT(!weakest.empty());
 
     // Descend from the top of the lattice (identity partition separates all
@@ -72,26 +100,95 @@ FusionResult generate_fusion(const Dfsm& top,
     // argument).
     Partition current = Partition::identity(n);
     while (true) {
-      const std::vector<Partition> cover =
-          lower_cover(top, current, cover_options);
-      result.stats.candidates_examined += cover.size();
+      const std::uint32_t blocks = current.block_count();
+      bool from_cache = false;
+      const auto cover =
+          lower_cover_cached(top, current, cover_options, &from_cache);
+      result.stats.candidates_examined += cover->size();
+      if (from_cache)
+        ++result.stats.cover_cache_hits;
+      else
+        result.stats.closures_evaluated +=
+            static_cast<std::uint64_t>(blocks) * (blocks - 1) / 2;
       std::vector<const Partition*> viable;
-      for (const Partition& c : cover)
+      for (const Partition& c : *cover)
         if (covers_all(c, weakest)) viable.push_back(&c);
       if (viable.empty()) break;
       current = *viable[pick(viable, options.policy)];
       ++result.stats.descent_steps;
     }
 
-    graph.add_machine(current);
+    // The ablation baseline skips the delta update — its loop-top rebuild
+    // recomputes the graph (and dmin) from scratch instead.
+    if (options.incremental) graph.add_machine(current);
     result.partitions.push_back(std::move(current));
     ++result.stats.machines_added;
   }
 
+  result.stats.graph_edges_examined += graph.edges_examined();
   result.stats.dmin_after = graph.dmin();
   FFSM_ENSURES(result.stats.dmin_after == FaultGraph::kInfinity ||
                result.stats.dmin_after > options.f);
   return result;
+}
+
+std::vector<FusionResult> generate_fusion_batch(
+    const Dfsm& top, std::span<const FusionRequest> requests,
+    const BatchOptions& options) {
+  std::vector<FusionResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  LowerCoverCache local_cache;
+  LowerCoverCache* cache =
+      options.cache != nullptr ? options.cache : &local_cache;
+
+  LowerCoverOptions cover_options;
+  cover_options.pool = options.pool;
+  cover_options.parallel = options.parallel;
+  cover_options.cache = cache;
+
+  // Amortize the shared top-machine work once, before fanning out: every
+  // request's first descent step needs the identity partition's lower cover
+  // — the single most expensive cover (B = N blocks) — so computing it here
+  // keeps the workers from duplicating it while the cache is still cold.
+  // Pointless when incremental=false: the per-request runs ignore the cache.
+  if (options.incremental && requests.size() > 1)
+    (void)lower_cover_cached(top, Partition::identity(top.size()),
+                             cover_options);
+
+  // Exceptions must not escape on a pool worker (that terminates the
+  // process — see ThreadPool's exception policy); capture per request and
+  // rethrow the first on the calling thread, so parallel and serial batches
+  // fail identically and FusionService::drain can re-queue.
+  std::vector<std::exception_ptr> errors(requests.size());
+  const auto serve = [&](std::size_t i) {
+    try {
+      GenerateOptions per_request;
+      per_request.f = requests[i].f;
+      per_request.policy = requests[i].policy;
+      // Inner loops stay parallel-capable; when this request is already
+      // running on a pool worker they degrade to inline execution.
+      per_request.parallel = options.parallel;
+      per_request.pool = options.pool;
+      per_request.incremental = options.incremental;
+      per_request.cache = cache;
+      results[i] = generate_fusion(top, requests[i].originals, per_request);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (options.parallel) {
+    ParallelOptions popt;
+    popt.pool = options.pool;
+    popt.serial_threshold = 2;  // requests are coarse-grained
+    parallel_for(0, requests.size(), serve, popt);
+  } else {
+    for (std::size_t i = 0; i < requests.size(); ++i) serve(i);
+  }
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+  return results;
 }
 
 GeneratedBackups generate_backup_machines(const CrossProduct& product,

@@ -51,6 +51,17 @@ struct GenerateOptions {
   /// Fan lower-cover closure evaluation out across the thread pool.
   bool parallel = true;
   ThreadPool* pool = nullptr;
+  /// Incremental engine (default): maintain the fault graph / weakest-edge
+  /// set by delta updates as fusion machines are added (paper Lemma 1) and
+  /// memoize lower covers across outer iterations. When false, every outer
+  /// iteration rebuilds the fault graph from scratch and recomputes every
+  /// closure — the ablation baseline (bench_ablation_incremental). Both
+  /// modes return bit-identical results.
+  bool incremental = true;
+  /// Optional lower-cover memo shared across calls; must be dedicated to
+  /// `top`. nullptr = a private per-call cache. Ignored entirely when
+  /// incremental is false (the ablation baseline memoizes nothing).
+  LowerCoverCache* cache = nullptr;
 };
 
 struct GenerateStats {
@@ -60,6 +71,13 @@ struct GenerateStats {
   std::uint32_t descent_steps = 0;
   /// Total lower-cover candidate partitions examined.
   std::uint64_t candidates_examined = 0;
+  /// Merge closures actually computed (cache misses); the incremental
+  /// engine's saving shows up as candidates_examined >> closures_evaluated.
+  std::uint64_t closures_evaluated = 0;
+  /// Lower-cover calls served entirely from the memo.
+  std::uint64_t cover_cache_hits = 0;
+  /// Fault-graph edge slots examined (build + per-iteration maintenance).
+  std::uint64_t graph_edges_examined = 0;
   std::uint32_t dmin_before = 0;
   std::uint32_t dmin_after = 0;
 };
@@ -89,5 +107,43 @@ struct GeneratedBackups {
 
 [[nodiscard]] GeneratedBackups generate_backup_machines(
     const CrossProduct& product, const GenerateOptions& options = {});
+
+// ---------------------------------------------------------------- batching
+//
+// Many clients asking for backups of machines over the *same* top (the
+// expensive reachable cross product) share almost all of the work: every
+// lattice descent starts at the identity partition of that top, so the
+// lower covers along the shared prefix of the descents — by far the hot
+// path — can be computed once and memoized. generate_fusion_batch runs many
+// (originals, f, policy) requests against one top, fanning requests across
+// the thread pool and sharing one closure cache. Results are bit-identical
+// to per-request generate_fusion calls at any thread count.
+
+/// One client request against the shared top machine.
+struct FusionRequest {
+  /// Originals as closed partitions of the shared top.
+  std::vector<Partition> originals;
+  /// Crash faults to tolerate for this client.
+  std::uint32_t f = 1;
+  DescentPolicy policy = DescentPolicy::kFewestBlocks;
+};
+
+struct BatchOptions {
+  /// Fan requests across the pool (inner loops run inline on the worker).
+  bool parallel = true;
+  ThreadPool* pool = nullptr;
+  /// Incremental per-request engine (see GenerateOptions::incremental).
+  bool incremental = true;
+  /// Closure memo shared by all requests; nullptr = a per-batch cache.
+  /// Passing a persistent cache amortizes work across successive batches
+  /// (see sim::FusionService).
+  LowerCoverCache* cache = nullptr;
+};
+
+/// Runs Algorithm 2 for every request against `top`. results[i] corresponds
+/// to requests[i].
+[[nodiscard]] std::vector<FusionResult> generate_fusion_batch(
+    const Dfsm& top, std::span<const FusionRequest> requests,
+    const BatchOptions& options = {});
 
 }  // namespace ffsm

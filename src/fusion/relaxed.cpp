@@ -38,7 +38,8 @@ RelaxedResult generate_relaxed_fusion(const Dfsm& top,
   cover_options.parallel = options.parallel;
 
   while (graph.dmin() != FaultGraph::kInfinity && graph.dmin() <= options.f) {
-    const auto weakest = graph.weakest_edges();
+    // Reference into the graph's memo; valid until the add_machine below.
+    const auto& weakest = graph.weakest_edges();
     FFSM_ASSERT(!weakest.empty());
     const auto target = static_cast<std::size_t>(std::max<double>(
         1.0, std::ceil(options.coverage_fraction *

@@ -8,6 +8,56 @@
 
 namespace ffsm {
 
+std::shared_ptr<const LowerCoverCache::Cover> LowerCoverCache::find(
+    const Partition& p) const {
+  {
+    const std::shared_lock lock(mutex_);
+    const auto it = map_.find(p);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+std::shared_ptr<const LowerCoverCache::Cover> LowerCoverCache::insert(
+    const Partition& p, std::shared_ptr<const Cover> cover) {
+  const std::unique_lock lock(mutex_);
+  // First writer wins so concurrent computations of the same cover agree on
+  // one shared value (they are identical anyway — the computation is
+  // deterministic).
+  return map_.try_emplace(p, std::move(cover)).first->second;
+}
+
+std::size_t LowerCoverCache::size() const {
+  const std::shared_lock lock(mutex_);
+  return map_.size();
+}
+
+void LowerCoverCache::clear() {
+  const std::unique_lock lock(mutex_);
+  map_.clear();
+}
+
+std::shared_ptr<const LowerCoverCache::Cover> lower_cover_cached(
+    const Dfsm& machine, const Partition& p, const LowerCoverOptions& options,
+    bool* from_cache) {
+  if (from_cache != nullptr) *from_cache = false;
+  if (options.cache != nullptr) {
+    if (auto cached = options.cache->find(p)) {
+      if (from_cache != nullptr) *from_cache = true;
+      return cached;
+    }
+  }
+  auto computed = std::make_shared<const LowerCoverCache::Cover>(
+      lower_cover(machine, p, options));
+  if (options.cache != nullptr)
+    return options.cache->insert(p, std::move(computed));
+  return computed;
+}
+
 std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
                                    const LowerCoverOptions& options) {
   FFSM_EXPECTS(p.size() == machine.size());

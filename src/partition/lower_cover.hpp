@@ -8,8 +8,20 @@
 //
 // Complexity: O(B^2) closures for B blocks, each O(N * |Sigma| * alpha);
 // the closures are independent, so they fan out across the thread pool.
+//
+// A lower cover depends only on (machine, p) — not on which originals or
+// fault graph drove the caller there — so results are memoizable across
+// Algorithm 2's outer iterations and across whole batches of fusion
+// requests sharing one top machine. LowerCoverCache provides that shared,
+// thread-safe memo; every descent restarts from the identity partition, so
+// the cache turns the shared prefix of all descents into O(1) lookups.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "fsm/dfsm.hpp"
@@ -18,12 +30,49 @@
 
 namespace ffsm {
 
+/// Thread-safe memo of lower covers keyed by the partition descended from.
+/// One cache instance must only ever be used with a single machine (the
+/// cache does not key on it); generate_fusion_batch enforces this by
+/// construction.
+class LowerCoverCache {
+ public:
+  using Cover = std::vector<Partition>;
+
+  /// Cached cover for `p`, or nullptr on miss.
+  [[nodiscard]] std::shared_ptr<const Cover> find(const Partition& p) const;
+
+  /// Inserts (first writer wins) and returns the cached value.
+  std::shared_ptr<const Cover> insert(const Partition& p,
+                                      std::shared_ptr<const Cover> cover);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Lifetime lookup counters (monotonic, approximate under contention).
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Partition, std::shared_ptr<const Cover>, PartitionHash>
+      map_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
 struct LowerCoverOptions {
   /// Evaluate block-pair closures in parallel on this pool (nullptr =
   /// global pool). Parallelism only kicks in past ParallelOptions'
   /// serial threshold of pairs.
   ThreadPool* pool = nullptr;
   bool parallel = true;
+  /// Optional memo shared across calls (and threads). Must only ever see
+  /// partitions of one machine.
+  LowerCoverCache* cache = nullptr;
 };
 
 /// Maximal closed partitions strictly below `p` on `machine`'s transition
@@ -32,5 +81,14 @@ struct LowerCoverOptions {
 [[nodiscard]] std::vector<Partition> lower_cover(
     const Dfsm& machine, const Partition& p,
     const LowerCoverOptions& options = {});
+
+/// Cache-aware variant: consults options.cache (when set) before computing
+/// and shares the result without copying the cover. When `from_cache` is
+/// non-null it is set to whether this call was served by the cache — a
+/// per-call signal that stays exact when many threads share one cache
+/// (unlike deltas of the cache's global counters).
+[[nodiscard]] std::shared_ptr<const LowerCoverCache::Cover> lower_cover_cached(
+    const Dfsm& machine, const Partition& p,
+    const LowerCoverOptions& options = {}, bool* from_cache = nullptr);
 
 }  // namespace ffsm

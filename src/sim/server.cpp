@@ -24,4 +24,73 @@ void Server::restore(State correct_state) {
   state_ = correct_state;
 }
 
+FusionService::FusionService(Dfsm top, FusionServiceOptions options)
+    : top_(std::move(top)), options_(options) {}
+
+std::uint64_t FusionService::submit(std::string client,
+                                    FusionRequest request) {
+  for (const Partition& p : request.originals)
+    FFSM_EXPECTS(p.size() == top_.size());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t ticket = next_ticket_++;
+  queue_.push_back({ticket, std::move(client), std::move(request)});
+  ++stats_.requests_submitted;
+  return ticket;
+}
+
+std::size_t FusionService::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::vector<FusionService::Response> FusionService::drain() {
+  std::vector<Pending> batch;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch.swap(queue_);
+  }
+  if (batch.empty()) return {};
+
+  std::vector<FusionRequest> requests;
+  requests.reserve(batch.size());
+  for (Pending& p : batch) requests.push_back(std::move(p.request));
+
+  BatchOptions batch_options;
+  batch_options.parallel = options_.parallel;
+  batch_options.pool = options_.pool;
+  batch_options.incremental = options_.incremental;
+  batch_options.cache = &cache_;
+  std::vector<FusionResult> results;
+  try {
+    results = generate_fusion_batch(top_, requests, batch_options);
+  } catch (...) {
+    // Don't lose the drained requests: put them back (ahead of anything
+    // submitted meanwhile, preserving ticket order) and let the caller see
+    // the failure.
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      batch[i].request = std::move(requests[i]);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.insert(queue_.begin(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+    throw;
+  }
+
+  std::vector<Response> responses;
+  responses.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    responses.push_back({batch[i].ticket, std::move(batch[i].client),
+                         std::move(results[i])});
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.requests_served += responses.size();
+    ++stats_.batches_served;
+  }
+  return responses;
+}
+
+FusionService::Stats FusionService::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 }  // namespace ffsm

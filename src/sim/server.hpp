@@ -8,10 +8,15 @@
 // only the *current state* is lost or corrupted).
 #pragma once
 
+#include <cstdint>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "fsm/dfsm.hpp"
+#include "fusion/generator.hpp"
 
 namespace ffsm {
 
@@ -44,6 +49,80 @@ class Server {
  private:
   Dfsm machine_;
   std::optional<State> state_;
+};
+
+// ----------------------------------------------------------- FusionService
+//
+// The first multi-client scenario: a service that owns one top machine
+// (the expensive reachable cross product) and serves fusion-generation
+// requests from many clients. Clients submit (originals, f, policy)
+// requests at any time from any thread; drain() serves everything queued as
+// one generate_fusion_batch call, so concurrent clients share the lattice
+// work through the service's persistent closure cache — both within a batch
+// and across successive batches.
+
+struct FusionServiceOptions {
+  /// Fan queued requests across the pool when serving a batch.
+  bool parallel = true;
+  ThreadPool* pool = nullptr;
+  /// Per-request engine mode (see GenerateOptions::incremental).
+  bool incremental = true;
+};
+
+class FusionService {
+ public:
+  /// A served request, in submission (ticket) order.
+  struct Response {
+    std::uint64_t ticket = 0;
+    std::string client;
+    FusionResult result;
+  };
+
+  /// Lifetime counters.
+  struct Stats {
+    std::uint64_t requests_submitted = 0;
+    std::uint64_t requests_served = 0;
+    std::uint64_t batches_served = 0;
+  };
+
+  explicit FusionService(Dfsm top, FusionServiceOptions options = {});
+
+  [[nodiscard]] const Dfsm& top() const noexcept { return top_; }
+
+  /// Queues a request; thread-safe. Every partition in `request.originals`
+  /// must partition top()'s states. Returns the ticket identifying the
+  /// response.
+  std::uint64_t submit(std::string client, FusionRequest request);
+
+  /// Number of queued, not yet served requests; thread-safe.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Serves every queued request as one batch and returns the responses in
+  /// ticket order. Thread-safe; concurrent submits land in the next batch.
+  std::vector<Response> drain();
+
+  [[nodiscard]] Stats stats() const;
+
+  /// The persistent cross-batch closure memo (exposed for diagnostics; see
+  /// ROADMAP "cross-request closure cache eviction").
+  [[nodiscard]] const LowerCoverCache& cache() const noexcept {
+    return cache_;
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t ticket;
+    std::string client;
+    FusionRequest request;
+  };
+
+  Dfsm top_;
+  FusionServiceOptions options_;
+  LowerCoverCache cache_;
+  mutable std::mutex mutex_;       // guards queue_, next_ticket_, stats_
+  std::vector<Pending> queue_;
+  std::uint64_t next_ticket_ = 1;
+  Stats stats_;
 };
 
 }  // namespace ffsm

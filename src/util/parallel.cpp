@@ -19,6 +19,41 @@ struct ThreadPool::Batch {
   const std::function<void(std::size_t)>* fn = nullptr;
 };
 
+namespace {
+
+// Stack of pools whose batches the calling thread is currently executing
+// (outermost first). A linked list of stack nodes rather than a single
+// pointer: same-thread re-entrancy must be detected across pools too
+// (A -> B -> A on one thread), or the innermost call would fan out and
+// deadlock on A's submission lock, which A's original submitter holds while
+// waiting for this very worker. Note the stack is per-thread by design —
+// chains that hop through *another pool's workers* (A's worker submits to
+// B, B's worker submits back to A) are not detectable this way and are
+// unsupported; see the header.
+struct PoolScopeNode {
+  const ThreadPool* pool;
+  PoolScopeNode* prev;
+};
+
+thread_local PoolScopeNode* tl_pool_stack = nullptr;
+
+struct CurrentPoolScope {
+  explicit CurrentPoolScope(const ThreadPool* pool)
+      : node{pool, tl_pool_stack} {
+    tl_pool_stack = &node;
+  }
+  ~CurrentPoolScope() { tl_pool_stack = node.prev; }
+  PoolScopeNode node;
+};
+
+}  // namespace
+
+bool ThreadPool::on_this_pool() const noexcept {
+  for (const PoolScopeNode* n = tl_pool_stack; n != nullptr; n = n->prev)
+    if (n->pool == this) return true;
+  return false;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -55,10 +90,14 @@ void ThreadPool::worker_loop() {
     ++active_workers_;
     lock.unlock();
 
-    while (true) {
-      const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= batch->chunks) break;
-      (*batch->fn)(i);
+    {
+      const CurrentPoolScope scope(this);
+      while (true) {
+        const std::size_t i =
+            batch->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch->chunks) break;
+        (*batch->fn)(i);
+      }
     }
 
     lock.lock();
@@ -70,34 +109,51 @@ void ThreadPool::run_chunks(std::size_t chunks,
                             const std::function<void(std::size_t)>& fn) {
   FFSM_EXPECTS(fn != nullptr);
   if (chunks == 0) return;
-  if (workers_.empty() || chunks == 1) {
+  // Nested call from a task already running on this pool: the pool's
+  // workers are busy with the enclosing batch, so fan-out would deadlock.
+  // Run inline on the calling thread instead.
+  if (workers_.empty() || chunks == 1 || on_this_pool()) {
     for (std::size_t i = 0; i < chunks; ++i) fn(i);
     return;
   }
+
+  // One external batch at a time; concurrent submitters queue here.
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
 
   Batch batch;
   batch.chunks = chunks;
   batch.fn = &fn;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    FFSM_ASSERT(batch_ == nullptr);  // run_chunks is not re-entrant
+    FFSM_ASSERT(batch_ == nullptr);  // guaranteed by submit_mutex_
     batch_ = &batch;
     ++generation_;
   }
   work_ready_.notify_all();
 
+  // Retire the batch on every exit path, including unwind: if fn throws in
+  // the caller's participation loop below, workers may still be claiming
+  // chunks from the stack-allocated Batch — it must stay published until
+  // every attached worker detached, or they read freed stack memory.
+  struct Retire {
+    ThreadPool* pool;
+    ~Retire() {
+      std::unique_lock<std::mutex> lock(pool->mutex_);
+      pool->batch_done_.wait(lock,
+                             [this] { return pool->active_workers_ == 0; });
+      pool->batch_ = nullptr;
+    }
+  } retire{this};
+
   // The caller participates too; when this loop exits every chunk has been
   // claimed (not necessarily finished — workers may still be running).
-  while (true) {
-    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch.chunks) break;
-    fn(i);
-  }
-
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    batch_done_.wait(lock, [this] { return active_workers_ == 0; });
-    batch_ = nullptr;
+    const CurrentPoolScope scope(this);
+    while (true) {
+      const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.chunks) break;
+      fn(i);
+    }
   }
 }
 

@@ -12,6 +12,15 @@
 //  * Results must be accumulated deterministically: use per-index output
 //    slots or per-chunk partials merged in index order, never unordered
 //    atomics, so that runs are reproducible regardless of thread count.
+//  * Nested parallelism on one pool degrades gracefully: a parallel_for
+//    issued from inside a task already running on that pool (at any
+//    nesting depth on the calling thread, even through another pool's
+//    batch) executes inline instead of deadlocking, so outer fan-outs
+//    (e.g. generate_fusion_batch over requests) compose with the inner
+//    parallel hot loops without configuration. What is NOT supported is a
+//    cycle through two pools' *workers* — pool A's worker submitting to
+//    pool B whose worker submits back to A blocks on A's submission lock.
+//    Use one pool per independent operation (the library does).
 #pragma once
 
 #include <condition_variable>
@@ -44,8 +53,19 @@ class ThreadPool {
 
   /// Runs fn(chunk_index) for chunk_index in [0, chunks) across the pool and
   /// blocks until all chunks completed. The calling thread participates.
+  ///
+  /// Safe to call concurrently from multiple external threads (batches are
+  /// serialized on an internal submission lock) and safe to call from inside
+  /// a task running on this pool (the nested batch runs inline on the
+  /// calling worker).
   void run_chunks(std::size_t chunks,
                   const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is executing a task on this pool anywhere
+  /// in its nesting stack (worker or participating submitter, even through
+  /// an intervening batch on another pool). Nested run_chunks calls from
+  /// such a thread execute inline.
+  [[nodiscard]] bool on_this_pool() const noexcept;
 
   /// Process-wide default pool (lazily constructed, hardware concurrency).
   static ThreadPool& global();
@@ -55,6 +75,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;          // serializes external batches
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;

@@ -184,5 +184,55 @@ TEST(FaultGraph, WeightNeverExceedsMachineCount) {
       EXPECT_LE(g.weight(i, j), machines.size());
 }
 
+TEST(FaultGraph, DminAndWeakestEdgesMaintainedAcrossAddRemove) {
+  const CanonicalExample ex;
+  FaultGraph g = FaultGraph::build(4, ex.originals());
+  const std::uint32_t dmin_before = g.dmin();
+  const auto weakest_before = g.weakest_edges();
+
+  g.add_machine(ex.p_m1);
+  // The delta pass must agree with a from-scratch build at every step.
+  const FaultGraph fresh =
+      FaultGraph::build(4, std::vector<Partition>{ex.p_a, ex.p_b, ex.p_m1});
+  EXPECT_EQ(g.dmin(), fresh.dmin());
+  EXPECT_EQ(g.weakest_edges(), fresh.weakest_edges());
+
+  g.remove_machine(ex.p_m1);
+  EXPECT_EQ(g.dmin(), dmin_before);
+  EXPECT_EQ(g.weakest_edges(), weakest_before);
+}
+
+TEST(FaultGraph, EdgesExaminedCountsBuildAndDeltas) {
+  const CanonicalExample ex;
+  FaultGraph g = FaultGraph::build(4, ex.originals());
+  // (2 machine passes + 1 dmin rescan) x C(4,2) edges.
+  EXPECT_EQ(g.edges_examined(), 3u * 6u);
+  g.add_machine(ex.p_m1);
+  EXPECT_EQ(g.edges_examined(), 3u * 6u + 6u);
+  g.remove_machine(ex.p_m1);
+  EXPECT_EQ(g.edges_examined(), 3u * 6u + 12u);
+  // The lazy weakest-edge derivation is one more counted O(E) scan,
+  // memoized until the next mutation.
+  (void)g.weakest_edges();
+  EXPECT_EQ(g.edges_examined(), 3u * 6u + 18u);
+  (void)g.weakest_edges();
+  EXPECT_EQ(g.edges_examined(), 3u * 6u + 18u);
+}
+
+TEST(FaultGraph, WeakestEdgesInLexicographicOrder) {
+  const CanonicalExample ex;
+  FaultGraph g = FaultGraph::build(4, ex.originals());
+  // The memoized derivation must produce (i, j) lexicographic order both
+  // after build and after delta updates — descent determinism depends on
+  // it.
+  auto check_sorted = [](const auto& edges) {
+    for (std::size_t k = 1; k < edges.size(); ++k)
+      EXPECT_LT(edges[k - 1], edges[k]);
+  };
+  check_sorted(g.weakest_edges());
+  g.add_machine(ex.p_m1);
+  check_sorted(g.weakest_edges());
+}
+
 }  // namespace
 }  // namespace ffsm

@@ -143,5 +143,31 @@ TEST_P(LowerCoverVsLattice, MatchesLatticeDefinition) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LowerCoverVsLattice,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+TEST(LowerCoverCache, MemoizesWithoutChangingResults) {
+  const ffsm::testing::CanonicalExample ex;
+  LowerCoverCache cache;
+  LowerCoverOptions options;
+  options.cache = &cache;
+
+  const auto cached = lower_cover_cached(ex.top, ex.p_a, options);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cached, lower_cover(ex.top, ex.p_a));
+
+  // Second lookup: same shared value, no recomputation.
+  const auto again = lower_cover_cached(ex.top, ex.p_a, options);
+  EXPECT_EQ(again.get(), cached.get());
+  EXPECT_EQ(cache.hits(), 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LowerCoverCache, NullCacheStillComputes) {
+  const ffsm::testing::CanonicalExample ex;
+  const auto cover = lower_cover_cached(ex.top, ex.p_a);
+  EXPECT_EQ(*cover, lower_cover(ex.top, ex.p_a));
+}
+
 }  // namespace
 }  // namespace ffsm

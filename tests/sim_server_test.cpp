@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "fsm/machine_catalog.hpp"
+#include "fsm/product.hpp"
 #include "sim/event_source.hpp"
 #include "sim/fault_injector.hpp"
+#include "test_support.hpp"
 #include "util/contracts.hpp"
 
 namespace ffsm {
@@ -148,6 +152,119 @@ TEST(FaultPlan, TooManyFaultsRejected) {
   spec.crashes = 2;
   spec.byzantine = 1;
   EXPECT_THROW((void)plan_faults(spec), ContractViolation);
+}
+
+// --------------------------------------------------------- FusionService
+
+/// The 64-state product of two catalog counters plus a service over its
+/// top — one construction shared by every FusionService test.
+struct ServiceFixture {
+  CrossProduct product = ffsm::testing::counter_pair_product();
+  std::vector<Partition> originals =
+      ffsm::testing::component_partitions(product);
+
+  FusionService make_service(FusionServiceOptions options = {}) const {
+    return FusionService(product.top, options);
+  }
+};
+
+TEST(FusionService, ServesMultipleClientsInTicketOrder) {
+  const ServiceFixture fx;
+  FusionService service = fx.make_service();
+  const auto& originals = fx.originals;
+
+  FusionRequest r1{originals, 1, DescentPolicy::kFewestBlocks};
+  FusionRequest r2{originals, 2, DescentPolicy::kFewestBlocks};
+  const std::uint64_t t1 = service.submit("alice", r1);
+  const std::uint64_t t2 = service.submit("bob", r2);
+  EXPECT_LT(t1, t2);
+  EXPECT_EQ(service.pending(), 2u);
+
+  const auto responses = service.drain();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(service.pending(), 0u);
+  EXPECT_EQ(responses[0].ticket, t1);
+  EXPECT_EQ(responses[0].client, "alice");
+  EXPECT_EQ(responses[1].ticket, t2);
+  EXPECT_EQ(responses[1].client, "bob");
+
+  // Each response matches a direct serial generate_fusion call.
+  for (const auto& [request, response] :
+       {std::pair{r1, responses[0]}, std::pair{r2, responses[1]}}) {
+    GenerateOptions single;
+    single.f = request.f;
+    single.policy = request.policy;
+    single.parallel = false;
+    const FusionResult expected =
+        generate_fusion(service.top(), request.originals, single);
+    EXPECT_EQ(response.result.partitions, expected.partitions);
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_submitted, 2u);
+  EXPECT_EQ(stats.requests_served, 2u);
+  EXPECT_EQ(stats.batches_served, 1u);
+}
+
+TEST(FusionService, DrainOnEmptyQueueIsANoop) {
+  FusionService service = ServiceFixture().make_service();
+  EXPECT_TRUE(service.drain().empty());
+  EXPECT_EQ(service.stats().batches_served, 0u);
+}
+
+TEST(FusionService, CacheCarriesAcrossBatches) {
+  const ServiceFixture fx;
+  FusionService service = fx.make_service();
+  const auto& originals = fx.originals;
+
+  service.submit("c1", {originals, 2, DescentPolicy::kFewestBlocks});
+  const auto first = service.drain();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_GT(first[0].result.stats.closures_evaluated, 0u);
+
+  // Identical request in a second batch: the persistent cache means no new
+  // closure evaluations at all.
+  service.submit("c2", {originals, 2, DescentPolicy::kFewestBlocks});
+  const auto second = service.drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].result.stats.closures_evaluated, 0u);
+  EXPECT_EQ(second[0].result.partitions, first[0].result.partitions);
+  EXPECT_GT(service.cache().hits(), 0u);
+}
+
+TEST(FusionService, ConcurrentSubmittersAllGetServed) {
+  ThreadPool pool(4);
+  FusionServiceOptions options;
+  options.pool = &pool;
+  const ServiceFixture fx;
+  FusionService service = fx.make_service(options);
+  const auto& originals = fx.originals;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c)
+    clients.emplace_back([&service, &originals, c] {
+      FusionRequest r;
+      r.originals = originals;
+      r.f = 1 + static_cast<std::uint32_t>(c % 3);
+      service.submit("client" + std::to_string(c), r);
+    });
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(service.pending(), 6u);
+
+  const auto responses = service.drain();
+  ASSERT_EQ(responses.size(), 6u);
+  for (std::size_t i = 1; i < responses.size(); ++i)
+    EXPECT_LT(responses[i - 1].ticket, responses[i].ticket);
+  for (const auto& response : responses)
+    EXPECT_GT(response.result.stats.dmin_after, 0u);
+}
+
+TEST(FusionService, RejectsMismatchedPartitionSize) {
+  FusionService service = ServiceFixture().make_service();
+  FusionRequest bad;
+  bad.originals = {Partition::identity(3)};  // top has 64 states
+  EXPECT_THROW((void)service.submit("c", std::move(bad)),
+               ContractViolation);
 }
 
 TEST(FaultPlan, DeterministicForSeed) {

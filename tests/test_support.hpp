@@ -21,6 +21,25 @@ inline Partition pt(std::initializer_list<std::uint32_t> assignment) {
   return Partition(std::vector<std::uint32_t>(assignment));
 }
 
+/// Two catalog mod-k counters crossed into a k*k-state top — the standard
+/// "large enough that the parallel paths engage" fixture for engine tests.
+inline CrossProduct counter_pair_product(std::uint32_t k = 8) {
+  auto alphabet = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mod_counter(alphabet, "A", k, "0"));
+  machines.push_back(make_mod_counter(alphabet, "B", k, "1"));
+  return reachable_cross_product(machines);
+}
+
+/// The product's originals as closed partitions of its top.
+inline std::vector<Partition> component_partitions(const CrossProduct& cp) {
+  std::vector<Partition> out;
+  out.reserve(cp.machine_count());
+  for (std::uint32_t i = 0; i < cp.machine_count(); ++i)
+    out.emplace_back(cp.component_assignment(i));
+  return out;
+}
+
 /// The reconstructed running example of the paper (DESIGN.md section 2).
 /// All partitions use the paper's top-state numbering t0..t3, i.e. they
 /// partition make_paper_top()'s states.

@@ -144,5 +144,38 @@ TEST(GlobalPool, IsSingleton) {
   EXPECT_GE(ThreadPool::global().thread_count() + 1, 1u);
 }
 
+TEST(ThreadPool, NestedRunChunksExecutesInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> outer(16);
+  std::vector<std::atomic<int>> inner(16 * 8);
+  pool.run_chunks(16, [&](std::size_t i) {
+    ++outer[i];
+    EXPECT_TRUE(pool.on_this_pool());
+    // A task fanning out on its own pool must not deadlock; the nested
+    // batch runs inline on this worker.
+    pool.run_chunks(8, [&, i](std::size_t j) { ++inner[i * 8 + j]; });
+  });
+  for (auto& h : outer) EXPECT_EQ(h.load(), 1);
+  for (auto& h : inner) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(pool.on_this_pool());
+}
+
+TEST(ThreadPool, ConcurrentExternalBatchesAreSerialized) {
+  ThreadPool pool(3);
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kChunks = 128;
+  std::vector<std::vector<std::atomic<int>>> hits(kSubmitters);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kChunks);
+
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kSubmitters; ++t)
+    submitters.emplace_back([&, t] {
+      pool.run_chunks(kChunks, [&, t](std::size_t i) { ++hits[t][i]; });
+    });
+  for (auto& s : submitters) s.join();
+  for (auto& per_thread : hits)
+    for (auto& h : per_thread) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace ffsm

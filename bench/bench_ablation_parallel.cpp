@@ -73,6 +73,40 @@ void report() {
   }
   std::printf("%s\n", table.to_string().c_str());
 
+  // Dedup/maximality post-pass ablation: the pre-refactor serial
+  // unordered_set dedup + O(k^2) maximality scan against the sharded-hash
+  // parallel dedup + pool-parallel maximality filter, on the same
+  // closures. This was the serial bottleneck capping lower-cover scaling
+  // (Amdahl) before the refactor; covers must stay bit-identical.
+  std::printf("== Ablation: serial vs sharded dedup/maximality ==\n");
+  {
+    ThreadPool pool(8);
+    LowerCoverOptions serial_dedup;
+    serial_dedup.pool = &pool;
+    serial_dedup.sharded_dedup = false;
+    LowerCoverOptions sharded_dedup;
+    sharded_dedup.pool = &pool;
+    sharded_dedup.sharded_dedup = true;
+
+    std::vector<Partition> serial_result;
+    std::vector<Partition> sharded_result;
+    const double serial_ms = json.measure_ms(
+        "dedup_serial_t8",
+        [&] { serial_result = lower_cover(top, identity, serial_dedup); }, 3,
+        1);
+    const double sharded_ms = json.measure_ms(
+        "dedup_sharded_t8",
+        [&] { sharded_result = lower_cover(top, identity, sharded_dedup); },
+        3, 1);
+    bench::require(serial_result == sharded_result,
+                   "sharded dedup emits bit-identical covers");
+    const double speedup = sharded_ms > 0 ? serial_ms / sharded_ms : 0.0;
+    std::printf("lower_cover(256-top) @8 threads: serial dedup %.2f ms, "
+                "sharded dedup %.2f ms (%.2fx)\n\n",
+                serial_ms, sharded_ms, speedup);
+    json.add_metric("dedup", "sharded_speedup_t8", speedup);
+  }
+
   // Batched multi-client fan-out: many fusion requests sharing one top,
   // served by generate_fusion_batch with a shared closure cache, against
   // the same requests served one by one without sharing.
@@ -133,6 +167,22 @@ void lower_cover_threads(benchmark::State& state) {
 BENCHMARK(lower_cover_threads)
     ->RangeMultiplier(2)
     ->Range(1, 16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void lower_cover_dedup_mode(benchmark::State& state) {
+  const Dfsm top = big_counter_top();
+  const Partition identity = Partition::identity(top.size());
+  ThreadPool pool(8);
+  LowerCoverOptions options;
+  options.pool = &pool;
+  options.sharded_dedup = state.range(0) != 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lower_cover(top, identity, options));
+  state.SetLabel(options.sharded_dedup ? "sharded" : "serial");
+}
+BENCHMARK(lower_cover_dedup_mode)
+    ->DenseRange(0, 1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

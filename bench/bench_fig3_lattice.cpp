@@ -49,7 +49,9 @@ void enumerate_random(benchmark::State& state) {
   }
   state.counters["lattice_nodes"] = static_cast<double>(nodes);
 }
-BENCHMARK(enumerate_random)->DenseRange(4, 10, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(enumerate_random)
+    ->DenseRange(4, 10, 2)
+    ->Unit(benchmark::kMillisecond);
 
 void lower_cover_of_top(benchmark::State& state) {
   // The inner-loop primitive of Algorithm 2, on an n-state identity

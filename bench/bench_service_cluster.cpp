@@ -1,0 +1,180 @@
+// Multi-tenant cluster workload: many clients x several top machines x
+// bounded per-shard closure caches, served by a FusionCluster fanning
+// shard drains across one pool. Doubles as a large-workload regression
+// test: bounded-cache runs must serve bit-identical results to the
+// unbounded run while every shard cache respects its capacity — both are
+// hard-asserted here, so a violation fails CI.
+#include "bench_support.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ffsm;
+
+struct Workload {
+  std::vector<std::string> keys;
+  std::vector<CrossProduct> products;
+  std::vector<std::vector<Partition>> originals;
+};
+
+/// Several distinct tops: counter pair products of increasing size (64,
+/// 100, 144 states).
+Workload make_workload() {
+  Workload w;
+  for (const std::uint32_t k : {8u, 10u, 12u}) {
+    w.keys.push_back("top" + std::to_string(k));
+    w.products.push_back(bench::counter_pair_product(k));
+    w.originals.push_back(bench::original_partitions(w.products.back()));
+  }
+  return w;
+}
+
+std::unique_ptr<FusionCluster> make_cluster(const Workload& w,
+                                            ThreadPool* pool,
+                                            LowerCoverCacheConfig config) {
+  FusionClusterOptions options;
+  options.shards = 3;
+  options.pool = pool;
+  options.cache_config = config;
+  auto cluster = std::make_unique<FusionCluster>(options);
+  for (std::size_t t = 0; t < w.keys.size(); ++t)
+    cluster->add_top(w.keys[t], w.products[t].top);
+  return cluster;
+}
+
+/// 8 clients per top, f cycling 1..3, both descent policies.
+void submit_clients(FusionCluster& cluster, const Workload& w) {
+  for (std::size_t t = 0; t < w.keys.size(); ++t)
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      FusionRequest request;
+      request.originals = w.originals[t];
+      request.f = 1 + c % 3;
+      request.policy = c % 2 == 0 ? DescentPolicy::kFewestBlocks
+                                  : DescentPolicy::kMostBlocks;
+      cluster.submit(w.keys[t], "client" + std::to_string(c),
+                     std::move(request));
+    }
+}
+
+void report() {
+  bench::JsonReporter json("service_cluster");
+  std::printf("== Service cluster: clients x tops x bounded caches ==\n");
+  const Workload w = make_workload();
+  ThreadPool pool(8);
+  const std::size_t clients = 8 * w.keys.size();
+
+  struct Config {
+    const char* name;
+    LowerCoverCacheConfig cache;
+  };
+  const Config configs[] = {
+      {"unbounded", {CacheEvictionPolicy::kUnbounded, 0}},
+      {"lru_cap16", {CacheEvictionPolicy::kLru, 16}},
+      {"lru_cap4", {CacheEvictionPolicy::kLru, 4}},
+      {"epoch_cap16", {CacheEvictionPolicy::kEpoch, 16}},
+  };
+
+  std::vector<std::vector<Partition>> baseline;  // unbounded responses
+  TextTable table({"cache", "cold drain ms", "warm drain ms",
+                   "cache entries", "evictions", "hit rate %"});
+  for (const Config& config : configs) {
+    // Cold: fresh cluster, first drain computes everything. Warm: same
+    // clients resubmitted, descents served from whatever survived the
+    // bound.
+    auto cluster = make_cluster(w, &pool, config.cache);
+    submit_clients(*cluster, w);
+    double cold_ms = 0.0;
+    std::vector<FusionCluster::Response> responses;
+    {
+      WallTimer timer;
+      responses = cluster->drain().responses;
+      cold_ms = timer.elapsed_ms();
+    }
+    bench::require(responses.size() == clients,
+                   "every client answered in the cold drain");
+
+    const double warm_ms = json.measure_ms(
+        "warm_drain_" + std::string(config.name),
+        [&] {
+          submit_clients(*cluster, w);
+          const auto report = cluster->drain();
+          bench::require(report.responses.size() == clients,
+                         "every client answered in a warm drain");
+          benchmark::DoNotOptimize(report);
+        },
+        3, 1);
+    json.add_metric(config.name, "cold_drain_ms", cold_ms);
+
+    // Hard acceptance checks: identical results to the unbounded run and
+    // per-service cache occupancy within the configured cap.
+    if (baseline.empty()) {
+      baseline.reserve(responses.size());
+      for (const auto& r : responses) baseline.push_back(r.result.partitions);
+    } else {
+      bench::require(responses.size() == baseline.size(),
+                     "bounded run answers every client");
+      for (std::size_t i = 0; i < responses.size(); ++i)
+        bench::require(responses[i].result.partitions == baseline[i],
+                       "bounded cache serves bit-identical fusions");
+    }
+    if (config.cache.policy != CacheEvictionPolicy::kUnbounded)
+      for (const std::string& key : w.keys)
+        bench::require(
+            cluster->service(key).cache().size() <= config.cache.capacity,
+            "shard cache stays within its configured capacity");
+
+    const auto stats = cluster->stats();
+    const double lookups =
+        static_cast<double>(stats.cache_hits + stats.cache_cold_misses +
+                            stats.cache_eviction_misses);
+    const double hit_rate =
+        lookups > 0 ? 100.0 * static_cast<double>(stats.cache_hits) / lookups
+                    : 0.0;
+    table.add_row({config.name, std::to_string(cold_ms),
+                   std::to_string(warm_ms),
+                   std::to_string(stats.cache_entries),
+                   std::to_string(stats.cache_evictions),
+                   std::to_string(hit_rate)});
+    json.add_metric(config.name, "cache_entries",
+                    static_cast<double>(stats.cache_entries));
+    json.add_metric(config.name, "cache_evictions",
+                    static_cast<double>(stats.cache_evictions));
+    json.add_metric(config.name, "cache_hit_rate", hit_rate);
+    json.add_metric(config.name, "cache_bytes",
+                    static_cast<double>(stats.cache_bytes));
+  }
+  std::printf("%zu clients x %zu tops on %zu shards\n%s\n", std::size_t{8},
+              w.keys.size(), std::size_t{3}, table.to_string().c_str());
+}
+
+void cluster_drain(benchmark::State& state) {
+  // End-to-end drain cost vs shard count (pool fixed at 8 threads).
+  const Workload w = make_workload();
+  ThreadPool pool(8);
+  FusionClusterOptions options;
+  options.shards = static_cast<std::size_t>(state.range(0));
+  options.pool = &pool;
+  options.cache_config = {CacheEvictionPolicy::kLru, 64};
+  FusionCluster cluster(options);
+  for (std::size_t t = 0; t < w.keys.size(); ++t)
+    cluster.add_top(w.keys[t], w.products[t].top);
+  for (auto _ : state) {
+    submit_clients(cluster, w);
+    benchmark::DoNotOptimize(cluster.drain());
+  }
+}
+BENCHMARK(cluster_drain)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+FFSM_BENCH_MAIN(report)

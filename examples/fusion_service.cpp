@@ -1,78 +1,126 @@
-// Multi-client fusion service: many clients, one shared top machine.
+// Multi-tenant fusion cluster: many clients, several shared top machines.
 //
-// A FusionService owns the expensive reachable cross product and serves
-// fusion-generation requests from several clients as batches. The lattice
-// descents of all requests share one closure cache — both inside a batch
-// and across successive batches — so the marginal cost of an extra client
-// collapses to the part of its descent nobody walked before.
+// A FusionCluster owns N shards of FusionService instances, one service
+// per registered top machine (the expensive reachable cross product),
+// with tops consistently hashed onto shards. Clients submit requests
+// against any registered top; drain() fans the shard backlogs out across
+// the thread pool. Every service bounds its closure cache (LRU here), so
+// a long-lived cluster serves an unbounded request stream in bounded
+// memory — an evicted cover is simply recomputed on the next miss.
 //
 // Build & run:  cmake --build build && ./build/fusion_service
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "fsm/machine_catalog.hpp"
 #include "fsm/product.hpp"
 #include "fusion/generator.hpp"
-#include "sim/server.hpp"
+#include "sim/cluster.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+ffsm::CrossProduct counter_top(std::uint32_t k) {
+  using namespace ffsm;
+  auto alphabet = Alphabet::create();
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mod_counter(alphabet, "A", k, "0"));
+  machines.push_back(make_mod_counter(alphabet, "B", k, "1"));
+  return reachable_cross_product(machines);
+}
+
+std::vector<ffsm::Partition> originals_of(const ffsm::CrossProduct& cp) {
+  std::vector<ffsm::Partition> out;
+  for (std::uint32_t i = 0; i < cp.machine_count(); ++i)
+    out.emplace_back(cp.component_assignment(i));
+  return out;
+}
+
+}  // namespace
 
 int main() {
   using namespace ffsm;
 
-  // The shared top: two 12-state catalog counters, 144 product states.
-  auto alphabet = Alphabet::create();
-  std::vector<Dfsm> machines;
-  machines.push_back(make_mod_counter(alphabet, "A", 12, "0"));
-  machines.push_back(make_mod_counter(alphabet, "B", 12, "1"));
-  const CrossProduct cp = reachable_cross_product(machines);
-  std::vector<Partition> originals;
-  for (std::uint32_t i = 0; i < cp.machine_count(); ++i)
-    originals.emplace_back(cp.component_assignment(i));
+  // Three tenants: counter products of 100, 144 and 196 states.
+  ThreadPool pool(8);
+  FusionClusterOptions options;
+  options.shards = 3;
+  options.pool = &pool;
+  options.cache_config = {CacheEvictionPolicy::kLru, 64};
+  FusionCluster cluster(options);
 
-  FusionService service(cp.top);
-  std::printf("service top: %u states\n\n", service.top().size());
+  std::vector<std::string> keys;
+  std::vector<std::vector<Partition>> originals;
+  for (const std::uint32_t k : {10u, 12u, 14u}) {
+    const CrossProduct cp = counter_top(k);
+    const std::string key = "counters-" + std::to_string(k);
+    cluster.add_top(key, cp.top);
+    std::printf("registered %-11s (%3u states) on shard %zu\n", key.c_str(),
+                cp.top.size(), cluster.shard_of(key));
+    keys.push_back(key);
+    originals.push_back(originals_of(cp));
+  }
 
-  // Batch 1: three clients with different tolerance targets.
-  for (const std::uint32_t f : {1u, 2u, 3u})
-    service.submit("client-f" + std::to_string(f), {originals, f});
+  // Batch 1: nine clients spread over the three tops.
+  for (std::size_t t = 0; t < keys.size(); ++t)
+    for (const std::uint32_t f : {1u, 2u, 3u})
+      cluster.submit(keys[t], "tenant" + std::to_string(t) + "-f" +
+                                  std::to_string(f),
+                     {originals[t], f});
 
   WallTimer cold;
-  const auto first = service.drain();
-  std::printf("batch 1 (cold cache): %zu responses in %.1f ms\n",
-              first.size(), cold.elapsed_ms());
-  for (const auto& r : first)
-    std::printf("  %-9s -> %u backup(s), dmin %u -> %u, "
-                "%llu closures evaluated\n",
+  const auto first = cluster.drain();
+  std::printf("\nbatch 1 (cold caches): %zu responses in %.1f ms\n",
+              first.responses.size(), cold.elapsed_ms());
+  for (const auto& r : first.responses)
+    std::printf("  #%llu %-11s %-11s -> %u backup(s), dmin %u -> %u\n",
+                static_cast<unsigned long long>(r.ticket), r.top.c_str(),
                 r.client.c_str(), r.result.stats.machines_added,
-                r.result.stats.dmin_before, r.result.stats.dmin_after,
-                static_cast<unsigned long long>(
-                    r.result.stats.closures_evaluated));
+                r.result.stats.dmin_before, r.result.stats.dmin_after);
 
-  // Batch 2: new clients asking overlapping questions. The persistent
-  // cache means their descents are mostly lookups.
-  service.submit("late-1", {originals, 2});
-  service.submit("late-2", {originals, 3, DescentPolicy::kMostBlocks});
+  // Batch 2: late tenants asking overlapping questions — warm caches make
+  // their descents mostly lookups, within each shard's memory bound.
+  for (std::size_t t = 0; t < keys.size(); ++t)
+    cluster.submit(keys[t], "late" + std::to_string(t),
+                   {originals[t], 2, DescentPolicy::kMostBlocks});
 
   WallTimer warm;
-  const auto second = service.drain();
-  std::printf("\nbatch 2 (warm cache): %zu responses in %.1f ms\n",
-              second.size(), warm.elapsed_ms());
-  for (const auto& r : second)
-    std::printf("  %-9s -> %u backup(s), %llu closures evaluated, "
-                "%llu cover-cache hits\n",
+  const auto second = cluster.drain();
+  std::printf("\nbatch 2 (warm caches): %zu responses in %.1f ms\n",
+              second.responses.size(), warm.elapsed_ms());
+  for (const auto& r : second.responses)
+    std::printf("  #%llu %-11s %-7s -> %u backup(s), %llu cover-cache "
+                "hits\n",
+                static_cast<unsigned long long>(r.ticket), r.top.c_str(),
                 r.client.c_str(), r.result.stats.machines_added,
-                static_cast<unsigned long long>(
-                    r.result.stats.closures_evaluated),
                 static_cast<unsigned long long>(
                     r.result.stats.cover_cache_hits));
 
-  const auto stats = service.stats();
-  std::printf("\nserved %llu requests in %llu batches; cache: %zu covers, "
-              "%llu hits / %llu misses\n",
+  const auto stats = cluster.stats();
+  std::printf("\ncluster: %zu tops on %zu shards; served %llu of %llu "
+              "requests in %llu shard batches\n",
+              stats.tops, stats.shards,
               static_cast<unsigned long long>(stats.requests_served),
-              static_cast<unsigned long long>(stats.batches_served),
-              service.cache().size(),
-              static_cast<unsigned long long>(service.cache().hits()),
-              static_cast<unsigned long long>(service.cache().misses()));
+              static_cast<unsigned long long>(stats.requests_submitted),
+              static_cast<unsigned long long>(stats.shard_batches_served));
+  std::printf("caches:  %zu covers resident (~%zu KiB, cap %zu/top), "
+              "%llu hits / %llu cold + %llu eviction misses, "
+              "%llu evictions\n",
+              stats.cache_entries, stats.cache_bytes / 1024,
+              options.cache_config.capacity,
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_cold_misses),
+              static_cast<unsigned long long>(stats.cache_eviction_misses),
+              static_cast<unsigned long long>(stats.cache_evictions));
+
+  // Per-tenant service view (each top's bounded service is inspectable).
+  for (const std::string& key : keys) {
+    const auto s = cluster.service(key).stats();
+    std::printf("  %-11s cache: %zu entries, %llu hits, %llu evictions\n",
+                key.c_str(), s.cache_entries,
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.cache_evictions));
+  }
   return 0;
 }

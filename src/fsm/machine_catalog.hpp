@@ -63,8 +63,9 @@ namespace ffsm {
 
 /// `bits`-bit shift register over events "0"/"1": 2^bits states holding the
 /// last `bits` inputs. The paper's table row 1 uses 8 states (3 bits).
-[[nodiscard]] Dfsm make_shift_register(const std::shared_ptr<Alphabet>& alphabet,
-                                       std::string name, std::uint32_t bits);
+[[nodiscard]] Dfsm make_shift_register(
+    const std::shared_ptr<Alphabet>& alphabet, std::string name,
+    std::uint32_t bits);
 
 /// Binary divisibility checker ("divider"): state = value of the bit stream
 /// read so far, modulo `divisor`; on bit b, s -> (2s + b) mod divisor.
@@ -110,8 +111,9 @@ namespace ffsm {
 /// unacknowledged sends); "send" saturates at the window, "ack" at zero.
 /// Saturation makes this a genuinely non-group machine — useful stress for
 /// the lattice code paths that counter examples never hit.
-[[nodiscard]] Dfsm make_sliding_window(const std::shared_ptr<Alphabet>& alphabet,
-                                       std::string name, std::uint32_t window);
+[[nodiscard]] Dfsm make_sliding_window(
+    const std::shared_ptr<Alphabet>& alphabet, std::string name,
+    std::uint32_t window);
 
 /// Traffic light: RED -> GREEN -> YELLOW -> RED on "timer"; "emergency"
 /// forces RED from anywhere.

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "util/contracts.hpp"
+#include "util/hash.hpp"
 
 namespace ffsm {
 
@@ -22,12 +23,7 @@ std::uint32_t normalize(std::vector<std::uint32_t>& blocks) {
 
 struct SignatureHash {
   std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept {
-    std::size_t h = 1469598103934665603ull;
-    for (const std::uint32_t s : v) {
-      h ^= s;
-      h *= 1099511628211ull;
-    }
-    return h;
+    return fnv1a(v);
   }
 };
 
@@ -83,7 +79,8 @@ Dfsm moore_minimize(const Dfsm& machine, std::span<const std::uint32_t> labels,
   DfsmBuilder builder(std::move(name),
                       std::const_pointer_cast<Alphabet>(machine.alphabet()));
   builder.states(num_blocks, "m");
-  for (const EventId e : machine.events()) builder.event(machine.alphabet()->name(e));
+  for (const EventId e : machine.events())
+    builder.event(machine.alphabet()->name(e));
   for (std::uint32_t b = 0; b < num_blocks; ++b) {
     const State r = rep[b];
     for (std::uint32_t pos = 0;

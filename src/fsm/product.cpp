@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/contracts.hpp"
+#include "util/hash.hpp"
 
 namespace ffsm {
 
@@ -13,12 +14,7 @@ struct TupleHash {
   std::size_t operator()(const std::vector<State>& v) const noexcept {
     // FNV-1a over the component states; tuples are short, so this is cheap
     // and collision-free enough for the BFS map.
-    std::size_t h = 1469598103934665603ull;
-    for (const State s : v) {
-      h ^= s;
-      h *= 1099511628211ull;
-    }
-    return h;
+    return fnv1a(v);
   }
 };
 
@@ -107,8 +103,8 @@ CrossProduct reachable_cross_product(std::span<const Dfsm> machines,
         const std::uint32_t li = local_index[i][pos];
         scratch[i] = li == kIgnored
                          ? src[i]
-                         : machines[i].step_local(src[i],
-                                                  static_cast<std::uint32_t>(li));
+                         : machines[i].step_local(
+                               src[i], static_cast<std::uint32_t>(li));
       }
       const State dst = intern_tuple(scratch);
       builder.transition(head, events[pos], dst);

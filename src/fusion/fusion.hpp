@@ -4,7 +4,8 @@
 // set F, F is an (f, m)-fusion of A when |F| = m and dmin(A ∪ F) > f
 // (Definition 5). This header provides the predicate plus the counting
 // results around it:
-//   * Theorem 3 — any (m-t)-subset of an (f,m)-fusion is an (f-t, m-t)-fusion;
+//   * Theorem 3 — any (m-t)-subset of an (f,m)-fusion is an (f-t, m-t)-
+//     fusion;
 //   * Theorem 4 — an (f,m)-fusion exists iff m + dmin(A) > f;
 //   * the minimum backup count implied by Theorem 4 is f - dmin(A) + 1
 //     (the paper's Theorem 5 prose says "f - dmin(A)", an off-by-one slip:
@@ -35,8 +36,8 @@ namespace ffsm {
 
 /// Smallest m for which an (f, m)-fusion exists: max(0, f - dmin + 1).
 /// Returns 0 when the originals already tolerate f faults.
-[[nodiscard]] std::uint32_t minimum_fusion_size(std::uint32_t f,
-                                                std::uint32_t dmin_of_originals);
+[[nodiscard]] std::uint32_t minimum_fusion_size(
+    std::uint32_t f, std::uint32_t dmin_of_originals);
 
 /// Crash faults an (f, m)-fusion system survives per Theorem 1 applied to
 /// A ∪ F; provided for symmetric naming with byzantine_capacity.

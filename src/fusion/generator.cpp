@@ -62,7 +62,7 @@ FusionResult generate_fusion(const Dfsm& top,
   // the sharing across requests (generate_fusion_batch). incremental=false
   // is the recompute-everything ablation baseline, so it ignores any
   // supplied cache too.
-  LowerCoverCache local_cache;
+  LowerCoverCache local_cache(options.cache_config);
   LowerCoverCache* cache =
       !options.incremental
           ? nullptr
@@ -138,7 +138,7 @@ std::vector<FusionResult> generate_fusion_batch(
   std::vector<FusionResult> results(requests.size());
   if (requests.empty()) return results;
 
-  LowerCoverCache local_cache;
+  LowerCoverCache local_cache(options.cache_config);
   LowerCoverCache* cache =
       options.cache != nullptr ? options.cache : &local_cache;
 

@@ -62,6 +62,12 @@ struct GenerateOptions {
   /// `top`. nullptr = a private per-call cache. Ignored entirely when
   /// incremental is false (the ablation baseline memoizes nothing).
   LowerCoverCache* cache = nullptr;
+  /// Eviction policy + capacity for the private per-call cache when
+  /// `cache == nullptr`. A bounded cache never changes results: an evicted
+  /// cover is recomputed on the next miss (a descent keeps the cover it is
+  /// currently scanning alive via shared_ptr), so outputs are bit-identical
+  /// at any capacity — only the recompute count varies.
+  LowerCoverCacheConfig cache_config = {};
 };
 
 struct GenerateStats {
@@ -138,6 +144,10 @@ struct BatchOptions {
   /// Passing a persistent cache amortizes work across successive batches
   /// (see sim::FusionService).
   LowerCoverCache* cache = nullptr;
+  /// Bound + eviction policy for the per-batch cache when `cache ==
+  /// nullptr` (see GenerateOptions::cache_config; results never depend on
+  /// capacity).
+  LowerCoverCacheConfig cache_config = {};
 };
 
 /// Runs Algorithm 2 for every request against `top`. results[i] corresponds

@@ -1,5 +1,7 @@
 #include "partition/lower_cover.hpp"
 
+#include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -8,6 +10,20 @@
 
 namespace ffsm {
 
+LowerCoverCache::LowerCoverCache(Config config) : config_(config) {
+  if (config_.policy != CacheEvictionPolicy::kUnbounded)
+    FFSM_EXPECTS(config_.capacity >= 1);
+}
+
+std::size_t LowerCoverCache::entry_bytes(const Partition& key,
+                                         const Cover& cover) {
+  std::size_t bytes = sizeof(Entry) + sizeof(Partition) +
+                      key.size() * sizeof(std::uint32_t);
+  for (const Partition& p : cover)
+    bytes += sizeof(Partition) + p.size() * sizeof(std::uint32_t);
+  return bytes;
+}
+
 std::shared_ptr<const LowerCoverCache::Cover> LowerCoverCache::find(
     const Partition& p) const {
   {
@@ -15,11 +31,76 @@ std::shared_ptr<const LowerCoverCache::Cover> LowerCoverCache::find(
     const auto it = map_.find(p);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      // Recency bump, kLru only: kEpoch/kUnbounded never read last_used,
+      // and skipping the shared clock_ RMW keeps their hit path free of
+      // cross-thread cache-line traffic. A relaxed store suffices —
+      // eviction order only affects which entry gets recomputed later,
+      // never results.
+      if (config_.policy == CacheEvictionPolicy::kLru)
+        it->second->last_used.store(
+            clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+      return it->second->cover;
     }
+    // Classify the miss while still holding the lock: a key evicted
+    // earlier re-missing is eviction pressure, not a cold workload.
+    if (evicted_hashes_.contains(p.hash()))
+      eviction_misses_.fetch_add(1, std::memory_order_relaxed);
+    else
+      cold_misses_.fetch_add(1, std::memory_order_relaxed);
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
+}
+
+void LowerCoverCache::record_eviction_locked(const Partition& key) {
+  // The tombstone set only feeds the eviction-miss counter, so it is
+  // itself bounded: past ~16x capacity it resets, after which re-misses
+  // on long-gone keys count as cold again (the counters are documented
+  // approximate; the cache's memory bound is the hard guarantee).
+  if (evicted_hashes_.size() >=
+      std::max<std::size_t>(4096, 16 * config_.capacity))
+    evicted_hashes_.clear();
+  evicted_hashes_.insert(key.hash());
+}
+
+void LowerCoverCache::make_room_locked() {
+  switch (config_.policy) {
+    case CacheEvictionPolicy::kUnbounded:
+      return;
+    case CacheEvictionPolicy::kLru:
+      // O(capacity) victim scan, but only on a miss that already paid for
+      // a full cover computation (orders of magnitude more work than the
+      // scan); an intrusive LRU list is not worth the hit-path writes.
+      while (map_.size() >= config_.capacity) {
+        auto victim = map_.begin();
+        std::uint64_t oldest =
+            victim->second->last_used.load(std::memory_order_relaxed);
+        for (auto it = std::next(map_.begin()); it != map_.end(); ++it) {
+          const std::uint64_t used =
+              it->second->last_used.load(std::memory_order_relaxed);
+          if (used < oldest) {
+            oldest = used;
+            victim = it;
+          }
+        }
+        record_eviction_locked(victim->first);
+        bytes_.fetch_sub(victim->second->bytes, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        map_.erase(victim);
+      }
+      return;
+    case CacheEvictionPolicy::kEpoch:
+      if (map_.size() >= config_.capacity) {
+        for (const auto& [key, entry] : map_) {
+          record_eviction_locked(key);
+          bytes_.fetch_sub(entry->bytes, std::memory_order_relaxed);
+        }
+        evictions_.fetch_add(map_.size(), std::memory_order_relaxed);
+        epochs_.fetch_add(1, std::memory_order_relaxed);
+        map_.clear();
+      }
+      return;
+  }
 }
 
 std::shared_ptr<const LowerCoverCache::Cover> LowerCoverCache::insert(
@@ -27,8 +108,18 @@ std::shared_ptr<const LowerCoverCache::Cover> LowerCoverCache::insert(
   const std::unique_lock lock(mutex_);
   // First writer wins so concurrent computations of the same cover agree on
   // one shared value (they are identical anyway — the computation is
-  // deterministic).
-  return map_.try_emplace(p, std::move(cover)).first->second;
+  // deterministic). A resident key never triggers eviction.
+  const auto it = map_.find(p);
+  if (it != map_.end()) return it->second->cover;
+
+  make_room_locked();
+  auto entry = std::make_shared<Entry>();
+  entry->cover = std::move(cover);
+  entry->bytes = entry_bytes(p, *entry->cover);
+  entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+  return map_.emplace(p, std::move(entry)).first->second->cover;
 }
 
 std::size_t LowerCoverCache::size() const {
@@ -39,6 +130,8 @@ std::size_t LowerCoverCache::size() const {
 void LowerCoverCache::clear() {
   const std::unique_lock lock(mutex_);
   map_.clear();
+  evicted_hashes_.clear();
+  bytes_.store(0, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const LowerCoverCache::Cover> lower_cover_cached(
@@ -57,6 +150,131 @@ std::shared_ptr<const LowerCoverCache::Cover> lower_cover_cached(
     return options.cache->insert(p, std::move(computed));
   return computed;
 }
+
+namespace {
+
+/// Pre-refactor serial post-pass (ablation baseline): unordered_set dedup
+/// with first-occurrence order, then an O(k^2) serial maximality scan.
+std::vector<Partition> postpass_serial(std::vector<Partition>&& candidates) {
+  std::vector<Partition> unique;
+  {
+    std::unordered_set<std::size_t> seen;
+    for (auto& c : candidates) {
+      // hash()-based pre-filter, exact check on collision.
+      const std::size_t h = c.hash();
+      if (seen.contains(h)) {
+        bool duplicate = false;
+        for (const auto& u : unique)
+          if (u == c) {
+            duplicate = true;
+            break;
+          }
+        if (duplicate) continue;
+      }
+      seen.insert(h);
+      unique.push_back(std::move(c));
+    }
+  }
+
+  // Keep maximal elements: drop q when some other candidate r sits strictly
+  // between q and p (q < r). Every candidate is < p already.
+  std::vector<Partition> result;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < unique.size() && !dominated; ++j)
+      if (i != j && Partition::less(unique[i], unique[j])) dominated = true;
+    if (!dominated) result.push_back(unique[i]);
+  }
+  return result;
+}
+
+/// Sharded-hash parallel dedup + pool-parallel maximality filter. Equal
+/// partitions have equal hashes, so sharding candidates by hash makes the
+/// shards independent: no duplicate pair ever straddles two shards. Each
+/// shard keeps the *lowest* index of every distinct partition it sees, and
+/// re-sorting the surviving indices restores first-occurrence order —
+/// exactly the serial post-pass's output, at any thread count.
+std::vector<Partition> postpass_sharded(std::vector<Partition>&& candidates,
+                                        const LowerCoverOptions& options) {
+  const std::size_t n = candidates.size();
+  ParallelOptions popt;
+  popt.pool = options.pool;
+  popt.serial_threshold = 16;
+
+  std::vector<std::size_t> hashes(n);
+  const auto hash_one = [&](std::size_t i) {
+    hashes[i] = candidates[i].hash();
+  };
+  if (options.parallel) {
+    parallel_for(0, n, hash_one, popt);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) hash_one(i);
+  }
+
+  // Shard count is fixed (not thread-count-derived) so the work split —
+  // and therefore every intermediate — is identical on any pool.
+  constexpr std::size_t kShards = 32;
+  std::vector<std::vector<std::size_t>> survivors(kShards);
+  const auto dedup_shard = [&](std::size_t s) {
+    // hash -> surviving indices with that hash (collision chain).
+    std::unordered_map<std::size_t, std::vector<std::size_t>> by_hash;
+    auto& out = survivors[s];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (hashes[i] % kShards != s) continue;
+      auto& chain = by_hash[hashes[i]];
+      bool duplicate = false;
+      for (const std::size_t j : chain)
+        if (candidates[j] == candidates[i]) {
+          duplicate = true;
+          break;
+        }
+      if (duplicate) continue;
+      chain.push_back(i);
+      out.push_back(i);
+    }
+  };
+  // Each shard scans the whole index range (an integer filter — cheap next
+  // to the closures); tiny inputs stay serial to skip the fan-out cost.
+  if (options.parallel && n >= 64) {
+    ParallelOptions shard_popt = popt;
+    shard_popt.serial_threshold = 2;
+    parallel_for(0, kShards, dedup_shard, shard_popt);
+  } else {
+    for (std::size_t s = 0; s < kShards; ++s) dedup_shard(s);
+  }
+
+  std::vector<std::size_t> order;
+  for (const auto& shard : survivors)
+    order.insert(order.end(), shard.begin(), shard.end());
+  std::sort(order.begin(), order.end());
+
+  std::vector<Partition> unique;
+  unique.reserve(order.size());
+  for (const std::size_t i : order) unique.push_back(std::move(candidates[i]));
+
+  // Maximality: one row per survivor, rows independent.
+  const std::size_t k = unique.size();
+  std::vector<char> dominated(k, 0);
+  const auto scan_row = [&](std::size_t i) {
+    for (std::size_t j = 0; j < k; ++j)
+      if (i != j && Partition::less(unique[i], unique[j])) {
+        dominated[i] = 1;
+        return;
+      }
+  };
+  if (options.parallel) {
+    parallel_for(0, k, scan_row, popt);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) scan_row(i);
+  }
+
+  std::vector<Partition> result;
+  for (std::size_t i = 0; i < k; ++i)
+    if (!dominated[i]) result.push_back(std::move(unique[i]));
+  return result;
+}
+
+}  // namespace
 
 std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
                                    const LowerCoverOptions& options) {
@@ -93,37 +311,9 @@ std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
     for (std::size_t i = 0; i < pairs.size(); ++i) evaluate(i);
   }
 
-  // Deduplicate.
-  std::vector<Partition> unique;
-  {
-    std::unordered_set<std::size_t> seen;
-    for (auto& c : candidates) {
-      // hash()-based pre-filter, exact check on collision.
-      const std::size_t h = c.hash();
-      if (seen.contains(h)) {
-        bool duplicate = false;
-        for (const auto& u : unique)
-          if (u == c) {
-            duplicate = true;
-            break;
-          }
-        if (duplicate) continue;
-      }
-      seen.insert(h);
-      unique.push_back(std::move(c));
-    }
-  }
-
-  // Keep maximal elements: drop q when some other candidate r sits strictly
-  // between q and p (q < r). Every candidate is < p already.
-  std::vector<Partition> result;
-  for (std::size_t i = 0; i < unique.size(); ++i) {
-    bool dominated = false;
-    for (std::size_t j = 0; j < unique.size() && !dominated; ++j)
-      if (i != j && Partition::less(unique[i], unique[j])) dominated = true;
-    if (!dominated) result.push_back(unique[i]);
-  }
-  return result;
+  return options.sharded_dedup
+             ? postpass_sharded(std::move(candidates), options)
+             : postpass_serial(std::move(candidates));
 }
 
 }  // namespace ffsm

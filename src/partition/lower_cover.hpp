@@ -8,6 +8,15 @@
 //
 // Complexity: O(B^2) closures for B blocks, each O(N * |Sigma| * alpha);
 // the closures are independent, so they fan out across the thread pool.
+// The post-pass — dedup plus maximality filter — is itself parallel:
+// candidates are deduplicated by sharding on their content hash (equal
+// partitions hash equally, so duplicates always land in the same shard and
+// shards are independent), survivors are re-ordered by first occurrence,
+// and the O(k^2) maximality scan fans out one row per survivor. Both
+// passes produce bit-identical covers at any thread count, and the
+// pre-refactor serial post-pass is kept behind
+// LowerCoverOptions::sharded_dedup = false as the ablation baseline
+// (bench_ablation_parallel).
 //
 // A lower cover depends only on (machine, p) — not on which originals or
 // fault graph drove the caller there — so results are memoizable across
@@ -15,6 +24,9 @@
 // requests sharing one top machine. LowerCoverCache provides that shared,
 // thread-safe memo; every descent restarts from the identity partition, so
 // the cache turns the shared prefix of all descents into O(1) lookups.
+// Long-lived services bound the memo's footprint with an eviction policy
+// (CacheEvictionPolicy): an evicted cover is simply recomputed on the next
+// miss, so results never depend on capacity.
 #pragma once
 
 #include <atomic>
@@ -22,6 +34,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "fsm/dfsm.hpp"
@@ -30,38 +43,133 @@
 
 namespace ffsm {
 
-/// Thread-safe memo of lower covers keyed by the partition descended from.
-/// One cache instance must only ever be used with a single machine (the
-/// cache does not key on it); generate_fusion_batch enforces this by
-/// construction.
+/// How a bounded LowerCoverCache makes room (see LowerCoverCacheConfig).
+enum class CacheEvictionPolicy : std::uint8_t {
+  /// Evict the least-recently-used entry once `capacity` entries are
+  /// resident. Per-hit cost: one relaxed atomic store under the shared
+  /// lock; eviction scans the (bounded) table for the oldest entry.
+  kLru,
+  /// Epoch-based bulk eviction: when the table reaches `capacity` the
+  /// epoch ends and every entry is dropped at once. No per-hit
+  /// bookkeeping at all — the cheapest policy for read-heavy services
+  /// whose working set periodically shifts wholesale.
+  kEpoch,
+  /// Never evict — the pre-eviction legacy behaviour. Memory grows with
+  /// the number of distinct partitions ever descended through; only
+  /// sensible for short-lived, single-workload caches (kept default-off).
+  kUnbounded,
+};
+
+struct LowerCoverCacheConfig {
+  CacheEvictionPolicy policy = CacheEvictionPolicy::kLru;
+  /// Maximum resident entries for kLru/kEpoch (must be >= 1); ignored by
+  /// kUnbounded. The cache never holds more than `capacity` entries.
+  std::size_t capacity = 1024;
+};
+
+/// Thread-safe, size-bounded memo of lower covers keyed by the partition
+/// descended from. One cache instance must only ever be used with a single
+/// machine (the cache does not key on it); generate_fusion_batch enforces
+/// this by construction.
+///
+/// Values are handed out as shared_ptr, so eviction can never invalidate a
+/// cover a descent is still walking — the entry just leaves the table and
+/// the next lookup recomputes it. Counters distinguish that case:
+/// a miss on a key that was previously evicted counts as an
+/// *eviction miss*, keeping cold-miss stats meaningful under eviction.
 class LowerCoverCache {
  public:
   using Cover = std::vector<Partition>;
+  using Config = LowerCoverCacheConfig;
+
+  LowerCoverCache() : LowerCoverCache(Config{}) {}
+  explicit LowerCoverCache(Config config);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
 
   /// Cached cover for `p`, or nullptr on miss.
   [[nodiscard]] std::shared_ptr<const Cover> find(const Partition& p) const;
 
-  /// Inserts (first writer wins) and returns the cached value.
+  /// Inserts (first writer wins) and returns the cached value, evicting
+  /// per the configured policy first when the table is at capacity.
   std::shared_ptr<const Cover> insert(const Partition& p,
                                       std::shared_ptr<const Cover> cover);
 
   [[nodiscard]] std::size_t size() const;
+
+  /// Drops every entry and the evicted-key memory; lifetime counters are
+  /// preserved and the drop is not counted as eviction.
   void clear();
 
-  /// Lifetime lookup counters (monotonic, approximate under contention).
+  // Lifetime counters (monotonic, approximate under contention).
+
   [[nodiscard]] std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
+  /// Total misses == cold_misses() + eviction_misses().
   [[nodiscard]] std::uint64_t misses() const noexcept {
-    return misses_.load(std::memory_order_relaxed);
+    return cold_misses() + eviction_misses();
+  }
+  /// Misses on keys never seen before.
+  [[nodiscard]] std::uint64_t cold_misses() const noexcept {
+    return cold_misses_.load(std::memory_order_relaxed);
+  }
+  /// Misses on keys that were resident once and then evicted — the price
+  /// of the capacity bound, reported separately so eviction pressure does
+  /// not masquerade as a cold workload.
+  [[nodiscard]] std::uint64_t eviction_misses() const noexcept {
+    return eviction_misses_.load(std::memory_order_relaxed);
+  }
+  /// Entries evicted so far (never counts clear()).
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Epochs completed so far (kEpoch only; 0 otherwise).
+  [[nodiscard]] std::uint64_t epochs() const noexcept {
+    return epochs_.load(std::memory_order_relaxed);
+  }
+  /// Approximate bytes held by resident keys + covers (payload estimate,
+  /// excluding hash-table overhead).
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
   }
 
  private:
+  struct Entry {
+    std::shared_ptr<const Cover> cover;
+    /// Logical access clock value of the last find() hit (kLru).
+    std::atomic<std::uint64_t> last_used{0};
+    std::size_t bytes = 0;
+  };
+
+  /// Payload estimate for one (key, cover) pair.
+  static std::size_t entry_bytes(const Partition& key, const Cover& cover);
+
+  /// Evicts per policy until an insert fits; requires unique lock held.
+  void make_room_locked();
+
+  Config config_;
   mutable std::shared_mutex mutex_;
-  std::unordered_map<Partition, std::shared_ptr<const Cover>, PartitionHash>
-      map_;
+  // shared_ptr<Entry> values: stable addresses across rehash, so find()
+  // can bump last_used outside any per-entry lock.
+  std::unordered_map<Partition, std::shared_ptr<Entry>, PartitionHash> map_;
+  /// Remembers an evicted key's hash for miss classification, keeping the
+  /// tombstone set bounded; requires unique lock held.
+  void record_eviction_locked(const Partition& key);
+
+  /// Content hashes of evicted keys, for the eviction-miss counter.
+  /// 8 bytes per distinct evicted key; itself capped at ~16x capacity and
+  /// reset when full, so miss classification is approximate (a collision
+  /// or a reset merely flips an eviction miss to cold or vice versa) but
+  /// the cache's total memory stays bounded.
+  std::unordered_set<std::size_t> evicted_hashes_;
+  mutable std::atomic<std::uint64_t> clock_{0};
   mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> cold_misses_{0};
+  mutable std::atomic<std::uint64_t> eviction_misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> epochs_{0};
+  std::atomic<std::size_t> bytes_{0};
 };
 
 struct LowerCoverOptions {
@@ -70,6 +178,12 @@ struct LowerCoverOptions {
   /// serial threshold of pairs.
   ThreadPool* pool = nullptr;
   bool parallel = true;
+  /// Sharded-hash parallel dedup + pool-parallel maximality filter
+  /// (default). false selects the pre-refactor serial unordered_set dedup
+  /// and O(k^2) serial maximality scan — kept as the ablation baseline
+  /// (bench_ablation_parallel's dedup series). Both modes produce
+  /// identical covers in identical order.
+  bool sharded_dedup = true;
   /// Optional memo shared across calls (and threads). Must only ever see
   /// partitions of one machine.
   LowerCoverCache* cache = nullptr;

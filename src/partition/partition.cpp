@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "util/contracts.hpp"
+#include "util/hash.hpp"
 
 namespace ffsm {
 
@@ -61,14 +62,7 @@ bool Partition::leq(const Partition& coarser, const Partition& finer) {
   return true;
 }
 
-std::size_t Partition::hash() const noexcept {
-  std::size_t h = 1469598103934665603ull;
-  for (const std::uint32_t b : block_of_) {
-    h ^= b;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+std::size_t Partition::hash() const noexcept { return fnv1a(block_of_); }
 
 std::string Partition::to_string() const {
   return to_string(

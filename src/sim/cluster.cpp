@@ -1,0 +1,308 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/contracts.hpp"
+#include "util/hash.hpp"
+
+namespace ffsm {
+
+FusionCluster::FusionCluster(FusionClusterOptions options)
+    : options_(options), shards_(options.shards) {
+  FFSM_EXPECTS(options.shards >= 1);
+}
+
+std::size_t FusionCluster::shard_of(const std::string& key) const noexcept {
+  // Byte hash, not std::hash: shard assignment must be stable across runs
+  // and platforms so clients, logs and tests can all predict where a top
+  // lives.
+  return fnv1a_bytes(key) % shards_.size();
+}
+
+FusionService& FusionCluster::add_top(const std::string& key, Dfsm top) {
+  FusionServiceOptions service_options;
+  service_options.parallel = options_.parallel;
+  service_options.pool = options_.pool;
+  service_options.incremental = options_.incremental;
+  service_options.cache_config = options_.cache_config;
+  auto service =
+      std::make_unique<FusionService>(std::move(top), service_options);
+
+  Shard& shard = shards_[shard_of(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [it, inserted] =
+      shard.services.try_emplace(key, ServiceEntry{std::move(service), {}});
+  FFSM_EXPECTS(inserted);  // keys are unique across the cluster
+  return *it->second.service;
+}
+
+bool FusionCluster::has_top(const std::string& key) const {
+  const Shard& shard = shards_[shard_of(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.services.contains(key);
+}
+
+std::size_t FusionCluster::top_count() const {
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    count += shard.services.size();
+  }
+  return count;
+}
+
+const FusionService& FusionCluster::service(const std::string& key) const {
+  const Shard& shard = shards_[shard_of(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.services.find(key);
+  FFSM_EXPECTS(it != shard.services.end());
+  return *it->second.service;  // services are never removed
+}
+
+std::uint64_t FusionCluster::submit(const std::string& top_key,
+                                    std::string client,
+                                    FusionRequest request) {
+  Shard& shard = shards_[shard_of(top_key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  FFSM_EXPECTS(shard.services.contains(top_key));
+  const std::uint64_t ticket =
+      next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  shard.queue.push_back(
+      {ticket, top_key, std::move(client), std::move(request)});
+  requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+std::size_t FusionCluster::pending() const {
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::vector<const FusionService*> services;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      count += shard.queue.size();
+      services.reserve(shard.services.size());
+      for (const auto& [key, entry] : shard.services)
+        services.push_back(entry.service.get());
+    }
+    // pending() takes the service's own lock; don't hold the shard's.
+    for (const FusionService* service : services) count += service->pending();
+  }
+  return count;
+}
+
+void FusionCluster::serve_shard(Shard& shard,
+                                std::vector<Response>& responses,
+                                std::uint64_t& requeued,
+                                std::vector<std::string>& failed_tops) {
+  std::vector<Item> items;
+  // Snapshot the backlog and the topology. Entry pointers stay valid
+  // outside the lock: unordered_map references are rehash-stable and
+  // services are never removed. Every queued item's top was registered
+  // before its submit, so it is in this snapshot.
+  std::vector<std::pair<const std::string*, ServiceEntry*>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    items.swap(shard.queue);
+    entries.reserve(shard.services.size());
+    for (auto& [key, entry] : shard.services)
+      entries.emplace_back(&key, &entry);
+  }
+
+  const auto record_failure = [&](const std::string& top) {
+    if (std::find(failed_tops.begin(), failed_tops.end(), top) ==
+        failed_tops.end())
+      failed_tops.push_back(top);
+    drain_failures_.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // Feed the backlog into the per-top services. This is where request
+  // contents are validated (FusionService::submit checks partition sizes
+  // against its top); a rejected request goes back to the cluster queue.
+  std::vector<Item> rejected;
+  for (Item& item : items) {
+    ServiceEntry* entry = nullptr;
+    for (const auto& [key, candidate] : entries)
+      if (*key == item.top) {
+        entry = candidate;
+        break;
+      }
+    FFSM_ASSERT(entry != nullptr);
+    // Validate before moving the request into the service: submit takes
+    // its arguments by value, so a throw after the move would leave only
+    // a moved-from husk to re-queue. The catch covers ONLY validation —
+    // past it, submit can fail on allocation alone, and that propagates
+    // as a drain error (via the caller's exception capture) rather than
+    // re-queueing an empty request as if it were intact.
+    try {
+      entry->service->validate(item.request);
+    } catch (...) {
+      record_failure(item.top);
+      rejected.push_back(std::move(item));
+      continue;
+    }
+    const std::uint64_t service_ticket =
+        entry->service->submit(item.client, std::move(item.request));
+    entry->inflight.emplace(service_ticket, item.ticket);
+  }
+
+  // Drain every service with a backlog — new submissions plus anything a
+  // previously failed drain left queued inside the service.
+  for (const auto& [key, entry] : entries) {
+    if (entry->service->pending() == 0) continue;
+    std::vector<FusionService::Response> served;
+    try {
+      served = entry->service->drain();
+    } catch (...) {
+      // The service re-queued the whole batch internally; retried on the
+      // next cluster drain. The catch covers only drain() itself so a
+      // served batch can never be misreported as re-queued — response
+      // mapping below happens outside it (a mapping failure, e.g. OOM,
+      // propagates to drain()'s caller as an error instead).
+      record_failure(*key);
+      requeued += entry->inflight.size();
+      continue;
+    }
+    responses.reserve(responses.size() + served.size());
+    for (FusionService::Response& r : served) {
+      const auto it = entry->inflight.find(r.ticket);
+      // Ticket 0 marks a request submitted to the service directly,
+      // bypassing the cluster; results are still delivered.
+      std::uint64_t cluster_ticket = 0;
+      if (it != entry->inflight.end()) {
+        cluster_ticket = it->second;
+        entry->inflight.erase(it);
+      }
+      responses.push_back({cluster_ticket, *key, std::move(r.client),
+                           std::move(r.result)});
+    }
+  }
+
+  if (!rejected.empty()) {
+    requeued += rejected.size();
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    // Ahead of anything submitted meanwhile, preserving ticket order.
+    shard.queue.insert(shard.queue.begin(),
+                       std::make_move_iterator(rejected.begin()),
+                       std::make_move_iterator(rejected.end()));
+  }
+}
+
+FusionCluster::DrainReport FusionCluster::drain() {
+  const std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  drains_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t n = shards_.size();
+  std::vector<std::vector<Response>> responses(n);
+  std::vector<std::uint64_t> requeued(n, 0);
+  std::vector<std::vector<std::string>> failed(n);
+
+  // Exceptions must not escape a pool worker (ThreadPool terminates on
+  // escape); serve_shard captures per-top failures itself, this guards the
+  // plumbing around it.
+  std::vector<std::exception_ptr> errors(n);
+  const auto serve = [&](std::size_t s) {
+    try {
+      serve_shard(shards_[s], responses[s], requeued[s], failed[s]);
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+  };
+  if (options_.parallel) {
+    ParallelOptions popt;
+    popt.pool = options_.pool;
+    popt.serial_threshold = 2;  // shards are coarse-grained
+    parallel_for(0, n, serve, popt);
+  } else {
+    for (std::size_t s = 0; s < n; ++s) serve(s);
+  }
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+
+  DrainReport report;
+  for (std::size_t s = 0; s < n; ++s) {
+    report.responses.insert(report.responses.end(),
+                            std::make_move_iterator(responses[s].begin()),
+                            std::make_move_iterator(responses[s].end()));
+    report.requeued += requeued[s];
+    report.failed_tops.insert(report.failed_tops.end(), failed[s].begin(),
+                              failed[s].end());
+  }
+  std::sort(report.responses.begin(), report.responses.end(),
+            [](const Response& a, const Response& b) {
+              return a.ticket < b.ticket;
+            });
+  std::sort(report.failed_tops.begin(), report.failed_tops.end());
+  report.failed_tops.erase(
+      std::unique(report.failed_tops.begin(), report.failed_tops.end()),
+      report.failed_tops.end());
+
+  requests_served_.fetch_add(report.responses.size(),
+                             std::memory_order_relaxed);
+  requests_requeued_.fetch_add(report.requeued, std::memory_order_relaxed);
+  return report;
+}
+
+std::size_t FusionCluster::discard_pending(const std::string& top_key) {
+  // Serialized with drain() so the inflight bookkeeping can be reset
+  // consistently with the service queue it mirrors.
+  const std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  Shard& shard = shards_[shard_of(top_key)];
+  std::size_t count = 0;
+  ServiceEntry* entry = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto removed = std::remove_if(
+        shard.queue.begin(), shard.queue.end(),
+        [&](const Item& item) { return item.top == top_key; });
+    count += static_cast<std::size_t>(shard.queue.end() - removed);
+    shard.queue.erase(removed, shard.queue.end());
+    const auto it = shard.services.find(top_key);
+    if (it != shard.services.end()) entry = &it->second;
+  }
+  if (entry != nullptr) {
+    // The other half of a poisoned backlog: requests a failed drain left
+    // re-queued inside the service. Outside a drain, inflight mirrors
+    // exactly those, so both reset together.
+    count += entry->service->discard_pending();
+    entry->inflight.clear();
+  }
+  return count;
+}
+
+FusionCluster::Stats FusionCluster::stats() const {
+  Stats out;
+  out.requests_submitted =
+      requests_submitted_.load(std::memory_order_relaxed);
+  out.requests_served = requests_served_.load(std::memory_order_relaxed);
+  out.requests_requeued =
+      requests_requeued_.load(std::memory_order_relaxed);
+  out.drains = drains_.load(std::memory_order_relaxed);
+  out.drain_failures = drain_failures_.load(std::memory_order_relaxed);
+  out.shards = shards_.size();
+  out.pending = pending();
+  for (const Shard& shard : shards_) {
+    std::vector<const FusionService*> services;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      out.tops += shard.services.size();
+      services.reserve(shard.services.size());
+      for (const auto& [key, entry] : shard.services)
+        services.push_back(entry.service.get());
+    }
+    for (const FusionService* service : services) {
+      const FusionService::Stats s = service->stats();
+      out.shard_batches_served += s.batches_served;
+      out.cache_hits += s.cache_hits;
+      out.cache_cold_misses += s.cache_cold_misses;
+      out.cache_eviction_misses += s.cache_eviction_misses;
+      out.cache_evictions += s.cache_evictions;
+      out.cache_entries += s.cache_entries;
+      out.cache_bytes += s.cache_bytes;
+    }
+  }
+  return out;
+}
+
+}  // namespace ffsm

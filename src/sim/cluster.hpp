@@ -1,0 +1,178 @@
+// A multi-tenant fusion cluster: N FusionService shards keyed by top
+// machine.
+//
+// One FusionService owns one top machine (the expensive reachable cross
+// product) and serves every client asking about that top. The cluster is
+// the routing layer above it: top machines are registered under string
+// keys, each key is consistently assigned to one of N shards (FNV-1a hash
+// of the key, so the assignment is stable across runs and independent of
+// registration order), and every shard hosts the services of the keys that
+// map to it. drain() fans the shard backlogs out across the shared
+// ThreadPool, so independent tops make progress in parallel while all
+// requests for one top still share that service's bounded closure cache.
+//
+// Failure model: the cluster validates only that a request names a
+// registered top. Request contents (partition sizes) are validated by the
+// serving shard at drain time — where the top machine lives — so a
+// malformed request fails its shard's drain and is *re-queued at the
+// cluster*, never silently lost; DrainReport says which tops failed and
+// discard_pending() evicts a poisoned backlog. A shard whose batched
+// generation itself throws keeps the drained requests queued inside its
+// FusionService (see FusionService::drain) and the cluster retries them on
+// the next drain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/server.hpp"
+
+namespace ffsm {
+
+struct FusionClusterOptions {
+  /// Number of shards (must be >= 1). Tops hash onto shards; several tops
+  /// can share a shard.
+  std::size_t shards = 4;
+  /// Drain shards in parallel on the pool (each shard's inner batch
+  /// composes via ThreadPool re-entrancy).
+  bool parallel = true;
+  ThreadPool* pool = nullptr;
+  /// Per-request engine mode (see GenerateOptions::incremental).
+  bool incremental = true;
+  /// Bound + eviction policy for every shard service's persistent closure
+  /// cache; total resident cache memory is O(tops * capacity) entries.
+  LowerCoverCacheConfig cache_config = {};
+};
+
+class FusionCluster {
+ public:
+  /// A served request. Tickets are cluster-global and strictly increasing
+  /// in submission order.
+  struct Response {
+    std::uint64_t ticket = 0;
+    std::string top;
+    std::string client;
+    FusionResult result;
+  };
+
+  /// Outcome of one drain() round.
+  struct DrainReport {
+    /// Served requests in cluster-ticket order.
+    std::vector<Response> responses;
+    /// Requests put back (cluster queue or shard service queue) because
+    /// their shard failed to serve them this round.
+    std::uint64_t requeued = 0;
+    /// Top keys whose shard reported a failure this round (deduplicated,
+    /// sorted).
+    std::vector<std::string> failed_tops;
+  };
+
+  /// Aggregate of the cluster's own counters and every shard service's
+  /// Stats (cache counters summed across services).
+  struct Stats {
+    std::uint64_t requests_submitted = 0;
+    std::uint64_t requests_served = 0;
+    std::uint64_t requests_requeued = 0;
+    std::uint64_t drains = 0;
+    std::uint64_t drain_failures = 0;
+    std::uint64_t shard_batches_served = 0;
+    std::size_t shards = 0;
+    std::size_t tops = 0;
+    std::size_t pending = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_cold_misses = 0;
+    std::uint64_t cache_eviction_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    std::size_t cache_entries = 0;
+    std::size_t cache_bytes = 0;
+  };
+
+  explicit FusionCluster(FusionClusterOptions options = {});
+
+  /// Registers `top` under `key`, creating its FusionService on the shard
+  /// `shard_of(key)`. The key must be new. Thread-safe.
+  FusionService& add_top(const std::string& key, Dfsm top);
+
+  [[nodiscard]] bool has_top(const std::string& key) const;
+  [[nodiscard]] std::size_t top_count() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Consistent shard assignment: FNV-1a(key) % shard_count(), stable
+  /// across runs, platforms and registration order.
+  [[nodiscard]] std::size_t shard_of(const std::string& key) const noexcept;
+
+  /// The shard service hosting `key` (must be registered).
+  [[nodiscard]] const FusionService& service(const std::string& key) const;
+
+  /// Queues a request for the given top; thread-safe. Only registration of
+  /// the top is checked here — request contents are validated by the
+  /// serving shard at drain time (see the failure model above). Returns
+  /// the cluster ticket identifying the response.
+  std::uint64_t submit(const std::string& top_key, std::string client,
+                       FusionRequest request);
+
+  /// Queued-but-unserved requests, cluster queues plus shard service
+  /// backlogs; thread-safe.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Serves every queued request, fanning shards out across the pool.
+  /// Requests from a failed shard drain are re-queued and retried on the
+  /// next call; see DrainReport. Concurrent drains are serialized.
+  DrainReport drain();
+
+  /// Drops every unserved request for `top_key` — cluster-queued requests
+  /// and any backlog a failed drain left re-queued inside the shard's
+  /// service — returning how many were discarded. The escape hatch for a
+  /// backlog the shard keeps failing on. Serialized with drain().
+  std::size_t discard_pending(const std::string& top_key);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Item {
+    std::uint64_t ticket;
+    std::string top;
+    std::string client;
+    FusionRequest request;
+  };
+
+  struct ServiceEntry {
+    std::unique_ptr<FusionService> service;
+    /// Service ticket -> cluster ticket for requests the service has
+    /// accepted but not yet served (survives failed drains). Touched only
+    /// by the serialized drain path, one worker per shard.
+    std::unordered_map<std::uint64_t, std::uint64_t> inflight;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;  // guards services (topology) and queue
+    std::unordered_map<std::string, ServiceEntry> services;
+    std::vector<Item> queue;
+  };
+
+  /// Serves one shard: feed its queue into the per-top services, drain
+  /// each service with a backlog, map service tickets back to cluster
+  /// tickets. Failures are captured in the out-params, never thrown.
+  void serve_shard(Shard& shard, std::vector<Response>& responses,
+                   std::uint64_t& requeued,
+                   std::vector<std::string>& failed_tops);
+
+  FusionClusterOptions options_;
+  std::vector<Shard> shards_;
+  std::mutex drain_mutex_;  // serializes drain() rounds
+  std::atomic<std::uint64_t> next_ticket_{1};
+  std::atomic<std::uint64_t> requests_submitted_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_requeued_{0};
+  std::atomic<std::uint64_t> drains_{0};
+  std::atomic<std::uint64_t> drain_failures_{0};
+};
+
+}  // namespace ffsm

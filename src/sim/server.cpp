@@ -25,12 +25,18 @@ void Server::restore(State correct_state) {
 }
 
 FusionService::FusionService(Dfsm top, FusionServiceOptions options)
-    : top_(std::move(top)), options_(options) {}
+    : top_(std::move(top)),
+      options_(options),
+      cache_(options.cache_config) {}
+
+void FusionService::validate(const FusionRequest& request) const {
+  for (const Partition& p : request.originals)
+    FFSM_EXPECTS(p.size() == top_.size());
+}
 
 std::uint64_t FusionService::submit(std::string client,
                                     FusionRequest request) {
-  for (const Partition& p : request.originals)
-    FFSM_EXPECTS(p.size() == top_.size());
+  validate(request);
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t ticket = next_ticket_++;
   queue_.push_back({ticket, std::move(client), std::move(request)});
@@ -41,6 +47,13 @@ std::uint64_t FusionService::submit(std::string client,
 std::size_t FusionService::pending() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::size_t FusionService::discard_pending() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t count = queue_.size();
+  queue_.clear();
+  return count;
 }
 
 std::vector<FusionService::Response> FusionService::drain() {
@@ -89,8 +102,18 @@ std::vector<FusionService::Response> FusionService::drain() {
 }
 
 FusionService::Stats FusionService::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+  }
+  out.cache_hits = cache_.hits();
+  out.cache_cold_misses = cache_.cold_misses();
+  out.cache_eviction_misses = cache_.eviction_misses();
+  out.cache_evictions = cache_.evictions();
+  out.cache_entries = cache_.size();
+  out.cache_bytes = cache_.approx_bytes();
+  return out;
 }
 
 }  // namespace ffsm

@@ -67,6 +67,13 @@ struct FusionServiceOptions {
   ThreadPool* pool = nullptr;
   /// Per-request engine mode (see GenerateOptions::incremental).
   bool incremental = true;
+  /// Bound + eviction policy for the persistent cross-batch closure cache.
+  /// Bounding the cache never changes served results — an evicted cover is
+  /// recomputed on the next miss — it only caps the service's resident
+  /// memory (LowerCoverCacheConfig defaults to LRU with a 1024-entry cap;
+  /// CacheEvictionPolicy::kUnbounded restores the legacy grow-forever
+  /// behaviour).
+  LowerCoverCacheConfig cache_config = {};
 };
 
 class FusionService {
@@ -78,24 +85,45 @@ class FusionService {
     FusionResult result;
   };
 
-  /// Lifetime counters.
+  /// Lifetime counters. The cache_* fields snapshot the persistent
+  /// closure cache; eviction misses are broken out from cold misses so a
+  /// bounded cache under pressure does not masquerade as a cold workload
+  /// (cache_hits + cache_cold_misses + cache_eviction_misses == lookups).
   struct Stats {
     std::uint64_t requests_submitted = 0;
     std::uint64_t requests_served = 0;
     std::uint64_t batches_served = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_cold_misses = 0;
+    std::uint64_t cache_eviction_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    std::size_t cache_entries = 0;
+    std::size_t cache_bytes = 0;
   };
 
   explicit FusionService(Dfsm top, FusionServiceOptions options = {});
 
   [[nodiscard]] const Dfsm& top() const noexcept { return top_; }
 
-  /// Queues a request; thread-safe. Every partition in `request.originals`
-  /// must partition top()'s states. Returns the ticket identifying the
-  /// response.
+  /// Precondition check applied by submit(): every partition in
+  /// `request.originals` must partition top()'s states. Public so callers
+  /// that move requests in can validate *before* the move — submit takes
+  /// its arguments by value, so a throw after parameter construction
+  /// would leave the caller holding a moved-from request (see
+  /// FusionCluster::serve_shard).
+  void validate(const FusionRequest& request) const;
+
+  /// Queues a request; thread-safe. Precondition: validate(request).
+  /// Returns the ticket identifying the response.
   std::uint64_t submit(std::string client, FusionRequest request);
 
   /// Number of queued, not yet served requests; thread-safe.
   [[nodiscard]] std::size_t pending() const;
+
+  /// Drops every queued, not yet served request and returns how many were
+  /// discarded; thread-safe. The escape hatch for a backlog a failed
+  /// drain() keeps re-queueing (see FusionCluster::discard_pending).
+  std::size_t discard_pending();
 
   /// Serves every queued request as one batch and returns the responses in
   /// ticket order. Thread-safe; concurrent submits land in the next batch.

@@ -1,0 +1,39 @@
+// FNV-1a — the library's standard cheap hash for short sequences (state
+// tuples, block assignments, minimization signatures, shard keys). One
+// definition so the constants and the mixing can never drift between call
+// sites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ffsm {
+
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// FNV-1a over a range of unsigned integer values, one round per element
+/// (not per byte — matches the historical hashing of state/block ids).
+template <typename Range>
+[[nodiscard]] std::size_t fnv1a(const Range& values) noexcept {
+  std::uint64_t h = kFnv1aOffset;
+  for (const auto v : values) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= kFnv1aPrime;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+/// FNV-1a over a string's bytes (chars widened unsigned, one round per
+/// byte) — stable across runs and platforms, unlike std::hash.
+[[nodiscard]] inline std::size_t fnv1a_bytes(std::string_view text) noexcept {
+  std::uint64_t h = kFnv1aOffset;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ffsm

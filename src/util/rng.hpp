@@ -1,8 +1,9 @@
 // Deterministic pseudo-random number generation for workloads and tests.
 //
 // xoshiro256** (Blackman & Vigna) seeded through SplitMix64: fast, high
-// quality, and — unlike std::mt19937 uses through std::uniform_int_distribution
-// — bit-for-bit reproducible across standard library implementations, which
+// quality, and — unlike std::mt19937 used through
+// std::uniform_int_distribution — bit-for-bit reproducible across standard
+// library implementations, which
 // the property-test suites and benchmark workload generators rely on.
 #pragma once
 

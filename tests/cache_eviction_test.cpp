@@ -1,0 +1,185 @@
+// Bounded LowerCoverCache mechanics: LRU and epoch eviction, the strict
+// capacity invariant, eviction-vs-cold miss classification, byte
+// accounting, and the end-to-end guarantee that eviction only ever costs a
+// recompute — never a wrong cover.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "partition/lower_cover.hpp"
+#include "test_support.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+using ffsm::testing::CanonicalExample;
+
+std::shared_ptr<const LowerCoverCache::Cover> dummy_cover(
+    const Partition& element) {
+  return std::make_shared<const LowerCoverCache::Cover>(
+      LowerCoverCache::Cover{element});
+}
+
+TEST(CacheEviction, DefaultConfigIsBoundedLru) {
+  const LowerCoverCache cache;
+  EXPECT_EQ(cache.config().policy, CacheEvictionPolicy::kLru);
+  EXPECT_GE(cache.config().capacity, 1u);
+}
+
+TEST(CacheEviction, BoundedPolicyRequiresCapacity) {
+  EXPECT_THROW(LowerCoverCache({CacheEvictionPolicy::kLru, 0}),
+               ContractViolation);
+  EXPECT_THROW(LowerCoverCache({CacheEvictionPolicy::kEpoch, 0}),
+               ContractViolation);
+  // Unbounded ignores capacity entirely.
+  const LowerCoverCache legacy({CacheEvictionPolicy::kUnbounded, 0});
+  EXPECT_EQ(legacy.size(), 0u);
+}
+
+TEST(CacheEviction, LruEvictsLeastRecentlyUsed) {
+  const CanonicalExample ex;
+  LowerCoverCache cache({CacheEvictionPolicy::kLru, 2});
+
+  (void)cache.insert(ex.p_a, dummy_cover(ex.p_a));
+  (void)cache.insert(ex.p_b, dummy_cover(ex.p_b));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch A so B becomes the LRU victim.
+  EXPECT_NE(cache.find(ex.p_a), nullptr);
+  (void)cache.insert(ex.p_m1, dummy_cover(ex.p_m1));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.find(ex.p_a), nullptr);   // survived
+  EXPECT_NE(cache.find(ex.p_m1), nullptr);  // fresh
+  EXPECT_EQ(cache.find(ex.p_b), nullptr);   // evicted
+  EXPECT_EQ(cache.eviction_misses(), 1u);
+}
+
+TEST(CacheEviction, EpochFlushesEverythingAtCapacity) {
+  const CanonicalExample ex;
+  LowerCoverCache cache({CacheEvictionPolicy::kEpoch, 2});
+
+  (void)cache.insert(ex.p_a, dummy_cover(ex.p_a));
+  (void)cache.insert(ex.p_b, dummy_cover(ex.p_b));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.epochs(), 0u);
+
+  // Third insert ends the epoch: both residents dropped in one sweep.
+  (void)cache.insert(ex.p_m1, dummy_cover(ex.p_m1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.epochs(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.find(ex.p_a), nullptr);
+  EXPECT_EQ(cache.find(ex.p_b), nullptr);
+  EXPECT_EQ(cache.eviction_misses(), 2u);
+}
+
+TEST(CacheEviction, UnboundedNeverEvicts) {
+  const CanonicalExample ex;
+  LowerCoverCache cache({CacheEvictionPolicy::kUnbounded, 1});
+  for (const Partition& p :
+       {ex.p_a, ex.p_b, ex.p_m1, ex.p_m2, ex.p_m3, ex.p_m4, ex.p_m5, ex.p_m6})
+    (void)cache.insert(p, dummy_cover(p));
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.eviction_misses(), 0u);
+}
+
+TEST(CacheEviction, CapacityIsAHardBoundUnderChurn) {
+  const CanonicalExample ex;
+  const std::vector<Partition> keys = {ex.p_top, ex.p_a,  ex.p_b,
+                                       ex.p_m1,  ex.p_m2, ex.p_m3,
+                                       ex.p_m4,  ex.p_m5, ex.p_m6};
+  for (const CacheEvictionPolicy policy :
+       {CacheEvictionPolicy::kLru, CacheEvictionPolicy::kEpoch}) {
+    for (const std::size_t capacity : {1u, 2u, 3u, 4u}) {
+      LowerCoverCache cache({policy, capacity});
+      for (int round = 0; round < 3; ++round)
+        for (const Partition& p : keys) {
+          if (cache.find(p) == nullptr)
+            (void)cache.insert(p, dummy_cover(p));
+          ASSERT_LE(cache.size(), capacity);
+        }
+    }
+  }
+}
+
+TEST(CacheEviction, ReMissAfterEvictionIsNotAColdMiss) {
+  const CanonicalExample ex;
+  LowerCoverCache cache({CacheEvictionPolicy::kLru, 1});
+
+  EXPECT_EQ(cache.find(ex.p_a), nullptr);  // never seen: cold
+  EXPECT_EQ(cache.cold_misses(), 1u);
+  (void)cache.insert(ex.p_a, dummy_cover(ex.p_a));
+  (void)cache.insert(ex.p_b, dummy_cover(ex.p_b));  // evicts A
+
+  EXPECT_EQ(cache.find(ex.p_a), nullptr);  // seen before: eviction miss
+  EXPECT_EQ(cache.cold_misses(), 1u);
+  EXPECT_EQ(cache.eviction_misses(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);  // total stays hits-complement compatible
+}
+
+TEST(CacheEviction, TracksApproximateBytes) {
+  const CanonicalExample ex;
+  LowerCoverCache cache({CacheEvictionPolicy::kLru, 2});
+  EXPECT_EQ(cache.approx_bytes(), 0u);
+
+  (void)cache.insert(ex.p_a, dummy_cover(ex.p_a));
+  const std::size_t one = cache.approx_bytes();
+  EXPECT_GT(one, 0u);
+
+  (void)cache.insert(ex.p_b, dummy_cover(ex.p_b));
+  EXPECT_GT(cache.approx_bytes(), one);
+
+  (void)cache.insert(ex.p_m1, dummy_cover(ex.p_m1));  // evicts one entry
+  EXPECT_LE(cache.approx_bytes(), 2 * one + 64);
+
+  cache.clear();
+  EXPECT_EQ(cache.approx_bytes(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheEviction, InsertOfResidentKeyKeepsFirstValueAndEvictsNothing) {
+  const CanonicalExample ex;
+  LowerCoverCache cache({CacheEvictionPolicy::kLru, 1});
+  const auto first = cache.insert(ex.p_a, dummy_cover(ex.p_a));
+  const auto second = cache.insert(ex.p_a, dummy_cover(ex.p_b));
+  EXPECT_EQ(first.get(), second.get());  // first writer wins
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CacheEviction, EvictedCoverStaysAliveForHolders) {
+  const CanonicalExample ex;
+  LowerCoverCache cache({CacheEvictionPolicy::kLru, 1});
+  const auto held = cache.insert(ex.p_a, dummy_cover(ex.p_a));
+  (void)cache.insert(ex.p_b, dummy_cover(ex.p_b));  // evicts A's entry
+  ASSERT_EQ(cache.evictions(), 1u);
+  // The shared_ptr we kept is still valid and unchanged.
+  ASSERT_EQ(held->size(), 1u);
+  EXPECT_EQ((*held)[0], ex.p_a);
+}
+
+TEST(CacheEviction, CapacityOneRecomputesCorrectCovers) {
+  // End-to-end: a 1-entry cache thrashes on alternating keys, yet every
+  // lookup returns exactly the uncached cover.
+  const CanonicalExample ex;
+  LowerCoverCache cache({CacheEvictionPolicy::kLru, 1});
+  LowerCoverOptions options;
+  options.cache = &cache;
+
+  for (int round = 0; round < 3; ++round)
+    for (const Partition& p : {ex.p_top, ex.p_a, ex.p_m1}) {
+      const auto cover = lower_cover_cached(ex.top, p, options);
+      EXPECT_EQ(*cover, lower_cover(ex.top, p)) << p.to_string();
+      EXPECT_LE(cache.size(), 1u);
+    }
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GT(cache.eviction_misses(), 0u);
+}
+
+}  // namespace
+}  // namespace ffsm

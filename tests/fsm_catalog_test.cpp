@@ -128,7 +128,8 @@ TEST(Pattern, SingleCharPattern) {
   const Dfsm p = make_pattern_detector(al, "pat", "1");
   EXPECT_EQ(p.size(), 2u);
   EXPECT_EQ(p.run(seq(al, {"1"})), 1u);
-  EXPECT_EQ(p.run(seq(al, {"1", "1"})), 1u);  // border of "1" is empty -> re-enter on 1
+  // border of "1" is empty -> re-enter on 1
+  EXPECT_EQ(p.run(seq(al, {"1", "1"})), 1u);
   EXPECT_EQ(p.run(seq(al, {"1", "0"})), 0u);
 }
 

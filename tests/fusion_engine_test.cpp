@@ -158,6 +158,80 @@ TEST(FusionEngine, SharedCacheDoesNotChangeResults) {
   EXPECT_GT(second.stats.cover_cache_hits, 0u);
 }
 
+TEST(FusionEngine, BoundedCacheBitIdenticalAcrossCapacitiesAndThreads) {
+  // A tiny bounded cache (1-4 entries) forces heavy eviction during the
+  // descents; outputs must stay bit-identical to the unbounded run at any
+  // thread count and under every descent policy — eviction only ever costs
+  // recomputation.
+  const CrossProduct cp = counter_pair_product();
+  const auto originals = component_partitions(cp);
+
+  for (const DescentPolicy policy :
+       {DescentPolicy::kFirstFound, DescentPolicy::kFewestBlocks,
+        DescentPolicy::kMostBlocks}) {
+    GenerateOptions unbounded;
+    unbounded.f = 2;
+    unbounded.policy = policy;
+    unbounded.parallel = false;
+    unbounded.cache_config = {CacheEvictionPolicy::kUnbounded, 0};
+    const FusionResult baseline = generate_fusion(cp.top, originals, unbounded);
+    ASSERT_FALSE(baseline.partitions.empty());
+
+    for (const CacheEvictionPolicy eviction :
+         {CacheEvictionPolicy::kLru, CacheEvictionPolicy::kEpoch}) {
+      for (const std::size_t capacity : {1u, 2u, 4u}) {
+        for (const std::size_t threads : {1u, 2u, 8u}) {
+          ThreadPool pool(threads);
+          GenerateOptions bounded = unbounded;
+          bounded.parallel = true;
+          bounded.pool = &pool;
+          bounded.cache_config = {eviction, capacity};
+          const FusionResult result =
+              generate_fusion(cp.top, originals, bounded);
+          EXPECT_EQ(result.partitions, baseline.partitions)
+              << "capacity=" << capacity << " threads=" << threads;
+          EXPECT_EQ(result.stats.machines_added,
+                    baseline.stats.machines_added);
+          EXPECT_EQ(result.stats.dmin_after, baseline.stats.dmin_after);
+        }
+      }
+    }
+  }
+}
+
+TEST(FusionEngine, BoundedCacheBatchMatchesUnbounded) {
+  const CrossProduct cp = counter_pair_product();
+  const auto originals = component_partitions(cp);
+
+  std::vector<FusionRequest> requests;
+  for (const std::uint32_t f : {1u, 2u, 3u}) {
+    FusionRequest r;
+    r.originals = originals;
+    r.f = f;
+    requests.push_back(std::move(r));
+  }
+
+  BatchOptions unbounded;
+  unbounded.parallel = false;
+  unbounded.cache_config = {CacheEvictionPolicy::kUnbounded, 0};
+  const auto baseline = generate_fusion_batch(cp.top, requests, unbounded);
+
+  for (const CacheEvictionPolicy eviction :
+       {CacheEvictionPolicy::kLru, CacheEvictionPolicy::kEpoch}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      BatchOptions bounded;
+      bounded.pool = &pool;
+      bounded.cache_config = {eviction, 2};  // far below the working set
+      const auto results = generate_fusion_batch(cp.top, requests, bounded);
+      ASSERT_EQ(results.size(), baseline.size());
+      for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i].partitions, baseline[i].partitions)
+            << "request " << i << " threads " << threads;
+    }
+  }
+}
+
 TEST(FusionEngine, BatchMatchesIndividualRequests) {
   const CrossProduct cp = counter_pair_product();
   const auto originals = component_partitions(cp);

@@ -143,6 +143,74 @@ TEST_P(LowerCoverVsLattice, MatchesLatticeDefinition) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LowerCoverVsLattice,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+// The sharded-hash parallel dedup + parallel maximality filter must emit
+// exactly the serial post-pass's cover — same elements, same
+// (first-occurrence) order — on any machine and at any thread count,
+// because descent policies like kFirstFound are order-sensitive.
+
+TEST(DedupEquivalence, ShardedMatchesSerialOnCatalogProduct) {
+  const CrossProduct cp = ffsm::testing::counter_pair_product();
+  const Partition identity = Partition::identity(cp.top.size());
+
+  LowerCoverOptions legacy;
+  legacy.sharded_dedup = false;
+  const auto baseline = lower_cover(cp.top, identity, legacy);
+  ASSERT_FALSE(baseline.empty());
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    LowerCoverOptions sharded;
+    sharded.pool = &pool;
+    sharded.sharded_dedup = true;
+    EXPECT_EQ(lower_cover(cp.top, identity, sharded), baseline)
+        << "threads=" << threads;
+  }
+
+  // Serial execution of the sharded algorithm is also bit-identical.
+  LowerCoverOptions serial_sharded;
+  serial_sharded.parallel = false;
+  serial_sharded.sharded_dedup = true;
+  EXPECT_EQ(lower_cover(cp.top, identity, serial_sharded), baseline);
+}
+
+class DedupEquivalenceRandom : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DedupEquivalenceRandom, ShardedMatchesSerialDownARandomLattice) {
+  auto al = Alphabet::create();
+  RandomDfsmSpec spec;
+  spec.states = 10;
+  spec.num_events = 3;
+  spec.seed = GetParam();
+  const Dfsm m = make_random_connected_dfsm(al, "m", spec);
+
+  ThreadPool pool(4);
+  LowerCoverOptions legacy;
+  legacy.sharded_dedup = false;
+  LowerCoverOptions sharded;
+  sharded.pool = &pool;
+  sharded.sharded_dedup = true;
+
+  // Walk a descent: compare the two post-passes at every node, following
+  // the first cover element (order-sensitive, so this also locks the
+  // ordering contract), plus every sibling's own cover once.
+  Partition current = Partition::identity(m.size());
+  while (true) {
+    const auto baseline = lower_cover(m, current, legacy);
+    EXPECT_EQ(lower_cover(m, current, sharded), baseline)
+        << current.to_string();
+    if (baseline.empty()) break;
+    for (const Partition& sibling : baseline)
+      EXPECT_EQ(lower_cover(m, sibling, sharded),
+                lower_cover(m, sibling, legacy))
+          << sibling.to_string();
+    current = baseline.front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DedupEquivalenceRandom,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
 TEST(LowerCoverCache, MemoizesWithoutChangingResults) {
   const ffsm::testing::CanonicalExample ex;
   LowerCoverCache cache;

@@ -1,0 +1,307 @@
+// FusionCluster: per-top sharding with consistent assignment, balanced
+// parallel drains, stats aggregation, and re-queue of requests from failed
+// shard drains.
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fusion/generator.hpp"
+#include "test_support.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+using ffsm::testing::component_partitions;
+using ffsm::testing::counter_pair_product;
+
+/// Two distinct tops (16- and 36-state counter products) plus their
+/// originals — the standard multi-tenant fixture.
+struct ClusterFixture {
+  CrossProduct small = counter_pair_product(4);
+  CrossProduct large = counter_pair_product(6);
+  std::vector<Partition> small_originals = component_partitions(small);
+  std::vector<Partition> large_originals = component_partitions(large);
+
+  /// Mutex-holding FusionCluster is immovable, hence the unique_ptr.
+  std::unique_ptr<FusionCluster> make_cluster(
+      FusionClusterOptions options = {}) const {
+    auto cluster = std::make_unique<FusionCluster>(options);
+    cluster->add_top("small", small.top);
+    cluster->add_top("large", large.top);
+    return cluster;
+  }
+};
+
+TEST(FusionCluster, ShardAssignmentIsConsistent) {
+  FusionClusterOptions options;
+  options.shards = 3;
+  const FusionCluster a(options);
+  const FusionCluster b(options);
+  for (const std::string key : {"small", "large", "x", "y", "z"}) {
+    EXPECT_EQ(a.shard_of(key), b.shard_of(key));  // independent instances
+    EXPECT_LT(a.shard_of(key), a.shard_count());
+  }
+  EXPECT_EQ(a.shard_count(), 3u);
+}
+
+TEST(FusionCluster, RequiresAtLeastOneShard) {
+  FusionClusterOptions options;
+  options.shards = 0;
+  EXPECT_THROW(FusionCluster{options}, ContractViolation);
+}
+
+TEST(FusionCluster, RejectsDuplicateAndUnknownTops) {
+  const ClusterFixture fx;
+  const auto cluster_ptr = fx.make_cluster();
+  FusionCluster& cluster = *cluster_ptr;
+  EXPECT_TRUE(cluster.has_top("small"));
+  EXPECT_FALSE(cluster.has_top("nope"));
+  EXPECT_EQ(cluster.top_count(), 2u);
+  EXPECT_THROW(cluster.add_top("small", fx.small.top), ContractViolation);
+  EXPECT_THROW(cluster.submit("nope", "c", {fx.small_originals, 1}),
+               ContractViolation);
+  EXPECT_THROW((void)cluster.service("nope"), ContractViolation);
+}
+
+TEST(FusionCluster, ServesMultiTopWorkloadMatchingDirectGeneration) {
+  const ClusterFixture fx;
+  ThreadPool pool(4);
+  FusionClusterOptions options;
+  options.pool = &pool;
+  const auto cluster_ptr = fx.make_cluster(options);
+  FusionCluster& cluster = *cluster_ptr;
+
+  const std::uint64_t t1 =
+      cluster.submit("small", "alice", {fx.small_originals, 1});
+  const std::uint64_t t2 =
+      cluster.submit("large", "bob", {fx.large_originals, 2});
+  const std::uint64_t t3 =
+      cluster.submit("small", "carol",
+                     {fx.small_originals, 2, DescentPolicy::kMostBlocks});
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  EXPECT_EQ(cluster.pending(), 3u);
+
+  const auto report = cluster.drain();
+  EXPECT_EQ(report.requeued, 0u);
+  EXPECT_TRUE(report.failed_tops.empty());
+  ASSERT_EQ(report.responses.size(), 3u);
+  EXPECT_EQ(cluster.pending(), 0u);
+
+  // Cluster-ticket order, with tops and clients preserved.
+  EXPECT_EQ(report.responses[0].ticket, t1);
+  EXPECT_EQ(report.responses[0].top, "small");
+  EXPECT_EQ(report.responses[0].client, "alice");
+  EXPECT_EQ(report.responses[1].ticket, t2);
+  EXPECT_EQ(report.responses[1].top, "large");
+  EXPECT_EQ(report.responses[2].ticket, t3);
+  EXPECT_EQ(report.responses[2].client, "carol");
+
+  // Each response is bit-identical to a direct serial generate_fusion.
+  const auto expect_direct = [](const Dfsm& top,
+                                const std::vector<Partition>& originals,
+                                std::uint32_t f, DescentPolicy policy,
+                                const FusionResult& actual) {
+    GenerateOptions single;
+    single.f = f;
+    single.policy = policy;
+    single.parallel = false;
+    const FusionResult expected = generate_fusion(top, originals, single);
+    EXPECT_EQ(actual.partitions, expected.partitions);
+  };
+  expect_direct(fx.small.top, fx.small_originals, 1,
+                DescentPolicy::kFewestBlocks, report.responses[0].result);
+  expect_direct(fx.large.top, fx.large_originals, 2,
+                DescentPolicy::kFewestBlocks, report.responses[1].result);
+  expect_direct(fx.small.top, fx.small_originals, 2,
+                DescentPolicy::kMostBlocks, report.responses[2].result);
+}
+
+TEST(FusionCluster, ParallelAndSerialDrainsAgree) {
+  const ClusterFixture fx;
+
+  const auto run = [&](bool parallel, ThreadPool* pool) {
+    FusionClusterOptions options;
+    options.parallel = parallel;
+    options.pool = pool;
+    const auto cluster_ptr = fx.make_cluster(options);
+    FusionCluster& cluster = *cluster_ptr;
+    for (int c = 0; c < 4; ++c) {
+      const auto n = static_cast<std::uint32_t>(c);
+      cluster.submit("small", "s" + std::to_string(c),
+                     {fx.small_originals, 1 + n % 2});
+      cluster.submit("large", "l" + std::to_string(c),
+                     {fx.large_originals, 1 + n % 3});
+    }
+    return cluster.drain();
+  };
+
+  const auto serial = run(false, nullptr);
+  ASSERT_EQ(serial.responses.size(), 8u);
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto parallel = run(true, &pool);
+    ASSERT_EQ(parallel.responses.size(), serial.responses.size());
+    for (std::size_t i = 0; i < serial.responses.size(); ++i) {
+      EXPECT_EQ(parallel.responses[i].ticket, serial.responses[i].ticket);
+      EXPECT_EQ(parallel.responses[i].top, serial.responses[i].top);
+      EXPECT_EQ(parallel.responses[i].result.partitions,
+                serial.responses[i].result.partitions)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(FusionCluster, RequeuesRequestsFromFailedShardDrain) {
+  const ClusterFixture fx;
+  const auto cluster_ptr = fx.make_cluster();
+  FusionCluster& cluster = *cluster_ptr;
+
+  // Malformed request: partitions sized for the wrong top. The cluster
+  // routes without validating contents; the shard rejects it at drain
+  // time and the request is re-queued, not lost.
+  cluster.submit("large", "bad", {fx.small_originals, 1});
+  cluster.submit("small", "good", {fx.small_originals, 1});
+
+  const auto report = cluster.drain();
+  ASSERT_EQ(report.responses.size(), 1u);
+  EXPECT_EQ(report.responses[0].client, "good");
+  EXPECT_EQ(report.requeued, 1u);
+  ASSERT_EQ(report.failed_tops.size(), 1u);
+  EXPECT_EQ(report.failed_tops[0], "large");
+  EXPECT_EQ(cluster.pending(), 1u);  // the bad request is waiting again
+
+  // It keeps failing on retry until the operator discards it.
+  const auto retry = cluster.drain();
+  EXPECT_TRUE(retry.responses.empty());
+  EXPECT_EQ(retry.requeued, 1u);
+  EXPECT_EQ(cluster.discard_pending("large"), 1u);
+  EXPECT_EQ(cluster.pending(), 0u);
+  const auto clean = cluster.drain();
+  EXPECT_TRUE(clean.responses.empty());
+  EXPECT_TRUE(clean.failed_tops.empty());
+
+  const auto stats = cluster.stats();
+  EXPECT_EQ(stats.requests_submitted, 2u);
+  EXPECT_EQ(stats.requests_served, 1u);
+  EXPECT_EQ(stats.requests_requeued, 2u);  // two failed rounds
+  EXPECT_GE(stats.drain_failures, 2u);
+}
+
+TEST(FusionCluster, HealthyTopsKeepServingWhileOneFails) {
+  const ClusterFixture fx;
+  FusionClusterOptions options;
+  options.shards = 1;  // force both tops onto one shard
+  const auto cluster_ptr = fx.make_cluster(options);
+  FusionCluster& cluster = *cluster_ptr;
+
+  cluster.submit("large", "bad", {fx.small_originals, 1});
+  cluster.submit("small", "ok1", {fx.small_originals, 1});
+  cluster.submit("small", "ok2", {fx.small_originals, 2});
+
+  const auto report = cluster.drain();
+  ASSERT_EQ(report.responses.size(), 2u);
+  EXPECT_EQ(report.responses[0].client, "ok1");
+  EXPECT_EQ(report.responses[1].client, "ok2");
+  EXPECT_EQ(report.requeued, 1u);
+  EXPECT_EQ(report.failed_tops, std::vector<std::string>{"large"});
+}
+
+TEST(FusionCluster, AggregatesShardStatsIncludingCacheCounters) {
+  const ClusterFixture fx;
+  FusionClusterOptions options;
+  options.cache_config = {CacheEvictionPolicy::kLru, 4};
+  const auto cluster_ptr = fx.make_cluster(options);
+  FusionCluster& cluster = *cluster_ptr;
+
+  for (int round = 0; round < 2; ++round) {
+    cluster.submit("small", "a", {fx.small_originals, 2});
+    cluster.submit("large", "b", {fx.large_originals, 2});
+    (void)cluster.drain();
+  }
+
+  const auto stats = cluster.stats();
+  EXPECT_EQ(stats.shards, 4u);
+  EXPECT_EQ(stats.tops, 2u);
+  EXPECT_EQ(stats.requests_submitted, 4u);
+  EXPECT_EQ(stats.requests_served, 4u);
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_GE(stats.shard_batches_served, 2u);
+  // Round 2 repeats round 1's descents: the per-top caches must show hits,
+  // and both bounded caches respect their cap.
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_cold_misses, 0u);
+  EXPECT_LE(stats.cache_entries, 2u * 4u);
+  EXPECT_GT(stats.cache_bytes, 0u);
+
+  // Per-service view matches the aggregate's components.
+  const auto small_stats = cluster.service("small").stats();
+  const auto large_stats = cluster.service("large").stats();
+  EXPECT_EQ(small_stats.cache_hits + large_stats.cache_hits,
+            stats.cache_hits);
+  EXPECT_LE(small_stats.cache_entries, 4u);
+  EXPECT_LE(large_stats.cache_entries, 4u);
+}
+
+TEST(FusionCluster, BoundedClusterMatchesUnboundedResults) {
+  const ClusterFixture fx;
+  const auto run = [&](LowerCoverCacheConfig config) {
+    FusionClusterOptions options;
+    options.cache_config = config;
+    const auto cluster_ptr = fx.make_cluster(options);
+    FusionCluster& cluster = *cluster_ptr;
+    for (const std::uint32_t f : {1u, 2u, 3u}) {
+      cluster.submit("small", "s" + std::to_string(f),
+                     {fx.small_originals, f});
+      cluster.submit("large", "l" + std::to_string(f),
+                     {fx.large_originals, f});
+    }
+    return cluster.drain();
+  };
+
+  const auto unbounded = run({CacheEvictionPolicy::kUnbounded, 0});
+  for (const CacheEvictionPolicy policy :
+       {CacheEvictionPolicy::kLru, CacheEvictionPolicy::kEpoch}) {
+    const auto bounded = run({policy, 2});
+    ASSERT_EQ(bounded.responses.size(), unbounded.responses.size());
+    for (std::size_t i = 0; i < bounded.responses.size(); ++i)
+      EXPECT_EQ(bounded.responses[i].result.partitions,
+                unbounded.responses[i].result.partitions);
+  }
+}
+
+TEST(FusionCluster, ConcurrentSubmittersAllGetServed) {
+  const ClusterFixture fx;
+  ThreadPool pool(4);
+  FusionClusterOptions options;
+  options.pool = &pool;
+  const auto cluster_ptr = fx.make_cluster(options);
+  FusionCluster& cluster = *cluster_ptr;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c)
+    clients.emplace_back([&cluster, &fx, c] {
+      if (c % 2 == 0)
+        cluster.submit("small", "c" + std::to_string(c),
+                       {fx.small_originals, 1});
+      else
+        cluster.submit("large", "c" + std::to_string(c),
+                       {fx.large_originals, 1});
+    });
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(cluster.pending(), 8u);
+
+  const auto report = cluster.drain();
+  ASSERT_EQ(report.responses.size(), 8u);
+  for (std::size_t i = 1; i < report.responses.size(); ++i)
+    EXPECT_LT(report.responses[i - 1].ticket, report.responses[i].ticket);
+}
+
+}  // namespace
+}  // namespace ffsm

@@ -259,6 +259,62 @@ TEST(FusionService, ConcurrentSubmittersAllGetServed) {
     EXPECT_GT(response.result.stats.dmin_after, 0u);
 }
 
+TEST(FusionService, StatsExposeCacheCounters) {
+  const ServiceFixture fx;
+  FusionService service = fx.make_service();
+
+  const auto cold = service.stats();
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_entries, 0u);
+  EXPECT_EQ(cold.cache_bytes, 0u);
+
+  service.submit("c1", {fx.originals, 2, DescentPolicy::kFewestBlocks});
+  (void)service.drain();
+  service.submit("c2", {fx.originals, 2, DescentPolicy::kFewestBlocks});
+  (void)service.drain();
+
+  const auto warm = service.stats();
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_GT(warm.cache_cold_misses, 0u);
+  EXPECT_GT(warm.cache_entries, 0u);
+  EXPECT_GT(warm.cache_bytes, 0u);
+  // Default config is bounded LRU with a cap far above this workload.
+  EXPECT_EQ(warm.cache_evictions, 0u);
+  EXPECT_EQ(warm.cache_eviction_misses, 0u);
+  EXPECT_LE(warm.cache_entries, service.cache().config().capacity);
+}
+
+TEST(FusionService, BoundedCacheServiceStaysUnderCapAndServesIdentically) {
+  const ServiceFixture fx;
+
+  FusionService unbounded = fx.make_service({
+      .cache_config = {CacheEvictionPolicy::kUnbounded, 0}});
+  unbounded.submit("c", {fx.originals, 3, DescentPolicy::kFewestBlocks});
+  const auto expected = unbounded.drain();
+  ASSERT_EQ(expected.size(), 1u);
+
+  for (const CacheEvictionPolicy policy :
+       {CacheEvictionPolicy::kLru, CacheEvictionPolicy::kEpoch}) {
+    FusionServiceOptions options;
+    options.cache_config = {policy, 2};  // far below the descent's needs
+    FusionService service = fx.make_service(options);
+    for (int round = 0; round < 2; ++round) {
+      service.submit("c", {fx.originals, 3, DescentPolicy::kFewestBlocks});
+      const auto responses = service.drain();
+      ASSERT_EQ(responses.size(), 1u);
+      EXPECT_EQ(responses[0].result.partitions,
+                expected[0].result.partitions);
+      EXPECT_LE(service.cache().size(), 2u);
+    }
+    const auto stats = service.stats();
+    EXPECT_GT(stats.cache_evictions, 0u);
+    // Round 2 re-misses evicted covers: counted as eviction misses, so
+    // cold-miss stats stay meaningful under the bound.
+    EXPECT_GT(stats.cache_eviction_misses, 0u);
+    EXPECT_LE(stats.cache_entries, 2u);
+  }
+}
+
 TEST(FusionService, RejectsMismatchedPartitionSize) {
   FusionService service = ServiceFixture().make_service();
   FusionRequest bad;

@@ -1,9 +1,13 @@
 // Multi-tenant cluster workload: many clients x several top machines x
-// bounded per-shard closure caches, served by a FusionCluster fanning
-// shard drains across one pool. Doubles as a large-workload regression
-// test: bounded-cache runs must serve bit-identical results to the
-// unbounded run while every shard cache respects its capacity — both are
-// hard-asserted here, so a violation fails CI.
+// bounded per-shard closure caches x pluggable shard backends, served by
+// a FusionCluster fanning shard drains across one pool. Doubles as a
+// large-workload regression test: bounded-cache runs must serve
+// bit-identical results to the unbounded run, every shard cache must
+// respect its capacity, and the subprocess backend must serve
+// bit-identical responses to the in-process one for the same request
+// stream — all hard-asserted here, so a violation fails CI. The JSON
+// entries carry a "backend" field so in-process vs subprocess overhead is
+// tracked in the perf history from day one.
 #include "bench_support.hpp"
 
 #include <cstdio>
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "sim/cluster.hpp"
+#include "sim/subprocess_backend.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -63,11 +68,10 @@ void submit_clients(FusionCluster& cluster, const Workload& w) {
     }
 }
 
-void report() {
-  bench::JsonReporter json("service_cluster");
+void report_caches(bench::JsonReporter& json, const Workload& w,
+                   ThreadPool& pool) {
   std::printf("== Service cluster: clients x tops x bounded caches ==\n");
-  const Workload w = make_workload();
-  ThreadPool pool(8);
+  json.set_backend("inprocess");  // this whole section serves in-process
   const std::size_t clients = 8 * w.keys.size();
 
   struct Config {
@@ -152,6 +156,104 @@ void report() {
   }
   std::printf("%zu clients x %zu tops on %zu shards\n%s\n", std::size_t{8},
               w.keys.size(), std::size_t{3}, table.to_string().c_str());
+}
+
+/// The tentpole acceptance check as a benchmark: the same request stream
+/// through the in-process and the subprocess backend, timed per backend,
+/// with bit-identical responses hard-asserted in-bench.
+void report_backends(bench::JsonReporter& json, const Workload& w,
+                     ThreadPool& pool) {
+  std::printf("== Serving backends: in-process vs subprocess shards ==\n");
+  const std::size_t clients = 8 * w.keys.size();
+  const LowerCoverCacheConfig cache = {CacheEvictionPolicy::kLru, 64};
+
+  std::vector<std::vector<Partition>> baseline;  // in-process responses
+  TextTable table({"backend", "cold drain ms", "warm drain ms",
+                   "shard batches", "cache hits"});
+  for (const bool subprocess : {false, true}) {
+    const char* const name = subprocess ? "subprocess" : "inprocess";
+    json.set_backend(name);
+
+    FusionClusterOptions options;
+    options.shards = 3;
+    options.pool = &pool;
+    options.cache_config = cache;
+    if (subprocess)
+      options.backend_factory = [&](std::size_t) {
+        SubprocessBackendOptions backend_options;
+        backend_options.config.parallel = true;
+        backend_options.config.threads = 4;
+        backend_options.config.cache_config = cache;
+        return std::make_unique<SubprocessBackend>(backend_options);
+      };
+    auto cluster = std::make_unique<FusionCluster>(options);
+    for (std::size_t t = 0; t < w.keys.size(); ++t)
+      cluster->add_top(w.keys[t], w.products[t].top);
+
+    submit_clients(*cluster, w);
+    double cold_ms = 0.0;
+    std::vector<FusionCluster::Response> responses;
+    {
+      WallTimer timer;
+      const auto report = cluster->drain();
+      cold_ms = timer.elapsed_ms();
+      bench::require(report.failed_tops.empty(),
+                     "no shard failed the cold drain");
+      responses = report.responses;
+    }
+    bench::require(responses.size() == clients,
+                   "every client answered in the cold drain");
+
+    const double warm_ms = json.measure_ms(
+        "cluster_drain",
+        [&] {
+          submit_clients(*cluster, w);
+          const auto report = cluster->drain();
+          bench::require(report.responses.size() == clients,
+                         "every client answered in a warm drain");
+          benchmark::DoNotOptimize(report);
+        },
+        3, 1);
+    json.add_metric(name, "cold_drain_ms", cold_ms);
+
+    // The acceptance criterion: both backends serve bit-identical
+    // responses for the same request stream.
+    if (baseline.empty()) {
+      baseline.reserve(responses.size());
+      for (const auto& r : responses) baseline.push_back(r.result.partitions);
+    } else {
+      bench::require(responses.size() == baseline.size(),
+                     "subprocess backend answers every client");
+      for (std::size_t i = 0; i < responses.size(); ++i)
+        bench::require(responses[i].result.partitions == baseline[i],
+                       "subprocess backend serves bit-identical fusions");
+    }
+
+    const auto stats = cluster->stats();
+    for (const std::string& key : w.keys)
+      bench::require(cluster->top_stats(key).cache_entries <= cache.capacity,
+                     "per-top cache stays within its configured capacity");
+    table.add_row({name, std::to_string(cold_ms), std::to_string(warm_ms),
+                   std::to_string(stats.shard_batches_served),
+                   std::to_string(stats.cache_hits)});
+    json.add_metric(name, "shard_batches_served",
+                    static_cast<double>(stats.shard_batches_served));
+    json.add_metric(name, "cache_hits",
+                    static_cast<double>(stats.cache_hits));
+    cluster->shutdown();
+  }
+  json.set_backend("");
+  std::printf("%zu clients x %zu tops on %zu shards, per backend\n%s\n",
+              clients, w.keys.size(), std::size_t{3},
+              table.to_string().c_str());
+}
+
+void report() {
+  bench::JsonReporter json("service_cluster");
+  const Workload w = make_workload();
+  ThreadPool pool(8);
+  report_caches(json, w, pool);
+  report_backends(json, w, pool);
 }
 
 void cluster_drain(benchmark::State& state) {

@@ -81,6 +81,12 @@ class JsonReporter {
 
   ~JsonReporter() { write(); }
 
+  /// Tags every subsequently recorded entry with a serving backend
+  /// ("inprocess", "subprocess", ...), emitted as a "backend" field so
+  /// per-backend timings are separable in the perf history. Empty (the
+  /// default) omits the field.
+  void set_backend(std::string backend) { backend_ = std::move(backend); }
+
   /// Runs fn() `warmup + reps` times and records the median wall-clock of
   /// the post-warmup repetitions. Returns that median in milliseconds.
   template <typename Fn>
@@ -95,14 +101,14 @@ class JsonReporter {
       samples.push_back(timer.elapsed_ms());
     }
     const double median = median_of(std::move(samples));
-    entries_.push_back({label, "median_ms", median, reps, warmup});
+    entries_.push_back({label, "median_ms", median, backend_, reps, warmup});
     return median;
   }
 
   /// Records a dimensionless metric (counters, speedups, cache hits...).
   void add_metric(const std::string& label, const std::string& key,
                   double value) {
-    entries_.push_back({label, key, value, 0, 0});
+    entries_.push_back({label, key, value, backend_, 0, 0});
   }
 
   /// Writes BENCH_<name>.json; harmless to call more than once.
@@ -122,6 +128,8 @@ class JsonReporter {
       std::fprintf(out,
                    "    {\"name\": \"%s\", \"key\": \"%s\", \"value\": %.6f",
                    e.label.c_str(), e.key.c_str(), e.value);
+      if (!e.backend.empty())
+        std::fprintf(out, ", \"backend\": \"%s\"", e.backend.c_str());
       if (e.reps > 0)
         std::fprintf(out, ", \"reps\": %d, \"warmup\": %d", e.reps,
                      e.warmup);
@@ -138,6 +146,7 @@ class JsonReporter {
     std::string label;
     std::string key;
     double value;
+    std::string backend;  // "" = backend-independent metric
     int reps;
     int warmup;
   };
@@ -154,6 +163,7 @@ class JsonReporter {
   }
 
   std::string bench_name_;
+  std::string backend_;
   std::vector<Entry> entries_;
   bool written_ = false;
 };

@@ -1,15 +1,26 @@
-// Multi-tenant fusion cluster: many clients, several shared top machines.
+// Multi-tenant fusion cluster: many clients, several shared top machines,
+// pluggable shard backends.
 //
-// A FusionCluster owns N shards of FusionService instances, one service
-// per registered top machine (the expensive reachable cross product),
-// with tops consistently hashed onto shards. Clients submit requests
-// against any registered top; drain() fans the shard backlogs out across
-// the thread pool. Every service bounds its closure cache (LRU here), so
-// a long-lived cluster serves an unbounded request stream in bounded
-// memory — an evicted cover is simply recomputed on the next miss.
+// A FusionCluster owns N shards, each served by a ShardBackend hosting
+// one FusionService per registered top machine (the expensive reachable
+// cross product), with tops consistently hashed onto shards. Clients
+// submit requests against any registered top; drain() fans the shard
+// backlogs out across the thread pool. Every top bounds its closure cache
+// (LRU here), so a long-lived cluster serves an unbounded request stream
+// in bounded memory — an evicted cover is simply recomputed on the next
+// miss.
 //
-// Build & run:  cmake --build build && ./build/fusion_service
+// The backend is selectable: --backend=inprocess serves in this address
+// space (default); --backend=subprocess forks one ffsm_shard_worker per
+// shard and speaks the wire protocol over pipes — same requests, same
+// bit-identical responses, different failure domain.
+//
+// Build & run:  cmake --build build &&
+//               ./build/fusion_service [--backend=subprocess] [--shards=N]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +28,8 @@
 #include "fsm/product.hpp"
 #include "fusion/generator.hpp"
 #include "sim/cluster.hpp"
+#include "sim/subprocess_backend.hpp"
+#include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -37,18 +50,61 @@ std::vector<ffsm::Partition> originals_of(const ffsm::CrossProduct& cp) {
   return out;
 }
 
+struct CliOptions {
+  bool subprocess = false;
+  std::size_t shards = 3;
+};
+
+bool parse_cli(int argc, char** argv, CliOptions& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend=inprocess") {
+      cli.subprocess = false;
+    } else if (arg == "--backend=subprocess") {
+      cli.subprocess = true;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      const long n = std::atol(arg.c_str() + std::strlen("--shards="));
+      if (n < 1) return false;
+      cli.shards = static_cast<std::size_t>(n);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ffsm;
+
+  CliOptions cli;
+  if (!parse_cli(argc, argv, cli)) {
+    std::fprintf(stderr,
+                 "usage: %s [--backend={inprocess,subprocess}] [--shards=N]\n",
+                 argv[0]);
+    return 2;
+  }
+  const char* const backend_name = cli.subprocess ? "subprocess" : "inprocess";
 
   // Three tenants: counter products of 100, 144 and 196 states.
   ThreadPool pool(8);
+  const LowerCoverCacheConfig cache_config = {CacheEvictionPolicy::kLru, 64};
   FusionClusterOptions options;
-  options.shards = 3;
+  options.shards = cli.shards;
   options.pool = &pool;
-  options.cache_config = {CacheEvictionPolicy::kLru, 64};
+  options.cache_config = cache_config;
+  if (cli.subprocess)
+    options.backend_factory = [&](std::size_t) {
+      SubprocessBackendOptions backend_options;
+      backend_options.config.parallel = true;
+      backend_options.config.threads = 4;
+      backend_options.config.cache_config = cache_config;
+      return std::make_unique<SubprocessBackend>(backend_options);
+    };
   FusionCluster cluster(options);
+  std::printf("serving backend: %s (%zu shards)\n", backend_name,
+              cluster.shard_count());
 
   std::vector<std::string> keys;
   std::vector<std::vector<Partition>> originals;
@@ -80,7 +136,8 @@ int main() {
                 r.result.stats.dmin_before, r.result.stats.dmin_after);
 
   // Batch 2: late tenants asking overlapping questions — warm caches make
-  // their descents mostly lookups, within each shard's memory bound.
+  // their descents mostly lookups, within each top's memory bound (the
+  // cache lives wherever the backend does: here or in a worker process).
   for (std::size_t t = 0; t < keys.size(); ++t)
     cluster.submit(keys[t], "late" + std::to_string(t),
                    {originals[t], 2, DescentPolicy::kMostBlocks});
@@ -98,9 +155,9 @@ int main() {
                     r.result.stats.cover_cache_hits));
 
   const auto stats = cluster.stats();
-  std::printf("\ncluster: %zu tops on %zu shards; served %llu of %llu "
+  std::printf("\ncluster [%s]: %zu tops on %zu shards; served %llu of %llu "
               "requests in %llu shard batches\n",
-              stats.tops, stats.shards,
+              backend_name, stats.tops, stats.shards,
               static_cast<unsigned long long>(stats.requests_served),
               static_cast<unsigned long long>(stats.requests_submitted),
               static_cast<unsigned long long>(stats.shard_batches_served));
@@ -108,19 +165,27 @@ int main() {
               "%llu hits / %llu cold + %llu eviction misses, "
               "%llu evictions\n",
               stats.cache_entries, stats.cache_bytes / 1024,
-              options.cache_config.capacity,
+              cache_config.capacity,
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_cold_misses),
               static_cast<unsigned long long>(stats.cache_eviction_misses),
               static_cast<unsigned long long>(stats.cache_evictions));
 
-  // Per-tenant service view (each top's bounded service is inspectable).
+  // Per-tenant view through the backend-agnostic stats surface — the same
+  // table whether the counters come from this process or a worker.
+  TextTable table({"top", "shard", "served", "batches", "cache entries",
+                   "cache hits", "evictions"});
   for (const std::string& key : keys) {
-    const auto s = cluster.service(key).stats();
-    std::printf("  %-11s cache: %zu entries, %llu hits, %llu evictions\n",
-                key.c_str(), s.cache_entries,
-                static_cast<unsigned long long>(s.cache_hits),
-                static_cast<unsigned long long>(s.cache_evictions));
+    const ServiceStats s = cluster.top_stats(key);
+    table.add_row({key, std::to_string(cluster.shard_of(key)),
+                   std::to_string(s.requests_served),
+                   std::to_string(s.batches_served),
+                   std::to_string(s.cache_entries),
+                   std::to_string(s.cache_hits),
+                   std::to_string(s.cache_evictions)});
   }
+  std::printf("\n%s", table.to_string().c_str());
+
+  cluster.shutdown();  // terminates subprocess workers, no-op in-process
   return 0;
 }

@@ -52,9 +52,13 @@
 // replication — the classical baseline
 #include "replication/replication.hpp"
 
-// sim — the distributed-system substrate
+// sim — the distributed-system substrate and the serving stack
+#include "sim/backend.hpp"
+#include "sim/cluster.hpp"
 #include "sim/event_log.hpp"
 #include "sim/event_source.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/messages.hpp"
 #include "sim/server.hpp"
+#include "sim/subprocess_backend.hpp"
 #include "sim/system.hpp"

@@ -9,6 +9,8 @@ namespace ffsm {
 
 std::string to_text(const Dfsm& machine) {
   std::ostringstream out;
+  for (EventId id = 0; id < machine.alphabet()->size(); ++id)
+    out << "alphabet " << machine.alphabet()->name(id) << '\n';
   out << "dfsm " << machine.name() << '\n';
   for (const EventId e : machine.events())
     out << "event " << machine.alphabet()->name(e) << '\n';
@@ -42,6 +44,19 @@ Dfsm from_text(std::string_view text,
     if (ended)
       throw ContractViolation("from_text: content after 'end'");
 
+    if (directive == "alphabet") {
+      // Header section: reproduce the writer's EventId assignment by
+      // interning in emitted (id) order. Append-only interning keeps any
+      // ids the caller's alphabet already assigned.
+      std::string name;
+      if (!(words >> name))
+        throw ContractViolation("from_text: 'alphabet' requires a name");
+      if (builder)
+        throw ContractViolation(
+            "from_text: 'alphabet' must precede 'dfsm'");
+      alphabet->intern(name);
+      continue;
+    }
     if (directive == "dfsm") {
       std::string name;
       if (!(words >> name))
@@ -85,6 +100,10 @@ Dfsm from_text(std::string_view text,
   if (!builder) throw ContractViolation("from_text: empty input");
   if (!ended) throw ContractViolation("from_text: missing 'end'");
   return builder->build();
+}
+
+Dfsm from_text(std::string_view text) {
+  return from_text(text, Alphabet::create());
 }
 
 std::string to_dot(const Dfsm& machine) {

@@ -1,6 +1,7 @@
 // Plain-text and Graphviz serialisation of machines.
 //
 // Text format (line-oriented, '#' comments):
+//   alphabet <event-name>         (one per alphabet entry, in id order)
 //   dfsm <name>
 //   event <event-name>            (one per subscribed event)
 //   state <state-name>            (one per state, in index order)
@@ -8,8 +9,17 @@
 //   trans <from> <event> <to>     (one per (state, event) pair)
 //   end
 //
-// The format round-trips exactly: parse(to_text(m)) is structurally equal to
-// m given the same Alphabet (EventIds are re-interned by name).
+// The leading `alphabet` section makes a serialised machine self-contained
+// across processes: a standalone parse (the one-argument from_text) interns
+// the listed names in order into a fresh Alphabet, reproducing the sender's
+// EventId assignment exactly — and with it the subscribed-event order and
+// the transition-table layout, so wire transfers are bit-exact, not merely
+// structural. The section is optional on input for backward compatibility
+// with pre-wire texts.
+//
+// The format round-trips exactly: parse(to_text(m)) is structurally equal
+// to m (EventIds are re-interned by name), and for a standalone parse
+// to_text(from_text(to_text(m))) == to_text(m) byte for byte.
 #pragma once
 
 #include <iosfwd>
@@ -21,13 +31,21 @@
 
 namespace ffsm {
 
-/// Serialises a machine to the text format above.
+/// Serialises a machine to the text format above (alphabet section
+/// included, so the result is self-contained).
 [[nodiscard]] std::string to_text(const Dfsm& machine);
 
 /// Parses one machine from the text format. Throws ContractViolation on
 /// malformed input (unknown directive, missing transition, bad state name).
+/// `alphabet` lines are interned into the supplied alphabet (append-only,
+/// so names it already holds keep their ids).
 [[nodiscard]] Dfsm from_text(std::string_view text,
                              const std::shared_ptr<Alphabet>& alphabet);
+
+/// Standalone parse for wire transfers: builds a fresh Alphabet from the
+/// text's `alphabet` section (falling back to `event` declaration order for
+/// pre-wire texts), reproducing the sender's EventIds exactly.
+[[nodiscard]] Dfsm from_text(std::string_view text);
 
 /// Graphviz DOT rendering (states as nodes, transitions labelled by event;
 /// the initial state is marked with a double circle).

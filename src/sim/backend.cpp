@@ -1,0 +1,57 @@
+#include "sim/backend.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+InProcessBackend::InProcessBackend(FusionServiceOptions options)
+    : options_(options) {}
+
+FusionService& InProcessBackend::service_of(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = services_.find(key);
+  FFSM_EXPECTS(it != services_.end());
+  return *it->second;
+}
+
+void InProcessBackend::add_top(const std::string& key, const Dfsm& top) {
+  auto service = std::make_unique<FusionService>(top, options_);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = services_.try_emplace(key, std::move(service));
+  FFSM_EXPECTS(inserted);
+}
+
+void InProcessBackend::validate(const std::string& key,
+                                const FusionRequest& request) const {
+  service_of(key).validate(request);
+}
+
+std::uint64_t InProcessBackend::submit(const std::string& key,
+                                       std::string client,
+                                       FusionRequest request) {
+  return service_of(key).submit(std::move(client), std::move(request));
+}
+
+std::size_t InProcessBackend::pending(const std::string& key) const {
+  return service_of(key).pending();
+}
+
+std::size_t InProcessBackend::discard_pending(const std::string& key) {
+  return service_of(key).discard_pending();
+}
+
+std::vector<FusionResponse> InProcessBackend::drain(const std::string& key) {
+  return service_of(key).drain();
+}
+
+ServiceStats InProcessBackend::stats(const std::string& key) const {
+  return service_of(key).stats();
+}
+
+const FusionService& InProcessBackend::service(const std::string& key) const {
+  return service_of(key);
+}
+
+}  // namespace ffsm

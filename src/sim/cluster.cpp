@@ -10,8 +10,21 @@
 namespace ffsm {
 
 FusionCluster::FusionCluster(FusionClusterOptions options)
-    : options_(options), shards_(options.shards) {
-  FFSM_EXPECTS(options.shards >= 1);
+    : options_(std::move(options)), shards_(options_.shards) {
+  FFSM_EXPECTS(options_.shards >= 1);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (options_.backend_factory) {
+      shards_[s].backend = options_.backend_factory(s);
+      FFSM_EXPECTS(shards_[s].backend != nullptr);
+    } else {
+      FusionServiceOptions service_options;
+      service_options.parallel = options_.parallel;
+      service_options.pool = options_.pool;
+      service_options.incremental = options_.incremental;
+      service_options.cache_config = options_.cache_config;
+      shards_[s].backend = std::make_unique<InProcessBackend>(service_options);
+    }
+  }
 }
 
 std::size_t FusionCluster::shard_of(const std::string& key) const noexcept {
@@ -21,44 +34,53 @@ std::size_t FusionCluster::shard_of(const std::string& key) const noexcept {
   return fnv1a_bytes(key) % shards_.size();
 }
 
-FusionService& FusionCluster::add_top(const std::string& key, Dfsm top) {
-  FusionServiceOptions service_options;
-  service_options.parallel = options_.parallel;
-  service_options.pool = options_.pool;
-  service_options.incremental = options_.incremental;
-  service_options.cache_config = options_.cache_config;
-  auto service =
-      std::make_unique<FusionService>(std::move(top), service_options);
-
+void FusionCluster::add_top(const std::string& key, Dfsm top) {
   Shard& shard = shards_[shard_of(key)];
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto [it, inserted] =
-      shard.services.try_emplace(key, ServiceEntry{std::move(service), {}});
+  const auto [it, inserted] = shard.tops.try_emplace(key);
   FFSM_EXPECTS(inserted);  // keys are unique across the cluster
-  return *it->second.service;
+  // Registration order: cluster bookkeeping first, then the backend, so a
+  // backend that throws (e.g. worker spawn failure) leaves no half-entry —
+  // roll the map entry back on failure.
+  try {
+    shard.backend->add_top(key, top);
+  } catch (...) {
+    shard.tops.erase(it);
+    throw;
+  }
 }
 
 bool FusionCluster::has_top(const std::string& key) const {
   const Shard& shard = shards_[shard_of(key)];
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.services.contains(key);
+  return shard.tops.contains(key);
 }
 
 std::size_t FusionCluster::top_count() const {
   std::size_t count = 0;
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
-    count += shard.services.size();
+    count += shard.tops.size();
   }
   return count;
 }
 
-const FusionService& FusionCluster::service(const std::string& key) const {
+const ShardBackend& FusionCluster::backend(const std::string& key) const {
   const Shard& shard = shards_[shard_of(key)];
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.services.find(key);
-  FFSM_EXPECTS(it != shard.services.end());
-  return *it->second.service;  // services are never removed
+  FFSM_EXPECTS(shard.tops.contains(key));
+  return *shard.backend;  // backends live as long as the cluster
+}
+
+const FusionService& FusionCluster::service(const std::string& key) const {
+  const auto* in_process =
+      dynamic_cast<const InProcessBackend*>(&backend(key));
+  FFSM_EXPECTS(in_process != nullptr);  // in-process backends only
+  return in_process->service(key);
+}
+
+ServiceStats FusionCluster::top_stats(const std::string& key) const {
+  return backend(key).stats(key);
 }
 
 std::uint64_t FusionCluster::submit(const std::string& top_key,
@@ -66,7 +88,7 @@ std::uint64_t FusionCluster::submit(const std::string& top_key,
                                     FusionRequest request) {
   Shard& shard = shards_[shard_of(top_key)];
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  FFSM_EXPECTS(shard.services.contains(top_key));
+  FFSM_EXPECTS(shard.tops.contains(top_key));
   const std::uint64_t ticket =
       next_ticket_.fetch_add(1, std::memory_order_relaxed);
   shard.queue.push_back(
@@ -78,16 +100,16 @@ std::uint64_t FusionCluster::submit(const std::string& top_key,
 std::size_t FusionCluster::pending() const {
   std::size_t count = 0;
   for (const Shard& shard : shards_) {
-    std::vector<const FusionService*> services;
+    std::vector<std::string> keys;
     {
       const std::lock_guard<std::mutex> lock(shard.mutex);
       count += shard.queue.size();
-      services.reserve(shard.services.size());
-      for (const auto& [key, entry] : shard.services)
-        services.push_back(entry.service.get());
+      keys.reserve(shard.tops.size());
+      for (const auto& [key, entry] : shard.tops) keys.push_back(key);
     }
-    // pending() takes the service's own lock; don't hold the shard's.
-    for (const FusionService* service : services) count += service->pending();
+    // Backend pending() synchronizes internally; don't hold the shard's
+    // topology lock across it.
+    for (const std::string& key : keys) count += shard.backend->pending(key);
   }
   return count;
 }
@@ -98,17 +120,17 @@ void FusionCluster::serve_shard(Shard& shard,
                                 std::vector<std::string>& failed_tops) {
   std::vector<Item> items;
   // Snapshot the backlog and the topology. Entry pointers stay valid
-  // outside the lock: unordered_map references are rehash-stable and
-  // services are never removed. Every queued item's top was registered
-  // before its submit, so it is in this snapshot.
-  std::vector<std::pair<const std::string*, ServiceEntry*>> entries;
+  // outside the lock: unordered_map references are rehash-stable and tops
+  // are never removed. Every queued item's top was registered before its
+  // submit, so it is in this snapshot.
+  std::vector<std::pair<const std::string*, TopEntry*>> entries;
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     items.swap(shard.queue);
-    entries.reserve(shard.services.size());
-    for (auto& [key, entry] : shard.services)
-      entries.emplace_back(&key, &entry);
+    entries.reserve(shard.tops.size());
+    for (auto& [key, entry] : shard.tops) entries.emplace_back(&key, &entry);
   }
+  ShardBackend& backend = *shard.backend;
 
   const auto record_failure = [&](const std::string& top) {
     if (std::find(failed_tops.begin(), failed_tops.end(), top) ==
@@ -117,57 +139,59 @@ void FusionCluster::serve_shard(Shard& shard,
     drain_failures_.fetch_add(1, std::memory_order_relaxed);
   };
 
-  // Feed the backlog into the per-top services. This is where request
-  // contents are validated (FusionService::submit checks partition sizes
-  // against its top); a rejected request goes back to the cluster queue.
+  // Feed the backlog into the backend's per-top queues. This is where
+  // request contents are validated (ShardBackend::validate checks
+  // partition sizes against the top); a rejected request goes back to the
+  // cluster queue.
   std::vector<Item> rejected;
   for (Item& item : items) {
-    ServiceEntry* entry = nullptr;
+    TopEntry* entry = nullptr;
     for (const auto& [key, candidate] : entries)
       if (*key == item.top) {
         entry = candidate;
         break;
       }
     FFSM_ASSERT(entry != nullptr);
-    // Validate before moving the request into the service: submit takes
+    // Validate before moving the request into the backend: submit takes
     // its arguments by value, so a throw after the move would leave only
     // a moved-from husk to re-queue. The catch covers ONLY validation —
     // past it, submit can fail on allocation alone, and that propagates
     // as a drain error (via the caller's exception capture) rather than
     // re-queueing an empty request as if it were intact.
     try {
-      entry->service->validate(item.request);
+      backend.validate(item.top, item.request);
     } catch (...) {
       record_failure(item.top);
       rejected.push_back(std::move(item));
       continue;
     }
-    const std::uint64_t service_ticket =
-        entry->service->submit(item.client, std::move(item.request));
-    entry->inflight.emplace(service_ticket, item.ticket);
+    const std::uint64_t backend_ticket =
+        backend.submit(item.top, item.client, std::move(item.request));
+    entry->inflight.emplace(backend_ticket, item.ticket);
   }
 
-  // Drain every service with a backlog — new submissions plus anything a
-  // previously failed drain left queued inside the service.
+  // Drain every top with a backlog — new submissions plus anything a
+  // previously failed drain left queued inside the backend.
   for (const auto& [key, entry] : entries) {
-    if (entry->service->pending() == 0) continue;
-    std::vector<FusionService::Response> served;
+    if (backend.pending(*key) == 0) continue;
+    std::vector<FusionResponse> served;
     try {
-      served = entry->service->drain();
+      served = backend.drain(*key);
     } catch (...) {
-      // The service re-queued the whole batch internally; retried on the
-      // next cluster drain. The catch covers only drain() itself so a
-      // served batch can never be misreported as re-queued — response
-      // mapping below happens outside it (a mapping failure, e.g. OOM,
-      // propagates to drain()'s caller as an error instead).
+      // The backend kept the batch queued internally; retried on the next
+      // cluster drain (a subprocess backend respawns its worker then).
+      // The catch covers only drain() itself so a served batch can never
+      // be misreported as re-queued — response mapping below happens
+      // outside it (a mapping failure, e.g. OOM, propagates to drain()'s
+      // caller as an error instead).
       record_failure(*key);
       requeued += entry->inflight.size();
       continue;
     }
     responses.reserve(responses.size() + served.size());
-    for (FusionService::Response& r : served) {
+    for (FusionResponse& r : served) {
       const auto it = entry->inflight.find(r.ticket);
-      // Ticket 0 marks a request submitted to the service directly,
+      // Ticket 0 marks a request submitted to the backend directly,
       // bypassing the cluster; results are still delivered.
       std::uint64_t cluster_ticket = 0;
       if (it != entry->inflight.end()) {
@@ -246,11 +270,11 @@ FusionCluster::DrainReport FusionCluster::drain() {
 
 std::size_t FusionCluster::discard_pending(const std::string& top_key) {
   // Serialized with drain() so the inflight bookkeeping can be reset
-  // consistently with the service queue it mirrors.
+  // consistently with the backend queue it mirrors.
   const std::lock_guard<std::mutex> drain_lock(drain_mutex_);
   Shard& shard = shards_[shard_of(top_key)];
   std::size_t count = 0;
-  ServiceEntry* entry = nullptr;
+  TopEntry* entry = nullptr;
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto removed = std::remove_if(
@@ -258,17 +282,22 @@ std::size_t FusionCluster::discard_pending(const std::string& top_key) {
         [&](const Item& item) { return item.top == top_key; });
     count += static_cast<std::size_t>(shard.queue.end() - removed);
     shard.queue.erase(removed, shard.queue.end());
-    const auto it = shard.services.find(top_key);
-    if (it != shard.services.end()) entry = &it->second;
+    const auto it = shard.tops.find(top_key);
+    if (it != shard.tops.end()) entry = &it->second;
   }
   if (entry != nullptr) {
     // The other half of a poisoned backlog: requests a failed drain left
-    // re-queued inside the service. Outside a drain, inflight mirrors
+    // queued inside the backend. Outside a drain, inflight mirrors
     // exactly those, so both reset together.
-    count += entry->service->discard_pending();
+    count += shard.backend->discard_pending(top_key);
     entry->inflight.clear();
   }
   return count;
+}
+
+void FusionCluster::shutdown() {
+  const std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  for (Shard& shard : shards_) shard.backend->shutdown();
 }
 
 FusionCluster::Stats FusionCluster::stats() const {
@@ -283,16 +312,15 @@ FusionCluster::Stats FusionCluster::stats() const {
   out.shards = shards_.size();
   out.pending = pending();
   for (const Shard& shard : shards_) {
-    std::vector<const FusionService*> services;
+    std::vector<std::string> keys;
     {
       const std::lock_guard<std::mutex> lock(shard.mutex);
-      out.tops += shard.services.size();
-      services.reserve(shard.services.size());
-      for (const auto& [key, entry] : shard.services)
-        services.push_back(entry.service.get());
+      out.tops += shard.tops.size();
+      keys.reserve(shard.tops.size());
+      for (const auto& [key, entry] : shard.tops) keys.push_back(key);
     }
-    for (const FusionService* service : services) {
-      const FusionService::Stats s = service->stats();
+    for (const std::string& key : keys) {
+      const ServiceStats s = shard.backend->stats(key);
       out.shard_batches_served += s.batches_served;
       out.cache_hits += s.cache_hits;
       out.cache_cold_misses += s.cache_cold_misses;

@@ -1,42 +1,50 @@
-// A multi-tenant fusion cluster: N FusionService shards keyed by top
-// machine.
+// A multi-tenant fusion cluster: N shard backends keyed by top machine.
 //
-// One FusionService owns one top machine (the expensive reachable cross
-// product) and serves every client asking about that top. The cluster is
-// the routing layer above it: top machines are registered under string
-// keys, each key is consistently assigned to one of N shards (FNV-1a hash
-// of the key, so the assignment is stable across runs and independent of
-// registration order), and every shard hosts the services of the keys that
-// map to it. drain() fans the shard backlogs out across the shared
-// ThreadPool, so independent tops make progress in parallel while all
-// requests for one top still share that service's bounded closure cache.
+// One serving backend owns the tops of one shard and serves every client
+// asking about them. The cluster is the routing layer above: top machines
+// are registered under string keys, each key is consistently assigned to
+// one of N shards (FNV-1a hash of the key, so the assignment is stable
+// across runs and independent of registration order), and every shard's
+// ShardBackend hosts the tops that map to it. drain() fans the shard
+// backlogs out across the shared ThreadPool, so independent tops make
+// progress in parallel while all requests for one top still share that
+// top's bounded closure cache (wherever it lives — this address space or a
+// worker process).
+//
+// The backend behind a shard is pluggable (sim/backend.hpp): the default
+// InProcessBackend reproduces the pre-backend behaviour bit-identically;
+// SubprocessBackend (sim/subprocess_backend.hpp) moves each shard into its
+// own OS process behind the wire protocol. The cluster's routing, ticket
+// bookkeeping and failure handling are backend-agnostic, and every backend
+// must serve bit-identical responses for the same request stream.
 //
 // Failure model: the cluster validates only that a request names a
 // registered top. Request contents (partition sizes) are validated by the
-// serving shard at drain time — where the top machine lives — so a
-// malformed request fails its shard's drain and is *re-queued at the
-// cluster*, never silently lost; DrainReport says which tops failed and
-// discard_pending() evicts a poisoned backlog. A shard whose batched
-// generation itself throws keeps the drained requests queued inside its
-// FusionService (see FusionService::drain) and the cluster retries them on
-// the next drain.
+// serving shard at drain time — a malformed request fails validation and
+// is *re-queued at the cluster*, never silently lost; DrainReport says
+// which tops failed and discard_pending() evicts a poisoned backlog. A
+// shard whose batched generation throws — or whose worker process died —
+// keeps the drained requests queued inside its backend and the cluster
+// retries them on the next drain (a subprocess backend respawns its worker
+// then).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "sim/server.hpp"
+#include "sim/backend.hpp"
 
 namespace ffsm {
 
 struct FusionClusterOptions {
   /// Number of shards (must be >= 1). Tops hash onto shards; several tops
-  /// can share a shard.
+  /// can share a shard (and with it a backend / worker process).
   std::size_t shards = 4;
   /// Drain shards in parallel on the pool (each shard's inner batch
   /// composes via ThreadPool re-entrancy).
@@ -44,9 +52,14 @@ struct FusionClusterOptions {
   ThreadPool* pool = nullptr;
   /// Per-request engine mode (see GenerateOptions::incremental).
   bool incremental = true;
-  /// Bound + eviction policy for every shard service's persistent closure
-  /// cache; total resident cache memory is O(tops * capacity) entries.
+  /// Bound + eviction policy for every top's persistent closure cache;
+  /// total resident cache memory is O(tops * capacity) entries.
   LowerCoverCacheConfig cache_config = {};
+  /// Produces the backend hosting each shard's tops; called once per
+  /// shard at construction with the shard index. Leave empty for the
+  /// default InProcessBackend built from the options above.
+  std::function<std::unique_ptr<ShardBackend>(std::size_t shard)>
+      backend_factory;
 };
 
 class FusionCluster {
@@ -64,7 +77,7 @@ class FusionCluster {
   struct DrainReport {
     /// Served requests in cluster-ticket order.
     std::vector<Response> responses;
-    /// Requests put back (cluster queue or shard service queue) because
+    /// Requests put back (cluster queue or shard backend queue) because
     /// their shard failed to serve them this round.
     std::uint64_t requeued = 0;
     /// Top keys whose shard reported a failure this round (deduplicated,
@@ -72,8 +85,8 @@ class FusionCluster {
     std::vector<std::string> failed_tops;
   };
 
-  /// Aggregate of the cluster's own counters and every shard service's
-  /// Stats (cache counters summed across services).
+  /// Aggregate of the cluster's own counters and every top's backend
+  /// Stats (cache counters summed across tops).
   struct Stats {
     std::uint64_t requests_submitted = 0;
     std::uint64_t requests_served = 0;
@@ -94,9 +107,9 @@ class FusionCluster {
 
   explicit FusionCluster(FusionClusterOptions options = {});
 
-  /// Registers `top` under `key`, creating its FusionService on the shard
-  /// `shard_of(key)`. The key must be new. Thread-safe.
-  FusionService& add_top(const std::string& key, Dfsm top);
+  /// Registers `top` under `key` on the backend of shard `shard_of(key)`.
+  /// The key must be new. Thread-safe.
+  void add_top(const std::string& key, Dfsm top);
 
   [[nodiscard]] bool has_top(const std::string& key) const;
   [[nodiscard]] std::size_t top_count() const;
@@ -108,8 +121,17 @@ class FusionCluster {
   /// across runs, platforms and registration order.
   [[nodiscard]] std::size_t shard_of(const std::string& key) const noexcept;
 
-  /// The shard service hosting `key` (must be registered).
+  /// The backend hosting `key` (must be registered).
+  [[nodiscard]] const ShardBackend& backend(const std::string& key) const;
+
+  /// The concrete FusionService hosting `key` — only valid when the
+  /// shard's backend is the in-process one (the default); throws
+  /// ContractViolation otherwise. Backend-agnostic callers should use
+  /// top_stats() instead.
   [[nodiscard]] const FusionService& service(const std::string& key) const;
+
+  /// Serving counters of `key`'s top, whichever backend hosts it.
+  [[nodiscard]] ServiceStats top_stats(const std::string& key) const;
 
   /// Queues a request for the given top; thread-safe. Only registration of
   /// the top is checked here — request contents are validated by the
@@ -118,7 +140,7 @@ class FusionCluster {
   std::uint64_t submit(const std::string& top_key, std::string client,
                        FusionRequest request);
 
-  /// Queued-but-unserved requests, cluster queues plus shard service
+  /// Queued-but-unserved requests, cluster queues plus shard backend
   /// backlogs; thread-safe.
   [[nodiscard]] std::size_t pending() const;
 
@@ -128,10 +150,14 @@ class FusionCluster {
   DrainReport drain();
 
   /// Drops every unserved request for `top_key` — cluster-queued requests
-  /// and any backlog a failed drain left re-queued inside the shard's
-  /// service — returning how many were discarded. The escape hatch for a
+  /// and any backlog a failed drain left queued inside the shard's
+  /// backend — returning how many were discarded. The escape hatch for a
   /// backlog the shard keeps failing on. Serialized with drain().
   std::size_t discard_pending(const std::string& top_key);
+
+  /// Shuts every shard backend down (terminates worker processes).
+  /// Serialized with drain(); queued requests stay queued caller-side.
+  void shutdown();
 
   [[nodiscard]] Stats stats() const;
 
@@ -143,22 +169,22 @@ class FusionCluster {
     FusionRequest request;
   };
 
-  struct ServiceEntry {
-    std::unique_ptr<FusionService> service;
-    /// Service ticket -> cluster ticket for requests the service has
+  struct TopEntry {
+    /// Backend ticket -> cluster ticket for requests the backend has
     /// accepted but not yet served (survives failed drains). Touched only
     /// by the serialized drain path, one worker per shard.
     std::unordered_map<std::uint64_t, std::uint64_t> inflight;
   };
 
   struct Shard {
-    mutable std::mutex mutex;  // guards services (topology) and queue
-    std::unordered_map<std::string, ServiceEntry> services;
+    mutable std::mutex mutex;  // guards tops (topology) and queue
+    std::unique_ptr<ShardBackend> backend;
+    std::unordered_map<std::string, TopEntry> tops;
     std::vector<Item> queue;
   };
 
-  /// Serves one shard: feed its queue into the per-top services, drain
-  /// each service with a backlog, map service tickets back to cluster
+  /// Serves one shard: feed its queue into the backend's per-top queues,
+  /// drain each top with a backlog, map backend tickets back to cluster
   /// tickets. Failures are captured in the out-params, never thrown.
   void serve_shard(Shard& shard, std::vector<Response>& responses,
                    std::uint64_t& requeued,

@@ -1,0 +1,418 @@
+#include "sim/messages.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw ContractViolation("wire: " + what);
+}
+
+/// True for bytes that must be escaped inside a whitespace-delimited token.
+bool needs_escape(unsigned char c) {
+  return c == '%' || c <= 0x20 || c == 0x7f;
+}
+
+char hex_digit(unsigned v) {
+  return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void expect_line_end(std::istringstream& words, const char* what) {
+  std::string extra;
+  if (words >> extra)
+    bad(std::string(what) + ": trailing token '" + extra + "'");
+}
+
+template <typename Unsigned>
+Unsigned parse_unsigned(std::istringstream& words, const char* what) {
+  Unsigned value{};
+  if (!(words >> value)) bad(std::string(what) + ": expected a number");
+  return value;
+}
+
+bool parse_bool(std::istringstream& words, const char* what) {
+  std::string token;
+  if (!(words >> token) || (token != "0" && token != "1"))
+    bad(std::string(what) + ": expected 0 or 1");
+  return token == "1";
+}
+
+/// Remaining words of a line as a normalized block assignment.
+Partition parse_partition(std::istringstream& words, const char* what) {
+  std::vector<std::uint32_t> assignment;
+  std::uint32_t v = 0;
+  while (words >> v) assignment.push_back(v);
+  if (!words.eof()) bad(std::string(what) + ": malformed block assignment");
+  return Partition(std::move(assignment));
+}
+
+void append_partition(std::ostringstream& out, const char* directive,
+                      const Partition& p) {
+  out << directive;
+  for (const std::uint32_t v : p.assignment()) out << ' ' << v;
+  out << '\n';
+}
+
+}  // namespace
+
+std::string escape_token(std::string_view raw) {
+  if (raw.empty()) return "%";
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const auto u = static_cast<unsigned char>(c);
+    if (needs_escape(u)) {
+      out += '%';
+      out += hex_digit(u >> 4);
+      out += hex_digit(u & 0xf);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_token(std::string_view token) {
+  if (token.empty()) bad("empty token");
+  if (token == "%") return "";
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out += token[i];
+      continue;
+    }
+    if (i + 2 >= token.size() || hex_value(token[i + 1]) < 0 ||
+        hex_value(token[i + 2]) < 0)
+      bad("malformed %-escape in token '" + std::string(token) + "'");
+    out += static_cast<char>(hex_value(token[i + 1]) * 16 +
+                             hex_value(token[i + 2]));
+    i += 2;
+  }
+  return out;
+}
+
+const char* policy_name(DescentPolicy policy) {
+  switch (policy) {
+    case DescentPolicy::kFirstFound:
+      return "first_found";
+    case DescentPolicy::kFewestBlocks:
+      return "fewest_blocks";
+    case DescentPolicy::kMostBlocks:
+      return "most_blocks";
+  }
+  bad("unknown DescentPolicy");
+}
+
+DescentPolicy policy_from_name(std::string_view name) {
+  if (name == "first_found") return DescentPolicy::kFirstFound;
+  if (name == "fewest_blocks") return DescentPolicy::kFewestBlocks;
+  if (name == "most_blocks") return DescentPolicy::kMostBlocks;
+  bad("unknown descent policy '" + std::string(name) + "'");
+}
+
+const char* cache_policy_name(CacheEvictionPolicy policy) {
+  switch (policy) {
+    case CacheEvictionPolicy::kLru:
+      return "lru";
+    case CacheEvictionPolicy::kEpoch:
+      return "epoch";
+    case CacheEvictionPolicy::kUnbounded:
+      return "unbounded";
+  }
+  bad("unknown CacheEvictionPolicy");
+}
+
+CacheEvictionPolicy cache_policy_from_name(std::string_view name) {
+  if (name == "lru") return CacheEvictionPolicy::kLru;
+  if (name == "epoch") return CacheEvictionPolicy::kEpoch;
+  if (name == "unbounded") return CacheEvictionPolicy::kUnbounded;
+  bad("unknown cache policy '" + std::string(name) + "'");
+}
+
+// ---------------------------------------------------------------- request
+
+std::string encode_request(const WireRequest& request) {
+  std::ostringstream out;
+  out << "request " << request.ticket << ' ' << escape_token(request.client)
+      << '\n';
+  out << "f " << request.request.f << '\n';
+  out << "policy " << policy_name(request.request.policy) << '\n';
+  for (const Partition& p : request.request.originals)
+    append_partition(out, "original", p);
+  out << "end\n";
+  return out.str();
+}
+
+WireRequest decode_request(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  WireRequest out;
+  bool have_header = false;
+  bool have_f = false;
+  bool have_policy = false;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    std::istringstream words(line);
+    std::string directive;
+    if (!(words >> directive)) continue;  // blank line
+    if (ended) bad("request: content after 'end'");
+    if (directive == "request") {
+      if (have_header) bad("request: duplicate header");
+      std::string client;
+      if (!(words >> out.ticket >> client))
+        bad("request: header requires <ticket> <client>");
+      expect_line_end(words, "request header");
+      out.client = unescape_token(client);
+      have_header = true;
+      continue;
+    }
+    if (!have_header) bad("request: expected 'request <ticket> <client>'");
+    if (directive == "f") {
+      out.request.f = parse_unsigned<std::uint32_t>(words, "request f");
+      expect_line_end(words, "request f");
+      have_f = true;
+    } else if (directive == "policy") {
+      std::string name;
+      if (!(words >> name)) bad("request: 'policy' requires a name");
+      expect_line_end(words, "request policy");
+      out.request.policy = policy_from_name(name);
+      have_policy = true;
+    } else if (directive == "original") {
+      out.request.originals.push_back(
+          parse_partition(words, "request original"));
+    } else if (directive == "end") {
+      expect_line_end(words, "request end");
+      ended = true;
+    } else {
+      bad("request: unknown directive '" + directive + "'");
+    }
+  }
+  if (!have_header) bad("request: empty input");
+  if (!ended) bad("request: missing 'end'");
+  if (!have_f || !have_policy) bad("request: missing 'f' or 'policy'");
+  return out;
+}
+
+// --------------------------------------------------------------- response
+
+std::string encode_response(const FusionResponse& response) {
+  std::ostringstream out;
+  out << "response " << response.ticket << ' '
+      << escape_token(response.client) << '\n';
+  for (const Partition& p : response.result.partitions)
+    append_partition(out, "fusion", p);
+  const GenerateStats& s = response.result.stats;
+  out << "stats " << s.machines_added << ' ' << s.descent_steps << ' '
+      << s.candidates_examined << ' ' << s.closures_evaluated << ' '
+      << s.cover_cache_hits << ' ' << s.graph_edges_examined << ' '
+      << s.dmin_before << ' ' << s.dmin_after << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+FusionResponse decode_response(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  FusionResponse out;
+  bool have_header = false;
+  bool have_stats = false;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    std::istringstream words(line);
+    std::string directive;
+    if (!(words >> directive)) continue;
+    if (ended) bad("response: content after 'end'");
+    if (directive == "response") {
+      if (have_header) bad("response: duplicate header");
+      std::string client;
+      if (!(words >> out.ticket >> client))
+        bad("response: header requires <ticket> <client>");
+      expect_line_end(words, "response header");
+      out.client = unescape_token(client);
+      have_header = true;
+      continue;
+    }
+    if (!have_header) bad("response: expected 'response <ticket> <client>'");
+    if (directive == "fusion") {
+      out.result.partitions.push_back(
+          parse_partition(words, "response fusion"));
+    } else if (directive == "stats") {
+      GenerateStats& s = out.result.stats;
+      s.machines_added =
+          parse_unsigned<std::uint32_t>(words, "response stats");
+      s.descent_steps = parse_unsigned<std::uint32_t>(words, "response stats");
+      s.candidates_examined =
+          parse_unsigned<std::uint64_t>(words, "response stats");
+      s.closures_evaluated =
+          parse_unsigned<std::uint64_t>(words, "response stats");
+      s.cover_cache_hits =
+          parse_unsigned<std::uint64_t>(words, "response stats");
+      s.graph_edges_examined =
+          parse_unsigned<std::uint64_t>(words, "response stats");
+      s.dmin_before = parse_unsigned<std::uint32_t>(words, "response stats");
+      s.dmin_after = parse_unsigned<std::uint32_t>(words, "response stats");
+      expect_line_end(words, "response stats");
+      have_stats = true;
+    } else if (directive == "end") {
+      expect_line_end(words, "response end");
+      ended = true;
+    } else {
+      bad("response: unknown directive '" + directive + "'");
+    }
+  }
+  if (!have_header) bad("response: empty input");
+  if (!ended) bad("response: missing 'end'");
+  if (!have_stats) bad("response: missing 'stats'");
+  return out;
+}
+
+// ------------------------------------------------------------------ stats
+
+std::string encode_stats(const ServiceStats& stats) {
+  std::ostringstream out;
+  out << "stats\n";
+  out << "requests_submitted " << stats.requests_submitted << '\n';
+  out << "requests_served " << stats.requests_served << '\n';
+  out << "batches_served " << stats.batches_served << '\n';
+  out << "cache_hits " << stats.cache_hits << '\n';
+  out << "cache_cold_misses " << stats.cache_cold_misses << '\n';
+  out << "cache_eviction_misses " << stats.cache_eviction_misses << '\n';
+  out << "cache_evictions " << stats.cache_evictions << '\n';
+  out << "cache_entries " << stats.cache_entries << '\n';
+  out << "cache_bytes " << stats.cache_bytes << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+ServiceStats decode_stats(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  ServiceStats out;
+  bool have_header = false;
+  bool ended = false;
+  std::uint32_t fields = 0;
+  while (std::getline(in, line)) {
+    std::istringstream words(line);
+    std::string directive;
+    if (!(words >> directive)) continue;
+    if (ended) bad("stats: content after 'end'");
+    if (directive == "stats") {
+      if (have_header) bad("stats: duplicate header");
+      expect_line_end(words, "stats header");
+      have_header = true;
+      continue;
+    }
+    if (!have_header) bad("stats: expected 'stats' first");
+    if (directive == "end") {
+      expect_line_end(words, "stats end");
+      ended = true;
+      continue;
+    }
+    ++fields;
+    if (directive == "requests_submitted")
+      out.requests_submitted = parse_unsigned<std::uint64_t>(words, "stats");
+    else if (directive == "requests_served")
+      out.requests_served = parse_unsigned<std::uint64_t>(words, "stats");
+    else if (directive == "batches_served")
+      out.batches_served = parse_unsigned<std::uint64_t>(words, "stats");
+    else if (directive == "cache_hits")
+      out.cache_hits = parse_unsigned<std::uint64_t>(words, "stats");
+    else if (directive == "cache_cold_misses")
+      out.cache_cold_misses = parse_unsigned<std::uint64_t>(words, "stats");
+    else if (directive == "cache_eviction_misses")
+      out.cache_eviction_misses =
+          parse_unsigned<std::uint64_t>(words, "stats");
+    else if (directive == "cache_evictions")
+      out.cache_evictions = parse_unsigned<std::uint64_t>(words, "stats");
+    else if (directive == "cache_entries")
+      out.cache_entries = parse_unsigned<std::size_t>(words, "stats");
+    else if (directive == "cache_bytes")
+      out.cache_bytes = parse_unsigned<std::size_t>(words, "stats");
+    else
+      bad("stats: unknown counter '" + directive + "'");
+    expect_line_end(words, "stats counter");
+  }
+  if (!have_header) bad("stats: empty input");
+  if (!ended) bad("stats: missing 'end'");
+  if (fields != 9) bad("stats: wrong counter count");
+  return out;
+}
+
+// ----------------------------------------------------------------- config
+
+std::string encode_config(const ShardServiceConfig& config) {
+  std::ostringstream out;
+  out << "config\n";
+  out << "parallel " << (config.parallel ? 1 : 0) << '\n';
+  out << "threads " << config.threads << '\n';
+  out << "incremental " << (config.incremental ? 1 : 0) << '\n';
+  out << "cache_policy " << cache_policy_name(config.cache_config.policy)
+      << '\n';
+  out << "cache_capacity " << config.cache_config.capacity << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+ShardServiceConfig decode_config(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  ShardServiceConfig out;
+  bool have_header = false;
+  bool ended = false;
+  std::uint32_t fields = 0;
+  while (std::getline(in, line)) {
+    std::istringstream words(line);
+    std::string directive;
+    if (!(words >> directive)) continue;
+    if (ended) bad("config: content after 'end'");
+    if (directive == "config") {
+      if (have_header) bad("config: duplicate header");
+      expect_line_end(words, "config header");
+      have_header = true;
+      continue;
+    }
+    if (!have_header) bad("config: expected 'config' first");
+    if (directive == "end") {
+      expect_line_end(words, "config end");
+      ended = true;
+      continue;
+    }
+    ++fields;
+    if (directive == "parallel") {
+      out.parallel = parse_bool(words, "config parallel");
+    } else if (directive == "threads") {
+      out.threads = parse_unsigned<std::size_t>(words, "config threads");
+    } else if (directive == "incremental") {
+      out.incremental = parse_bool(words, "config incremental");
+    } else if (directive == "cache_policy") {
+      std::string name;
+      if (!(words >> name)) bad("config: 'cache_policy' requires a name");
+      out.cache_config.policy = cache_policy_from_name(name);
+    } else if (directive == "cache_capacity") {
+      out.cache_config.capacity =
+          parse_unsigned<std::size_t>(words, "config cache_capacity");
+    } else {
+      bad("config: unknown field '" + directive + "'");
+    }
+    expect_line_end(words, "config field");
+  }
+  if (!have_header) bad("config: empty input");
+  if (!ended) bad("config: missing 'end'");
+  if (fields != 5) bad("config: wrong field count");
+  return out;
+}
+
+}  // namespace ffsm

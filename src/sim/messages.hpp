@@ -1,0 +1,123 @@
+// Wire protocol of the serving stack.
+//
+// A shard of the FusionCluster is a backend behind a message boundary (see
+// sim/backend.hpp); this header defines the messages that cross it and
+// their exact round-tripping text codec. Frames are line-oriented in the
+// fsm/serialize style — a directive line opens the frame, key/value lines
+// follow, and a lone `end` line closes it — so machines (to_text, which is
+// self-contained via its alphabet header), requests, responses, stats and
+// configs all travel the same way over any byte stream.
+//
+//   request <ticket> <client>             response <ticket> <client>
+//   f <f>                                 fusion <b0> <b1> ...   (per machine)
+//   policy <fewest_blocks|...>            stats <8 counters, fixed order>
+//   original <b0> <b1> ...  (per orig)    end
+//   end
+//
+//   stats                                 config
+//   requests_submitted <n>                parallel <0|1>
+//   ... (one counter per line)            threads <n>
+//   end                                   incremental <0|1>
+//                                         cache_policy <lru|epoch|unbounded>
+//                                         cache_capacity <n>
+//                                         end
+//
+// Tokens that may contain arbitrary bytes (client names, top keys) are
+// percent-escaped (escape_token); partitions travel as their normalized
+// block assignments, so decode(encode(x)) == x and, for canonical frames,
+// encode(decode(text)) == text byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fusion/generator.hpp"
+
+namespace ffsm {
+
+/// One served request crossing a backend boundary. FusionService::Response
+/// is an alias of this — the in-process and wire representations are the
+/// same type.
+struct FusionResponse {
+  std::uint64_t ticket = 0;
+  std::string client;
+  FusionResult result;
+};
+
+/// Lifetime counters of one serving backend — a FusionService or the shard
+/// worker wrapping one. The cache_* fields snapshot the persistent closure
+/// cache; eviction misses are broken out from cold misses so a bounded
+/// cache under pressure does not masquerade as a cold workload
+/// (cache_hits + cache_cold_misses + cache_eviction_misses == lookups).
+struct ServiceStats {
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t batches_served = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_cold_misses = 0;
+  std::uint64_t cache_eviction_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+};
+
+/// The FusionServiceOptions subset that can cross a process boundary
+/// (ThreadPool pointers cannot): engine mode, cache bound, and the
+/// worker-side parallelism switch.
+struct ShardServiceConfig {
+  /// Fan the worker's batches across its own pool.
+  bool parallel = true;
+  /// Worker pool size; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Per-request engine mode (see GenerateOptions::incremental).
+  bool incremental = true;
+  /// Bound + eviction policy for each worker service's closure cache.
+  LowerCoverCacheConfig cache_config = {};
+};
+
+/// A FusionRequest in its wire envelope: the backend ticket identifying
+/// the eventual response, plus the submitting client.
+struct WireRequest {
+  std::uint64_t ticket = 0;
+  std::string client;
+  FusionRequest request;
+};
+
+// ------------------------------------------------------------------ codec
+//
+// Every decode throws ContractViolation on malformed input (unknown
+// directive, missing field, trailing garbage) — a truncated or corrupted
+// frame must fail loudly at the boundary, never produce a half-read
+// message.
+
+[[nodiscard]] std::string encode_request(const WireRequest& request);
+[[nodiscard]] WireRequest decode_request(std::string_view text);
+
+[[nodiscard]] std::string encode_response(const FusionResponse& response);
+[[nodiscard]] FusionResponse decode_response(std::string_view text);
+
+[[nodiscard]] std::string encode_stats(const ServiceStats& stats);
+[[nodiscard]] ServiceStats decode_stats(std::string_view text);
+
+[[nodiscard]] std::string encode_config(const ShardServiceConfig& config);
+[[nodiscard]] ShardServiceConfig decode_config(std::string_view text);
+
+// ----------------------------------------------------------------- tokens
+
+/// Percent-escapes a byte string into a whitespace-free token ('%', ASCII
+/// whitespace and control bytes become %XX; the empty string becomes the
+/// lone marker "%", which no escape of a non-empty string produces).
+[[nodiscard]] std::string escape_token(std::string_view raw);
+
+/// Inverse of escape_token; throws ContractViolation on malformed escapes.
+[[nodiscard]] std::string unescape_token(std::string_view token);
+
+/// Wire names of the enums (stable — they are protocol, not display).
+[[nodiscard]] const char* policy_name(DescentPolicy policy);
+[[nodiscard]] DescentPolicy policy_from_name(std::string_view name);
+[[nodiscard]] const char* cache_policy_name(CacheEvictionPolicy policy);
+[[nodiscard]] CacheEvictionPolicy cache_policy_from_name(
+    std::string_view name);
+
+}  // namespace ffsm

@@ -10,7 +10,10 @@ State Server::state() const {
 }
 
 void Server::apply(EventId event) {
-  if (!state_) return;
+  if (!state_) {
+    if (machine_.subscribes(event)) ++dropped_events_;
+    return;
+  }
   state_ = machine_.step(*state_, event);
 }
 

@@ -17,6 +17,7 @@
 
 #include "fsm/dfsm.hpp"
 #include "fusion/generator.hpp"
+#include "sim/messages.hpp"
 
 namespace ffsm {
 
@@ -34,8 +35,16 @@ class Server {
 
   /// Applies an environment event; crashed servers drop events (the
   /// environment quiesces during recovery in the paper's model, but the
-  /// simulator tolerates stragglers by making this a no-op).
+  /// simulator tolerates stragglers by making this a no-op and counting
+  /// the drop — see dropped_events()).
   void apply(EventId event);
+
+  /// Subscribed events dropped while crashed (foreign events are ignored
+  /// healthy or not, so they never count). A scenario that claims the
+  /// environment quiesced during recovery can assert this stayed 0.
+  [[nodiscard]] std::uint64_t dropped_events() const noexcept {
+    return dropped_events_;
+  }
 
   /// Crash fault: lose the execution state.
   void crash() noexcept { state_.reset(); }
@@ -49,6 +58,7 @@ class Server {
  private:
   Dfsm machine_;
   std::optional<State> state_;
+  std::uint64_t dropped_events_ = 0;
 };
 
 // ----------------------------------------------------------- FusionService
@@ -78,28 +88,14 @@ struct FusionServiceOptions {
 
 class FusionService {
  public:
-  /// A served request, in submission (ticket) order.
-  struct Response {
-    std::uint64_t ticket = 0;
-    std::string client;
-    FusionResult result;
-  };
+  /// A served request, in submission (ticket) order. The wire type
+  /// (sim/messages.hpp) — in-process and cross-process serving return the
+  /// same representation.
+  using Response = FusionResponse;
 
-  /// Lifetime counters. The cache_* fields snapshot the persistent
-  /// closure cache; eviction misses are broken out from cold misses so a
-  /// bounded cache under pressure does not masquerade as a cold workload
-  /// (cache_hits + cache_cold_misses + cache_eviction_misses == lookups).
-  struct Stats {
-    std::uint64_t requests_submitted = 0;
-    std::uint64_t requests_served = 0;
-    std::uint64_t batches_served = 0;
-    std::uint64_t cache_hits = 0;
-    std::uint64_t cache_cold_misses = 0;
-    std::uint64_t cache_eviction_misses = 0;
-    std::uint64_t cache_evictions = 0;
-    std::size_t cache_entries = 0;
-    std::size_t cache_bytes = 0;
-  };
+  /// Lifetime counters — the wire type (sim/messages.hpp), so a remote
+  /// worker's stats and a local service's are interchangeable.
+  using Stats = ServiceStats;
 
   explicit FusionService(Dfsm top, FusionServiceOptions options = {});
 

@@ -1,0 +1,347 @@
+#include "sim/subprocess_backend.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "fsm/serialize.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+namespace {
+
+/// Resolves the worker binary: explicit option, $FFSM_SHARD_WORKER, then
+/// "ffsm_shard_worker" in the current executable's directory (tests,
+/// benches and the worker all land in the same build directory).
+std::string discover_worker_path(const std::string& explicit_path) {
+  if (!explicit_path.empty()) return explicit_path;
+  if (const char* env = std::getenv("FFSM_SHARD_WORKER");
+      env != nullptr && *env != '\0')
+    return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    std::string path(buf);
+    if (const auto slash = path.rfind('/'); slash != std::string::npos) {
+      path.erase(slash + 1);
+      return path + "ffsm_shard_worker";
+    }
+  }
+  return "ffsm_shard_worker";  // last resort: $PATH lookup via execlp
+}
+
+}  // namespace
+
+SubprocessBackend::SubprocessBackend(SubprocessBackendOptions options)
+    : options_(std::move(options)) {}
+
+SubprocessBackend::~SubprocessBackend() { shutdown(); }
+
+SubprocessBackend::TopState& SubprocessBackend::top_of(
+    const std::string& key) {
+  const auto it = tops_.find(key);
+  FFSM_EXPECTS(it != tops_.end());
+  return it->second;
+}
+
+const SubprocessBackend::TopState& SubprocessBackend::top_of(
+    const std::string& key) const {
+  const auto it = tops_.find(key);
+  FFSM_EXPECTS(it != tops_.end());
+  return it->second;
+}
+
+void SubprocessBackend::die_locked(const std::string& what) {
+  kill_worker_locked();
+  throw ContractViolation("SubprocessBackend: " + what);
+}
+
+void SubprocessBackend::kill_worker_locked() noexcept {
+  if (channel_fd_ >= 0) {
+    ::close(channel_fd_);
+    channel_fd_ = -1;
+    read_buffer_.clear();
+  }
+  if (worker_pid_ > 0) {
+    ::kill(worker_pid_, SIGKILL);
+    ::waitpid(worker_pid_, nullptr, 0);
+    worker_pid_ = 0;
+  }
+}
+
+void SubprocessBackend::send_locked(std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a dead worker must surface as EPIPE here, not as a
+    // process-wide SIGPIPE.
+    const ssize_t n = ::send(channel_fd_, data.data() + off,
+                             data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die_locked("write to worker failed (worker died?)");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+bool SubprocessBackend::read_line_locked(std::string& line) {
+  for (;;) {
+    const auto pos = read_buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(read_buffer_, 0, pos);
+      read_buffer_.erase(0, pos + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(channel_fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF: worker exited
+    read_buffer_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::string SubprocessBackend::expect_line_locked(const char* context) {
+  std::string line;
+  if (!read_line_locked(line))
+    die_locked(std::string("worker closed the channel during ") + context);
+  return line;
+}
+
+std::string SubprocessBackend::read_frame_locked(std::string first_line,
+                                                 const char* context) {
+  std::string frame = std::move(first_line);
+  frame += '\n';
+  for (;;) {
+    const std::string line = expect_line_locked(context);
+    frame += line;
+    frame += '\n';
+    if (line == "end") return frame;
+  }
+}
+
+void SubprocessBackend::register_top_locked(const std::string& key,
+                                            const TopState& top) {
+  send_locked("top " + escape_token(key) + '\n' + top.machine_text);
+  const std::string reply = expect_line_locked("top registration");
+  if (reply != "ok") die_locked("worker rejected top '" + key + "': " + reply);
+}
+
+void SubprocessBackend::ensure_worker_locked() {
+  if (channel_fd_ >= 0 && worker_pid_ > 0) {
+    const pid_t status = ::waitpid(worker_pid_, nullptr, WNOHANG);
+    if (status == 0) return;  // worker is running
+    // Exited (reaped just now) or already gone: forget the pid BEFORE the
+    // cleanup below — SIGKILLing a reaped pid could hit whatever process
+    // the kernel recycled it to.
+    worker_pid_ = 0;
+  }
+  kill_worker_locked();  // close a stale channel, if any
+
+  const std::string path = discover_worker_path(options_.worker_path);
+  int sv[2];
+  // SOCK_CLOEXEC: shards spawn workers concurrently during a parallel
+  // drain, and a sibling fork between our socketpair() and exec would
+  // otherwise inherit a copy of sv[1] — keeping this channel open after
+  // our worker dies and so masking its EOF forever. dup2 below clears
+  // CLOEXEC on the child's own stdin/stdout copies.
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
+    throw ContractViolation("SubprocessBackend: socketpair failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw ContractViolation("SubprocessBackend: fork failed");
+  }
+  if (pid == 0) {
+    // Child: bridge the channel to stdin/stdout and become the worker.
+    ::dup2(sv[1], STDIN_FILENO);
+    ::dup2(sv[1], STDOUT_FILENO);
+    ::close(sv[0]);
+    ::close(sv[1]);
+    ::execlp(path.c_str(), "ffsm_shard_worker", static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed; the parent sees EOF on its first read
+  }
+  ::close(sv[1]);
+  channel_fd_ = sv[0];
+  worker_pid_ = static_cast<int>(pid);
+  read_buffer_.clear();
+  ++spawns_;
+
+  // Handshake: configure, then re-register every top in registration
+  // order (so a respawned worker rebuilds the exact same services).
+  send_locked(encode_config(options_.config));
+  const std::string reply = expect_line_locked("config");
+  if (reply != "ok")
+    die_locked("worker rejected config (is '" + path +
+               "' an ffsm_shard_worker?): " + reply);
+  for (const std::string& key : top_order_)
+    register_top_locked(key, tops_.at(key));
+}
+
+void SubprocessBackend::add_top(const std::string& key, const Dfsm& top) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FFSM_EXPECTS(!tops_.contains(key));
+  TopState state;
+  state.machine_text = to_text(top);  // self-contained: alphabet header
+  state.top_size = top.size();
+  tops_.emplace(key, std::move(state));
+  top_order_.push_back(key);
+  // A live worker learns the top immediately; otherwise the next
+  // ensure_worker_locked() registers it with the rest. Roll our entry
+  // back on failure — the cluster rolls its own back too, and a key the
+  // cluster denies must not linger here blocking re-registration.
+  if (channel_fd_ >= 0) {
+    try {
+      register_top_locked(key, tops_.at(key));
+    } catch (...) {
+      tops_.erase(key);
+      top_order_.pop_back();
+      throw;
+    }
+  }
+}
+
+void SubprocessBackend::validate(const std::string& key,
+                                 const FusionRequest& request) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const TopState& top = top_of(key);
+  for (const Partition& p : request.originals)
+    FFSM_EXPECTS(p.size() == top.top_size);
+}
+
+std::uint64_t SubprocessBackend::submit(const std::string& key,
+                                        std::string client,
+                                        FusionRequest request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TopState& top = top_of(key);
+  const std::uint64_t ticket = next_ticket_++;
+  top.queue.push_back({ticket, std::move(client), std::move(request)});
+  return ticket;
+}
+
+std::size_t SubprocessBackend::pending(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return top_of(key).queue.size();
+}
+
+std::size_t SubprocessBackend::discard_pending(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TopState& top = top_of(key);
+  const std::size_t count = top.queue.size();
+  top.queue.clear();
+  return count;
+}
+
+std::vector<FusionResponse> SubprocessBackend::drain(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TopState& top = top_of(key);
+  if (top.queue.empty()) return {};
+  ensure_worker_locked();
+
+  std::string msg = "serve " + escape_token(key) + ' ' +
+                    std::to_string(top.queue.size()) + '\n';
+  for (const WireRequest& r : top.queue) msg += encode_request(r);
+  send_locked(msg);
+
+  const std::string header = expect_line_locked("serve");
+  std::istringstream words(header);
+  std::string directive;
+  words >> directive;
+  if (directive == "error") {
+    // The worker is alive and in sync — the batch itself failed (the
+    // analogue of generate_fusion_batch throwing in-process). Requests
+    // stay queued for the cluster's retry path.
+    std::string token;
+    std::string detail = "unknown error";
+    if (words >> token && token != "%") {
+      try {
+        detail = unescape_token(token);
+      } catch (const ContractViolation&) {
+        detail = token;  // garbled escape: better raw than masked
+      }
+    }
+    throw ContractViolation("SubprocessBackend: worker failed to serve '" +
+                            key + "': " + detail);
+  }
+  std::size_t count = 0;
+  if (directive != "serving" || !(words >> count) ||
+      count != top.queue.size())
+    die_locked("unexpected serve reply '" + header + "'");
+
+  std::vector<FusionResponse> responses;
+  responses.reserve(count);
+  try {
+    for (std::size_t i = 0; i < count; ++i)
+      responses.push_back(decode_response(
+          read_frame_locked(expect_line_locked("response"), "response")));
+    const std::string done = expect_line_locked("serve trailer");
+    if (done != "done") die_locked("expected 'done', got '" + done + "'");
+  } catch (const ContractViolation&) {
+    // Either the channel died (already reaped by die_locked) or a frame
+    // failed to decode — in both cases the stream is unusable; make the
+    // restart explicit and keep the batch queued.
+    kill_worker_locked();
+    throw;
+  }
+  top.queue.clear();
+  return responses;
+}
+
+ServiceStats SubprocessBackend::stats(const std::string& key) const {
+  auto* self = const_cast<SubprocessBackend*>(this);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (void)top_of(key);  // key must be registered
+  // No worker => nothing has served: all-zero counters, like a cold
+  // service. (Worker counters restart with the worker, like any real
+  // process-level metric.)
+  if (channel_fd_ < 0) return {};
+  try {
+    self->send_locked("stats " + escape_token(key) + '\n');
+    const std::string first = self->expect_line_locked("stats");
+    if (first.rfind("error", 0) == 0) return {};
+    return decode_stats(self->read_frame_locked(first, "stats"));
+  } catch (const ContractViolation&) {
+    // Channel died mid-query; the next drain respawns. Report cold.
+    return {};
+  }
+}
+
+void SubprocessBackend::shutdown() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (channel_fd_ >= 0) {
+    const char msg[] = "shutdown\n";
+    (void)::send(channel_fd_, msg, sizeof(msg) - 1, MSG_NOSIGNAL);
+    ::close(channel_fd_);
+    channel_fd_ = -1;
+    read_buffer_.clear();
+  }
+  if (worker_pid_ > 0) {
+    // The worker exits on `shutdown` or stdin EOF, whichever it sees
+    // first; reap it so no zombie outlives the backend.
+    ::waitpid(worker_pid_, nullptr, 0);
+    worker_pid_ = 0;
+  }
+}
+
+int SubprocessBackend::worker_pid() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return worker_pid_;
+}
+
+std::uint64_t SubprocessBackend::spawns() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spawns_;
+}
+
+}  // namespace ffsm

@@ -1,0 +1,117 @@
+// SubprocessBackend: a cluster shard served by a worker OS process.
+//
+// The first out-of-process ShardBackend: one `ffsm_shard_worker` process
+// per shard, speaking the line-oriented wire protocol (sim/messages.hpp)
+// over a socketpair bridged to the worker's stdin/stdout. Machines travel
+// as self-contained to_text (alphabet header included), so the worker
+// reconstructs bit-exact transition tables and serves bit-identical
+// fusions to the in-process backend.
+//
+// Queueing lives parent-side: submit() queues here, drain(key) ships the
+// whole backlog as one `serve` exchange and clears it only once every
+// response arrived. A worker death (EOF / failed write mid-exchange) is
+// therefore never lossy: the backend reaps the corpse, throws from
+// drain(), and the cluster's existing failed-drain path retries the still-
+// queued requests on its next round — at which point the backend respawns
+// a fresh worker and re-registers its tops. A restarted worker restarts
+// its counters and caches (exactly like any real process-level state);
+// results are unaffected because caches never change results.
+//
+// Parent <-> worker exchanges (one in flight at a time, serialized on an
+// internal mutex):
+//   config / top <key> <machine-text>  -> ok | error <msg>   (at spawn)
+//   serve <key> <n> + n request frames -> serving <n> + n response frames
+//                                         + done | error <msg>
+//   stats <key>                        -> stats frame | error <msg>
+//   ping                               -> pong
+//   shutdown                           -> bye, then worker exit
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/backend.hpp"
+
+namespace ffsm {
+
+struct SubprocessBackendOptions {
+  /// Path to the ffsm_shard_worker binary. Empty = $FFSM_SHARD_WORKER,
+  /// falling back to "ffsm_shard_worker" next to the current executable.
+  std::string worker_path;
+  /// Wire-safe service options sent to the worker at every (re)spawn.
+  ShardServiceConfig config = {};
+};
+
+class SubprocessBackend final : public ShardBackend {
+ public:
+  explicit SubprocessBackend(SubprocessBackendOptions options = {});
+  ~SubprocessBackend() override;
+
+  SubprocessBackend(const SubprocessBackend&) = delete;
+  SubprocessBackend& operator=(const SubprocessBackend&) = delete;
+
+  void add_top(const std::string& key, const Dfsm& top) override;
+  void validate(const std::string& key,
+                const FusionRequest& request) const override;
+  std::uint64_t submit(const std::string& key, std::string client,
+                       FusionRequest request) override;
+  [[nodiscard]] std::size_t pending(const std::string& key) const override;
+  std::size_t discard_pending(const std::string& key) override;
+  std::vector<FusionResponse> drain(const std::string& key) override;
+  /// Worker counters for `key`; all-zero when no worker is running (a
+  /// fresh or just-crashed shard really has served nothing).
+  [[nodiscard]] ServiceStats stats(const std::string& key) const override;
+  /// Graceful worker termination (`shutdown` + EOF + waitpid). Queued
+  /// requests stay queued; the next drain() respawns.
+  void shutdown() override;
+
+  /// Pid of the live worker, 0 when none — exposed so tests and fault
+  /// injectors can kill the process underneath the backend.
+  [[nodiscard]] int worker_pid() const;
+  /// Workers (re)spawned so far — 1 after the first drain, +1 per restart.
+  [[nodiscard]] std::uint64_t spawns() const;
+
+ private:
+  struct TopState {
+    std::string machine_text;   // self-contained to_text, for (re)register
+    std::uint32_t top_size = 0;  // states, for caller-side validate
+    std::vector<WireRequest> queue;  // accepted, not yet served
+  };
+
+  [[nodiscard]] TopState& top_of(const std::string& key);
+  [[nodiscard]] const TopState& top_of(const std::string& key) const;
+
+  /// Spawns + configures + re-registers tops if no worker is running.
+  /// Throws ContractViolation on spawn or handshake failure.
+  void ensure_worker_locked();
+  /// Reaps the worker (SIGKILL + waitpid) and closes the channel.
+  void kill_worker_locked() noexcept;
+  /// Sends the frame for one top and expects "ok".
+  void register_top_locked(const std::string& key, const TopState& top);
+
+  /// I/O over the channel. send throws on a dead peer via die_locked;
+  /// read_line returns false on EOF.
+  void send_locked(std::string_view data);
+  bool read_line_locked(std::string& line);
+  /// Reads one reply line; throws (after reaping) on EOF.
+  std::string expect_line_locked(const char* context);
+  /// Reads frame lines up to and including the lone "end" terminator,
+  /// starting from `first_line`.
+  std::string read_frame_locked(std::string first_line, const char* context);
+  [[noreturn]] void die_locked(const std::string& what);
+
+  SubprocessBackendOptions options_;
+  /// Serializes the wire conversation and guards all state below.
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, TopState> tops_;
+  std::vector<std::string> top_order_;  // registration order for respawn
+  int worker_pid_ = 0;
+  int channel_fd_ = -1;
+  std::string read_buffer_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t spawns_ = 0;
+};
+
+}  // namespace ffsm

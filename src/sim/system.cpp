@@ -174,6 +174,12 @@ bool FusedSystem::verify() const {
   return true;
 }
 
+std::uint64_t FusedSystem::dropped_events() const {
+  std::uint64_t total = 0;
+  for (const Server& server : servers_) total += server.dropped_events();
+  return total;
+}
+
 ScenarioResult run_scenario(FusedSystem& system, EventSource& events,
                             std::span<const PlannedFault> plan,
                             ByzantineStrategy strategy, std::uint64_t seed) {
@@ -204,6 +210,7 @@ ScenarioResult run_scenario(FusedSystem& system, EventSource& events,
     inject_due(result.events_delivered);
   }
 
+  result.events_dropped = system.dropped_events();
   const RecoveryResult recovery = system.recover();
   result.recovery_unique = recovery.unique;
   result.recovered_correctly =

@@ -95,6 +95,12 @@ class FusedSystem {
   /// True iff every live server's state matches the ghost's projection.
   [[nodiscard]] bool verify() const;
 
+  /// Subscribed events dropped by crashed servers so far, summed over all
+  /// servers (see Server::dropped_events). A scenario whose environment
+  /// quiesces while servers are down can assert this stays 0; a non-zero
+  /// value quantifies how much stream each crash silently lost.
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
   /// The event journal (empty unless options.keep_event_log was set).
   [[nodiscard]] const EventLog& event_log() const noexcept { return log_; }
 
@@ -126,6 +132,10 @@ class FusedSystem {
 struct ScenarioResult {
   std::size_t events_delivered = 0;
   std::size_t faults_injected = 0;
+  /// Subscribed events crashed servers dropped during the stream
+  /// (system-wide total at scenario end; 0 == the crashed servers saw a
+  /// quiescent environment).
+  std::uint64_t events_dropped = 0;
   bool recovery_unique = false;
   bool recovered_correctly = false;  // recovered top == ghost top
   bool verified = false;             // all servers correct post-recovery

@@ -138,6 +138,68 @@ TEST(Parse, MissingTransitionSurfacesAtBuild) {
                ContractViolation);
 }
 
+TEST(Serialize, EmitsAlphabetHeaderInIdOrder) {
+  auto al = Alphabet::create();
+  al->intern("zeta");  // interned first, so id 0 despite the name
+  const Dfsm c = make_mod_counter(al, "c2", 2, "tick");
+  const std::string text = to_text(c);
+  EXPECT_EQ(text.rfind("alphabet zeta\nalphabet tick\n", 0), 0u) << text;
+}
+
+TEST(Serialize, StandaloneParseReproducesEventIds) {
+  // No shared alphabet across the "processes": the header alone must
+  // reproduce the writer's EventId assignment, not just the names.
+  auto al = Alphabet::create();
+  al->intern("padding_a");
+  al->intern("padding_b");
+  const Dfsm m = make_mod_counter(al, "c", 3, "tick");
+  ASSERT_EQ(*al->find("tick"), 2u);
+
+  const Dfsm back = from_text(to_text(m));
+  EXPECT_TRUE(m.same_structure(back));
+  ASSERT_EQ(back.events().size(), 1u);
+  EXPECT_EQ(back.events()[0], 2u);          // id preserved via the header
+  EXPECT_EQ(back.alphabet()->size(), 3u);   // padding travelled too
+  EXPECT_EQ(*back.alphabet()->find("padding_a"), 0u);
+}
+
+TEST(Serialize, StandaloneRoundTripIsByteIdentical) {
+  auto al = Alphabet::create();
+  for (const Dfsm& m :
+       {make_tcp(al), make_mesi(al), make_mod_counter(al, "c", 4, "tick")}) {
+    const std::string text = to_text(m);
+    EXPECT_EQ(to_text(from_text(text)), text) << m.name();
+  }
+}
+
+TEST(Parse, AlphabetLinesHonoredWithSuppliedAlphabet) {
+  // With a caller-supplied alphabet the header still interns (append-only,
+  // so existing ids win) — pre-header texts keep parsing unchanged.
+  auto al = Alphabet::create();
+  al->intern("go");  // id 0 already taken
+  const Dfsm m = from_text(
+      "alphabet stop\n"
+      "alphabet go\n"
+      "dfsm h\n"
+      "event go\n"
+      "state a\n"
+      "trans a go a\n"
+      "end\n",
+      al);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*al->find("go"), 0u);    // kept its prior id
+  EXPECT_EQ(*al->find("stop"), 1u);  // header interned the rest
+}
+
+TEST(Parse, AlphabetAfterDfsmThrows) {
+  auto al = Alphabet::create();
+  EXPECT_THROW(
+      (void)from_text("dfsm m\nalphabet e\nevent e\nstate s\n"
+                      "trans s e s\nend\n",
+                      al),
+      ContractViolation);
+}
+
 TEST(Dot, ContainsStatesAndLabels) {
   auto al = Alphabet::create();
   const Dfsm c = make_mod_counter(al, "c", 2, "tick");

@@ -276,6 +276,38 @@ TEST(FusionCluster, BoundedClusterMatchesUnboundedResults) {
   }
 }
 
+TEST(FusionCluster, ExplicitInProcessFactoryMatchesDefaultBackend) {
+  // The default cluster and one built from an explicit InProcessBackend
+  // factory are the same architecture spelled two ways — responses and
+  // per-top stats surfaces must agree exactly.
+  const ClusterFixture fx;
+  FusionClusterOptions factory_options;
+  factory_options.backend_factory = [](std::size_t) {
+    return std::make_unique<InProcessBackend>(FusionServiceOptions{});
+  };
+  const auto factory_cluster = fx.make_cluster(factory_options);
+  const auto default_cluster = fx.make_cluster();
+
+  for (FusionCluster* cluster :
+       {factory_cluster.get(), default_cluster.get()}) {
+    cluster->submit("small", "a", {fx.small_originals, 1});
+    cluster->submit("large", "b", {fx.large_originals, 2});
+  }
+  const auto expected = default_cluster->drain();
+  const auto actual = factory_cluster->drain();
+  ASSERT_EQ(actual.responses.size(), expected.responses.size());
+  for (std::size_t i = 0; i < expected.responses.size(); ++i)
+    EXPECT_EQ(actual.responses[i].result.partitions,
+              expected.responses[i].result.partitions);
+
+  // Both the concrete-service hatch and the backend-agnostic stats path
+  // work for in-process backends.
+  EXPECT_EQ(factory_cluster->service("small").stats().requests_served,
+            factory_cluster->top_stats("small").requests_served);
+  EXPECT_EQ(factory_cluster->top_stats("small").requests_served, 1u);
+  EXPECT_EQ(factory_cluster->backend("small").pending("small"), 0u);
+}
+
 TEST(FusionCluster, ConcurrentSubmittersAllGetServed) {
   const ClusterFixture fx;
   ThreadPool pool(4);

@@ -1,0 +1,254 @@
+// Wire protocol codec: random requests/responses/stats/configs survive
+// encode -> decode -> encode byte-identically, machine texts are
+// self-contained, tokens escape losslessly, and malformed frames are
+// rejected rather than half-read.
+#include "sim/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fsm/serialize.hpp"
+#include "test_support.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace ffsm {
+namespace {
+
+using ffsm::testing::component_partitions;
+using ffsm::testing::counter_pair_product;
+
+/// Client names that stress the token escaping: spaces, '%', newlines,
+/// control bytes, UTF-8, and the empty string.
+const char* const kNastyClients[] = {
+    "alice", "", "two words", "percent%sign", "tab\tchar", "new\nline",
+    "  lead-and-trail  ", "uni\xc3\xa9ode", "%", "%%25", "a\x01b\x7f",
+};
+
+Partition random_partition(std::uint32_t n, Xoshiro256& rng) {
+  std::vector<std::uint32_t> assignment(n);
+  const std::uint32_t blocks = 1 + static_cast<std::uint32_t>(
+                                       rng.below(n == 0 ? 1 : n));
+  for (std::uint32_t i = 0; i < n; ++i)
+    assignment[i] = static_cast<std::uint32_t>(rng.below(blocks));
+  return Partition(std::move(assignment));
+}
+
+TEST(WireTokens, EscapeRoundTripsNastyStrings) {
+  for (const char* raw : kNastyClients) {
+    const std::string token = escape_token(raw);
+    EXPECT_EQ(token.find(' '), std::string::npos) << token;
+    EXPECT_EQ(token.find('\n'), std::string::npos) << token;
+    EXPECT_EQ(token.find('\t'), std::string::npos) << token;
+    EXPECT_EQ(unescape_token(token), std::string(raw));
+  }
+}
+
+TEST(WireTokens, MalformedEscapesThrow) {
+  EXPECT_THROW((void)unescape_token(""), ContractViolation);
+  EXPECT_THROW((void)unescape_token("%2"), ContractViolation);
+  EXPECT_THROW((void)unescape_token("a%zz"), ContractViolation);
+  EXPECT_THROW((void)unescape_token("trailing%"), ContractViolation);
+}
+
+TEST(WireEnums, NamesRoundTrip) {
+  for (const DescentPolicy p :
+       {DescentPolicy::kFirstFound, DescentPolicy::kFewestBlocks,
+        DescentPolicy::kMostBlocks})
+    EXPECT_EQ(policy_from_name(policy_name(p)), p);
+  for (const CacheEvictionPolicy p :
+       {CacheEvictionPolicy::kLru, CacheEvictionPolicy::kEpoch,
+        CacheEvictionPolicy::kUnbounded})
+    EXPECT_EQ(cache_policy_from_name(cache_policy_name(p)), p);
+  EXPECT_THROW((void)policy_from_name("bogus"), ContractViolation);
+  EXPECT_THROW((void)cache_policy_from_name("bogus"), ContractViolation);
+}
+
+// The satellite property: random requests (random partition catalogs,
+// f in {1,2}, every policy, nasty clients) survive encode -> decode ->
+// encode byte-identically, field-for-field.
+TEST(WireRequestCodec, RandomRequestsRoundTripByteIdentically) {
+  Xoshiro256 rng(2024);
+  const DescentPolicy policies[] = {DescentPolicy::kFirstFound,
+                                    DescentPolicy::kFewestBlocks,
+                                    DescentPolicy::kMostBlocks};
+  for (int iter = 0; iter < 200; ++iter) {
+    WireRequest original;
+    original.ticket = rng();
+    original.client =
+        kNastyClients[rng.below(std::size(kNastyClients))];
+    original.request.f = 1 + static_cast<std::uint32_t>(rng.below(2));
+    original.request.policy = policies[rng.below(3)];
+    const std::uint32_t states =
+        2 + static_cast<std::uint32_t>(rng.below(30));
+    const std::size_t originals = rng.below(5);
+    for (std::size_t i = 0; i < originals; ++i)
+      original.request.originals.push_back(random_partition(states, rng));
+
+    const std::string text = encode_request(original);
+    const WireRequest back = decode_request(text);
+    EXPECT_EQ(back.ticket, original.ticket);
+    EXPECT_EQ(back.client, original.client);
+    EXPECT_EQ(back.request.f, original.request.f);
+    EXPECT_EQ(back.request.policy, original.request.policy);
+    EXPECT_EQ(back.request.originals, original.request.originals);
+    EXPECT_EQ(encode_request(back), text) << text;
+  }
+}
+
+TEST(WireResponseCodec, RandomResponsesRoundTripByteIdentically) {
+  Xoshiro256 rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    FusionResponse original;
+    original.ticket = rng();
+    original.client =
+        kNastyClients[rng.below(std::size(kNastyClients))];
+    const std::uint32_t states =
+        2 + static_cast<std::uint32_t>(rng.below(30));
+    const std::size_t machines = rng.below(4);
+    for (std::size_t i = 0; i < machines; ++i)
+      original.result.partitions.push_back(random_partition(states, rng));
+    GenerateStats& s = original.result.stats;
+    s.machines_added = static_cast<std::uint32_t>(rng.below(100));
+    s.descent_steps = static_cast<std::uint32_t>(rng.below(100));
+    s.candidates_examined = rng();
+    s.closures_evaluated = rng();
+    s.cover_cache_hits = rng();
+    s.graph_edges_examined = rng();
+    s.dmin_before = static_cast<std::uint32_t>(rng.below(10));
+    s.dmin_after = static_cast<std::uint32_t>(rng.below(10));
+
+    const std::string text = encode_response(original);
+    const FusionResponse back = decode_response(text);
+    EXPECT_EQ(back.ticket, original.ticket);
+    EXPECT_EQ(back.client, original.client);
+    EXPECT_EQ(back.result.partitions, original.result.partitions);
+    EXPECT_EQ(back.result.stats.machines_added, s.machines_added);
+    EXPECT_EQ(back.result.stats.candidates_examined, s.candidates_examined);
+    EXPECT_EQ(back.result.stats.dmin_after, s.dmin_after);
+    EXPECT_EQ(encode_response(back), text) << text;
+  }
+}
+
+TEST(WireResponseCodec, RealGeneratedFusionRoundTrips) {
+  // Not synthetic: an actual Algorithm 2 result over a catalog product.
+  const CrossProduct product = counter_pair_product(4);
+  const std::vector<Partition> originals = component_partitions(product);
+  GenerateOptions options;
+  options.f = 2;
+  options.parallel = false;
+  const FusionResult result =
+      generate_fusion(product.top, originals, options);
+  ASSERT_FALSE(result.partitions.empty());
+
+  FusionResponse response{42, "tenant 0", result};
+  const std::string text = encode_response(response);
+  const FusionResponse back = decode_response(text);
+  EXPECT_EQ(back.result.partitions, result.partitions);
+  EXPECT_EQ(back.result.stats.machines_added, result.stats.machines_added);
+  EXPECT_EQ(encode_response(back), text);
+}
+
+TEST(WireStatsCodec, RandomStatsRoundTripByteIdentically) {
+  Xoshiro256 rng(99);
+  for (int iter = 0; iter < 100; ++iter) {
+    ServiceStats original;
+    original.requests_submitted = rng();
+    original.requests_served = rng();
+    original.batches_served = rng();
+    original.cache_hits = rng();
+    original.cache_cold_misses = rng();
+    original.cache_eviction_misses = rng();
+    original.cache_evictions = rng();
+    original.cache_entries = static_cast<std::size_t>(rng.below(1 << 20));
+    original.cache_bytes = static_cast<std::size_t>(rng.below(1 << 30));
+
+    const std::string text = encode_stats(original);
+    const ServiceStats back = decode_stats(text);
+    EXPECT_EQ(back.requests_submitted, original.requests_submitted);
+    EXPECT_EQ(back.cache_eviction_misses, original.cache_eviction_misses);
+    EXPECT_EQ(back.cache_bytes, original.cache_bytes);
+    EXPECT_EQ(encode_stats(back), text);
+  }
+}
+
+TEST(WireConfigCodec, AllCachePoliciesRoundTripByteIdentically) {
+  for (const CacheEvictionPolicy policy :
+       {CacheEvictionPolicy::kLru, CacheEvictionPolicy::kEpoch,
+        CacheEvictionPolicy::kUnbounded})
+    for (const bool parallel : {false, true})
+      for (const bool incremental : {false, true}) {
+        ShardServiceConfig original;
+        original.parallel = parallel;
+        original.threads = parallel ? 4 : 0;
+        original.incremental = incremental;
+        original.cache_config = {policy, 17};
+        const std::string text = encode_config(original);
+        const ShardServiceConfig back = decode_config(text);
+        EXPECT_EQ(back.parallel, original.parallel);
+        EXPECT_EQ(back.threads, original.threads);
+        EXPECT_EQ(back.incremental, original.incremental);
+        EXPECT_EQ(back.cache_config.policy, original.cache_config.policy);
+        EXPECT_EQ(back.cache_config.capacity,
+                  original.cache_config.capacity);
+        EXPECT_EQ(encode_config(back), text);
+      }
+}
+
+TEST(WireCodec, MalformedFramesThrow) {
+  const WireRequest request{1, "c", {{Partition::identity(3)}, 1}};
+  const std::string good = encode_request(request);
+  // Truncation (no 'end'), trailing garbage, unknown directives, missing
+  // mandatory fields.
+  EXPECT_THROW((void)decode_request(good.substr(0, good.size() - 4)),
+               ContractViolation);
+  EXPECT_THROW((void)decode_request(good + "junk\n"), ContractViolation);
+  EXPECT_THROW((void)decode_request("bogus 1 c\nend\n"), ContractViolation);
+  EXPECT_THROW((void)decode_request("request 1 c\npolicy fewest_blocks\nend\n"),
+               ContractViolation);
+  EXPECT_THROW((void)decode_request("request 1 c\nf 1\nend\n"),
+               ContractViolation);
+  EXPECT_THROW((void)decode_request(""), ContractViolation);
+
+  FusionResponse response{1, "c", {}};
+  const std::string good_response = encode_response(response);
+  EXPECT_THROW((void)decode_response("response 1 c\nend\n"),
+               ContractViolation);  // missing stats
+  EXPECT_THROW(
+      (void)decode_response(good_response.substr(0, good_response.size() - 4)),
+      ContractViolation);
+
+  EXPECT_THROW((void)decode_stats("stats\nend\n"), ContractViolation);
+  EXPECT_THROW((void)decode_config("config\nparallel 2\nend\n"),
+               ContractViolation);
+  EXPECT_THROW((void)decode_config("config\nend\n"), ContractViolation);
+}
+
+TEST(WireMachines, SelfContainedTextReproducesEventIds) {
+  // The wire depends on fsm/serialize's alphabet header: a standalone
+  // parse must reproduce the sender's EventId assignment (and with it the
+  // subscribed-event order and transition-table layout), even when the
+  // sender's alphabet held unrelated events interned first.
+  auto alphabet = Alphabet::create();
+  alphabet->intern("noise_a");
+  alphabet->intern("noise_b");
+  std::vector<Dfsm> machines;
+  machines.push_back(make_mod_counter(alphabet, "A", 3, "0"));
+  machines.push_back(make_mod_counter(alphabet, "B", 3, "1"));
+  const CrossProduct product = reachable_cross_product(machines);
+  const Dfsm& top = product.top;
+  ASSERT_GT(top.events()[0], 0u);  // the noise really shifted the ids
+
+  const std::string text = to_text(top);
+  const Dfsm back = from_text(text);  // fresh process: no shared alphabet
+  EXPECT_TRUE(top.same_structure(back));
+  ASSERT_EQ(back.events().size(), top.events().size());
+  for (std::size_t i = 0; i < top.events().size(); ++i)
+    EXPECT_EQ(back.events()[i], top.events()[i]);  // ids, not just names
+  EXPECT_EQ(to_text(back), text);  // byte-exact re-encode
+}
+
+}  // namespace
+}  // namespace ffsm

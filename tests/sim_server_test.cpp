@@ -55,6 +55,28 @@ TEST(Server, CrashedServerDropsEvents) {
   EXPECT_TRUE(s.crashed());
 }
 
+TEST(Server, CountsEventsDroppedWhileCrashed) {
+  auto al = Alphabet::create();
+  Server s{make_mod_counter(al, "c", 3, "e")};
+  const EventId e = *al->find("e");
+  const EventId foreign = al->intern("other");
+
+  s.apply(e);
+  EXPECT_EQ(s.dropped_events(), 0u);  // healthy servers drop nothing
+  s.crash();
+  s.apply(e);
+  s.apply(e);
+  s.apply(foreign);  // ignored healthy or crashed — never a drop
+  EXPECT_EQ(s.dropped_events(), 2u);
+
+  // The counter survives recovery: it records lifetime loss, so a
+  // scenario can assert quiescence (== 0) after the fact.
+  s.restore(1);
+  s.apply(e);
+  EXPECT_EQ(s.dropped_events(), 2u);
+  EXPECT_EQ(s.state(), 2u);
+}
+
 TEST(Server, CorruptInstallsWrongState) {
   auto al = Alphabet::create();
   Server s{make_mod_counter(al, "c", 3, "e")};

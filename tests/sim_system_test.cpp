@@ -76,6 +76,28 @@ TEST(FusedSystem, CrashAndRecoverRestoresEveryServer) {
   EXPECT_TRUE(r.unique);
   EXPECT_EQ(r.top_state, sys.ghost_top_state());
   EXPECT_TRUE(sys.verify());
+  // The environment quiesced while the server was down: nothing dropped.
+  EXPECT_EQ(sys.dropped_events(), 0u);
+}
+
+TEST(FusedSystem, CountsEventsDroppedByCrashedServers) {
+  auto al = Alphabet::create();
+  FusedSystemOptions options;
+  options.f = 1;
+  FusedSystem sys(paper_machines(al), options);
+  EXPECT_EQ(sys.dropped_events(), 0u);
+
+  sys.crash(0);
+  sys.apply(*al->find("0"));
+  sys.apply(*al->find("1"));
+  // Only the crashed server dropped; the others and the ghost advanced —
+  // and the counter pins down exactly how much stream it lost.
+  EXPECT_EQ(sys.dropped_events(), 2u);
+
+  const RecoveryResult r = sys.recover();
+  EXPECT_TRUE(r.unique);
+  EXPECT_TRUE(sys.verify());
+  EXPECT_EQ(sys.dropped_events(), 2u);  // lifetime record survives recovery
 }
 
 TEST(FusedSystem, EverySingleCrashRecoversAtAnyPoint) {
@@ -195,6 +217,10 @@ TEST(RunScenario, EndToEndCrashScenario) {
   EXPECT_TRUE(result.recovery_unique);
   EXPECT_TRUE(result.recovered_correctly);
   EXPECT_TRUE(result.verified);
+  // The stream kept flowing after the mid-stream crashes, so the crashed
+  // servers measurably lost events — and the result quantifies it.
+  EXPECT_GT(result.events_dropped, 0u);
+  EXPECT_EQ(result.events_dropped, sys.dropped_events());
 }
 
 TEST(RunScenario, EndToEndByzantineScenario) {

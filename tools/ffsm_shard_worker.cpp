@@ -1,0 +1,213 @@
+// ffsm_shard_worker: the out-of-process half of sim::SubprocessBackend.
+//
+// One worker hosts one cluster shard: a FusionService per registered top,
+// served over the line-oriented wire protocol (sim/messages.hpp) on
+// stdin/stdout. The parent owns all queueing and retry policy; the worker
+// is a stateless-between-drains serving engine whose only cross-exchange
+// state is what makes it worth keeping alive — the per-top closure caches
+// and stats counters.
+//
+// Protocol (parent -> worker, one exchange at a time):
+//   config frame                       -> ok            (once, before tops)
+//   top <key> + machine text           -> ok | error <msg>
+//   serve <key> <n> + n request frames -> serving <n> + n response frames
+//                                         + done | error <msg>
+//   stats <key>                        -> stats frame | error <msg>
+//   ping                               -> pong
+//   shutdown (or stdin EOF)            -> bye, exit 0
+//
+// Machines arrive as self-contained to_text (alphabet header included), so
+// the worker reconstructs bit-exact transition tables and its fusions are
+// bit-identical to in-process serving.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fsm/serialize.hpp"
+#include "sim/messages.hpp"
+#include "sim/server.hpp"
+#include "util/contracts.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace ffsm;
+
+struct Worker {
+  ShardServiceConfig config;
+  bool configured = false;
+  std::optional<ThreadPool> pool;
+  std::unordered_map<std::string, std::unique_ptr<FusionService>> services;
+
+  FusionService& service_of(const std::string& key) {
+    const auto it = services.find(key);
+    if (it == services.end())
+      throw ContractViolation("unknown top '" + key + "'");
+    return *it->second;
+  }
+};
+
+/// Reads stdin lines up to and including the lone `end` terminator;
+/// throws on EOF (a frame must never be silently truncated).
+std::string read_frame(const std::string& first_line) {
+  std::string frame = first_line;
+  frame += '\n';
+  std::string line;
+  for (;;) {
+    if (!std::getline(std::cin, line))
+      throw ContractViolation("stdin closed inside a frame");
+    frame += line;
+    frame += '\n';
+    if (line == "end") return frame;
+  }
+}
+
+void reply(const std::string& text) {
+  std::cout << text;
+  std::cout.flush();
+  if (!std::cout) std::exit(1);  // parent is gone; nothing left to serve
+}
+
+void reply_error(const std::exception& error) {
+  reply("error " + escape_token(error.what()) + '\n');
+}
+
+void handle_config(Worker& worker, const std::string& first_line) {
+  const std::string frame = read_frame(first_line);
+  if (worker.configured)
+    throw ContractViolation("duplicate 'config'");
+  worker.config = decode_config(frame);
+  worker.configured = true;
+  if (worker.config.parallel && !worker.pool)
+    worker.pool.emplace(worker.config.threads);
+  reply("ok\n");
+}
+
+void handle_top(Worker& worker, std::istringstream& words) {
+  std::string token;
+  if (!(words >> token))
+    throw ContractViolation("'top' requires a key");
+  const std::string key = unescape_token(token);
+  std::string first_machine_line;
+  if (!std::getline(std::cin, first_machine_line))
+    throw ContractViolation("stdin closed before machine text");
+  const std::string machine_text = read_frame(first_machine_line);
+  if (!worker.configured)
+    throw ContractViolation("'top' before 'config'");
+  if (worker.services.contains(key))
+    throw ContractViolation("duplicate top '" + key + "'");
+  // Standalone parse: the alphabet header reproduces the parent's
+  // EventIds, making the transition table bit-exact.
+  Dfsm top = from_text(machine_text);
+  FusionServiceOptions options;
+  options.parallel = worker.config.parallel;
+  options.pool = worker.pool ? &*worker.pool : nullptr;
+  options.incremental = worker.config.incremental;
+  options.cache_config = worker.config.cache_config;
+  worker.services.emplace(
+      key, std::make_unique<FusionService>(std::move(top), options));
+  reply("ok\n");
+}
+
+void handle_serve(Worker& worker, std::istringstream& words) {
+  std::string token;
+  std::size_t count = 0;
+  if (!(words >> token >> count))
+    throw ContractViolation("'serve' requires <key> <count>");
+  const std::string key = unescape_token(token);
+
+  // Consume the whole batch off the wire before decoding anything: a
+  // malformed frame then yields an error reply with the stream still in
+  // sync, instead of the remaining frames being misread as commands.
+  std::vector<std::string> frames;
+  frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string first;
+    if (!std::getline(std::cin, first))
+      throw ContractViolation("stdin closed inside a serve batch");
+    frames.push_back(read_frame(first));
+  }
+  std::vector<WireRequest> requests;
+  requests.reserve(count);
+  for (const std::string& frame : frames)
+    requests.push_back(decode_request(frame));
+
+  FusionService& service = worker.service_of(key);
+  std::vector<FusionService::Response> served;
+  try {
+    for (WireRequest& r : requests)
+      service.submit(std::move(r.client), std::move(r.request));
+    served = service.drain();
+  } catch (...) {
+    // The parent still holds every request of this batch; reset the
+    // service queue so a retry cannot serve duplicates.
+    (void)service.discard_pending();
+    throw;
+  }
+  if (served.size() != requests.size())
+    throw ContractViolation("served count mismatch");
+
+  // Service tickets are assigned in submission order and drain() returns
+  // in ticket order, so index i maps back to wire ticket i.
+  std::string out = "serving " + std::to_string(served.size()) + '\n';
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    FusionResponse response;
+    response.ticket = requests[i].ticket;
+    response.client = std::move(served[i].client);
+    response.result = std::move(served[i].result);
+    out += encode_response(response);
+  }
+  out += "done\n";
+  reply(out);
+}
+
+void handle_stats(Worker& worker, std::istringstream& words) {
+  std::string token;
+  if (!(words >> token))
+    throw ContractViolation("'stats' requires a key");
+  reply(encode_stats(worker.service_of(unescape_token(token)).stats()));
+}
+
+}  // namespace
+
+int main() {
+  // A dying parent must surface as a failed write, not a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::ios::sync_with_stdio(false);
+
+  Worker worker;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string directive;
+    if (!(words >> directive)) continue;
+    try {
+      if (directive == "config") {
+        handle_config(worker, line);
+      } else if (directive == "top") {
+        handle_top(worker, words);
+      } else if (directive == "serve") {
+        handle_serve(worker, words);
+      } else if (directive == "stats") {
+        handle_stats(worker, words);
+      } else if (directive == "ping") {
+        reply("pong\n");
+      } else if (directive == "shutdown") {
+        reply("bye\n");
+        return 0;
+      } else {
+        throw ContractViolation("unknown command '" + directive + "'");
+      }
+    } catch (const std::exception& error) {
+      reply_error(error);
+    }
+  }
+  return 0;  // stdin EOF: the parent is done with us
+}

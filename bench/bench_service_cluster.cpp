@@ -3,11 +3,12 @@
 // a FusionCluster fanning shard drains across one pool. Doubles as a
 // large-workload regression test: bounded-cache runs must serve
 // bit-identical results to the unbounded run, every shard cache must
-// respect its capacity, and the subprocess backend must serve
-// bit-identical responses to the in-process one for the same request
-// stream — all hard-asserted here, so a violation fails CI. The JSON
-// entries carry a "backend" field so in-process vs subprocess overhead is
-// tracked in the perf history from day one.
+// respect its capacity, and the out-of-process backends — subprocess
+// workers over socketpairs and loopback-TCP workers behind a listener —
+// must serve bit-identical responses to the in-process one for the same
+// request stream — all hard-asserted here, so a violation fails CI. The
+// JSON entries carry a "backend" field so in-process vs subprocess vs tcp
+// overhead is tracked in the perf history from day one.
 #include "bench_support.hpp"
 
 #include <cstdio>
@@ -17,6 +18,7 @@
 
 #include "sim/cluster.hpp"
 #include "sim/subprocess_backend.hpp"
+#include "sim/tcp_backend.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -159,32 +161,46 @@ void report_caches(bench::JsonReporter& json, const Workload& w,
 }
 
 /// The tentpole acceptance check as a benchmark: the same request stream
-/// through the in-process and the subprocess backend, timed per backend,
-/// with bit-identical responses hard-asserted in-bench.
+/// through the in-process, subprocess and loopback-TCP backends, timed
+/// per backend, with bit-identical responses hard-asserted in-bench.
 void report_backends(bench::JsonReporter& json, const Workload& w,
                      ThreadPool& pool) {
-  std::printf("== Serving backends: in-process vs subprocess shards ==\n");
+  std::printf(
+      "== Serving backends: in-process vs subprocess vs tcp shards ==\n");
   const std::size_t clients = 8 * w.keys.size();
   const LowerCoverCacheConfig cache = {CacheEvictionPolicy::kLru, 64};
 
+  // One listener worker for every TCP shard: loopback stand-in for a
+  // remote host, each shard on its own connection.
+  ListenerWorkerProcess tcp_worker;
+
   std::vector<std::vector<Partition>> baseline;  // in-process responses
   TextTable table({"backend", "cold drain ms", "warm drain ms",
-                   "shard batches", "cache hits"});
-  for (const bool subprocess : {false, true}) {
-    const char* const name = subprocess ? "subprocess" : "inprocess";
-    json.set_backend(name);
+                   "shard batches", "cache hits", "restarts"});
+  for (const char* const name : {"inprocess", "subprocess", "tcp"}) {
+    const std::string backend_name = name;
+    json.set_backend(backend_name);
 
     FusionClusterOptions options;
     options.shards = 3;
     options.pool = &pool;
     options.cache_config = cache;
-    if (subprocess)
+    ShardServiceConfig worker_config;
+    worker_config.parallel = true;
+    worker_config.threads = 4;
+    worker_config.cache_config = cache;
+    if (backend_name == "subprocess")
       options.backend_factory = [&](std::size_t) {
         SubprocessBackendOptions backend_options;
-        backend_options.config.parallel = true;
-        backend_options.config.threads = 4;
-        backend_options.config.cache_config = cache;
+        backend_options.config = worker_config;
         return std::make_unique<SubprocessBackend>(backend_options);
+      };
+    else if (backend_name == "tcp")
+      options.backend_factory = [&](std::size_t) {
+        TcpBackendOptions backend_options;
+        backend_options.port = tcp_worker.port();
+        backend_options.config = worker_config;
+        return std::make_unique<TcpBackend>(backend_options);
       };
     auto cluster = std::make_unique<FusionCluster>(options);
     for (std::size_t t = 0; t < w.keys.size(); ++t)
@@ -216,30 +232,36 @@ void report_backends(bench::JsonReporter& json, const Workload& w,
         3, 1);
     json.add_metric(name, "cold_drain_ms", cold_ms);
 
-    // The acceptance criterion: both backends serve bit-identical
-    // responses for the same request stream.
+    // The acceptance criterion: every backend serves bit-identical
+    // responses for the same request stream — loopback TCP included.
     if (baseline.empty()) {
       baseline.reserve(responses.size());
       for (const auto& r : responses) baseline.push_back(r.result.partitions);
     } else {
       bench::require(responses.size() == baseline.size(),
-                     "subprocess backend answers every client");
+                     "out-of-process backend answers every client");
       for (std::size_t i = 0; i < responses.size(); ++i)
         bench::require(responses[i].result.partitions == baseline[i],
-                       "subprocess backend serves bit-identical fusions");
+                       "out-of-process backend serves bit-identical fusions");
     }
 
     const auto stats = cluster->stats();
     for (const std::string& key : w.keys)
       bench::require(cluster->top_stats(key).cache_entries <= cache.capacity,
                      "per-top cache stays within its configured capacity");
+    // A healthy bench run never restarts a worker; a nonzero count here
+    // means the backend was quietly crash-looping through the drains.
+    bench::require(stats.restarts == 0,
+                   "no worker restarts during a healthy bench run");
     table.add_row({name, std::to_string(cold_ms), std::to_string(warm_ms),
                    std::to_string(stats.shard_batches_served),
-                   std::to_string(stats.cache_hits)});
+                   std::to_string(stats.cache_hits),
+                   std::to_string(stats.restarts)});
     json.add_metric(name, "shard_batches_served",
                     static_cast<double>(stats.shard_batches_served));
     json.add_metric(name, "cache_hits",
                     static_cast<double>(stats.cache_hits));
+    json.add_metric(name, "restarts", static_cast<double>(stats.restarts));
     cluster->shutdown();
   }
   json.set_backend("");

@@ -12,11 +12,20 @@
 //
 // The backend is selectable: --backend=inprocess serves in this address
 // space (default); --backend=subprocess forks one ffsm_shard_worker per
-// shard and speaks the wire protocol over pipes — same requests, same
-// bit-identical responses, different failure domain.
+// shard and speaks the wire protocol over pipes; --backend=tcp speaks the
+// same frames over sockets to a remote worker — same requests, same
+// bit-identical responses, three failure domains.
 //
 // Build & run:  cmake --build build &&
 //               ./build/fusion_service [--backend=subprocess] [--shards=N]
+//
+// TCP walkthrough (two terminals, or two machines):
+//   host A$ ./build/ffsm_shard_worker --listen 7001
+//   listening 7001
+//   host B$ ./build/fusion_service --backend=tcp --connect hostA:7001
+// Every shard opens its own connection to that worker; kill the worker
+// mid-run and the cluster re-queues, reconnects and re-serves once a
+// listener is back.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +38,7 @@
 #include "fusion/generator.hpp"
 #include "sim/cluster.hpp"
 #include "sim/subprocess_backend.hpp"
+#include "sim/tcp_backend.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -50,18 +60,35 @@ std::vector<ffsm::Partition> originals_of(const ffsm::CrossProduct& cp) {
   return out;
 }
 
+enum class BackendKind { kInProcess, kSubprocess, kTcp };
+
 struct CliOptions {
-  bool subprocess = false;
+  BackendKind backend = BackendKind::kInProcess;
   std::size_t shards = 3;
+  std::string tcp_host;  // --connect host:port (required for tcp)
+  std::uint16_t tcp_port = 0;
 };
+
+bool parse_connect(const std::string& spec, CliOptions& cli) {
+  // Strict parse (net::parse_host_port): "hostA:70o1" must be rejected,
+  // not read as port 70.
+  return ffsm::net::parse_host_port(spec, cli.tcp_host, cli.tcp_port);
+}
 
 bool parse_cli(int argc, char** argv, CliOptions& cli) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--backend=inprocess") {
-      cli.subprocess = false;
+      cli.backend = BackendKind::kInProcess;
     } else if (arg == "--backend=subprocess") {
-      cli.subprocess = true;
+      cli.backend = BackendKind::kSubprocess;
+    } else if (arg == "--backend=tcp") {
+      cli.backend = BackendKind::kTcp;
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      if (!parse_connect(arg.substr(std::strlen("--connect=")), cli))
+        return false;
+    } else if (arg == "--connect" && i + 1 < argc) {
+      if (!parse_connect(argv[++i], cli)) return false;
     } else if (arg.rfind("--shards=", 0) == 0) {
       const long n = std::atol(arg.c_str() + std::strlen("--shards="));
       if (n < 1) return false;
@@ -70,7 +97,8 @@ bool parse_cli(int argc, char** argv, CliOptions& cli) {
       return false;
     }
   }
-  return true;
+  // TCP needs a worker address; the other backends must not get one.
+  return (cli.backend == BackendKind::kTcp) == (cli.tcp_port != 0);
 }
 
 }  // namespace
@@ -81,30 +109,50 @@ int main(int argc, char** argv) {
   CliOptions cli;
   if (!parse_cli(argc, argv, cli)) {
     std::fprintf(stderr,
-                 "usage: %s [--backend={inprocess,subprocess}] [--shards=N]\n",
+                 "usage: %s [--backend={inprocess,subprocess,tcp}] "
+                 "[--connect host:port] [--shards=N]\n"
+                 "  --backend=tcp requires --connect (a running "
+                 "`ffsm_shard_worker --listen <port>`)\n",
                  argv[0]);
     return 2;
   }
-  const char* const backend_name = cli.subprocess ? "subprocess" : "inprocess";
+  const char* const backend_name =
+      cli.backend == BackendKind::kInProcess    ? "inprocess"
+      : cli.backend == BackendKind::kSubprocess ? "subprocess"
+                                                : "tcp";
 
   // Three tenants: counter products of 100, 144 and 196 states.
   ThreadPool pool(8);
   const LowerCoverCacheConfig cache_config = {CacheEvictionPolicy::kLru, 64};
+  ShardServiceConfig worker_config;
+  worker_config.parallel = true;
+  worker_config.threads = 4;
+  worker_config.cache_config = cache_config;
   FusionClusterOptions options;
   options.shards = cli.shards;
   options.pool = &pool;
   options.cache_config = cache_config;
-  if (cli.subprocess)
+  if (cli.backend == BackendKind::kSubprocess)
     options.backend_factory = [&](std::size_t) {
       SubprocessBackendOptions backend_options;
-      backend_options.config.parallel = true;
-      backend_options.config.threads = 4;
-      backend_options.config.cache_config = cache_config;
+      backend_options.config = worker_config;
       return std::make_unique<SubprocessBackend>(backend_options);
+    };
+  else if (cli.backend == BackendKind::kTcp)
+    options.backend_factory = [&](std::size_t) {
+      TcpBackendOptions backend_options;
+      backend_options.host = cli.tcp_host;
+      backend_options.port = cli.tcp_port;
+      backend_options.config = worker_config;
+      return std::make_unique<TcpBackend>(backend_options);
     };
   FusionCluster cluster(options);
   std::printf("serving backend: %s (%zu shards)\n", backend_name,
               cluster.shard_count());
+  if (cli.backend == BackendKind::kTcp)
+    std::printf("remote worker: %s:%u (every shard on its own "
+                "connection)\n",
+                cli.tcp_host.c_str(), static_cast<unsigned>(cli.tcp_port));
 
   std::vector<std::string> keys;
   std::vector<std::vector<Partition>> originals;
@@ -156,11 +204,12 @@ int main(int argc, char** argv) {
 
   const auto stats = cluster.stats();
   std::printf("\ncluster [%s]: %zu tops on %zu shards; served %llu of %llu "
-              "requests in %llu shard batches\n",
+              "requests in %llu shard batches (%llu worker restarts)\n",
               backend_name, stats.tops, stats.shards,
               static_cast<unsigned long long>(stats.requests_served),
               static_cast<unsigned long long>(stats.requests_submitted),
-              static_cast<unsigned long long>(stats.shard_batches_served));
+              static_cast<unsigned long long>(stats.shard_batches_served),
+              static_cast<unsigned long long>(stats.restarts));
   std::printf("caches:  %zu covers resident (~%zu KiB, cap %zu/top), "
               "%llu hits / %llu cold + %llu eviction misses, "
               "%llu evictions\n",

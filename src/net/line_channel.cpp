@@ -1,0 +1,44 @@
+#include "net/line_channel.hpp"
+
+namespace ffsm::net {
+
+bool LineChannel::read_line(std::string& line) {
+  FFSM_EXPECTS(valid());
+  for (;;) {
+    const auto pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(buffer_, 0, pos);
+      buffer_.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    const std::size_t n = recv_some(read_fd_, chunk, sizeof(chunk));
+    if (n == 0) {
+      if (!buffer_.empty())
+        throw NetError("peer closed the stream mid-line (torn message)");
+      return false;  // clean EOF at a line boundary
+    }
+    buffer_.append(chunk, n);
+  }
+}
+
+std::string LineChannel::expect_line(const char* context) {
+  std::string line;
+  if (!read_line(line))
+    throw NetError(std::string("peer closed the stream during ") + context);
+  return line;
+}
+
+std::string LineChannel::read_frame(std::string first_line,
+                                    const char* context) {
+  std::string frame = std::move(first_line);
+  frame += '\n';
+  for (;;) {
+    const std::string line = expect_line(context);
+    frame += line;
+    frame += '\n';
+    if (line == "end") return frame;
+  }
+}
+
+}  // namespace ffsm::net

@@ -1,0 +1,107 @@
+// Line/frame framing over a byte stream.
+//
+// The wire protocol (sim/messages.hpp) is line-oriented: directive lines,
+// and multi-line frames closed by a lone `end` line. LineChannel is the
+// transport half of that — buffered line reads and full-buffer sends over
+// either an owned Socket (TCP connection, socketpair) or a borrowed
+// read/write fd pair (the worker's stdin/stdout bridge). It knows frame
+// *shape* (a frame ends at `end`), never frame *content*; decoding stays in
+// sim/messages.
+//
+// All failures throw NetError: a clean EOF between lines is the one
+// non-error outcome (read_line returns false), EOF inside a frame is a
+// torn message and throws.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "net/socket.hpp"
+
+namespace ffsm::net {
+
+class LineChannel {
+ public:
+  /// An unconnected channel; valid() is false, I/O is a precondition error.
+  LineChannel() = default;
+
+  /// Owns `socket`; reads and writes both go through it.
+  explicit LineChannel(Socket socket) noexcept
+      : owned_(std::move(socket)),
+        read_fd_(owned_.fd()),
+        write_fd_(owned_.fd()) {}
+
+  /// Borrows an fd pair (e.g. STDIN_FILENO/STDOUT_FILENO); the caller
+  /// keeps ownership and lifetime.
+  LineChannel(int read_fd, int write_fd) noexcept
+      : read_fd_(read_fd), write_fd_(write_fd) {}
+
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+  // Explicit moves: the raw fd mirrors must be reset in the source (the
+  // implicit move would copy them, leaving a moved-from channel that
+  // claims valid() and does I/O on the destination's socket).
+  LineChannel(LineChannel&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        read_fd_(other.read_fd_),
+        write_fd_(other.write_fd_),
+        buffer_(std::move(other.buffer_)) {
+    other.read_fd_ = -1;
+    other.write_fd_ = -1;
+    other.buffer_.clear();
+  }
+  LineChannel& operator=(LineChannel&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      read_fd_ = other.read_fd_;
+      write_fd_ = other.write_fd_;
+      buffer_ = std::move(other.buffer_);
+      other.read_fd_ = -1;
+      other.write_fd_ = -1;
+      other.buffer_.clear();
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return read_fd_ >= 0; }
+
+  /// Closes an owned socket and resets; borrowed fds are left open.
+  void close() noexcept {
+    owned_.close();
+    read_fd_ = -1;
+    write_fd_ = -1;
+    buffer_.clear();
+  }
+
+  /// Sends all bytes (SIGPIPE-safe, partial writes retried). Throws
+  /// NetError when the peer is gone.
+  void send(std::string_view data) const {
+    FFSM_EXPECTS(valid());
+    send_all(write_fd_, data);
+  }
+
+  /// Reads the next '\n'-terminated line (terminator stripped). Returns
+  /// false on clean EOF at a line boundary; throws NetError on a read
+  /// error or on EOF in the middle of a line (a torn message).
+  bool read_line(std::string& line);
+
+  /// read_line that treats EOF as an error; `context` names the exchange
+  /// for the NetError message.
+  [[nodiscard]] std::string expect_line(const char* context);
+
+  /// Reads a full frame — `first_line` plus every following line up to and
+  /// including the lone `end` terminator — returning it with trailing
+  /// newlines restored, ready for sim/messages decode. Throws NetError on
+  /// EOF inside the frame.
+  [[nodiscard]] std::string read_frame(std::string first_line,
+                                       const char* context);
+
+ private:
+  Socket owned_;
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  std::string buffer_;  // bytes received but not yet returned as lines
+};
+
+}  // namespace ffsm::net

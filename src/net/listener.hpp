@@ -1,0 +1,41 @@
+// A TCP listening socket: bind/listen at construction, accept() per peer.
+//
+// SO_REUSEADDR is always set — a respawned worker must be able to rebind
+// its port while the previous incarnation's connections sit in TIME_WAIT
+// (the respawned-listener recovery path depends on this). Port 0 binds an
+// ephemeral port; port() reports the actual one, which is how tests and
+// the --listen worker avoid hard-coded ports.
+#pragma once
+
+#include <cstdint>
+
+#include "net/socket.hpp"
+
+namespace ffsm::net {
+
+class Listener {
+ public:
+  /// Binds 0.0.0.0:`port` (0 = kernel-chosen ephemeral port) and listens.
+  /// Throws NetError on bind/listen failure (port taken, privileges).
+  explicit Listener(std::uint16_t port, int backlog = 16);
+
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+
+  /// The bound port — the requested one, or the kernel's pick for port 0.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+
+  /// Blocks for the next connection; the returned Socket has TCP_NODELAY
+  /// set. Throws NetError on accept failure (including a closed listener).
+  [[nodiscard]] Socket accept();
+
+  /// Stops accepting; an accept() blocked in another thread fails over.
+  void close() noexcept { socket_.close(); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ffsm::net

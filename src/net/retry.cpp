@@ -1,0 +1,18 @@
+#include "net/retry.hpp"
+
+#include <algorithm>
+
+namespace ffsm::net {
+
+std::chrono::milliseconds RetryPolicy::backoff(std::size_t attempt) const {
+  auto delay = initial_backoff;
+  if (delay >= max_backoff || multiplier <= 1)
+    return std::min(delay, max_backoff);
+  for (std::size_t i = 0; i < attempt; ++i) {
+    delay *= multiplier;
+    if (delay >= max_backoff) return max_backoff;  // also caps overflow
+  }
+  return delay;
+}
+
+}  // namespace ffsm::net

@@ -1,0 +1,110 @@
+// Transport primitives of the serving stack: RAII sockets.
+//
+// The net layer owns everything the wire protocol (sim/messages.hpp) does
+// not: byte transport. A Socket is a move-only owned file descriptor with
+// the two loops every caller otherwise hand-rolls — send_all (partial
+// writes retried, EINTR resumed, SIGPIPE suppressed so a dead peer is an
+// error, not a process kill) and recv_some (EINTR resumed, EOF as 0) —
+// plus connect-with-timeout so a black-holed host fails in bounded time
+// instead of the kernel's minutes-long default.
+//
+// Transport failures throw NetError, a ContractViolation subclass: callers
+// that distinguish "the wire broke" (reconnect and retry) from "the
+// protocol broke" (give up) catch NetError first; callers that do not keep
+// working through their existing ContractViolation handling.
+//
+// Layering: net depends only on util. sim/ builds its backends on top of
+// net; net knows nothing about fusion serving.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/contracts.hpp"
+
+namespace ffsm::net {
+
+/// A transport-level failure: connect refused/timed out, peer closed the
+/// stream mid-frame, write to a dead peer. Retryable by reconnecting.
+class NetError : public ContractViolation {
+ public:
+  explicit NetError(const std::string& what_arg)
+      : ContractViolation("net: " + what_arg) {}
+};
+
+/// Strict whole-string port parse, 0 ("any"/ephemeral) through 65535.
+/// Rejects what atol would silently accept: "70o1" (-> 70), "abc" (-> 0),
+/// trailing garbage, overflow. Callers that need a *connectable* port
+/// additionally reject 0.
+[[nodiscard]] bool parse_port(std::string_view text, std::uint16_t& port);
+
+/// Splits "host:port" (the last ':' separates, so future bracketed-IPv6
+/// hosts can carry colons) and parses the port strictly; a connect target
+/// must be nonzero. Returns false on any malformation.
+[[nodiscard]] bool parse_host_port(std::string_view spec, std::string& host,
+                                   std::uint16_t& port);
+
+/// Writes all of `data` to `fd`, retrying partial writes and EINTR. Uses
+/// send(MSG_NOSIGNAL) on sockets and falls back to write() on other fds
+/// (pipes, terminals), so it never raises SIGPIPE on a socket; non-socket
+/// callers ignore SIGPIPE process-wide instead (the worker does). Throws
+/// NetError when the peer is gone.
+void send_all(int fd, std::string_view data);
+
+/// Reads up to `len` bytes into `buf`, resuming EINTR. Returns 0 on EOF;
+/// throws NetError on a read error.
+[[nodiscard]] std::size_t recv_some(int fd, char* buf, std::size_t len);
+
+/// A move-only owned socket (or any stream fd). Closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts `fd` (takes ownership; -1 = invalid).
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects a TCP stream to host:port, failing after `timeout` instead
+  /// of the kernel default. Resolves numeric addresses and names
+  /// (getaddrinfo, IPv4); sets TCP_NODELAY — the wire protocol is
+  /// request/response and must not trade latency for Nagle batching.
+  /// Throws NetError on resolve/connect/timeout failure.
+  [[nodiscard]] static Socket connect(
+      const std::string& host, std::uint16_t port,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  void close() noexcept;
+
+  /// Turns on TCP keepalive probing: after `idle_s` seconds of silence,
+  /// probe every `interval_s` seconds, `probes` times, then declare the
+  /// peer dead (reads/writes fail with NetError). The detector for
+  /// half-open connections — a peer host that vanished without FIN/RST —
+  /// on long-lived connections whose reads must not carry timeouts.
+  /// Throws NetError if the fd is not a TCP socket.
+  void enable_keepalive(int idle_s, int interval_s, int probes) const;
+
+  /// send_all / recv_some on the owned fd (socket must be valid).
+  void send_all(std::string_view data) const;
+  [[nodiscard]] std::size_t recv_some(char* buf, std::size_t len) const;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ffsm::net

@@ -2,9 +2,92 @@
 
 #include <utility>
 
+#include "fsm/serialize.hpp"
 #include "util/contracts.hpp"
 
 namespace ffsm {
+
+// ---------------------------------------------------- QueuedWireBackend
+
+QueuedWireBackend::TopState& QueuedWireBackend::top_of(
+    const std::string& key) {
+  const auto it = tops_.find(key);
+  FFSM_EXPECTS(it != tops_.end());
+  return it->second;
+}
+
+const QueuedWireBackend::TopState& QueuedWireBackend::top_of(
+    const std::string& key) const {
+  const auto it = tops_.find(key);
+  FFSM_EXPECTS(it != tops_.end());
+  return it->second;
+}
+
+std::string QueuedWireBackend::error_detail(std::istringstream& words) {
+  std::string token;
+  std::string detail = "unknown error";
+  if (words >> token && token != "%") {
+    try {
+      detail = unescape_token(token);
+    } catch (const ContractViolation&) {
+      detail = token;  // garbled escape: better raw than masked
+    }
+  }
+  return detail;
+}
+
+void QueuedWireBackend::add_top(const std::string& key, const Dfsm& top) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FFSM_EXPECTS(!tops_.contains(key));
+  TopState state;
+  state.machine_text = to_text(top);  // self-contained: alphabet header
+  state.top_size = top.size();
+  tops_.emplace(key, std::move(state));
+  top_order_.push_back(key);
+  // Roll our entry back on failure — the cluster rolls its own back too,
+  // and a key the cluster denies must not linger here blocking
+  // re-registration.
+  try {
+    register_added_top_locked(key);
+  } catch (...) {
+    tops_.erase(key);
+    top_order_.pop_back();
+    throw;
+  }
+}
+
+void QueuedWireBackend::validate(const std::string& key,
+                                 const FusionRequest& request) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const TopState& top = top_of(key);
+  for (const Partition& p : request.originals)
+    FFSM_EXPECTS(p.size() == top.top_size);
+}
+
+std::uint64_t QueuedWireBackend::submit(const std::string& key,
+                                        std::string client,
+                                        FusionRequest request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TopState& top = top_of(key);
+  const std::uint64_t ticket = next_ticket_++;
+  top.queue.push_back({ticket, std::move(client), std::move(request)});
+  return ticket;
+}
+
+std::size_t QueuedWireBackend::pending(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return top_of(key).queue.size();
+}
+
+std::size_t QueuedWireBackend::discard_pending(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TopState& top = top_of(key);
+  const std::size_t count = top.queue.size();
+  top.queue.clear();
+  return count;
+}
+
+// ----------------------------------------------------- InProcessBackend
 
 InProcessBackend::InProcessBackend(FusionServiceOptions options)
     : options_(options) {}

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,51 @@ class ShardBackend {
   /// queues are NOT dropped — only serving capacity goes away). Idempotent;
   /// also invoked by destruction.
   virtual void shutdown() {}
+};
+
+/// Shared parent-side half of every wire-protocol backend (subprocess,
+/// TCP): the registered tops with their self-contained machine texts, the
+/// per-top request queues that make worker loss non-lossy, ticket
+/// assignment, and caller-side validation. Subclasses own the transport —
+/// drain/stats/shutdown — plus one hook: register_added_top_locked, called
+/// under the lock by add_top so a live transport learns new tops
+/// immediately (and can veto them before the entry commits).
+class QueuedWireBackend : public ShardBackend {
+ public:
+  void add_top(const std::string& key, const Dfsm& top) final;
+  void validate(const std::string& key,
+                const FusionRequest& request) const final;
+  std::uint64_t submit(const std::string& key, std::string client,
+                       FusionRequest request) final;
+  [[nodiscard]] std::size_t pending(const std::string& key) const final;
+  std::size_t discard_pending(const std::string& key) final;
+
+ protected:
+  struct TopState {
+    std::string machine_text;    // self-contained to_text, for re-register
+    std::uint32_t top_size = 0;  // states, for caller-side validate
+    std::vector<WireRequest> queue;  // accepted, not yet served
+  };
+
+  [[nodiscard]] TopState& top_of(const std::string& key);
+  [[nodiscard]] const TopState& top_of(const std::string& key) const;
+
+  /// Called by add_top with mutex_ held, after the entry was recorded. A
+  /// throw rolls the registration back (the cluster rolls its own back
+  /// too). Typical implementation: if the transport is live, send the
+  /// `top` frame and expect "ok"; if not, do nothing — the (re)connect
+  /// handshake registers every recorded top anyway.
+  virtual void register_added_top_locked(const std::string& key) = 0;
+
+  /// Decodes the detail token of an `error <msg>` reply line (the
+  /// directive already consumed from `words`).
+  [[nodiscard]] static std::string error_detail(std::istringstream& words);
+
+  /// Serializes the wire conversation and guards tops_/top_order_/queues.
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, TopState> tops_;
+  std::vector<std::string> top_order_;  // registration order for replays
+  std::uint64_t next_ticket_ = 1;
 };
 
 /// The default backend: the pre-refactor in-address-space behaviour, one

@@ -319,9 +319,13 @@ FusionCluster::Stats FusionCluster::stats() const {
       keys.reserve(shard.tops.size());
       for (const auto& [key, entry] : shard.tops) keys.push_back(key);
     }
+    std::uint64_t shard_restarts = 0;
     for (const std::string& key : keys) {
       const ServiceStats s = shard.backend->stats(key);
       out.shard_batches_served += s.batches_served;
+      // Backend-level counter repeated on every top of the shard — count
+      // the shared worker's restarts once, not once per hosted top.
+      shard_restarts = std::max(shard_restarts, s.restarts);
       out.cache_hits += s.cache_hits;
       out.cache_cold_misses += s.cache_cold_misses;
       out.cache_eviction_misses += s.cache_eviction_misses;
@@ -329,6 +333,7 @@ FusionCluster::Stats FusionCluster::stats() const {
       out.cache_entries += s.cache_entries;
       out.cache_bytes += s.cache_bytes;
     }
+    out.restarts += shard_restarts;
   }
   return out;
 }

@@ -94,6 +94,9 @@ class FusionCluster {
     std::uint64_t drains = 0;
     std::uint64_t drain_failures = 0;
     std::uint64_t shard_batches_served = 0;
+    /// Worker restarts across every top's backend (processes respawned,
+    /// connections re-established); 0 for in-process shards.
+    std::uint64_t restarts = 0;
     std::size_t shards = 0;
     std::size_t tops = 0;
     std::size_t pending = 0;

@@ -287,6 +287,7 @@ std::string encode_stats(const ServiceStats& stats) {
   out << "requests_submitted " << stats.requests_submitted << '\n';
   out << "requests_served " << stats.requests_served << '\n';
   out << "batches_served " << stats.batches_served << '\n';
+  out << "restarts " << stats.restarts << '\n';
   out << "cache_hits " << stats.cache_hits << '\n';
   out << "cache_cold_misses " << stats.cache_cold_misses << '\n';
   out << "cache_eviction_misses " << stats.cache_eviction_misses << '\n';
@@ -303,7 +304,14 @@ ServiceStats decode_stats(std::string_view text) {
   ServiceStats out;
   bool have_header = false;
   bool ended = false;
-  std::uint32_t fields = 0;
+  // One bit per counter: a duplicated directive must not mask a missing
+  // one (counting lines alone would let "restarts" twice and no
+  // "cache_bytes" decode as a silently defaulted stats frame).
+  std::uint32_t seen = 0;
+  const auto mark = [&](std::uint32_t bit) {
+    if ((seen & (1u << bit)) != 0) bad("stats: duplicate counter");
+    seen |= 1u << bit;
+  };
   while (std::getline(in, line)) {
     std::istringstream words(line);
     std::string directive;
@@ -321,33 +329,45 @@ ServiceStats decode_stats(std::string_view text) {
       ended = true;
       continue;
     }
-    ++fields;
-    if (directive == "requests_submitted")
+    if (directive == "requests_submitted") {
+      mark(0);
       out.requests_submitted = parse_unsigned<std::uint64_t>(words, "stats");
-    else if (directive == "requests_served")
+    } else if (directive == "requests_served") {
+      mark(1);
       out.requests_served = parse_unsigned<std::uint64_t>(words, "stats");
-    else if (directive == "batches_served")
+    } else if (directive == "batches_served") {
+      mark(2);
       out.batches_served = parse_unsigned<std::uint64_t>(words, "stats");
-    else if (directive == "cache_hits")
+    } else if (directive == "restarts") {
+      mark(3);
+      out.restarts = parse_unsigned<std::uint64_t>(words, "stats");
+    } else if (directive == "cache_hits") {
+      mark(4);
       out.cache_hits = parse_unsigned<std::uint64_t>(words, "stats");
-    else if (directive == "cache_cold_misses")
+    } else if (directive == "cache_cold_misses") {
+      mark(5);
       out.cache_cold_misses = parse_unsigned<std::uint64_t>(words, "stats");
-    else if (directive == "cache_eviction_misses")
+    } else if (directive == "cache_eviction_misses") {
+      mark(6);
       out.cache_eviction_misses =
           parse_unsigned<std::uint64_t>(words, "stats");
-    else if (directive == "cache_evictions")
+    } else if (directive == "cache_evictions") {
+      mark(7);
       out.cache_evictions = parse_unsigned<std::uint64_t>(words, "stats");
-    else if (directive == "cache_entries")
+    } else if (directive == "cache_entries") {
+      mark(8);
       out.cache_entries = parse_unsigned<std::size_t>(words, "stats");
-    else if (directive == "cache_bytes")
+    } else if (directive == "cache_bytes") {
+      mark(9);
       out.cache_bytes = parse_unsigned<std::size_t>(words, "stats");
-    else
+    } else {
       bad("stats: unknown counter '" + directive + "'");
+    }
     expect_line_end(words, "stats counter");
   }
   if (!have_header) bad("stats: empty input");
   if (!ended) bad("stats: missing 'end'");
-  if (fields != 9) bad("stats: wrong counter count");
+  if (seen != (1u << 10) - 1) bad("stats: missing counter");
   return out;
 }
 
@@ -372,7 +392,13 @@ ShardServiceConfig decode_config(std::string_view text) {
   ShardServiceConfig out;
   bool have_header = false;
   bool ended = false;
-  std::uint32_t fields = 0;
+  // One bit per field: duplicates must not mask a missing field (see
+  // decode_stats).
+  std::uint32_t seen = 0;
+  const auto mark = [&](std::uint32_t bit) {
+    if ((seen & (1u << bit)) != 0) bad("config: duplicate field");
+    seen |= 1u << bit;
+  };
   while (std::getline(in, line)) {
     std::istringstream words(line);
     std::string directive;
@@ -390,18 +416,22 @@ ShardServiceConfig decode_config(std::string_view text) {
       ended = true;
       continue;
     }
-    ++fields;
     if (directive == "parallel") {
+      mark(0);
       out.parallel = parse_bool(words, "config parallel");
     } else if (directive == "threads") {
+      mark(1);
       out.threads = parse_unsigned<std::size_t>(words, "config threads");
     } else if (directive == "incremental") {
+      mark(2);
       out.incremental = parse_bool(words, "config incremental");
     } else if (directive == "cache_policy") {
+      mark(3);
       std::string name;
       if (!(words >> name)) bad("config: 'cache_policy' requires a name");
       out.cache_config.policy = cache_policy_from_name(name);
     } else if (directive == "cache_capacity") {
+      mark(4);
       out.cache_config.capacity =
           parse_unsigned<std::size_t>(words, "config cache_capacity");
     } else {
@@ -411,7 +441,7 @@ ShardServiceConfig decode_config(std::string_view text) {
   }
   if (!have_header) bad("config: empty input");
   if (!ended) bad("config: missing 'end'");
-  if (fields != 5) bad("config: wrong field count");
+  if (seen != (1u << 5) - 1) bad("config: missing field");
   return out;
 }
 

@@ -54,6 +54,12 @@ struct ServiceStats {
   std::uint64_t requests_submitted = 0;
   std::uint64_t requests_served = 0;
   std::uint64_t batches_served = 0;
+  /// Worker restarts this serving state survived: respawned processes
+  /// (SubprocessBackend), re-established connections (TcpBackend). Always
+  /// 0 from the serving side itself — the backend that owns the restart
+  /// policy fills it, since the restarted worker cannot count its own
+  /// deaths.
+  std::uint64_t restarts = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_cold_misses = 0;
   std::uint64_t cache_eviction_misses = 0;

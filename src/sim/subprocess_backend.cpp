@@ -11,15 +11,10 @@
 #include <sstream>
 #include <utility>
 
-#include "fsm/serialize.hpp"
 #include "util/contracts.hpp"
 
 namespace ffsm {
-namespace {
 
-/// Resolves the worker binary: explicit option, $FFSM_SHARD_WORKER, then
-/// "ffsm_shard_worker" in the current executable's directory (tests,
-/// benches and the worker all land in the same build directory).
 std::string discover_worker_path(const std::string& explicit_path) {
   if (!explicit_path.empty()) return explicit_path;
   if (const char* env = std::getenv("FFSM_SHARD_WORKER");
@@ -38,26 +33,10 @@ std::string discover_worker_path(const std::string& explicit_path) {
   return "ffsm_shard_worker";  // last resort: $PATH lookup via execlp
 }
 
-}  // namespace
-
 SubprocessBackend::SubprocessBackend(SubprocessBackendOptions options)
     : options_(std::move(options)) {}
 
 SubprocessBackend::~SubprocessBackend() { shutdown(); }
-
-SubprocessBackend::TopState& SubprocessBackend::top_of(
-    const std::string& key) {
-  const auto it = tops_.find(key);
-  FFSM_EXPECTS(it != tops_.end());
-  return it->second;
-}
-
-const SubprocessBackend::TopState& SubprocessBackend::top_of(
-    const std::string& key) const {
-  const auto it = tops_.find(key);
-  FFSM_EXPECTS(it != tops_.end());
-  return it->second;
-}
 
 void SubprocessBackend::die_locked(const std::string& what) {
   kill_worker_locked();
@@ -65,11 +44,7 @@ void SubprocessBackend::die_locked(const std::string& what) {
 }
 
 void SubprocessBackend::kill_worker_locked() noexcept {
-  if (channel_fd_ >= 0) {
-    ::close(channel_fd_);
-    channel_fd_ = -1;
-    read_buffer_.clear();
-  }
+  channel_.close();
   if (worker_pid_ > 0) {
     ::kill(worker_pid_, SIGKILL);
     ::waitpid(worker_pid_, nullptr, 0);
@@ -78,36 +53,21 @@ void SubprocessBackend::kill_worker_locked() noexcept {
 }
 
 void SubprocessBackend::send_locked(std::string_view data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    // MSG_NOSIGNAL: a dead worker must surface as EPIPE here, not as a
-    // process-wide SIGPIPE.
-    const ssize_t n = ::send(channel_fd_, data.data() + off,
-                             data.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      die_locked("write to worker failed (worker died?)");
-    }
-    off += static_cast<std::size_t>(n);
+  // net::LineChannel::send is the full-buffer SIGPIPE-safe loop; a dead
+  // worker surfaces as NetError, which this backend turns into its usual
+  // reap-and-throw.
+  try {
+    channel_.send(data);
+  } catch (const net::NetError&) {
+    die_locked("write to worker failed (worker died?)");
   }
 }
 
 bool SubprocessBackend::read_line_locked(std::string& line) {
-  for (;;) {
-    const auto pos = read_buffer_.find('\n');
-    if (pos != std::string::npos) {
-      line.assign(read_buffer_, 0, pos);
-      read_buffer_.erase(0, pos + 1);
-      return true;
-    }
-    char buf[4096];
-    const ssize_t n = ::recv(channel_fd_, buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;  // EOF: worker exited
-    read_buffer_.append(buf, static_cast<std::size_t>(n));
+  try {
+    return channel_.read_line(line);
+  } catch (const net::NetError&) {
+    return false;  // read error or torn line: same as EOF to callers
   }
 }
 
@@ -138,7 +98,7 @@ void SubprocessBackend::register_top_locked(const std::string& key,
 }
 
 void SubprocessBackend::ensure_worker_locked() {
-  if (channel_fd_ >= 0 && worker_pid_ > 0) {
+  if (channel_.valid() && worker_pid_ > 0) {
     const pid_t status = ::waitpid(worker_pid_, nullptr, WNOHANG);
     if (status == 0) return;  // worker is running
     // Exited (reaped just now) or already gone: forget the pid BEFORE the
@@ -173,9 +133,8 @@ void SubprocessBackend::ensure_worker_locked() {
     ::_exit(127);  // exec failed; the parent sees EOF on its first read
   }
   ::close(sv[1]);
-  channel_fd_ = sv[0];
+  channel_ = net::LineChannel(net::Socket(sv[0]));
   worker_pid_ = static_cast<int>(pid);
-  read_buffer_.clear();
   ++spawns_;
 
   // Handshake: configure, then re-register every top in registration
@@ -189,58 +148,8 @@ void SubprocessBackend::ensure_worker_locked() {
     register_top_locked(key, tops_.at(key));
 }
 
-void SubprocessBackend::add_top(const std::string& key, const Dfsm& top) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  FFSM_EXPECTS(!tops_.contains(key));
-  TopState state;
-  state.machine_text = to_text(top);  // self-contained: alphabet header
-  state.top_size = top.size();
-  tops_.emplace(key, std::move(state));
-  top_order_.push_back(key);
-  // A live worker learns the top immediately; otherwise the next
-  // ensure_worker_locked() registers it with the rest. Roll our entry
-  // back on failure — the cluster rolls its own back too, and a key the
-  // cluster denies must not linger here blocking re-registration.
-  if (channel_fd_ >= 0) {
-    try {
-      register_top_locked(key, tops_.at(key));
-    } catch (...) {
-      tops_.erase(key);
-      top_order_.pop_back();
-      throw;
-    }
-  }
-}
-
-void SubprocessBackend::validate(const std::string& key,
-                                 const FusionRequest& request) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const TopState& top = top_of(key);
-  for (const Partition& p : request.originals)
-    FFSM_EXPECTS(p.size() == top.top_size);
-}
-
-std::uint64_t SubprocessBackend::submit(const std::string& key,
-                                        std::string client,
-                                        FusionRequest request) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  TopState& top = top_of(key);
-  const std::uint64_t ticket = next_ticket_++;
-  top.queue.push_back({ticket, std::move(client), std::move(request)});
-  return ticket;
-}
-
-std::size_t SubprocessBackend::pending(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return top_of(key).queue.size();
-}
-
-std::size_t SubprocessBackend::discard_pending(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  TopState& top = top_of(key);
-  const std::size_t count = top.queue.size();
-  top.queue.clear();
-  return count;
+void SubprocessBackend::register_added_top_locked(const std::string& key) {
+  if (channel_.valid()) register_top_locked(key, tops_.at(key));
 }
 
 std::vector<FusionResponse> SubprocessBackend::drain(const std::string& key) {
@@ -262,17 +171,8 @@ std::vector<FusionResponse> SubprocessBackend::drain(const std::string& key) {
     // The worker is alive and in sync — the batch itself failed (the
     // analogue of generate_fusion_batch throwing in-process). Requests
     // stay queued for the cluster's retry path.
-    std::string token;
-    std::string detail = "unknown error";
-    if (words >> token && token != "%") {
-      try {
-        detail = unescape_token(token);
-      } catch (const ContractViolation&) {
-        detail = token;  // garbled escape: better raw than masked
-      }
-    }
     throw ContractViolation("SubprocessBackend: worker failed to serve '" +
-                            key + "': " + detail);
+                            key + "': " + error_detail(words));
   }
   std::size_t count = 0;
   if (directive != "serving" || !(words >> count) ||
@@ -302,29 +202,37 @@ ServiceStats SubprocessBackend::stats(const std::string& key) const {
   auto* self = const_cast<SubprocessBackend*>(this);
   const std::lock_guard<std::mutex> lock(mutex_);
   (void)top_of(key);  // key must be registered
+  // Parent-side restart counter: worker counters restart with the worker
+  // (like any real process-level metric), respawns are what this backend
+  // survived — so `restarts` lives here, uniformly with TcpBackend.
+  ServiceStats cold;
+  cold.restarts = spawns_ > 0 ? spawns_ - 1 : 0;
   // No worker => nothing has served: all-zero counters, like a cold
-  // service. (Worker counters restart with the worker, like any real
-  // process-level metric.)
-  if (channel_fd_ < 0) return {};
+  // service.
+  if (!channel_.valid()) return cold;
   try {
     self->send_locked("stats " + escape_token(key) + '\n');
     const std::string first = self->expect_line_locked("stats");
-    if (first.rfind("error", 0) == 0) return {};
-    return decode_stats(self->read_frame_locked(first, "stats"));
+    if (first.rfind("error", 0) == 0) return cold;
+    ServiceStats remote =
+        decode_stats(self->read_frame_locked(first, "stats"));
+    remote.restarts = cold.restarts;
+    return remote;
   } catch (const ContractViolation&) {
     // Channel died mid-query; the next drain respawns. Report cold.
-    return {};
+    return cold;
   }
 }
 
 void SubprocessBackend::shutdown() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (channel_fd_ >= 0) {
-    const char msg[] = "shutdown\n";
-    (void)::send(channel_fd_, msg, sizeof(msg) - 1, MSG_NOSIGNAL);
-    ::close(channel_fd_);
-    channel_fd_ = -1;
-    read_buffer_.clear();
+  if (channel_.valid()) {
+    try {
+      channel_.send("shutdown\n");
+    } catch (const net::NetError&) {
+      // Worker already gone; the reap below still applies.
+    }
+    channel_.close();
   }
   if (worker_pid_ > 0) {
     // The worker exits on `shutdown` or stdin EOF, whichever it sees

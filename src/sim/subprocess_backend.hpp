@@ -29,12 +29,19 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "net/line_channel.hpp"
 #include "sim/backend.hpp"
 
 namespace ffsm {
+
+/// Resolves the shard-worker binary shared by the out-of-process backends:
+/// explicit path if non-empty, else $FFSM_SHARD_WORKER, else
+/// "ffsm_shard_worker" next to the current executable (tests, benches and
+/// the worker all land in the same build directory).
+[[nodiscard]] std::string discover_worker_path(
+    const std::string& explicit_path);
 
 struct SubprocessBackendOptions {
   /// Path to the ffsm_shard_worker binary. Empty = $FFSM_SHARD_WORKER,
@@ -44,7 +51,7 @@ struct SubprocessBackendOptions {
   ShardServiceConfig config = {};
 };
 
-class SubprocessBackend final : public ShardBackend {
+class SubprocessBackend final : public QueuedWireBackend {
  public:
   explicit SubprocessBackend(SubprocessBackendOptions options = {});
   ~SubprocessBackend() override;
@@ -52,16 +59,12 @@ class SubprocessBackend final : public ShardBackend {
   SubprocessBackend(const SubprocessBackend&) = delete;
   SubprocessBackend& operator=(const SubprocessBackend&) = delete;
 
-  void add_top(const std::string& key, const Dfsm& top) override;
-  void validate(const std::string& key,
-                const FusionRequest& request) const override;
-  std::uint64_t submit(const std::string& key, std::string client,
-                       FusionRequest request) override;
-  [[nodiscard]] std::size_t pending(const std::string& key) const override;
-  std::size_t discard_pending(const std::string& key) override;
+  // add_top / validate / submit / pending / discard_pending: the shared
+  // parent-side queueing of QueuedWireBackend.
   std::vector<FusionResponse> drain(const std::string& key) override;
   /// Worker counters for `key`; all-zero when no worker is running (a
-  /// fresh or just-crashed shard really has served nothing).
+  /// fresh or just-crashed shard really has served nothing), with
+  /// `restarts` filled parent-side from the spawn count.
   [[nodiscard]] ServiceStats stats(const std::string& key) const override;
   /// Graceful worker termination (`shutdown` + EOF + waitpid). Queued
   /// requests stay queued; the next drain() respawns.
@@ -74,14 +77,9 @@ class SubprocessBackend final : public ShardBackend {
   [[nodiscard]] std::uint64_t spawns() const;
 
  private:
-  struct TopState {
-    std::string machine_text;   // self-contained to_text, for (re)register
-    std::uint32_t top_size = 0;  // states, for caller-side validate
-    std::vector<WireRequest> queue;  // accepted, not yet served
-  };
-
-  [[nodiscard]] TopState& top_of(const std::string& key);
-  [[nodiscard]] const TopState& top_of(const std::string& key) const;
+  /// A live worker learns new tops immediately; otherwise the next
+  /// ensure_worker_locked() registers them with the rest.
+  void register_added_top_locked(const std::string& key) override;
 
   /// Spawns + configures + re-registers tops if no worker is running.
   /// Throws ContractViolation on spawn or handshake failure.
@@ -91,8 +89,9 @@ class SubprocessBackend final : public ShardBackend {
   /// Sends the frame for one top and expects "ok".
   void register_top_locked(const std::string& key, const TopState& top);
 
-  /// I/O over the channel. send throws on a dead peer via die_locked;
-  /// read_line returns false on EOF.
+  /// I/O over the channel (net::LineChannel: full-buffer SIGPIPE-safe
+  /// sends). send throws on a dead peer via die_locked; read_line returns
+  /// false on EOF or a read error.
   void send_locked(std::string_view data);
   bool read_line_locked(std::string& line);
   /// Reads one reply line; throws (after reaping) on EOF.
@@ -103,14 +102,8 @@ class SubprocessBackend final : public ShardBackend {
   [[noreturn]] void die_locked(const std::string& what);
 
   SubprocessBackendOptions options_;
-  /// Serializes the wire conversation and guards all state below.
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, TopState> tops_;
-  std::vector<std::string> top_order_;  // registration order for respawn
   int worker_pid_ = 0;
-  int channel_fd_ = -1;
-  std::string read_buffer_;
-  std::uint64_t next_ticket_ = 1;
+  net::LineChannel channel_;
   std::uint64_t spawns_ = 0;
 };
 

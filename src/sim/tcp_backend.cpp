@@ -1,0 +1,288 @@
+#include "sim/tcp_backend.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <sstream>
+#include <utility>
+
+#include "sim/subprocess_backend.hpp"
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+TcpBackend::TcpBackend(TcpBackendOptions options)
+    : options_(std::move(options)) {
+  FFSM_EXPECTS(options_.port != 0);
+}
+
+TcpBackend::~TcpBackend() { shutdown(); }
+
+void TcpBackend::drop_connection_locked() noexcept { channel_.close(); }
+
+void TcpBackend::register_top_locked(const std::string& key,
+                                     const TopState& top) {
+  channel_.send("top " + escape_token(key) + '\n' + top.machine_text);
+  const std::string reply = channel_.expect_line("top registration");
+  if (reply != "ok") {
+    drop_connection_locked();
+    throw ContractViolation("TcpBackend: worker rejected top '" + key +
+                            "': " + reply);
+  }
+}
+
+void TcpBackend::connect_once_locked() {
+  net::Socket socket = net::Socket::connect(options_.host, options_.port,
+                                            options_.connect_timeout);
+  // Reads carry no timeout (generation legitimately takes long), so
+  // keepalive is what bounds a half-open connection: a vanished peer host
+  // turns into a read error after idle + interval * probes seconds, and
+  // the failed-drain path takes over from there.
+  if (options_.keepalive_idle_s > 0)
+    socket.enable_keepalive(options_.keepalive_idle_s,
+                            options_.keepalive_interval_s,
+                            options_.keepalive_probes);
+  channel_ = net::LineChannel(std::move(socket));
+  try {
+    // A listen-mode worker starts every connection with clean state, so
+    // the full handshake replays: config, then every top in registration
+    // order (the same order a SubprocessBackend respawn re-registers in).
+    channel_.send(encode_config(options_.config));
+    const std::string reply = channel_.expect_line("config");
+    if (reply != "ok") {
+      drop_connection_locked();
+      throw ContractViolation(
+          "TcpBackend: worker rejected config (is " + options_.host + ':' +
+          std::to_string(options_.port) +
+          " an ffsm_shard_worker --listen?): " + reply);
+    }
+    for (const std::string& key : top_order_)
+      register_top_locked(key, tops_.at(key));
+  } catch (const net::NetError&) {
+    drop_connection_locked();  // half-shaken connection is unusable
+    throw;
+  }
+  ++connects_;
+}
+
+void TcpBackend::ensure_connected() {
+  // with_retry sleeps between attempts with no lock held: a restarting
+  // worker must not block this shard's submit()/pending()/stats() for
+  // seconds of backoff.
+  net::with_retry(options_.connect_retry, [&] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!channel_.valid()) connect_once_locked();
+  });
+}
+
+void TcpBackend::register_added_top_locked(const std::string& key) {
+  if (!channel_.valid()) return;
+  try {
+    register_top_locked(key, tops_.at(key));
+  } catch (const net::NetError&) {
+    // The connection is dead, not the registration: drop it so the next
+    // attempt reconnects lazily instead of re-hitting a corpse that
+    // still reports valid().
+    drop_connection_locked();
+    throw;
+  }
+}
+
+std::vector<FusionResponse> TcpBackend::serve_batch_locked(
+    const std::string& key, TopState& top) {
+  std::vector<FusionResponse> responses;
+  responses.reserve(top.queue.size());
+  const std::size_t window = std::max<std::size_t>(1, options_.serve_window);
+  for (std::size_t start = 0; start < top.queue.size(); start += window) {
+    // The backpressure window: at most `window` request frames are on the
+    // wire before we block on their responses. A wedged worker stalls this
+    // drain here, with one window buffered, instead of swallowing the
+    // whole backlog.
+    const std::size_t count = std::min(window, top.queue.size() - start);
+    std::string msg = "serve " + escape_token(key) + ' ' +
+                      std::to_string(count) + '\n';
+    for (std::size_t i = 0; i < count; ++i)
+      msg += encode_request(top.queue[start + i]);
+    channel_.send(msg);
+
+    const std::string header = channel_.expect_line("serve");
+    std::istringstream words(header);
+    std::string directive;
+    words >> directive;
+    if (directive == "error") {
+      // The worker is alive and in sync — the batch itself failed. The
+      // whole backlog stays queued for the cluster's retry path; windows
+      // already served this round get re-served then, which is harmless
+      // (generation is deterministic) and costs only worker counters.
+      throw ContractViolation("TcpBackend: worker failed to serve '" + key +
+                              "': " + error_detail(words));
+    }
+    std::size_t n = 0;
+    if (directive != "serving" || !(words >> n) || n != count) {
+      drop_connection_locked();
+      throw ContractViolation("TcpBackend: unexpected serve reply '" +
+                              header + "'");
+    }
+    try {
+      for (std::size_t i = 0; i < n; ++i)
+        responses.push_back(decode_response(
+            channel_.read_frame(channel_.expect_line("response"),
+                                "response")));
+      const std::string done = channel_.expect_line("serve trailer");
+      if (done != "done")
+        throw ContractViolation("TcpBackend: expected 'done', got '" + done +
+                                "'");
+    } catch (const net::NetError&) {
+      throw;  // transport died; drain() reconnects and re-submits
+    } catch (const ContractViolation&) {
+      // A frame failed to decode: the stream position is unknowable, so
+      // the connection must go; the batch stays queued.
+      drop_connection_locked();
+      throw;
+    }
+  }
+  // Only now is the exchange complete — every response arrived, nothing
+  // can be lost. Responses are in queue order == ticket order.
+  top.queue.clear();
+  return responses;
+}
+
+std::vector<FusionResponse> TcpBackend::drain(const std::string& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (top_of(key).queue.empty()) return {};
+  }
+  // In-flight re-submit: a connection that drops mid-exchange is
+  // reconnected (with its own connect backoff) and the batch re-sent,
+  // options_.serve_retry.max_attempts times in total. Anything else —
+  // protocol errors, worker-side batch failures — propagates immediately
+  // with the batch still queued. All backoff sleeps run unlocked.
+  return net::with_retry(
+      options_.serve_retry, [&]() -> std::vector<FusionResponse> {
+        try {
+          ensure_connected();
+          const std::lock_guard<std::mutex> lock(mutex_);
+          TopState& top = top_of(key);
+          if (top.queue.empty()) return {};  // discarded while connecting
+          return serve_batch_locked(key, top);
+        } catch (const net::NetError&) {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          drop_connection_locked();
+          throw;
+        }
+      });
+}
+
+ServiceStats TcpBackend::stats(const std::string& key) const {
+  auto* self = const_cast<TcpBackend*>(this);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (void)top_of(key);  // key must be registered
+  // Parent-side restart counter: worker counters reset per connection
+  // (real process semantics), reconnects are what this backend survived.
+  ServiceStats cold;
+  cold.restarts = connects_ > 0 ? connects_ - 1 : 0;
+  if (!channel_.valid()) return cold;
+  try {
+    self->channel_.send("stats " + escape_token(key) + '\n');
+    const std::string first = self->channel_.expect_line("stats");
+    if (first.rfind("error", 0) == 0) return cold;
+    ServiceStats remote =
+        decode_stats(self->channel_.read_frame(first, "stats"));
+    remote.restarts = cold.restarts;
+    return remote;
+  } catch (const ContractViolation&) {
+    // Transport or protocol died mid-query; the next drain reconnects.
+    self->drop_connection_locked();
+    return cold;
+  }
+}
+
+void TcpBackend::shutdown() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!channel_.valid()) return;
+  try {
+    // Fire-and-close, like SubprocessBackend: waiting for "bye" would
+    // block shutdown on a vanished peer (reads carry no timeout), and the
+    // worker ends the connection on EOF just the same.
+    channel_.send("shutdown\n");
+  } catch (const ContractViolation&) {
+  }
+  drop_connection_locked();
+}
+
+std::uint64_t TcpBackend::connects() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return connects_;
+}
+
+bool TcpBackend::connected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return channel_.valid();
+}
+
+// ------------------------------------------------- ListenerWorkerProcess
+
+ListenerWorkerProcess::ListenerWorkerProcess()
+    : ListenerWorkerProcess(Options()) {}
+
+ListenerWorkerProcess::ListenerWorkerProcess(Options options) {
+  const std::string path = discover_worker_path(options.worker_path);
+  int out_pipe[2];
+  if (::pipe2(out_pipe, O_CLOEXEC) != 0)
+    throw ContractViolation("ListenerWorkerProcess: pipe failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    throw ContractViolation("ListenerWorkerProcess: fork failed");
+  }
+  if (pid == 0) {
+    // Child: stdout carries the `listening <port>` banner; the protocol
+    // itself runs over accepted connections.
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    const std::string port_arg = std::to_string(options.port);
+    ::execlp(path.c_str(), "ffsm_shard_worker", "--listen", port_arg.c_str(),
+             static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed; the parent sees EOF on the banner pipe
+  }
+  ::close(out_pipe[1]);
+  pid_ = static_cast<int>(pid);
+
+  std::string banner;
+  for (;;) {
+    char c = 0;
+    const ssize_t n = ::read(out_pipe[0], &c, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0 || c == '\n') break;
+    banner += c;
+  }
+  ::close(out_pipe[0]);
+
+  std::istringstream words(banner);
+  std::string directive;
+  unsigned port = 0;
+  if (!(words >> directive >> port) || directive != "listening" ||
+      port == 0 || port > 65535) {
+    kill();
+    throw ContractViolation(
+        "ListenerWorkerProcess: worker did not report a listening port "
+        "(got '" + banner + "'; is '" + path + "' an ffsm_shard_worker?)");
+  }
+  port_ = static_cast<std::uint16_t>(port);
+}
+
+void ListenerWorkerProcess::kill() noexcept {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = 0;
+  }
+}
+
+}  // namespace ffsm

@@ -1,0 +1,99 @@
+// RetryPolicy: bounded exponential backoff — monotone, capped, overflow-
+// safe — and with_retry's contract: NetError retried up to max_attempts,
+// everything else propagates untouched on the first throw.
+#include "net/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/contracts.hpp"
+
+namespace ffsm::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(RetryPolicy, BackoffIsExponentialMonotoneAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(10);
+  policy.max_backoff = milliseconds(2000);
+  policy.multiplier = 2;
+
+  EXPECT_EQ(policy.backoff(0), milliseconds(10));
+  EXPECT_EQ(policy.backoff(1), milliseconds(20));
+  EXPECT_EQ(policy.backoff(2), milliseconds(40));
+  EXPECT_EQ(policy.backoff(7), milliseconds(1280));
+  EXPECT_EQ(policy.backoff(8), milliseconds(2000));  // capped
+  // Far past the cap: no overflow, still the cap (attempt 200 would be
+  // 10 * 2^200 ms in unbounded arithmetic).
+  EXPECT_EQ(policy.backoff(200), milliseconds(2000));
+
+  for (std::size_t k = 1; k < 16; ++k)
+    EXPECT_GE(policy.backoff(k), policy.backoff(k - 1)) << k;
+}
+
+TEST(RetryPolicy, DegenerateShapesStayBounded) {
+  RetryPolicy flat;
+  flat.initial_backoff = milliseconds(30);
+  flat.max_backoff = milliseconds(1000);
+  flat.multiplier = 1;  // no growth
+  EXPECT_EQ(flat.backoff(0), milliseconds(30));
+  EXPECT_EQ(flat.backoff(9), milliseconds(30));
+
+  RetryPolicy inverted;
+  inverted.initial_backoff = milliseconds(500);
+  inverted.max_backoff = milliseconds(100);  // cap below the start
+  EXPECT_EQ(inverted.backoff(0), milliseconds(100));
+  EXPECT_EQ(inverted.backoff(5), milliseconds(100));
+}
+
+RetryPolicy fast_policy(std::size_t attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.initial_backoff = milliseconds(1);
+  policy.max_backoff = milliseconds(2);
+  return policy;
+}
+
+TEST(WithRetry, RetriesNetErrorUntilSuccess) {
+  int calls = 0;
+  const int result = with_retry(fast_policy(5), [&] {
+    if (++calls < 3) throw NetError("flaky");
+    return 7;
+  });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(WithRetry, ExhaustedAttemptsRethrowTheLastNetError) {
+  int calls = 0;
+  EXPECT_THROW(with_retry(fast_policy(3),
+                          [&]() -> int {
+                            ++calls;
+                            throw NetError("always down");
+                          }),
+               NetError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(WithRetry, NonTransportErrorsPropagateImmediately) {
+  // A protocol rejection is deterministic — retrying it would just repeat
+  // the same exchange; only transport failures are the retryable kind.
+  int calls = 0;
+  EXPECT_THROW(with_retry(fast_policy(5),
+                          [&]() -> int {
+                            ++calls;
+                            throw ContractViolation("protocol says no");
+                          }),
+               ContractViolation);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WithRetry, ZeroAttemptsIsAContractViolation) {
+  EXPECT_THROW(with_retry(fast_policy(0), [] { return 1; }),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ffsm::net

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fsm/serialize.hpp"
@@ -158,6 +161,7 @@ TEST(WireStatsCodec, RandomStatsRoundTripByteIdentically) {
     original.requests_submitted = rng();
     original.requests_served = rng();
     original.batches_served = rng();
+    original.restarts = rng();
     original.cache_hits = rng();
     original.cache_cold_misses = rng();
     original.cache_eviction_misses = rng();
@@ -168,6 +172,7 @@ TEST(WireStatsCodec, RandomStatsRoundTripByteIdentically) {
     const std::string text = encode_stats(original);
     const ServiceStats back = decode_stats(text);
     EXPECT_EQ(back.requests_submitted, original.requests_submitted);
+    EXPECT_EQ(back.restarts, original.restarts);
     EXPECT_EQ(back.cache_eviction_misses, original.cache_eviction_misses);
     EXPECT_EQ(back.cache_bytes, original.cache_bytes);
     EXPECT_EQ(encode_stats(back), text);
@@ -224,6 +229,115 @@ TEST(WireCodec, MalformedFramesThrow) {
   EXPECT_THROW((void)decode_config("config\nparallel 2\nend\n"),
                ContractViolation);
   EXPECT_THROW((void)decode_config("config\nend\n"), ContractViolation);
+
+  // A duplicated counter must not mask a missing one: replacing the
+  // cache_bytes line of a valid stats frame with a second restarts line
+  // keeps the line count right but must still throw.
+  const std::string stats_text = encode_stats(ServiceStats{});
+  const auto bytes_at = stats_text.find("cache_bytes 0\n");
+  ASSERT_NE(bytes_at, std::string::npos);
+  std::string duplicated = stats_text;
+  duplicated.replace(bytes_at, std::strlen("cache_bytes 0"), "restarts 0");
+  EXPECT_THROW((void)decode_stats(duplicated), ContractViolation);
+  const std::string config_text = encode_config(ShardServiceConfig{});
+  std::string duplicated_config = config_text;
+  const auto threads_at = duplicated_config.find("threads 0\n");
+  ASSERT_NE(threads_at, std::string::npos);
+  duplicated_config.replace(threads_at, std::strlen("threads 0"),
+                            "parallel 1");
+  EXPECT_THROW((void)decode_config(duplicated_config), ContractViolation);
+}
+
+// The trust boundary once frames arrive from the network: decode of a
+// damaged encoding must either throw a clean ContractViolation or decode
+// to a message whose re-encode is well-formed — never crash, never
+// half-apply, never escape a foreign exception type. Exercised for every
+// frame type, under every truncation point and under random single-byte
+// corruption. (Runs under ASan in CI, so "never crash" is load-bearing.)
+TEST(WireCodecRobustness, TruncationsAndCorruptionsOfEveryFrameTypeAreClean) {
+  Xoshiro256 rng(4242);
+
+  WireRequest request;
+  request.ticket = 77;
+  request.client = "two words";  // escaped token on the wire
+  request.request.f = 2;
+  request.request.policy = DescentPolicy::kMostBlocks;
+  request.request.originals.push_back(random_partition(6, rng));
+  request.request.originals.push_back(random_partition(6, rng));
+
+  FusionResponse response;
+  response.ticket = 78;
+  response.client = "uni\xc3\xa9ode";
+  response.result.partitions.push_back(random_partition(6, rng));
+  response.result.stats.machines_added = 2;
+  response.result.stats.dmin_after = 3;
+
+  ServiceStats stats;
+  stats.requests_served = 5;
+  stats.restarts = 1;
+  stats.cache_bytes = 4096;
+
+  ShardServiceConfig config;
+  config.threads = 8;
+  config.cache_config = {CacheEvictionPolicy::kEpoch, 9};
+
+  struct FrameType {
+    const char* name;
+    std::string text;
+    std::function<void(std::string_view)> decode;
+  };
+  const FrameType frames[] = {
+      {"request", encode_request(request),
+       [](std::string_view t) { (void)decode_request(t); }},
+      {"response", encode_response(response),
+       [](std::string_view t) { (void)decode_response(t); }},
+      {"stats", encode_stats(stats),
+       [](std::string_view t) { (void)decode_stats(t); }},
+      {"config", encode_config(config),
+       [](std::string_view t) { (void)decode_config(t); }},
+  };
+
+  // `damaged` must throw ContractViolation or decode cleanly; returns
+  // whether it threw, and fails the test on any other outcome.
+  const auto survives = [](const FrameType& frame,
+                           const std::string& damaged) -> bool {
+    try {
+      frame.decode(damaged);
+      return false;
+    } catch (const ContractViolation&) {
+      return true;  // the clean parse error
+    } catch (const std::exception& error) {
+      ADD_FAILURE() << frame.name << ": foreign exception '" << error.what()
+                    << "' for input:\n"
+                    << damaged;
+      return true;
+    }
+  };
+
+  for (const FrameType& frame : frames) {
+    // Every strict prefix: the only acceptable non-throwing case is the
+    // one that merely lost the trailing newline of the `end` line (the
+    // message is still complete); everything shorter must throw.
+    for (std::size_t len = 0; len < frame.text.size(); ++len) {
+      const std::string prefix = frame.text.substr(0, len);
+      const bool threw = survives(frame, prefix);
+      if (len + 1 < frame.text.size()) {
+        EXPECT_TRUE(threw) << frame.name << " truncated to " << len
+                           << " bytes decoded as if complete";
+      }
+    }
+    // Random single-byte corruption: 300 trials of flip-one-byte. Many
+    // corruptions still parse (a digit changed inside a counter); the
+    // property is that none crashes or escapes a foreign exception.
+    for (int trial = 0; trial < 300; ++trial) {
+      std::string corrupted = frame.text;
+      const std::size_t pos = rng.below(corrupted.size());
+      const char byte = static_cast<char>(rng.below(256));
+      if (corrupted[pos] == byte) continue;
+      corrupted[pos] = byte;
+      (void)survives(frame, corrupted);
+    }
+  }
 }
 
 TEST(WireMachines, SelfContainedTextReproducesEventIds) {

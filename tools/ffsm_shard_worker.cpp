@@ -1,36 +1,52 @@
-// ffsm_shard_worker: the out-of-process half of sim::SubprocessBackend.
+// ffsm_shard_worker: the out-of-process half of the serving backends.
 //
 // One worker hosts one cluster shard: a FusionService per registered top,
-// served over the line-oriented wire protocol (sim/messages.hpp) on
-// stdin/stdout. The parent owns all queueing and retry policy; the worker
-// is a stateless-between-drains serving engine whose only cross-exchange
-// state is what makes it worth keeping alive — the per-top closure caches
-// and stats counters.
+// served over the line-oriented wire protocol (sim/messages.hpp). Two
+// transports, one protocol:
 //
-// Protocol (parent -> worker, one exchange at a time):
+//   (default)        stdin/stdout — the SubprocessBackend socketpair
+//                    bridge; one connection, then exit.
+//   --listen <port>  a TCP listener (port 0 = ephemeral; the actual port
+//                    is announced as `listening <port>` on stdout) — the
+//                    TcpBackend's remote end. Each accepted connection is
+//                    served on its own thread with its own clean state, so
+//                    several shards (or several clusters) can share one
+//                    worker process; `shutdown` ends the connection, not
+//                    the listener.
+//
+// The parent owns all queueing and retry policy; the worker is a
+// stateless-between-drains serving engine whose only cross-exchange state
+// is what makes it worth keeping alive — the per-top closure caches and
+// stats counters, both scoped to one connection.
+//
+// Protocol (parent -> worker, one exchange at a time per connection):
 //   config frame                       -> ok            (once, before tops)
 //   top <key> + machine text           -> ok | error <msg>
 //   serve <key> <n> + n request frames -> serving <n> + n response frames
 //                                         + done | error <msg>
 //   stats <key>                        -> stats frame | error <msg>
 //   ping                               -> pong
-//   shutdown (or stdin EOF)            -> bye, exit 0
+//   shutdown (or EOF)                  -> bye, connection done
 //
 // Machines arrive as self-contained to_text (alphabet header included), so
 // the worker reconstructs bit-exact transition tables and its fusions are
 // bit-identical to in-process serving.
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <iostream>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "fsm/serialize.hpp"
+#include "net/line_channel.hpp"
+#include "net/listener.hpp"
 #include "sim/messages.hpp"
 #include "sim/server.hpp"
 #include "util/contracts.hpp"
@@ -40,6 +56,9 @@ namespace {
 
 using namespace ffsm;
 
+/// Per-connection serving state. Listener mode gives every accepted
+/// connection a fresh Worker, so a reconnecting backend always finds the
+/// clean slate its re-register handshake assumes.
 struct Worker {
   ShardServiceConfig config;
   bool configured = false;
@@ -54,53 +73,25 @@ struct Worker {
   }
 };
 
-/// Reads stdin lines up to and including the lone `end` terminator;
-/// throws on EOF (a frame must never be silently truncated).
-std::string read_frame(const std::string& first_line) {
-  std::string frame = first_line;
-  frame += '\n';
-  std::string line;
-  for (;;) {
-    if (!std::getline(std::cin, line))
-      throw ContractViolation("stdin closed inside a frame");
-    frame += line;
-    frame += '\n';
-    if (line == "end") return frame;
-  }
-}
-
-void reply(const std::string& text) {
-  std::cout << text;
-  std::cout.flush();
-  if (!std::cout) std::exit(1);  // parent is gone; nothing left to serve
-}
-
-void reply_error(const std::exception& error) {
-  reply("error " + escape_token(error.what()) + '\n');
-}
-
-void handle_config(Worker& worker, const std::string& first_line) {
-  const std::string frame = read_frame(first_line);
-  if (worker.configured)
-    throw ContractViolation("duplicate 'config'");
+void handle_config(Worker& worker, net::LineChannel& channel,
+                   const std::string& first_line) {
+  const std::string frame = channel.read_frame(first_line, "config");
+  if (worker.configured) throw ContractViolation("duplicate 'config'");
   worker.config = decode_config(frame);
   worker.configured = true;
   if (worker.config.parallel && !worker.pool)
     worker.pool.emplace(worker.config.threads);
-  reply("ok\n");
+  channel.send("ok\n");
 }
 
-void handle_top(Worker& worker, std::istringstream& words) {
+void handle_top(Worker& worker, net::LineChannel& channel,
+                std::istringstream& words) {
   std::string token;
-  if (!(words >> token))
-    throw ContractViolation("'top' requires a key");
+  if (!(words >> token)) throw ContractViolation("'top' requires a key");
   const std::string key = unescape_token(token);
-  std::string first_machine_line;
-  if (!std::getline(std::cin, first_machine_line))
-    throw ContractViolation("stdin closed before machine text");
-  const std::string machine_text = read_frame(first_machine_line);
-  if (!worker.configured)
-    throw ContractViolation("'top' before 'config'");
+  const std::string machine_text = channel.read_frame(
+      channel.expect_line("machine text"), "machine text");
+  if (!worker.configured) throw ContractViolation("'top' before 'config'");
   if (worker.services.contains(key))
     throw ContractViolation("duplicate top '" + key + "'");
   // Standalone parse: the alphabet header reproduces the parent's
@@ -113,10 +104,11 @@ void handle_top(Worker& worker, std::istringstream& words) {
   options.cache_config = worker.config.cache_config;
   worker.services.emplace(
       key, std::make_unique<FusionService>(std::move(top), options));
-  reply("ok\n");
+  channel.send("ok\n");
 }
 
-void handle_serve(Worker& worker, std::istringstream& words) {
+void handle_serve(Worker& worker, net::LineChannel& channel,
+                  std::istringstream& words) {
   std::string token;
   std::size_t count = 0;
   if (!(words >> token >> count))
@@ -128,12 +120,9 @@ void handle_serve(Worker& worker, std::istringstream& words) {
   // sync, instead of the remaining frames being misread as commands.
   std::vector<std::string> frames;
   frames.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    std::string first;
-    if (!std::getline(std::cin, first))
-      throw ContractViolation("stdin closed inside a serve batch");
-    frames.push_back(read_frame(first));
-  }
+  for (std::size_t i = 0; i < count; ++i)
+    frames.push_back(
+        channel.read_frame(channel.expect_line("serve batch"), "request"));
   std::vector<WireRequest> requests;
   requests.reserve(count);
   for (const std::string& frame : frames)
@@ -165,49 +154,117 @@ void handle_serve(Worker& worker, std::istringstream& words) {
     out += encode_response(response);
   }
   out += "done\n";
-  reply(out);
+  channel.send(out);
 }
 
-void handle_stats(Worker& worker, std::istringstream& words) {
+void handle_stats(Worker& worker, net::LineChannel& channel,
+                  std::istringstream& words) {
   std::string token;
-  if (!(words >> token))
-    throw ContractViolation("'stats' requires a key");
-  reply(encode_stats(worker.service_of(unescape_token(token)).stats()));
+  if (!(words >> token)) throw ContractViolation("'stats' requires a key");
+  channel.send(encode_stats(worker.service_of(unescape_token(token)).stats()));
+}
+
+/// Serves one connection's exchanges until `shutdown`, clean EOF, or a
+/// torn transport. Returns false only for the torn case. Never throws —
+/// listener threads are detached and an escaped exception would terminate
+/// the whole worker.
+bool serve_connection(net::LineChannel& channel) {
+  Worker worker;
+  std::string line;
+  try {
+    while (channel.read_line(line)) {
+      std::istringstream words(line);
+      std::string directive;
+      if (!(words >> directive)) continue;
+      try {
+        if (directive == "config") {
+          handle_config(worker, channel, line);
+        } else if (directive == "top") {
+          handle_top(worker, channel, words);
+        } else if (directive == "serve") {
+          handle_serve(worker, channel, words);
+        } else if (directive == "stats") {
+          handle_stats(worker, channel, words);
+        } else if (directive == "ping") {
+          channel.send("pong\n");
+        } else if (directive == "shutdown") {
+          channel.send("bye\n");
+          return true;
+        } else {
+          throw ContractViolation("unknown command '" + directive + "'");
+        }
+      } catch (const net::NetError&) {
+        throw;  // transport broke: no way to report an error to this peer
+      } catch (const std::exception& error) {
+        channel.send("error " + escape_token(error.what()) + '\n');
+      }
+    }
+    return true;  // clean EOF: the parent is done with us
+  } catch (const std::exception&) {
+    return false;  // torn connection; the peer's backend re-queues
+  }
+}
+
+int listen_forever(std::uint16_t port) {
+  try {
+    net::Listener listener(port);
+    // The banner is the contract with ListenerWorkerProcess and with
+    // scripts: the actual port (ephemeral included), then nothing else on
+    // stdout.
+    std::printf("listening %u\n", static_cast<unsigned>(listener.port()));
+    std::fflush(stdout);
+    for (;;) {
+      net::Socket connection = listener.accept();
+      // One thread per connection, detached: connections are independent
+      // (own Worker, own pool) and die with their peer or the process.
+      std::thread(
+          [](net::Socket socket) {
+            net::LineChannel channel(std::move(socket));
+            (void)serve_connection(channel);
+          },
+          std::move(connection))
+          .detach();
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ffsm_shard_worker: %s\n", error.what());
+    return 1;
+  }
 }
 
 }  // namespace
 
-int main() {
-  // A dying parent must surface as a failed write, not a SIGPIPE kill.
+int main(int argc, char** argv) {
+  // A dying peer must surface as a failed write, not a SIGPIPE kill —
+  // process-wide, covering the stdio bridge (a pipe/socketpair where
+  // MSG_NOSIGNAL may not apply) as well as every TCP connection.
   std::signal(SIGPIPE, SIG_IGN);
-  std::ios::sync_with_stdio(false);
 
-  Worker worker;
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream words(line);
-    std::string directive;
-    if (!(words >> directive)) continue;
-    try {
-      if (directive == "config") {
-        handle_config(worker, line);
-      } else if (directive == "top") {
-        handle_top(worker, words);
-      } else if (directive == "serve") {
-        handle_serve(worker, words);
-      } else if (directive == "stats") {
-        handle_stats(worker, words);
-      } else if (directive == "ping") {
-        reply("pong\n");
-      } else if (directive == "shutdown") {
-        reply("bye\n");
-        return 0;
-      } else {
-        throw ContractViolation("unknown command '" + directive + "'");
-      }
-    } catch (const std::exception& error) {
-      reply_error(error);
+  bool listen_mode = false;  // default: stdio bridge mode
+  std::uint16_t listen_port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* port_text = nullptr;
+    if (arg == "--listen" && i + 1 < argc) {
+      port_text = argv[++i];
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      port_text = arg.c_str() + std::strlen("--listen=");
+    } else {
+      std::fprintf(stderr, "usage: %s [--listen <port>]\n", argv[0]);
+      return 2;
     }
+    // Strict parse (net::parse_port): atol would read "70o1" as 70 and
+    // "abc" as 0 — silently binding the wrong port is the one failure an
+    // operator cannot debug from the banner. Port 0 = ephemeral.
+    if (!net::parse_port(port_text, listen_port)) {
+      std::fprintf(stderr, "ffsm_shard_worker: bad port '%s'\n", port_text);
+      return 2;
+    }
+    listen_mode = true;
   }
-  return 0;  // stdin EOF: the parent is done with us
+
+  if (!listen_mode) {
+    net::LineChannel channel(STDIN_FILENO, STDOUT_FILENO);
+    return serve_connection(channel) ? 0 : 1;
+  }
+  return listen_forever(listen_port);
 }

@@ -4,19 +4,24 @@
 // large-workload regression test: bounded-cache runs must serve
 // bit-identical results to the unbounded run, every shard cache must
 // respect its capacity, and the out-of-process backends — subprocess
-// workers over socketpairs and loopback-TCP workers behind a listener —
-// must serve bit-identical responses to the in-process one for the same
-// request stream — all hard-asserted here, so a violation fails CI. The
-// JSON entries carry a "backend" field so in-process vs subprocess vs tcp
-// overhead is tracked in the perf history from day one.
+// workers over socketpairs, loopback-TCP workers behind a listener, and a
+// two-replica seed list per shard (replica-tcp) with a live HealthMonitor
+// probing both replicas — must serve bit-identical responses to the
+// in-process one for the same request stream — all hard-asserted here, so
+// a violation fails CI. The JSON entries carry a "backend" field so
+// in-process vs subprocess vs tcp vs replica-tcp overhead is tracked in
+// the perf history from day one.
 #include "bench_support.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "net/health.hpp"
 #include "sim/cluster.hpp"
+#include "sim/replica_backend.hpp"
 #include "sim/subprocess_backend.hpp"
 #include "sim/tcp_backend.hpp"
 #include "util/table.hpp"
@@ -166,18 +171,29 @@ void report_caches(bench::JsonReporter& json, const Workload& w,
 void report_backends(bench::JsonReporter& json, const Workload& w,
                      ThreadPool& pool) {
   std::printf(
-      "== Serving backends: in-process vs subprocess vs tcp shards ==\n");
+      "== Serving backends: in-process vs subprocess vs tcp vs "
+      "replica-tcp shards ==\n");
   const std::size_t clients = 8 * w.keys.size();
   const LowerCoverCacheConfig cache = {CacheEvictionPolicy::kLru, 64};
 
   // One listener worker for every TCP shard: loopback stand-in for a
-  // remote host, each shard on its own connection.
+  // remote host, each shard on its own connection. The replica entry adds
+  // a second worker so every shard serves through a two-replica seed
+  // list, with one health monitor probing both in the background.
   ListenerWorkerProcess tcp_worker;
+  ListenerWorkerProcess replica_worker;
+  auto health = std::make_shared<net::HealthMonitor>([] {
+    net::HealthMonitorOptions monitor;
+    monitor.probe_interval = std::chrono::milliseconds(250);
+    monitor.probe_timeout = std::chrono::milliseconds(2000);
+    return monitor;
+  }());
 
   std::vector<std::vector<Partition>> baseline;  // in-process responses
   TextTable table({"backend", "cold drain ms", "warm drain ms",
-                   "shard batches", "cache hits", "restarts"});
-  for (const char* const name : {"inprocess", "subprocess", "tcp"}) {
+                   "shard batches", "cache hits", "restarts", "failovers"});
+  for (const char* const name :
+       {"inprocess", "subprocess", "tcp", "replica-tcp"}) {
     const std::string backend_name = name;
     json.set_backend(backend_name);
 
@@ -201,6 +217,15 @@ void report_backends(bench::JsonReporter& json, const Workload& w,
         backend_options.port = tcp_worker.port();
         backend_options.config = worker_config;
         return std::make_unique<TcpBackend>(backend_options);
+      };
+    else if (backend_name == "replica-tcp")
+      options.backend_factory = [&](std::size_t) {
+        ReplicaBackendOptions backend_options;
+        backend_options.endpoints = {{"127.0.0.1", tcp_worker.port()},
+                                     {"127.0.0.1", replica_worker.port()}};
+        backend_options.config = worker_config;
+        backend_options.monitor = health;
+        return std::make_unique<ReplicaBackend>(backend_options);
       };
     auto cluster = std::make_unique<FusionCluster>(options);
     for (std::size_t t = 0; t < w.keys.size(); ++t)
@@ -249,19 +274,30 @@ void report_backends(bench::JsonReporter& json, const Workload& w,
     for (const std::string& key : w.keys)
       bench::require(cluster->top_stats(key).cache_entries <= cache.capacity,
                      "per-top cache stays within its configured capacity");
-    // A healthy bench run never restarts a worker; a nonzero count here
-    // means the backend was quietly crash-looping through the drains.
+    // A healthy bench run never restarts a worker, never fails over to a
+    // backup replica and never fails a health probe; a nonzero count here
+    // means the backend was quietly crash-looping (or flapping) through
+    // the drains.
     bench::require(stats.restarts == 0,
                    "no worker restarts during a healthy bench run");
+    bench::require(stats.failovers == 0,
+                   "no replica failovers during a healthy bench run");
+    bench::require(stats.health_probes_failed == 0,
+                   "no failed health probes during a healthy bench run");
     table.add_row({name, std::to_string(cold_ms), std::to_string(warm_ms),
                    std::to_string(stats.shard_batches_served),
                    std::to_string(stats.cache_hits),
-                   std::to_string(stats.restarts)});
+                   std::to_string(stats.restarts),
+                   std::to_string(stats.failovers)});
     json.add_metric(name, "shard_batches_served",
                     static_cast<double>(stats.shard_batches_served));
     json.add_metric(name, "cache_hits",
                     static_cast<double>(stats.cache_hits));
     json.add_metric(name, "restarts", static_cast<double>(stats.restarts));
+    json.add_metric(name, "failovers",
+                    static_cast<double>(stats.failovers));
+    json.add_metric(name, "health_probes_failed",
+                    static_cast<double>(stats.health_probes_failed));
     cluster->shutdown();
   }
   json.set_backend("");

@@ -13,8 +13,10 @@
 // The backend is selectable: --backend=inprocess serves in this address
 // space (default); --backend=subprocess forks one ffsm_shard_worker per
 // shard and speaks the wire protocol over pipes; --backend=tcp speaks the
-// same frames over sockets to a remote worker — same requests, same
-// bit-identical responses, three failure domains.
+// same frames over sockets to a remote worker; --backend=replica-tcp
+// serves every shard through an ordered seed list of worker replicas with
+// background health probing — same requests, same bit-identical
+// responses, four failure domains.
 //
 // Build & run:  cmake --build build &&
 //               ./build/fusion_service [--backend=subprocess] [--shards=N]
@@ -26,6 +28,16 @@
 // Every shard opens its own connection to that worker; kill the worker
 // mid-run and the cluster re-queues, reconnects and re-serves once a
 // listener is back.
+//
+// Replica-set walkthrough (any worker may die at any point):
+//   host A$ ./build/ffsm_shard_worker --listen 7001
+//   host B$ ./build/ffsm_shard_worker --listen 7001
+//   host C$ ./build/fusion_service --backend=replica-tcp \
+//                --connect hostA:7001,hostB:7001
+// Seed-list order is priority order: every shard serves through hostA
+// while it answers, fails over to hostB mid-drain (losslessly — the batch
+// re-submits to the survivor) when hostA dies, and fails back once the
+// health probes see hostA again.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +48,9 @@
 #include "fsm/machine_catalog.hpp"
 #include "fsm/product.hpp"
 #include "fusion/generator.hpp"
+#include "net/health.hpp"
 #include "sim/cluster.hpp"
+#include "sim/replica_backend.hpp"
 #include "sim/subprocess_backend.hpp"
 #include "sim/tcp_backend.hpp"
 #include "util/table.hpp"
@@ -60,19 +74,21 @@ std::vector<ffsm::Partition> originals_of(const ffsm::CrossProduct& cp) {
   return out;
 }
 
-enum class BackendKind { kInProcess, kSubprocess, kTcp };
+enum class BackendKind { kInProcess, kSubprocess, kTcp, kReplicaTcp };
 
 struct CliOptions {
   BackendKind backend = BackendKind::kInProcess;
   std::size_t shards = 3;
-  std::string tcp_host;  // --connect host:port (required for tcp)
-  std::uint16_t tcp_port = 0;
+  /// --connect endpoints: exactly one for tcp, two or more (the replica
+  /// seed list, priority order) for replica-tcp.
+  std::vector<ffsm::net::Endpoint> endpoints;
 };
 
 bool parse_connect(const std::string& spec, CliOptions& cli) {
-  // Strict parse (net::parse_host_port): "hostA:70o1" must be rejected,
-  // not read as port 70.
-  return ffsm::net::parse_host_port(spec, cli.tcp_host, cli.tcp_port);
+  // Strict parse (net::parse_host_port_list): "hostA:70o1" must be
+  // rejected, not read as port 70, and "a:1,a:1" or a trailing comma is a
+  // typo, not a replica set.
+  return ffsm::net::parse_host_port_list(spec, cli.endpoints);
 }
 
 bool parse_cli(int argc, char** argv, CliOptions& cli) {
@@ -84,6 +100,8 @@ bool parse_cli(int argc, char** argv, CliOptions& cli) {
       cli.backend = BackendKind::kSubprocess;
     } else if (arg == "--backend=tcp") {
       cli.backend = BackendKind::kTcp;
+    } else if (arg == "--backend=replica-tcp") {
+      cli.backend = BackendKind::kReplicaTcp;
     } else if (arg.rfind("--connect=", 0) == 0) {
       if (!parse_connect(arg.substr(std::strlen("--connect=")), cli))
         return false;
@@ -97,8 +115,17 @@ bool parse_cli(int argc, char** argv, CliOptions& cli) {
       return false;
     }
   }
-  // TCP needs a worker address; the other backends must not get one.
-  return (cli.backend == BackendKind::kTcp) == (cli.tcp_port != 0);
+  // The wire backends need worker addresses — exactly one for tcp, a
+  // genuine replica set (two or more) for replica-tcp; the in-process and
+  // subprocess backends must not get any.
+  switch (cli.backend) {
+    case BackendKind::kTcp:
+      return cli.endpoints.size() == 1;
+    case BackendKind::kReplicaTcp:
+      return cli.endpoints.size() >= 2;
+    default:
+      return cli.endpoints.empty();
+  }
 }
 
 }  // namespace
@@ -108,18 +135,22 @@ int main(int argc, char** argv) {
 
   CliOptions cli;
   if (!parse_cli(argc, argv, cli)) {
-    std::fprintf(stderr,
-                 "usage: %s [--backend={inprocess,subprocess,tcp}] "
-                 "[--connect host:port] [--shards=N]\n"
-                 "  --backend=tcp requires --connect (a running "
-                 "`ffsm_shard_worker --listen <port>`)\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s [--backend={inprocess,subprocess,tcp,replica-tcp}] "
+        "[--connect host:port[,host:port...]] [--shards=N]\n"
+        "  --backend=tcp requires --connect with one worker (a running "
+        "`ffsm_shard_worker --listen <port>`)\n"
+        "  --backend=replica-tcp requires --connect with two or more "
+        "worker replicas, priority order\n",
+        argv[0]);
     return 2;
   }
   const char* const backend_name =
       cli.backend == BackendKind::kInProcess    ? "inprocess"
       : cli.backend == BackendKind::kSubprocess ? "subprocess"
-                                                : "tcp";
+      : cli.backend == BackendKind::kTcp        ? "tcp"
+                                                : "replica-tcp";
 
   // Three tenants: counter products of 100, 144 and 196 states.
   ThreadPool pool(8);
@@ -141,18 +172,35 @@ int main(int argc, char** argv) {
   else if (cli.backend == BackendKind::kTcp)
     options.backend_factory = [&](std::size_t) {
       TcpBackendOptions backend_options;
-      backend_options.host = cli.tcp_host;
-      backend_options.port = cli.tcp_port;
+      backend_options.host = cli.endpoints[0].host;
+      backend_options.port = cli.endpoints[0].port;
       backend_options.config = worker_config;
       return std::make_unique<TcpBackend>(backend_options);
     };
+  else if (cli.backend == BackendKind::kReplicaTcp) {
+    // One monitor probes the whole seed list for every shard; captured by
+    // value so it outlives this scope inside the stored factory.
+    auto health = std::make_shared<net::HealthMonitor>();
+    options.backend_factory = [&, health](std::size_t) {
+      ReplicaBackendOptions backend_options;
+      backend_options.endpoints = cli.endpoints;
+      backend_options.config = worker_config;
+      backend_options.monitor = health;
+      return std::make_unique<ReplicaBackend>(backend_options);
+    };
+  }
   FusionCluster cluster(options);
   std::printf("serving backend: %s (%zu shards)\n", backend_name,
               cluster.shard_count());
   if (cli.backend == BackendKind::kTcp)
-    std::printf("remote worker: %s:%u (every shard on its own "
-                "connection)\n",
-                cli.tcp_host.c_str(), static_cast<unsigned>(cli.tcp_port));
+    std::printf("remote worker: %s (every shard on its own connection)\n",
+                net::to_string(cli.endpoints[0]).c_str());
+  if (cli.backend == BackendKind::kReplicaTcp) {
+    std::printf("replica seed list (priority order, health-probed):");
+    for (const net::Endpoint& endpoint : cli.endpoints)
+      std::printf(" %s", net::to_string(endpoint).c_str());
+    std::printf("\n");
+  }
 
   std::vector<std::string> keys;
   std::vector<std::vector<Partition>> originals;
@@ -204,12 +252,15 @@ int main(int argc, char** argv) {
 
   const auto stats = cluster.stats();
   std::printf("\ncluster [%s]: %zu tops on %zu shards; served %llu of %llu "
-              "requests in %llu shard batches (%llu worker restarts)\n",
+              "requests in %llu shard batches (%llu worker restarts, "
+              "%llu replica failovers, %llu failed health probes)\n",
               backend_name, stats.tops, stats.shards,
               static_cast<unsigned long long>(stats.requests_served),
               static_cast<unsigned long long>(stats.requests_submitted),
               static_cast<unsigned long long>(stats.shard_batches_served),
-              static_cast<unsigned long long>(stats.restarts));
+              static_cast<unsigned long long>(stats.restarts),
+              static_cast<unsigned long long>(stats.failovers),
+              static_cast<unsigned long long>(stats.health_probes_failed));
   std::printf("caches:  %zu covers resident (~%zu KiB, cap %zu/top), "
               "%llu hits / %llu cold + %llu eviction misses, "
               "%llu evictions\n",

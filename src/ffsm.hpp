@@ -52,6 +52,13 @@
 // replication — the classical baseline
 #include "replication/replication.hpp"
 
+// net — transport primitives under the wire backends
+#include "net/health.hpp"
+#include "net/line_channel.hpp"
+#include "net/listener.hpp"
+#include "net/retry.hpp"
+#include "net/socket.hpp"
+
 // sim — the distributed-system substrate and the serving stack
 #include "sim/backend.hpp"
 #include "sim/cluster.hpp"
@@ -59,6 +66,8 @@
 #include "sim/event_source.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/messages.hpp"
+#include "sim/replica_backend.hpp"
 #include "sim/server.hpp"
 #include "sim/subprocess_backend.hpp"
 #include "sim/system.hpp"
+#include "sim/tcp_backend.hpp"

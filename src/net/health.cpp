@@ -1,0 +1,114 @@
+#include "net/health.hpp"
+
+#include "net/line_channel.hpp"
+
+namespace ffsm::net {
+
+HealthMonitor::HealthMonitor(HealthMonitorOptions options)
+    : options_(std::move(options)) {
+  FFSM_EXPECTS(options_.probe_interval.count() > 0);
+  FFSM_EXPECTS(options_.probe_timeout.count() > 0);
+  FFSM_EXPECTS(options_.down_after >= 1);
+  if (options_.start_thread) prober_ = std::thread([this] { run(); });
+}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+void HealthMonitor::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
+
+void HealthMonitor::watch(const Endpoint& endpoint) {
+  FFSM_EXPECTS(endpoint.port != 0);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [watched, health] : entries_)
+    if (watched == endpoint) return;
+  entries_.emplace_back(endpoint, EndpointHealth{});
+}
+
+EndpointHealth HealthMonitor::health(const Endpoint& endpoint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [watched, health] : entries_)
+    if (watched == endpoint) return health;
+  return {};
+}
+
+std::uint64_t HealthMonitor::probes_failed_total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [watched, health] : entries_)
+    total += health.probes_failed;
+  return total;
+}
+
+void HealthMonitor::probe_now() { probe_round(); }
+
+void HealthMonitor::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    lock.unlock();
+    probe_round();
+    lock.lock();
+    stop_cv_.wait_for(lock, options_.probe_interval,
+                      [this] { return stopping_; });
+  }
+}
+
+void HealthMonitor::probe_round() {
+  const std::lock_guard<std::mutex> round(round_mutex_);
+  // Snapshot the cycle, probe unlocked (network I/O must not block
+  // health() readers), publish each verdict as it lands. An endpoint
+  // watched mid-round joins the next one.
+  std::vector<Endpoint> cycle;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cycle.reserve(entries_.size());
+    for (const auto& [watched, health] : entries_)
+      cycle.push_back(watched);
+  }
+  for (const Endpoint& endpoint : cycle) {
+    const auto start = std::chrono::steady_clock::now();
+    const bool ok = probe(endpoint);
+    const auto rtt = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [watched, health] : entries_) {
+      if (!(watched == endpoint)) continue;
+      ++health.probes;
+      if (ok) {
+        health.state = ProbeState::kUp;
+        health.latency = rtt;
+        health.consecutive_failures = 0;
+      } else {
+        ++health.probes_failed;
+        ++health.consecutive_failures;
+        if (health.consecutive_failures >= options_.down_after)
+          health.state = ProbeState::kDown;
+      }
+      break;
+    }
+  }
+}
+
+bool HealthMonitor::probe(const Endpoint& endpoint) const {
+  try {
+    // One budget covers the whole exchange: whatever connect leaves of
+    // probe_timeout is what the reply read gets.
+    const Deadline deadline =
+        std::chrono::steady_clock::now() + options_.probe_timeout;
+    LineChannel channel(
+        Socket::connect(endpoint.host, endpoint.port, options_.probe_timeout));
+    channel.send(options_.probe_request + '\n');
+    return channel.expect_line("health probe", deadline) ==
+           options_.probe_reply;
+  } catch (const ContractViolation&) {
+    return false;  // refused, timed out, torn, or not speaking the protocol
+  }
+}
+
+}  // namespace ffsm::net

@@ -2,7 +2,8 @@
 
 namespace ffsm::net {
 
-bool LineChannel::read_line(std::string& line) {
+bool LineChannel::read_line_until(std::string& line,
+                                  const Deadline* deadline) {
   FFSM_EXPECTS(valid());
   for (;;) {
     const auto pos = buffer_.find('\n');
@@ -12,7 +13,10 @@ bool LineChannel::read_line(std::string& line) {
       return true;
     }
     char chunk[4096];
-    const std::size_t n = recv_some(read_fd_, chunk, sizeof(chunk));
+    const std::size_t n =
+        deadline != nullptr
+            ? recv_some(read_fd_, chunk, sizeof(chunk), *deadline)
+            : recv_some(read_fd_, chunk, sizeof(chunk));
     if (n == 0) {
       if (!buffer_.empty())
         throw NetError("peer closed the stream mid-line (torn message)");
@@ -22,23 +26,53 @@ bool LineChannel::read_line(std::string& line) {
   }
 }
 
-std::string LineChannel::expect_line(const char* context) {
+bool LineChannel::read_line(std::string& line) {
+  return read_line_until(line, nullptr);
+}
+
+bool LineChannel::read_line(std::string& line, Deadline deadline) {
+  return read_line_until(line, &deadline);
+}
+
+std::string LineChannel::expect_line_until(const char* context,
+                                           const Deadline* deadline) {
   std::string line;
-  if (!read_line(line))
+  if (!read_line_until(line, deadline))
     throw NetError(std::string("peer closed the stream during ") + context);
   return line;
 }
 
-std::string LineChannel::read_frame(std::string first_line,
-                                    const char* context) {
+std::string LineChannel::expect_line(const char* context) {
+  return expect_line_until(context, nullptr);
+}
+
+std::string LineChannel::expect_line(const char* context, Deadline deadline) {
+  return expect_line_until(context, &deadline);
+}
+
+std::string LineChannel::read_frame_until(std::string first_line,
+                                          const char* context,
+                                          const Deadline* deadline) {
   std::string frame = std::move(first_line);
   frame += '\n';
   for (;;) {
-    const std::string line = expect_line(context);
+    // One deadline bounds the whole frame: the budget shrinks as lines
+    // arrive, so a peer trickling bytes cannot stretch it line by line.
+    const std::string line = expect_line_until(context, deadline);
     frame += line;
     frame += '\n';
     if (line == "end") return frame;
   }
+}
+
+std::string LineChannel::read_frame(std::string first_line,
+                                    const char* context) {
+  return read_frame_until(std::move(first_line), context, nullptr);
+}
+
+std::string LineChannel::read_frame(std::string first_line,
+                                    const char* context, Deadline deadline) {
+  return read_frame_until(std::move(first_line), context, &deadline);
 }
 
 }  // namespace ffsm::net

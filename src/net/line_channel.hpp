@@ -85,19 +85,38 @@ class LineChannel {
   /// false on clean EOF at a line boundary; throws NetError on a read
   /// error or on EOF in the middle of a line (a torn message).
   bool read_line(std::string& line);
+  /// Deadline-bounded read_line: additionally throws NetError once
+  /// `deadline` passes with the line still incomplete — the opt-in for
+  /// reads that must fail in bounded time against a silent or half-open
+  /// peer (health probes, handshake frames); already-buffered lines
+  /// return regardless.
+  bool read_line(std::string& line, Deadline deadline);
 
   /// read_line that treats EOF as an error; `context` names the exchange
   /// for the NetError message.
   [[nodiscard]] std::string expect_line(const char* context);
+  [[nodiscard]] std::string expect_line(const char* context,
+                                        Deadline deadline);
 
   /// Reads a full frame — `first_line` plus every following line up to and
   /// including the lone `end` terminator — returning it with trailing
   /// newlines restored, ready for sim/messages decode. Throws NetError on
-  /// EOF inside the frame.
+  /// EOF inside the frame; the deadline overload bounds the whole frame,
+  /// not each line.
   [[nodiscard]] std::string read_frame(std::string first_line,
                                        const char* context);
+  [[nodiscard]] std::string read_frame(std::string first_line,
+                                       const char* context,
+                                       Deadline deadline);
 
  private:
+  bool read_line_until(std::string& line, const Deadline* deadline);
+  [[nodiscard]] std::string expect_line_until(const char* context,
+                                              const Deadline* deadline);
+  [[nodiscard]] std::string read_frame_until(std::string first_line,
+                                             const char* context,
+                                             const Deadline* deadline);
+
   Socket owned_;
   int read_fd_ = -1;
   int write_fd_ = -1;

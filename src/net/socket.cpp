@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <cstring>
 
@@ -51,6 +52,29 @@ bool parse_host_port(std::string_view spec, std::string& host,
   return true;
 }
 
+std::string to_string(const Endpoint& endpoint) {
+  return endpoint.host + ':' + std::to_string(endpoint.port);
+}
+
+bool parse_host_port_list(std::string_view spec,
+                          std::vector<Endpoint>& out) {
+  out.clear();
+  if (spec.empty()) return false;
+  for (;;) {
+    const auto comma = spec.find(',');
+    Endpoint endpoint;
+    // An empty item (",x", "x,,y", trailing ",") fails parse_host_port.
+    if (!parse_host_port(spec.substr(0, comma), endpoint.host,
+                         endpoint.port))
+      return false;
+    if (std::find(out.begin(), out.end(), endpoint) != out.end())
+      return false;  // a duplicated replica is a typo, not redundancy
+    out.push_back(std::move(endpoint));
+    if (comma == std::string_view::npos) return true;
+    spec.remove_prefix(comma + 1);
+  }
+}
+
 void send_all(int fd, std::string_view data) {
   std::size_t off = 0;
   bool use_send = true;  // sockets first; pipes/ttys fall back to write()
@@ -78,6 +102,37 @@ void send_all(int fd, std::string_view data) {
 std::size_t recv_some(int fd, char* buf, std::size_t len) {
   for (;;) {
     // read() works on sockets and pipes alike; EOF is data, not an error.
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    fail("recv failed");
+  }
+}
+
+std::size_t recv_some(int fd, char* buf, std::size_t len,
+                      Deadline deadline) {
+  for (;;) {
+    // Wait for readability only until the deadline, re-deriving the
+    // budget after every EINTR (same discipline as connect's poll loop).
+    pollfd pfd = {fd, POLLIN, 0};
+    int ready;
+    for (;;) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      // Clamp both ways: negative (deadline passed) must not read as
+      // poll's block-forever -1, and a far-future deadline must not
+      // overflow int into one.
+      ready = ::poll(&pfd, 1,
+                     static_cast<int>(std::clamp<long long>(
+                         remaining.count(), 0, INT_MAX)));
+      if (ready >= 0) break;
+      if (errno != EINTR) fail("poll during recv");
+    }
+    if (ready == 0)
+      throw NetError("read deadline expired (peer silent or half-open)");
+    // POLLIN, POLLHUP and POLLERR all mean read() returns without
+    // blocking — data, EOF or the error itself.
     const ssize_t n = ::read(fd, buf, len);
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
@@ -117,6 +172,12 @@ void Socket::send_all(std::string_view data) const {
 std::size_t Socket::recv_some(char* buf, std::size_t len) const {
   FFSM_EXPECTS(valid());
   return net::recv_some(fd_, buf, len);
+}
+
+std::size_t Socket::recv_some(char* buf, std::size_t len,
+                              Deadline deadline) const {
+  FFSM_EXPECTS(valid());
+  return net::recv_some(fd_, buf, len, deadline);
 }
 
 Socket Socket::connect(const std::string& host, std::uint16_t port,

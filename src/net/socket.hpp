@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/contracts.hpp"
 
@@ -46,6 +47,26 @@ class NetError : public ContractViolation {
 [[nodiscard]] bool parse_host_port(std::string_view spec, std::string& host,
                                    std::uint16_t& port);
 
+/// A connectable worker address. Replica sets are ordered vectors of
+/// these — earlier entries are higher priority.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Renders "host:port" — the inverse of parse_host_port, for messages.
+[[nodiscard]] std::string to_string(const Endpoint& endpoint);
+
+/// Splits a comma-separated endpoint list "h1:p1,h2:p2,..." through
+/// parse_host_port. Strict like everything else here: rejects an empty
+/// list, empty items (leading/trailing/double commas) and duplicate
+/// endpoints — a typo'd seed list must fail at parse time, not serve
+/// through half its replicas. Returns false leaving `out` unspecified.
+[[nodiscard]] bool parse_host_port_list(std::string_view spec,
+                                        std::vector<Endpoint>& out);
+
 /// Writes all of `data` to `fd`, retrying partial writes and EINTR. Uses
 /// send(MSG_NOSIGNAL) on sockets and falls back to write() on other fds
 /// (pipes, terminals), so it never raises SIGPIPE on a socket; non-socket
@@ -56,6 +77,17 @@ void send_all(int fd, std::string_view data);
 /// Reads up to `len` bytes into `buf`, resuming EINTR. Returns 0 on EOF;
 /// throws NetError on a read error.
 [[nodiscard]] std::size_t recv_some(int fd, char* buf, std::size_t len);
+
+/// A point in time a bounded read must complete by.
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// recv_some with a poll()-based deadline: waits for readability only
+/// until `deadline`, then throws NetError. EINTR resumes with the budget
+/// re-derived, so a signal storm can neither stretch nor shrink the wait.
+/// The bounded-time read for callers that cannot wait on TCP keepalive
+/// (minutes) — health probes and handshake frames need milliseconds.
+[[nodiscard]] std::size_t recv_some(int fd, char* buf, std::size_t len,
+                                    Deadline deadline);
 
 /// A move-only owned socket (or any stream fd). Closes on destruction.
 class Socket {
@@ -102,6 +134,9 @@ class Socket {
   /// send_all / recv_some on the owned fd (socket must be valid).
   void send_all(std::string_view data) const;
   [[nodiscard]] std::size_t recv_some(char* buf, std::size_t len) const;
+  /// Deadline-bounded recv (see the free function above).
+  [[nodiscard]] std::size_t recv_some(char* buf, std::size_t len,
+                                      Deadline deadline) const;
 
  private:
   int fd_ = -1;

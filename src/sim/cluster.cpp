@@ -320,12 +320,18 @@ FusionCluster::Stats FusionCluster::stats() const {
       for (const auto& [key, entry] : shard.tops) keys.push_back(key);
     }
     std::uint64_t shard_restarts = 0;
+    std::uint64_t shard_failovers = 0;
+    std::uint64_t shard_probe_failures = 0;
     for (const std::string& key : keys) {
       const ServiceStats s = shard.backend->stats(key);
       out.shard_batches_served += s.batches_served;
-      // Backend-level counter repeated on every top of the shard — count
-      // the shared worker's restarts once, not once per hosted top.
+      // Backend-level counters repeated on every top of the shard — count
+      // the shared worker's restarts/failovers/probe failures once, not
+      // once per hosted top.
       shard_restarts = std::max(shard_restarts, s.restarts);
+      shard_failovers = std::max(shard_failovers, s.failovers);
+      shard_probe_failures =
+          std::max(shard_probe_failures, s.health_probes_failed);
       out.cache_hits += s.cache_hits;
       out.cache_cold_misses += s.cache_cold_misses;
       out.cache_eviction_misses += s.cache_eviction_misses;
@@ -334,6 +340,8 @@ FusionCluster::Stats FusionCluster::stats() const {
       out.cache_bytes += s.cache_bytes;
     }
     out.restarts += shard_restarts;
+    out.failovers += shard_failovers;
+    out.health_probes_failed += shard_probe_failures;
   }
   return out;
 }

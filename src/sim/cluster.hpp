@@ -97,6 +97,17 @@ class FusionCluster {
     /// Worker restarts across every top's backend (processes respawned,
     /// connections re-established); 0 for in-process shards.
     std::uint64_t restarts = 0;
+    /// Replica failovers across every shard's backend (the serving
+    /// endpoint moved to a different replica); 0 outside replica sets.
+    std::uint64_t failovers = 0;
+    /// Failed health probes, summed over shards (each shard reports the
+    /// failures of *its* replica endpoints). Exact when shards have
+    /// disjoint replica sets; when several shards watch the same
+    /// endpoints (a shared seed list, as in bench/fusion_service), one
+    /// real failed probe counts once per shard watching that endpoint —
+    /// the aggregate is a flap *indicator* (0 means healthy everywhere),
+    /// not a deduplicated probe count. 0 without a HealthMonitor.
+    std::uint64_t health_probes_failed = 0;
     std::size_t shards = 0;
     std::size_t tops = 0;
     std::size_t pending = 0;

@@ -288,6 +288,8 @@ std::string encode_stats(const ServiceStats& stats) {
   out << "requests_served " << stats.requests_served << '\n';
   out << "batches_served " << stats.batches_served << '\n';
   out << "restarts " << stats.restarts << '\n';
+  out << "failovers " << stats.failovers << '\n';
+  out << "health_probes_failed " << stats.health_probes_failed << '\n';
   out << "cache_hits " << stats.cache_hits << '\n';
   out << "cache_cold_misses " << stats.cache_cold_misses << '\n';
   out << "cache_eviction_misses " << stats.cache_eviction_misses << '\n';
@@ -341,24 +343,31 @@ ServiceStats decode_stats(std::string_view text) {
     } else if (directive == "restarts") {
       mark(3);
       out.restarts = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "cache_hits") {
+    } else if (directive == "failovers") {
       mark(4);
+      out.failovers = parse_unsigned<std::uint64_t>(words, "stats");
+    } else if (directive == "health_probes_failed") {
+      mark(5);
+      out.health_probes_failed =
+          parse_unsigned<std::uint64_t>(words, "stats");
+    } else if (directive == "cache_hits") {
+      mark(6);
       out.cache_hits = parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "cache_cold_misses") {
-      mark(5);
+      mark(7);
       out.cache_cold_misses = parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "cache_eviction_misses") {
-      mark(6);
+      mark(8);
       out.cache_eviction_misses =
           parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "cache_evictions") {
-      mark(7);
+      mark(9);
       out.cache_evictions = parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "cache_entries") {
-      mark(8);
+      mark(10);
       out.cache_entries = parse_unsigned<std::size_t>(words, "stats");
     } else if (directive == "cache_bytes") {
-      mark(9);
+      mark(11);
       out.cache_bytes = parse_unsigned<std::size_t>(words, "stats");
     } else {
       bad("stats: unknown counter '" + directive + "'");
@@ -367,7 +376,7 @@ ServiceStats decode_stats(std::string_view text) {
   }
   if (!have_header) bad("stats: empty input");
   if (!ended) bad("stats: missing 'end'");
-  if (seen != (1u << 10) - 1) bad("stats: missing counter");
+  if (seen != (1u << 12) - 1) bad("stats: missing counter");
   return out;
 }
 

@@ -60,6 +60,14 @@ struct ServiceStats {
   /// policy fills it, since the restarted worker cannot count its own
   /// deaths.
   std::uint64_t restarts = 0;
+  /// Times the serving endpoint moved to a different replica (failover on
+  /// a dead primary, fail-back to a revived one). Filled parent-side by
+  /// replica-set backends, 0 everywhere else — like restarts, the worker
+  /// cannot observe its own replacement.
+  std::uint64_t failovers = 0;
+  /// Failed health probes across this backend's replica endpoints, from
+  /// the HealthMonitor watching them; 0 without one.
+  std::uint64_t health_probes_failed = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_cold_misses = 0;
   std::uint64_t cache_eviction_misses = 0;

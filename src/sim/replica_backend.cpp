@@ -1,0 +1,325 @@
+#include "sim/replica_backend.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace ffsm {
+
+ReplicaBackend::ReplicaBackend(ReplicaBackendOptions options)
+    : options_(std::move(options)) {
+  FFSM_EXPECTS(!options_.endpoints.empty());
+  for (const net::Endpoint& endpoint : options_.endpoints)
+    FFSM_EXPECTS(endpoint.port != 0);
+  if (options_.monitor)
+    for (const net::Endpoint& endpoint : options_.endpoints)
+      options_.monitor->watch(endpoint);
+}
+
+ReplicaBackend::~ReplicaBackend() { shutdown(); }
+
+void ReplicaBackend::drop_connection_locked() noexcept { channel_.close(); }
+
+std::vector<std::size_t> ReplicaBackend::scan_order() const {
+  std::vector<std::size_t> order(options_.endpoints.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (!options_.monitor) return order;
+  // Verdicts reorder, never exclude: kUp first, then kUnknown, then kDown,
+  // priority (seed-list) order within each — stable_sort keeps it. Ranks
+  // are snapshot once before sorting: the prober publishes concurrently,
+  // and a comparator whose answers shift mid-sort breaks stable_sort's
+  // strict-weak-ordering precondition.
+  std::vector<int> rank(order.size());
+  for (std::size_t replica = 0; replica < order.size(); ++replica) {
+    switch (options_.monitor->health(options_.endpoints[replica]).state) {
+      case net::ProbeState::kUp:
+        rank[replica] = 0;
+        break;
+      case net::ProbeState::kUnknown:
+        rank[replica] = 1;
+        break;
+      case net::ProbeState::kDown:
+        rank[replica] = 2;
+        break;
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rank[a] < rank[b];
+                   });
+  return order;
+}
+
+void ReplicaBackend::register_top_locked(const std::string& key,
+                                         const TopState& top) {
+  channel_.send("top " + escape_token(key) + '\n' + top.machine_text);
+  const std::string reply = channel_.expect_line("top registration");
+  if (reply != "ok") {
+    drop_connection_locked();
+    throw ContractViolation("ReplicaBackend: worker at " +
+                            net::to_string(options_.endpoints[current_]) +
+                            " rejected top '" + key + "': " + reply);
+  }
+}
+
+void ReplicaBackend::connect_endpoint_locked(std::size_t replica) {
+  const net::Endpoint& endpoint = options_.endpoints[replica];
+  net::Socket socket = net::Socket::connect(endpoint.host, endpoint.port,
+                                            options_.connect_timeout);
+  // Serve reads carry no deadline (generation legitimately takes long),
+  // so keepalive is what bounds a half-open connection: a vanished
+  // replica host turns into a read error after idle + interval * probes
+  // seconds, and the failover path takes over from there.
+  if (options_.keepalive_idle_s > 0)
+    socket.enable_keepalive(options_.keepalive_idle_s,
+                            options_.keepalive_interval_s,
+                            options_.keepalive_probes);
+  channel_ = net::LineChannel(std::move(socket));
+  try {
+    // A listen-mode worker starts every connection with clean state, so
+    // the full handshake replays: config, then every top in registration
+    // order — which is why any replica serves bit-identically.
+    channel_.send(encode_config(options_.config));
+    const std::string reply = channel_.expect_line("config");
+    if (reply != "ok") {
+      drop_connection_locked();
+      throw ContractViolation("ReplicaBackend: worker rejected config (is " +
+                              net::to_string(endpoint) +
+                              " an ffsm_shard_worker --listen?): " + reply);
+    }
+    for (const std::string& key : top_order_)
+      register_top_locked(key, tops_.at(key));
+  } catch (const net::NetError&) {
+    drop_connection_locked();  // half-shaken connection is unusable
+    throw;
+  }
+  ++connects_;
+  // A reconnect that lands on a different replica is a failover (or a
+  // fail-back — both move the serving endpoint); the first connection
+  // ever is neither.
+  if (connects_ > 1 && replica != current_) ++failovers_;
+  current_ = replica;
+}
+
+void ReplicaBackend::connect_any() {
+  std::string last_error = "empty replica set";
+  for (const std::size_t replica : scan_order()) {
+    try {
+      // The lock is taken per endpoint, not across the scan: one lock
+      // hold is bounded by a single connect_timeout (the PR-4 TcpBackend
+      // bound), never by seed-list-size timeouts — submit()/pending()/
+      // stats() squeeze in between attempts against a dead replica set.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (channel_.valid()) return;  // raced a concurrent connector
+      connect_endpoint_locked(replica);
+      return;
+    } catch (const net::NetError& error) {
+      last_error = error.what();
+      if (last_error.rfind("net: ", 0) == 0)
+        last_error.erase(0, 5);  // the rethrow below re-adds the prefix
+    }
+  }
+  throw net::NetError("no replica of " +
+                      std::to_string(options_.endpoints.size()) +
+                      " reachable; last: " + last_error);
+}
+
+void ReplicaBackend::maybe_fail_back_locked() {
+  if (!options_.monitor || !channel_.valid() || current_ == 0) return;
+  for (std::size_t replica = 0; replica < current_; ++replica) {
+    if (options_.monitor->health(options_.endpoints[replica]).state !=
+        net::ProbeState::kUp)
+      continue;
+    // An earlier-priority replica probes healthy again: move back to it.
+    // Dropping here is lossless — nothing is on the wire between
+    // exchanges, and the backlog is queued parent-side.
+    drop_connection_locked();
+    return;
+  }
+}
+
+void ReplicaBackend::ensure_connected() {
+  // with_retry sleeps between rounds with no lock held, and connect_any
+  // locks per endpoint: a replica set that is restarting must not block
+  // this shard's submit()/pending()/stats() for seconds of backoff or
+  // for a whole-seed-list scan of connect timeouts.
+  net::with_retry(options_.connect_retry, [&] {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      maybe_fail_back_locked();
+      if (channel_.valid()) return;
+    }
+    connect_any();
+  });
+}
+
+void ReplicaBackend::register_added_top_locked(const std::string& key) {
+  if (!channel_.valid()) return;
+  try {
+    register_top_locked(key, tops_.at(key));
+  } catch (const net::NetError&) {
+    // The connection is dead, not the registration: drop it so the next
+    // attempt reconnects lazily instead of re-hitting a corpse that
+    // still reports valid().
+    drop_connection_locked();
+    throw;
+  }
+}
+
+std::vector<FusionResponse> ReplicaBackend::serve_batch_locked(
+    const std::string& key, TopState& top) {
+  std::vector<FusionResponse> responses;
+  responses.reserve(top.queue.size());
+  const std::size_t window = std::max<std::size_t>(1, options_.serve_window);
+  for (std::size_t start = 0; start < top.queue.size(); start += window) {
+    // The backpressure window: at most `window` request frames are on the
+    // wire before we block on their responses. A wedged replica stalls
+    // this drain here, with one window buffered, instead of swallowing
+    // the whole backlog.
+    const std::size_t count = std::min(window, top.queue.size() - start);
+    std::string msg = "serve " + escape_token(key) + ' ' +
+                      std::to_string(count) + '\n';
+    for (std::size_t i = 0; i < count; ++i)
+      msg += encode_request(top.queue[start + i]);
+    channel_.send(msg);
+
+    const std::string header = channel_.expect_line("serve");
+    std::istringstream words(header);
+    std::string directive;
+    words >> directive;
+    if (directive == "error") {
+      // The replica is alive and in sync — the batch itself failed. The
+      // whole backlog stays queued for the cluster's retry path; windows
+      // already served this round get re-served then, which is harmless
+      // (generation is deterministic) and costs only worker counters.
+      throw ContractViolation("ReplicaBackend: worker failed to serve '" +
+                              key + "': " + error_detail(words));
+    }
+    std::size_t n = 0;
+    if (directive != "serving" || !(words >> n) || n != count) {
+      drop_connection_locked();
+      throw ContractViolation("ReplicaBackend: unexpected serve reply '" +
+                              header + "'");
+    }
+    try {
+      for (std::size_t i = 0; i < n; ++i)
+        responses.push_back(decode_response(
+            channel_.read_frame(channel_.expect_line("response"),
+                                "response")));
+      const std::string done = channel_.expect_line("serve trailer");
+      if (done != "done")
+        throw ContractViolation("ReplicaBackend: expected 'done', got '" +
+                                done + "'");
+    } catch (const net::NetError&) {
+      throw;  // transport died; drain() fails over and re-submits
+    } catch (const ContractViolation&) {
+      // A frame failed to decode: the stream position is unknowable, so
+      // the connection must go; the batch stays queued.
+      drop_connection_locked();
+      throw;
+    }
+  }
+  // Only now is the exchange complete — every response arrived, nothing
+  // can be lost. Responses are in queue order == ticket order.
+  top.queue.clear();
+  return responses;
+}
+
+std::vector<FusionResponse> ReplicaBackend::drain(const std::string& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (top_of(key).queue.empty()) return {};
+  }
+  // In-flight re-submit across the replica set: a connection that drops
+  // mid-exchange is replaced (each attempt reconnects to the best replica
+  // reachable, under connect_retry) and the batch re-sent,
+  // options_.serve_retry.max_attempts times in total. Anything else —
+  // protocol errors, worker-side batch failures — propagates immediately
+  // with the batch still queued. All backoff sleeps run unlocked.
+  return net::with_retry(
+      options_.serve_retry, [&]() -> std::vector<FusionResponse> {
+        try {
+          ensure_connected();
+          const std::lock_guard<std::mutex> lock(mutex_);
+          TopState& top = top_of(key);
+          if (top.queue.empty()) return {};  // discarded while connecting
+          return serve_batch_locked(key, top);
+        } catch (const net::NetError&) {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          drop_connection_locked();
+          throw;
+        }
+      });
+}
+
+void ReplicaBackend::fill_parent_counters_locked(ServiceStats& stats) const {
+  // Per-connection worker counters reset with every replacement (real
+  // process semantics); what this backend survived lives parent-side.
+  stats.restarts = connects_ > 0 ? connects_ - 1 : 0;
+  stats.failovers = failovers_;
+  stats.health_probes_failed = 0;
+  if (options_.monitor)
+    for (const net::Endpoint& endpoint : options_.endpoints)
+      stats.health_probes_failed +=
+          options_.monitor->health(endpoint).probes_failed;
+}
+
+ServiceStats ReplicaBackend::stats(const std::string& key) const {
+  auto* self = const_cast<ReplicaBackend*>(this);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (void)top_of(key);  // key must be registered
+  ServiceStats cold;
+  fill_parent_counters_locked(cold);
+  if (!channel_.valid()) return cold;
+  try {
+    self->channel_.send("stats " + escape_token(key) + '\n');
+    const std::string first = self->channel_.expect_line("stats");
+    if (first.rfind("error", 0) == 0) return cold;
+    ServiceStats remote =
+        decode_stats(self->channel_.read_frame(first, "stats"));
+    fill_parent_counters_locked(remote);
+    return remote;
+  } catch (const ContractViolation&) {
+    // Transport or protocol died mid-query; the next drain reconnects.
+    self->drop_connection_locked();
+    return cold;
+  }
+}
+
+void ReplicaBackend::shutdown() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!channel_.valid()) return;
+  try {
+    // Fire-and-close: waiting for "bye" would block shutdown on a
+    // vanished peer (serve reads carry no deadline), and the worker ends
+    // the connection on EOF just the same.
+    channel_.send("shutdown\n");
+  } catch (const ContractViolation&) {
+  }
+  drop_connection_locked();
+}
+
+std::uint64_t ReplicaBackend::connects() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return connects_;
+}
+
+bool ReplicaBackend::connected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return channel_.valid();
+}
+
+std::uint64_t ReplicaBackend::failovers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failovers_;
+}
+
+std::size_t ReplicaBackend::current_replica() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+}  // namespace ffsm

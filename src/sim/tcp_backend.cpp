@@ -5,7 +5,6 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <sstream>
 #include <utility>
@@ -14,215 +13,31 @@
 #include "util/contracts.hpp"
 
 namespace ffsm {
+namespace {
+
+// The one place TcpBackendOptions maps onto ReplicaBackendOptions: every
+// serving knob of either struct must appear here (see the lockstep note
+// on TcpBackendOptions) — a field missing from this copy is silently
+// dropped for TcpBackend users.
+ReplicaBackendOptions as_replica_options(TcpBackendOptions options) {
+  FFSM_EXPECTS(options.port != 0);
+  ReplicaBackendOptions replica;
+  replica.endpoints = {{std::move(options.host), options.port}};
+  replica.config = std::move(options.config);
+  replica.connect_timeout = options.connect_timeout;
+  replica.connect_retry = options.connect_retry;
+  replica.serve_retry = options.serve_retry;
+  replica.serve_window = options.serve_window;
+  replica.keepalive_idle_s = options.keepalive_idle_s;
+  replica.keepalive_interval_s = options.keepalive_interval_s;
+  replica.keepalive_probes = options.keepalive_probes;
+  return replica;
+}
+
+}  // namespace
 
 TcpBackend::TcpBackend(TcpBackendOptions options)
-    : options_(std::move(options)) {
-  FFSM_EXPECTS(options_.port != 0);
-}
-
-TcpBackend::~TcpBackend() { shutdown(); }
-
-void TcpBackend::drop_connection_locked() noexcept { channel_.close(); }
-
-void TcpBackend::register_top_locked(const std::string& key,
-                                     const TopState& top) {
-  channel_.send("top " + escape_token(key) + '\n' + top.machine_text);
-  const std::string reply = channel_.expect_line("top registration");
-  if (reply != "ok") {
-    drop_connection_locked();
-    throw ContractViolation("TcpBackend: worker rejected top '" + key +
-                            "': " + reply);
-  }
-}
-
-void TcpBackend::connect_once_locked() {
-  net::Socket socket = net::Socket::connect(options_.host, options_.port,
-                                            options_.connect_timeout);
-  // Reads carry no timeout (generation legitimately takes long), so
-  // keepalive is what bounds a half-open connection: a vanished peer host
-  // turns into a read error after idle + interval * probes seconds, and
-  // the failed-drain path takes over from there.
-  if (options_.keepalive_idle_s > 0)
-    socket.enable_keepalive(options_.keepalive_idle_s,
-                            options_.keepalive_interval_s,
-                            options_.keepalive_probes);
-  channel_ = net::LineChannel(std::move(socket));
-  try {
-    // A listen-mode worker starts every connection with clean state, so
-    // the full handshake replays: config, then every top in registration
-    // order (the same order a SubprocessBackend respawn re-registers in).
-    channel_.send(encode_config(options_.config));
-    const std::string reply = channel_.expect_line("config");
-    if (reply != "ok") {
-      drop_connection_locked();
-      throw ContractViolation(
-          "TcpBackend: worker rejected config (is " + options_.host + ':' +
-          std::to_string(options_.port) +
-          " an ffsm_shard_worker --listen?): " + reply);
-    }
-    for (const std::string& key : top_order_)
-      register_top_locked(key, tops_.at(key));
-  } catch (const net::NetError&) {
-    drop_connection_locked();  // half-shaken connection is unusable
-    throw;
-  }
-  ++connects_;
-}
-
-void TcpBackend::ensure_connected() {
-  // with_retry sleeps between attempts with no lock held: a restarting
-  // worker must not block this shard's submit()/pending()/stats() for
-  // seconds of backoff.
-  net::with_retry(options_.connect_retry, [&] {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (!channel_.valid()) connect_once_locked();
-  });
-}
-
-void TcpBackend::register_added_top_locked(const std::string& key) {
-  if (!channel_.valid()) return;
-  try {
-    register_top_locked(key, tops_.at(key));
-  } catch (const net::NetError&) {
-    // The connection is dead, not the registration: drop it so the next
-    // attempt reconnects lazily instead of re-hitting a corpse that
-    // still reports valid().
-    drop_connection_locked();
-    throw;
-  }
-}
-
-std::vector<FusionResponse> TcpBackend::serve_batch_locked(
-    const std::string& key, TopState& top) {
-  std::vector<FusionResponse> responses;
-  responses.reserve(top.queue.size());
-  const std::size_t window = std::max<std::size_t>(1, options_.serve_window);
-  for (std::size_t start = 0; start < top.queue.size(); start += window) {
-    // The backpressure window: at most `window` request frames are on the
-    // wire before we block on their responses. A wedged worker stalls this
-    // drain here, with one window buffered, instead of swallowing the
-    // whole backlog.
-    const std::size_t count = std::min(window, top.queue.size() - start);
-    std::string msg = "serve " + escape_token(key) + ' ' +
-                      std::to_string(count) + '\n';
-    for (std::size_t i = 0; i < count; ++i)
-      msg += encode_request(top.queue[start + i]);
-    channel_.send(msg);
-
-    const std::string header = channel_.expect_line("serve");
-    std::istringstream words(header);
-    std::string directive;
-    words >> directive;
-    if (directive == "error") {
-      // The worker is alive and in sync — the batch itself failed. The
-      // whole backlog stays queued for the cluster's retry path; windows
-      // already served this round get re-served then, which is harmless
-      // (generation is deterministic) and costs only worker counters.
-      throw ContractViolation("TcpBackend: worker failed to serve '" + key +
-                              "': " + error_detail(words));
-    }
-    std::size_t n = 0;
-    if (directive != "serving" || !(words >> n) || n != count) {
-      drop_connection_locked();
-      throw ContractViolation("TcpBackend: unexpected serve reply '" +
-                              header + "'");
-    }
-    try {
-      for (std::size_t i = 0; i < n; ++i)
-        responses.push_back(decode_response(
-            channel_.read_frame(channel_.expect_line("response"),
-                                "response")));
-      const std::string done = channel_.expect_line("serve trailer");
-      if (done != "done")
-        throw ContractViolation("TcpBackend: expected 'done', got '" + done +
-                                "'");
-    } catch (const net::NetError&) {
-      throw;  // transport died; drain() reconnects and re-submits
-    } catch (const ContractViolation&) {
-      // A frame failed to decode: the stream position is unknowable, so
-      // the connection must go; the batch stays queued.
-      drop_connection_locked();
-      throw;
-    }
-  }
-  // Only now is the exchange complete — every response arrived, nothing
-  // can be lost. Responses are in queue order == ticket order.
-  top.queue.clear();
-  return responses;
-}
-
-std::vector<FusionResponse> TcpBackend::drain(const std::string& key) {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (top_of(key).queue.empty()) return {};
-  }
-  // In-flight re-submit: a connection that drops mid-exchange is
-  // reconnected (with its own connect backoff) and the batch re-sent,
-  // options_.serve_retry.max_attempts times in total. Anything else —
-  // protocol errors, worker-side batch failures — propagates immediately
-  // with the batch still queued. All backoff sleeps run unlocked.
-  return net::with_retry(
-      options_.serve_retry, [&]() -> std::vector<FusionResponse> {
-        try {
-          ensure_connected();
-          const std::lock_guard<std::mutex> lock(mutex_);
-          TopState& top = top_of(key);
-          if (top.queue.empty()) return {};  // discarded while connecting
-          return serve_batch_locked(key, top);
-        } catch (const net::NetError&) {
-          const std::lock_guard<std::mutex> lock(mutex_);
-          drop_connection_locked();
-          throw;
-        }
-      });
-}
-
-ServiceStats TcpBackend::stats(const std::string& key) const {
-  auto* self = const_cast<TcpBackend*>(this);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  (void)top_of(key);  // key must be registered
-  // Parent-side restart counter: worker counters reset per connection
-  // (real process semantics), reconnects are what this backend survived.
-  ServiceStats cold;
-  cold.restarts = connects_ > 0 ? connects_ - 1 : 0;
-  if (!channel_.valid()) return cold;
-  try {
-    self->channel_.send("stats " + escape_token(key) + '\n');
-    const std::string first = self->channel_.expect_line("stats");
-    if (first.rfind("error", 0) == 0) return cold;
-    ServiceStats remote =
-        decode_stats(self->channel_.read_frame(first, "stats"));
-    remote.restarts = cold.restarts;
-    return remote;
-  } catch (const ContractViolation&) {
-    // Transport or protocol died mid-query; the next drain reconnects.
-    self->drop_connection_locked();
-    return cold;
-  }
-}
-
-void TcpBackend::shutdown() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (!channel_.valid()) return;
-  try {
-    // Fire-and-close, like SubprocessBackend: waiting for "bye" would
-    // block shutdown on a vanished peer (reads carry no timeout), and the
-    // worker ends the connection on EOF just the same.
-    channel_.send("shutdown\n");
-  } catch (const ContractViolation&) {
-  }
-  drop_connection_locked();
-}
-
-std::uint64_t TcpBackend::connects() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return connects_;
-}
-
-bool TcpBackend::connected() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return channel_.valid();
-}
+    : ReplicaBackend(as_replica_options(std::move(options))) {}
 
 // ------------------------------------------------- ListenerWorkerProcess
 

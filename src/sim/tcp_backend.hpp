@@ -1,43 +1,34 @@
 // TcpBackend: a cluster shard served by a worker on another machine.
 //
-// The multi-host ShardBackend: the same wire protocol SubprocessBackend
-// speaks over a socketpair (sim/messages.hpp), spoken over a TCP
-// connection to an `ffsm_shard_worker --listen <port>` — fusion machines
-// travel as self-contained to_text, so a remote worker serves fusions
-// bit-identical to in-process generation, and loopback TCP is hard-asserted
-// against InProcessBackend in bench_service_cluster.
-//
-// Failure model (the cluster's, unchanged): queueing lives parent-side;
-// drain(key) ships the backlog and clears it only once every response
-// arrived, so a dropped connection is never lossy. Connects are lazy and
-// retried with bounded exponential backoff (net::RetryPolicy); each fresh
-// connection replays the config/top handshake, because a worker in listen
-// mode starts every connection with clean per-connection state (a remote
-// restart therefore looks exactly like a SubprocessBackend respawn: cold
-// caches, reset counters, identical results). A connection that drops
-// mid-serve is reconnected and the batch re-submitted in-flight
-// (options.serve_retry); once those attempts are exhausted drain() throws
-// with the batch still queued and the cluster's failed-drain path takes
-// over — re-queue, retry next round, discard_pending as the escape hatch.
-//
-// Backpressure: a drain never puts more than options.serve_window request
-// frames on the wire per exchange. A slow or wedged worker therefore
-// stalls this shard's drain after one window instead of buffering an
-// unbounded backlog in the socket and the worker's memory; the other
-// shards keep draining in parallel.
+// The multi-host ShardBackend: the wire protocol (sim/messages.hpp)
+// spoken over a TCP connection to an `ffsm_shard_worker --listen <port>`.
+// Since PR 5 this is the one-endpoint special case of ReplicaBackend
+// (sim/replica_backend.hpp), which owns all of the machinery — lazy
+// connect with bounded backoff, full config/top handshake replay per
+// connection (cold caches, reset counters, bit-identical results),
+// in-flight re-submit when a connection drops mid-serve, parent-side
+// queueing so nothing is ever lost, and the serve_window backpressure
+// bound. With a single endpoint there is nobody to fail over to: once
+// serve_retry is exhausted drain() throws with the batch still queued and
+// the cluster's failed-drain path takes over — re-queue, retry next
+// round, discard_pending as the escape hatch. Deployments that want a
+// shard to survive its worker use ReplicaBackend with a seed list.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <string>
-#include <vector>
 
-#include "net/line_channel.hpp"
-#include "net/retry.hpp"
-#include "sim/backend.hpp"
+#include "sim/replica_backend.hpp"
 
 namespace ffsm {
 
+/// Kept field-for-field in lockstep with ReplicaBackendOptions (minus
+/// endpoints/monitor): a knob added to one MUST be added to the other
+/// AND to as_replica_options() in tcp_backend.cpp, or TcpBackend
+/// silently ignores it. (The struct predates ReplicaBackendOptions and
+/// is kept distinct so existing host/port call sites stay source-
+/// compatible.)
 struct TcpBackendOptions {
   /// Worker address (ffsm_shard_worker --listen on that host).
   std::string host = "127.0.0.1";
@@ -60,71 +51,25 @@ struct TcpBackendOptions {
   std::size_t serve_window = 32;
   /// TCP keepalive probing (seconds idle before probing, seconds between
   /// probes, probes before declaring the peer dead). Generation can
-  /// legitimately take minutes, so reads carry no timeout — keepalive is
-  /// what turns a *half-open* connection (peer host died without FIN/RST)
-  /// into a bounded-time NetError instead of a drain wedged forever.
-  /// idle 0 disables.
+  /// legitimately take minutes, so serve reads carry no deadline —
+  /// keepalive is what turns a *half-open* connection (peer host died
+  /// without FIN/RST) into a bounded-time NetError instead of a drain
+  /// wedged forever. idle 0 disables.
   int keepalive_idle_s = 30;
   int keepalive_interval_s = 10;
   int keepalive_probes = 3;
 };
 
-class TcpBackend final : public QueuedWireBackend {
+class TcpBackend final : public ReplicaBackend {
  public:
   explicit TcpBackend(TcpBackendOptions options);
-  ~TcpBackend() override;
-
-  TcpBackend(const TcpBackend&) = delete;
-  TcpBackend& operator=(const TcpBackend&) = delete;
-
-  // add_top / validate / submit / pending / discard_pending: the shared
-  // parent-side queueing of QueuedWireBackend.
-  std::vector<FusionResponse> drain(const std::string& key) override;
-  /// Worker counters for `key` (per-connection on the worker side);
-  /// all-zero when disconnected, with `restarts` filled parent-side.
-  [[nodiscard]] ServiceStats stats(const std::string& key) const override;
-  /// Graceful goodbye (`shutdown` + close). The remote worker keeps
-  /// listening — only this backend's serving capacity goes away; queued
-  /// requests stay queued and the next drain() reconnects.
-  void shutdown() override;
-
-  /// Successful connections so far — 1 after the first drain, +1 per
-  /// reconnect. restarts in stats() is connects() - 1.
-  [[nodiscard]] std::uint64_t connects() const;
-  /// Whether a connection is currently open (tests probe recovery).
-  [[nodiscard]] bool connected() const;
-
- private:
-  /// A live connection learns new tops immediately; otherwise the next
-  /// reconnect handshake registers them with the rest.
-  void register_added_top_locked(const std::string& key) override;
-
-  /// Connects + handshakes + re-registers tops if disconnected, retrying
-  /// per connect_retry with the backoff sleeps OUTSIDE the mutex (clients
-  /// keep submitting to a shard whose worker is restarting). Throws
-  /// NetError once attempts are exhausted.
-  void ensure_connected();
-  /// One connect attempt + config/top handshake; throws NetError on
-  /// transport failure, ContractViolation on a protocol-level rejection.
-  void connect_once_locked();
-  void drop_connection_locked() noexcept;
-  /// Sends the registration frame for one top and expects "ok".
-  void register_top_locked(const std::string& key, const TopState& top);
-  /// Ships `top`'s whole backlog as serve_window-sized exchanges;
-  /// responses in queue (= ticket) order. Clears the queue only after the
-  /// last window succeeded. NetError => connection already dropped.
-  std::vector<FusionResponse> serve_batch_locked(const std::string& key,
-                                                 TopState& top);
-
-  TcpBackendOptions options_;
-  net::LineChannel channel_;
-  std::uint64_t connects_ = 0;
 };
 
 /// A locally spawned `ffsm_shard_worker --listen` process — the loopback
-/// harness tests, benches and examples use to stand in for a remote host.
-/// Spawns at construction, parses the worker's `listening <port>` banner
-/// (so port 0 = ephemeral works), SIGKILLs + reaps at destruction.
+/// harness tests, benches and examples use to stand in for a remote host
+/// (or for one replica of one). Spawns at construction, parses the
+/// worker's `listening <port>` banner (so port 0 = ephemeral works),
+/// SIGKILLs + reaps at destruction.
 class ListenerWorkerProcess {
  public:
   struct Options {

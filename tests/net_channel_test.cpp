@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "net/listener.hpp"
 #include "net/socket.hpp"
@@ -38,6 +39,27 @@ TEST(NetParse, PortAndHostPortAreStrict) {
   for (const char* bad :
        {"worker-3", ":7001", "worker-3:", "worker-3:0", "worker-3:70o1"})
     EXPECT_FALSE(parse_host_port(bad, host, port)) << bad;
+}
+
+TEST(NetParse, HostPortListIsStrict) {
+  std::vector<Endpoint> endpoints;
+  ASSERT_TRUE(parse_host_port_list("a:1", endpoints));
+  ASSERT_EQ(endpoints.size(), 1u);
+  EXPECT_EQ(to_string(endpoints[0]), "a:1");
+
+  ASSERT_TRUE(parse_host_port_list("a:7001,b:7001,a:7002", endpoints));
+  ASSERT_EQ(endpoints.size(), 3u);
+  EXPECT_EQ(endpoints[0], (Endpoint{"a", 7001}));
+  EXPECT_EQ(endpoints[1], (Endpoint{"b", 7001}));
+  EXPECT_EQ(endpoints[2], (Endpoint{"a", 7002}));
+
+  // Empty list, empty items (leading/trailing/double commas), malformed
+  // items, and duplicated endpoints — a typo'd replica seed list must
+  // fail whole, never half-parse.
+  for (const char* bad :
+       {"", ",", "a:1,", ",a:1", "a:1,,b:2", "a:1,b", "a:1,b:70o1",
+        "a:1,b:0", "a:1,a:1", "a:1,b:2,a:1"})
+    EXPECT_FALSE(parse_host_port_list(bad, endpoints)) << bad;
 }
 
 TEST(NetListener, EphemeralPortAcceptsLoopbackConnections) {
@@ -118,6 +140,60 @@ TEST(NetChannel, EofInsideAFrameThrowsWithContext) {
         << error.what();
   }
   client.join();
+}
+
+TEST(NetChannel, DeadlineReadFailsInBoundedTimeOnASilentPeer) {
+  // A peer that sends half a line and then goes silent (still connected —
+  // keepalive never fires) must fail a deadline read when the deadline
+  // passes, not wedge the reader: the health prober and the worker's
+  // frame reads depend on exactly this.
+  Listener listener(0);
+  Socket client =
+      Socket::connect("127.0.0.1", listener.port(), milliseconds(2000));
+  LineChannel channel(listener.accept());
+  client.send_all("torn without a newline");
+
+  const auto start = std::chrono::steady_clock::now();
+  std::string line;
+  EXPECT_THROW(
+      (void)channel.read_line(line, start + milliseconds(100)), NetError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, milliseconds(5000));
+
+  // The connection survives a missed deadline; bytes that were already
+  // buffered stay buffered, so completing the line later succeeds.
+  client.send_all(" but finished later\n");
+  ASSERT_TRUE(channel.read_line(
+      line, std::chrono::steady_clock::now() + milliseconds(2000)));
+  EXPECT_EQ(line, "torn without a newline but finished later");
+}
+
+TEST(NetChannel, DeadlineFrameReadBoundsTheWholeFrame) {
+  // A header followed by a trickle that never reaches `end`: read_frame's
+  // single deadline covers the whole frame, so the trickling peer cannot
+  // stretch it line by line.
+  Listener listener(0);
+  Socket client =
+      Socket::connect("127.0.0.1", listener.port(), milliseconds(2000));
+  LineChannel channel(listener.accept());
+  client.send_all("header\nbody line\n");  // never an `end`
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)channel.read_frame(
+                   channel.expect_line("frame", start + milliseconds(500)),
+                   "frame", start + milliseconds(500)),
+               NetError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, milliseconds(5000));
+
+  // An already-buffered frame needs no fresh bytes: an expired deadline
+  // does not fail reads the buffer can serve.
+  client.send_all("header\nbody\nend\n");
+  std::string line;
+  ASSERT_TRUE(channel.read_line(
+      line, std::chrono::steady_clock::now() + milliseconds(2000)));
+  const std::string frame =
+      channel.read_frame(line, "buffered frame",
+                         std::chrono::steady_clock::now() + milliseconds(2000));
+  EXPECT_EQ(frame, "header\nbody\nend\n");
 }
 
 TEST(NetSocket, ConnectToClosedPortFailsWithNetError) {

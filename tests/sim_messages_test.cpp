@@ -162,6 +162,8 @@ TEST(WireStatsCodec, RandomStatsRoundTripByteIdentically) {
     original.requests_served = rng();
     original.batches_served = rng();
     original.restarts = rng();
+    original.failovers = rng();
+    original.health_probes_failed = rng();
     original.cache_hits = rng();
     original.cache_cold_misses = rng();
     original.cache_eviction_misses = rng();
@@ -173,6 +175,8 @@ TEST(WireStatsCodec, RandomStatsRoundTripByteIdentically) {
     const ServiceStats back = decode_stats(text);
     EXPECT_EQ(back.requests_submitted, original.requests_submitted);
     EXPECT_EQ(back.restarts, original.restarts);
+    EXPECT_EQ(back.failovers, original.failovers);
+    EXPECT_EQ(back.health_probes_failed, original.health_probes_failed);
     EXPECT_EQ(back.cache_eviction_misses, original.cache_eviction_misses);
     EXPECT_EQ(back.cache_bytes, original.cache_bytes);
     EXPECT_EQ(encode_stats(back), text);
@@ -275,6 +279,8 @@ TEST(WireCodecRobustness, TruncationsAndCorruptionsOfEveryFrameTypeAreClean) {
   ServiceStats stats;
   stats.requests_served = 5;
   stats.restarts = 1;
+  stats.failovers = 2;
+  stats.health_probes_failed = 3;
   stats.cache_bytes = 4096;
 
   ShardServiceConfig config;

@@ -6,10 +6,14 @@
 #include "sim/tcp_backend.hpp"
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fusion/generator.hpp"
@@ -196,6 +200,96 @@ TEST(TcpBackend, BackpressureWindowSaturationDrainsInBoundedExchanges) {
   EXPECT_EQ(stats.requests_served, 7u);
   EXPECT_EQ(stats.batches_served, 4u);  // ceil(7 / window=2)
   EXPECT_EQ(backend.connects(), 1u);    // windows share one connection
+}
+
+/// Installs a no-op SIGUSR1 handler WITHOUT SA_RESTART for this scope, so
+/// a signal storm makes blocking syscalls actually return EINTR (SIG_IGN,
+/// or the BSD restart semantics of std::signal, would hide the retry
+/// paths this is meant to exercise). Restores the old disposition.
+class ScopedNoopSigusr1 {
+ public:
+  ScopedNoopSigusr1() {
+    struct sigaction noop = {};
+    noop.sa_handler = [](int) {};
+    ::sigemptyset(&noop.sa_mask);
+    noop.sa_flags = 0;
+    ::sigaction(SIGUSR1, &noop, &previous_);
+  }
+  ~ScopedNoopSigusr1() { ::sigaction(SIGUSR1, &previous_, nullptr); }
+
+ private:
+  struct sigaction previous_ = {};
+};
+
+TEST(TcpBackend, ServeExchangeSurvivesASignalStorm) {
+  // EINTR robustness end to end: pepper BOTH ends of a serve exchange
+  // with SIGUSR1 — the worker process (its accept/recv/send loops; it
+  // installs its own no-op handler) and the draining thread here (the
+  // backend's send/recv/poll loops) — and require the batch to serve
+  // completely, in order, bit-identically, over the ORIGINAL connection:
+  // a single EINTR leaking through as an error would surface as a retry
+  // (connects > 1) or a lost response.
+  const ScopedNoopSigusr1 handler;
+  const TcpFixture fx;
+  ListenerWorkerProcess worker;
+  TcpBackendOptions options = fast_options(worker.port());
+  options.serve_window = 2;  // several exchanges => more interruptible I/O
+  TcpBackend backend(options);
+  // The large fixture on purpose: the drain must run long enough (tens of
+  // ms) for hundreds of signals to land inside the exchange, not finish
+  // between two of them.
+  backend.add_top("large", fx.large.top);
+
+  struct Ask {
+    std::uint32_t f;
+    DescentPolicy policy;
+  };
+  std::vector<Ask> asks;
+  std::vector<std::uint64_t> tickets;
+  for (int c = 0; c < 6; ++c) {
+    const Ask ask{1 + static_cast<std::uint32_t>(c % 3),
+                  c % 2 == 0 ? DescentPolicy::kFewestBlocks
+                             : DescentPolicy::kMostBlocks};
+    asks.push_back(ask);
+    tickets.push_back(backend.submit("large", "s" + std::to_string(c),
+                                     {fx.large_originals, ask.f,
+                                      ask.policy}));
+  }
+
+  const pthread_t drainer = pthread_self();
+  std::atomic<bool> stop{false};
+  std::thread storm([&] {
+    while (!stop.load()) {
+      (void)::kill(worker.pid(), SIGUSR1);
+      (void)::pthread_kill(drainer, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<FusionResponse> responses;
+  try {
+    responses = backend.drain("large");
+  } catch (...) {
+    stop.store(true);
+    storm.join();
+    throw;
+  }
+  stop.store(true);
+  storm.join();
+
+  ASSERT_EQ(responses.size(), asks.size());
+  EXPECT_EQ(backend.pending("large"), 0u);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].ticket, tickets[i]) << i;
+    EXPECT_EQ(responses[i].result.partitions,
+              fx.direct(false, asks[i].f, asks[i].policy).partitions)
+        << i;
+  }
+  EXPECT_EQ(backend.connects(), 1u)
+      << "the storm must be invisible, not merely survivable";
+  const ServiceStats stats = backend.stats("large");
+  EXPECT_EQ(stats.requests_served, asks.size());
+  EXPECT_EQ(stats.restarts, 0u);
 }
 
 /// A cluster whose every shard speaks TCP to the same worker process;

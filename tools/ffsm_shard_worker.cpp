@@ -31,8 +31,10 @@
 // Machines arrive as self-contained to_text (alphabet header included), so
 // the worker reconstructs bit-exact transition tables and its fusions are
 // bit-identical to in-process serving.
+#include <signal.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -56,6 +58,18 @@ namespace {
 
 using namespace ffsm;
 
+/// Once a directive line announces a frame, the rest of that frame must
+/// arrive within this budget. A peer that dies (or wedges) after half a
+/// frame must fail its connection thread in bounded time — TCP keepalive
+/// covers half-open *silence*, but a peer that is alive and not sending
+/// would hold the thread forever without this. Generous: frames are sent
+/// whole by every backend, so only a broken peer ever comes close.
+constexpr std::chrono::seconds kFrameTimeout{60};
+
+[[nodiscard]] ffsm::net::Deadline frame_deadline() {
+  return std::chrono::steady_clock::now() + kFrameTimeout;
+}
+
 /// Per-connection serving state. Listener mode gives every accepted
 /// connection a fresh Worker, so a reconnecting backend always finds the
 /// clean slate its re-register handshake assumes.
@@ -75,7 +89,8 @@ struct Worker {
 
 void handle_config(Worker& worker, net::LineChannel& channel,
                    const std::string& first_line) {
-  const std::string frame = channel.read_frame(first_line, "config");
+  const std::string frame =
+      channel.read_frame(first_line, "config", frame_deadline());
   if (worker.configured) throw ContractViolation("duplicate 'config'");
   worker.config = decode_config(frame);
   worker.configured = true;
@@ -89,8 +104,10 @@ void handle_top(Worker& worker, net::LineChannel& channel,
   std::string token;
   if (!(words >> token)) throw ContractViolation("'top' requires a key");
   const std::string key = unescape_token(token);
+  const net::Deadline deadline = frame_deadline();
   const std::string machine_text = channel.read_frame(
-      channel.expect_line("machine text"), "machine text");
+      channel.expect_line("machine text", deadline), "machine text",
+      deadline);
   if (!worker.configured) throw ContractViolation("'top' before 'config'");
   if (worker.services.contains(key))
     throw ContractViolation("duplicate top '" + key + "'");
@@ -120,9 +137,12 @@ void handle_serve(Worker& worker, net::LineChannel& channel,
   // sync, instead of the remaining frames being misread as commands.
   std::vector<std::string> frames;
   frames.reserve(count);
-  for (std::size_t i = 0; i < count; ++i)
+  for (std::size_t i = 0; i < count; ++i) {
+    const net::Deadline deadline = frame_deadline();  // budget per frame
     frames.push_back(
-        channel.read_frame(channel.expect_line("serve batch"), "request"));
+        channel.read_frame(channel.expect_line("serve batch", deadline),
+                           "request", deadline));
+  }
   std::vector<WireRequest> requests;
   requests.reserve(count);
   for (const std::string& frame : frames)
@@ -238,6 +258,16 @@ int main(int argc, char** argv) {
   // process-wide, covering the stdio bridge (a pipe/socketpair where
   // MSG_NOSIGNAL may not apply) as well as every TCP connection.
   std::signal(SIGPIPE, SIG_IGN);
+  // SIGUSR1 is reserved as a no-op so tests (and operators) can
+  // signal-storm a worker to exercise the EINTR retry paths; the default
+  // disposition would kill it. sigaction without SA_RESTART on purpose:
+  // SIG_IGN — or the BSD restart semantics of std::signal — would keep
+  // syscalls from ever returning EINTR, making those paths untestable.
+  struct sigaction usr1 = {};
+  usr1.sa_handler = [](int) {};
+  ::sigemptyset(&usr1.sa_mask);
+  usr1.sa_flags = 0;
+  ::sigaction(SIGUSR1, &usr1, nullptr);
 
   bool listen_mode = false;  // default: stdio bridge mode
   std::uint16_t listen_port = 0;

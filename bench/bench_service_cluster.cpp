@@ -4,13 +4,16 @@
 // large-workload regression test: bounded-cache runs must serve
 // bit-identical results to the unbounded run, every shard cache must
 // respect its capacity, and the out-of-process backends — subprocess
-// workers over socketpairs, loopback-TCP workers behind a listener, and a
-// two-replica seed list per shard (replica-tcp) with a live HealthMonitor
-// probing both replicas — must serve bit-identical responses to the
-// in-process one for the same request stream — all hard-asserted here, so
-// a violation fails CI. The JSON entries carry a "backend" field so
-// in-process vs subprocess vs tcp vs replica-tcp overhead is tracked in
-// the perf history from day one.
+// workers over socketpairs, loopback-TCP workers behind a listener on
+// BOTH wire encodings (text pinned and binary required, raced against
+// the same oracle), and a two-replica seed list per shard (replica-tcp)
+// with a live HealthMonitor probing both replicas — must serve
+// bit-identical responses to the in-process one for the same request
+// stream — all hard-asserted here, so a violation fails CI, as is the
+// binary wire's cold drain landing within 15% of in-process. The JSON
+// entries carry a "backend" field so in-process vs subprocess vs
+// tcp(text) vs tcp-bin vs replica-tcp overhead is tracked in the perf
+// history from day one.
 #include "bench_support.hpp"
 
 #include <chrono>
@@ -20,9 +23,8 @@
 #include <vector>
 
 #include "net/health.hpp"
+#include "sim/backend_config.hpp"
 #include "sim/cluster.hpp"
-#include "sim/replica_backend.hpp"
-#include "sim/subprocess_backend.hpp"
 #include "sim/tcp_backend.hpp"
 #include "util/table.hpp"
 
@@ -166,12 +168,14 @@ void report_caches(bench::JsonReporter& json, const Workload& w,
 }
 
 /// The tentpole acceptance check as a benchmark: the same request stream
-/// through the in-process, subprocess and loopback-TCP backends, timed
-/// per backend, with bit-identical responses hard-asserted in-bench.
+/// through the in-process, subprocess, loopback-TCP (both wire encodings,
+/// raced) and replica-tcp backends, timed per backend, with bit-identical
+/// responses hard-asserted in-bench — and the binary wire's cold drain
+/// required to land within 15% of the in-process baseline.
 void report_backends(bench::JsonReporter& json, const Workload& w,
                      ThreadPool& pool) {
   std::printf(
-      "== Serving backends: in-process vs subprocess vs tcp vs "
+      "== Serving backends: in-process vs subprocess vs tcp (text|bin) vs "
       "replica-tcp shards ==\n");
   const std::size_t clients = 8 * w.keys.size();
   const LowerCoverCacheConfig cache = {CacheEvictionPolicy::kLru, 64};
@@ -189,44 +193,59 @@ void report_backends(bench::JsonReporter& json, const Workload& w,
     return monitor;
   }());
 
+  // Every serving tier as one declarative BackendConfig. "tcp" pins the
+  // pre-negotiation text wire and "tcp-bin" requires the binary framing,
+  // so the two encodings race over the same loopback worker against the
+  // same oracle; "subprocess" and "replica-tcp" negotiate (kAuto).
+  struct Entry {
+    const char* label;  // table row + JSON backend tag
+    BackendConfig config;
+  };
+  std::vector<Entry> entries;
+  {
+    BackendConfig base;
+    base.service.parallel = true;
+    // threads=0 sizes every worker-process pool to the machine. The old
+    // fixed 4 oversubscribed small runners — three workers x 4 threads on
+    // one or two cores — and that scheduling noise, not the encoding, was
+    // most of the out-of-process cold-drain gap.
+    base.service.threads = 0;
+    base.service.cache_config = cache;
+    entries.push_back({"inprocess", base});
+    Entry subprocess{"subprocess", base};
+    subprocess.config.kind = BackendConfig::Kind::kSubprocess;
+    entries.push_back(subprocess);
+    Entry tcp{"tcp", base};
+    tcp.config.kind = BackendConfig::Kind::kTcp;
+    tcp.config.endpoints = {{"127.0.0.1", tcp_worker.port()}};
+    tcp.config.wire = WireMode::kText;
+    entries.push_back(tcp);
+    Entry tcp_bin{"tcp-bin", tcp.config};
+    tcp_bin.config.wire = WireMode::kBinary;
+    entries.push_back(tcp_bin);
+    Entry replica{"replica-tcp", base};
+    replica.config.kind = BackendConfig::Kind::kReplica;
+    replica.config.endpoints = {{"127.0.0.1", tcp_worker.port()},
+                                {"127.0.0.1", replica_worker.port()}};
+    replica.config.monitor = health;
+    entries.push_back(replica);
+  }
+
   std::vector<std::vector<Partition>> baseline;  // in-process responses
-  TextTable table({"backend", "cold drain ms", "warm drain ms",
+  double inprocess_cold_ms = 0.0;
+  double tcp_text_cold_ms = 0.0;
+  double tcp_bin_cold_ms = 0.0;
+  TextTable table({"backend", "wire", "cold drain ms", "warm drain ms",
                    "shard batches", "cache hits", "restarts", "failovers"});
-  for (const char* const name :
-       {"inprocess", "subprocess", "tcp", "replica-tcp"}) {
-    const std::string backend_name = name;
-    json.set_backend(backend_name);
+  for (const Entry& entry : entries) {
+    const char* const name = entry.label;
+    json.set_backend(name);
 
     FusionClusterOptions options;
     options.shards = 3;
     options.pool = &pool;
     options.cache_config = cache;
-    ShardServiceConfig worker_config;
-    worker_config.parallel = true;
-    worker_config.threads = 4;
-    worker_config.cache_config = cache;
-    if (backend_name == "subprocess")
-      options.backend_factory = [&](std::size_t) {
-        SubprocessBackendOptions backend_options;
-        backend_options.config = worker_config;
-        return std::make_unique<SubprocessBackend>(backend_options);
-      };
-    else if (backend_name == "tcp")
-      options.backend_factory = [&](std::size_t) {
-        TcpBackendOptions backend_options;
-        backend_options.port = tcp_worker.port();
-        backend_options.config = worker_config;
-        return std::make_unique<TcpBackend>(backend_options);
-      };
-    else if (backend_name == "replica-tcp")
-      options.backend_factory = [&](std::size_t) {
-        ReplicaBackendOptions backend_options;
-        backend_options.endpoints = {{"127.0.0.1", tcp_worker.port()},
-                                     {"127.0.0.1", replica_worker.port()}};
-        backend_options.config = worker_config;
-        backend_options.monitor = health;
-        return std::make_unique<ReplicaBackend>(backend_options);
-      };
+    options.backend_factory = make_backend_factory(entry.config);
     auto cluster = std::make_unique<FusionCluster>(options);
     for (std::size_t t = 0; t < w.keys.size(); ++t)
       cluster->add_top(w.keys[t], w.products[t].top);
@@ -284,7 +303,13 @@ void report_backends(bench::JsonReporter& json, const Workload& w,
                    "no replica failovers during a healthy bench run");
     bench::require(stats.health_probes_failed == 0,
                    "no failed health probes during a healthy bench run");
-    table.add_row({name, std::to_string(cold_ms), std::to_string(warm_ms),
+    if (std::string(name) == "inprocess") inprocess_cold_ms = cold_ms;
+    if (std::string(name) == "tcp") tcp_text_cold_ms = cold_ms;
+    if (std::string(name) == "tcp-bin") tcp_bin_cold_ms = cold_ms;
+    const bool connecting =
+        entry.config.kind != BackendConfig::Kind::kInProcess;
+    table.add_row({name, connecting ? wire_mode_name(entry.config.wire) : "-",
+                   std::to_string(cold_ms), std::to_string(warm_ms),
                    std::to_string(stats.shard_batches_served),
                    std::to_string(stats.cache_hits),
                    std::to_string(stats.restarts),
@@ -304,6 +329,17 @@ void report_backends(bench::JsonReporter& json, const Workload& w,
   std::printf("%zu clients x %zu tops on %zu shards, per backend\n%s\n",
               clients, w.keys.size(), std::size_t{3},
               table.to_string().c_str());
+  // The measured target of the wire redesign, surfaced for the perf
+  // history and hard-asserted: the binary framing must close the
+  // loopback-TCP cold-drain gap to within 15% of serving in-process.
+  std::printf(
+      "cold drain, text vs binary wire: tcp %.1f ms vs tcp-bin %.1f ms "
+      "(in-process baseline %.1f ms)\n\n",
+      tcp_text_cold_ms, tcp_bin_cold_ms, inprocess_cold_ms);
+  json.add_metric("tcp-bin", "cold_drain_vs_inprocess",
+                  tcp_bin_cold_ms / inprocess_cold_ms);
+  bench::require(tcp_bin_cold_ms <= 1.15 * inprocess_cold_ms,
+                 "binary-wire cold drain within 15% of in-process");
 }
 
 void report() {

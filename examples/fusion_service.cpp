@@ -16,7 +16,10 @@
 // same frames over sockets to a remote worker; --backend=replica-tcp
 // serves every shard through an ordered seed list of worker replicas with
 // background health probing — same requests, same bit-identical
-// responses, four failure domains.
+// responses, four failure domains. The whole serving tier is described by
+// one BackendConfig (sim/backend_config.hpp); this file only parses flags
+// into it. --wire={text,bin,auto} pins or negotiates the encoding per
+// worker connection (default auto: offer binary, fall back to text).
 //
 // Build & run:  cmake --build build &&
 //               ./build/fusion_service [--backend=subprocess] [--shards=N]
@@ -49,10 +52,8 @@
 #include "fsm/product.hpp"
 #include "fusion/generator.hpp"
 #include "net/health.hpp"
+#include "sim/backend_config.hpp"
 #include "sim/cluster.hpp"
-#include "sim/replica_backend.hpp"
-#include "sim/subprocess_backend.hpp"
-#include "sim/tcp_backend.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -74,39 +75,37 @@ std::vector<ffsm::Partition> originals_of(const ffsm::CrossProduct& cp) {
   return out;
 }
 
-enum class BackendKind { kInProcess, kSubprocess, kTcp, kReplicaTcp };
-
 struct CliOptions {
-  BackendKind backend = BackendKind::kInProcess;
+  /// The whole serving tier as one declarative config — no per-backend
+  /// special cases here; make_backend_factory() validates the shape.
+  ffsm::BackendConfig backend;
   std::size_t shards = 3;
-  /// --connect endpoints: exactly one for tcp, two or more (the replica
-  /// seed list, priority order) for replica-tcp.
-  std::vector<ffsm::net::Endpoint> endpoints;
 };
-
-bool parse_connect(const std::string& spec, CliOptions& cli) {
-  // Strict parse (net::parse_host_port_list): "hostA:70o1" must be
-  // rejected, not read as port 70, and "a:1,a:1" or a trailing comma is a
-  // typo, not a replica set.
-  return ffsm::net::parse_host_port_list(spec, cli.endpoints);
-}
 
 bool parse_cli(int argc, char** argv, CliOptions& cli) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--backend=inprocess") {
-      cli.backend = BackendKind::kInProcess;
-    } else if (arg == "--backend=subprocess") {
-      cli.backend = BackendKind::kSubprocess;
-    } else if (arg == "--backend=tcp") {
-      cli.backend = BackendKind::kTcp;
-    } else if (arg == "--backend=replica-tcp") {
-      cli.backend = BackendKind::kReplicaTcp;
+    if (arg.rfind("--backend=", 0) == 0) {
+      if (!ffsm::parse_backend_kind(arg.substr(std::strlen("--backend=")),
+                                    cli.backend.kind))
+        return false;
+    } else if (arg.rfind("--wire=", 0) == 0) {
+      // Strict: "--wire=binary" is a typo, not a silent default.
+      if (!ffsm::parse_wire_mode(arg.substr(std::strlen("--wire=")),
+                                 cli.backend.wire))
+        return false;
+    } else if (arg == "--wire" && i + 1 < argc) {
+      if (!ffsm::parse_wire_mode(argv[++i], cli.backend.wire)) return false;
     } else if (arg.rfind("--connect=", 0) == 0) {
-      if (!parse_connect(arg.substr(std::strlen("--connect=")), cli))
+      // Strict parse (net::parse_host_port_list): "hostA:70o1" must be
+      // rejected, not read as port 70, and "a:1,a:1" or a trailing comma
+      // is a typo, not a replica set.
+      if (!ffsm::net::parse_host_port_list(
+              arg.substr(std::strlen("--connect=")), cli.backend.endpoints))
         return false;
     } else if (arg == "--connect" && i + 1 < argc) {
-      if (!parse_connect(argv[++i], cli)) return false;
+      if (!ffsm::net::parse_host_port_list(argv[++i], cli.backend.endpoints))
+        return false;
     } else if (arg.rfind("--shards=", 0) == 0) {
       const long n = std::atol(arg.c_str() + std::strlen("--shards="));
       if (n < 1) return false;
@@ -115,17 +114,24 @@ bool parse_cli(int argc, char** argv, CliOptions& cli) {
       return false;
     }
   }
-  // The wire backends need worker addresses — exactly one for tcp, a
-  // genuine replica set (two or more) for replica-tcp; the in-process and
-  // subprocess backends must not get any.
-  switch (cli.backend) {
-    case BackendKind::kTcp:
-      return cli.endpoints.size() == 1;
-    case BackendKind::kReplicaTcp:
-      return cli.endpoints.size() >= 2;
-    default:
-      return cli.endpoints.empty();
-  }
+  return true;
+}
+
+[[noreturn]] void usage(const char* argv0, const char* detail) {
+  if (detail != nullptr) std::fprintf(stderr, "%s: %s\n", argv0, detail);
+  std::fprintf(
+      stderr,
+      "usage: %s [--backend={inprocess,subprocess,tcp,replica-tcp}] "
+      "[--connect host:port[,host:port...]] [--wire={text,bin,auto}] "
+      "[--shards=N]\n"
+      "  --backend=tcp requires --connect with one worker (a running "
+      "`ffsm_shard_worker --listen <port>`)\n"
+      "  --backend=replica-tcp requires --connect with the worker replica "
+      "seed list, priority order\n"
+      "  --wire: encoding negotiation stance per worker connection "
+      "(default auto: offer binary, fall back to text)\n",
+      argv0);
+  std::exit(2);
 }
 
 }  // namespace
@@ -134,70 +140,39 @@ int main(int argc, char** argv) {
   using namespace ffsm;
 
   CliOptions cli;
-  if (!parse_cli(argc, argv, cli)) {
-    std::fprintf(
-        stderr,
-        "usage: %s [--backend={inprocess,subprocess,tcp,replica-tcp}] "
-        "[--connect host:port[,host:port...]] [--shards=N]\n"
-        "  --backend=tcp requires --connect with one worker (a running "
-        "`ffsm_shard_worker --listen <port>`)\n"
-        "  --backend=replica-tcp requires --connect with two or more "
-        "worker replicas, priority order\n",
-        argv[0]);
-    return 2;
-  }
-  const char* const backend_name =
-      cli.backend == BackendKind::kInProcess    ? "inprocess"
-      : cli.backend == BackendKind::kSubprocess ? "subprocess"
-      : cli.backend == BackendKind::kTcp        ? "tcp"
-                                                : "replica-tcp";
+  if (!parse_cli(argc, argv, cli)) usage(argv[0], nullptr);
+  const char* const backend_name = backend_kind_name(cli.backend.kind);
 
   // Three tenants: counter products of 100, 144 and 196 states.
   ThreadPool pool(8);
   const LowerCoverCacheConfig cache_config = {CacheEvictionPolicy::kLru, 64};
-  ShardServiceConfig worker_config;
-  worker_config.parallel = true;
-  worker_config.threads = 4;
-  worker_config.cache_config = cache_config;
+  cli.backend.service.parallel = true;
+  cli.backend.service.threads = 4;
+  cli.backend.service.cache_config = cache_config;
+  if (cli.backend.kind == BackendConfig::Kind::kReplica)
+    // One monitor probes the whole seed list for every shard; shared into
+    // the factory so it outlives this scope.
+    cli.backend.monitor = std::make_shared<net::HealthMonitor>();
   FusionClusterOptions options;
   options.shards = cli.shards;
   options.pool = &pool;
   options.cache_config = cache_config;
-  if (cli.backend == BackendKind::kSubprocess)
-    options.backend_factory = [&](std::size_t) {
-      SubprocessBackendOptions backend_options;
-      backend_options.config = worker_config;
-      return std::make_unique<SubprocessBackend>(backend_options);
-    };
-  else if (cli.backend == BackendKind::kTcp)
-    options.backend_factory = [&](std::size_t) {
-      TcpBackendOptions backend_options;
-      backend_options.host = cli.endpoints[0].host;
-      backend_options.port = cli.endpoints[0].port;
-      backend_options.config = worker_config;
-      return std::make_unique<TcpBackend>(backend_options);
-    };
-  else if (cli.backend == BackendKind::kReplicaTcp) {
-    // One monitor probes the whole seed list for every shard; captured by
-    // value so it outlives this scope inside the stored factory.
-    auto health = std::make_shared<net::HealthMonitor>();
-    options.backend_factory = [&, health](std::size_t) {
-      ReplicaBackendOptions backend_options;
-      backend_options.endpoints = cli.endpoints;
-      backend_options.config = worker_config;
-      backend_options.monitor = health;
-      return std::make_unique<ReplicaBackend>(backend_options);
-    };
+  try {
+    options.backend_factory = make_backend_factory(cli.backend);
+  } catch (const ContractViolation& error) {
+    // Shape violations (endpoint counts per backend) are diagnosed by the
+    // factory, uniformly for every embedder — not re-implemented per flag.
+    usage(argv[0], error.what());
   }
   FusionCluster cluster(options);
-  std::printf("serving backend: %s (%zu shards)\n", backend_name,
-              cluster.shard_count());
-  if (cli.backend == BackendKind::kTcp)
+  std::printf("serving backend: %s (%zu shards, wire %s)\n", backend_name,
+              cluster.shard_count(), wire_mode_name(cli.backend.wire));
+  if (cli.backend.kind == BackendConfig::Kind::kTcp)
     std::printf("remote worker: %s (every shard on its own connection)\n",
-                net::to_string(cli.endpoints[0]).c_str());
-  if (cli.backend == BackendKind::kReplicaTcp) {
+                net::to_string(cli.backend.endpoints[0]).c_str());
+  if (cli.backend.kind == BackendConfig::Kind::kReplica) {
     std::printf("replica seed list (priority order, health-probed):");
-    for (const net::Endpoint& endpoint : cli.endpoints)
+    for (const net::Endpoint& endpoint : cli.backend.endpoints)
       std::printf(" %s", net::to_string(endpoint).c_str());
     std::printf("\n");
   }

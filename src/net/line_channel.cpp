@@ -1,6 +1,51 @@
 #include "net/line_channel.hpp"
 
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstring>
+
 namespace ffsm::net {
+
+void LineChannel::shutdown_io() noexcept {
+  // ENOTSOCK on pipes/ttys is fine — only socket channels need the wakeup.
+  if (read_fd_ >= 0) ::shutdown(read_fd_, SHUT_RDWR);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_)
+    ::shutdown(write_fd_, SHUT_RDWR);
+}
+
+bool LineChannel::read_exact_until(char* dst, std::size_t count,
+                                   const Deadline* deadline) {
+  FFSM_EXPECTS(valid());
+  std::size_t have = 0;
+  if (!buffer_.empty()) {
+    have = std::min(count, buffer_.size());
+    std::memcpy(dst, buffer_.data(), have);
+    buffer_.erase(0, have);
+  }
+  while (have < count) {
+    const std::size_t n =
+        deadline != nullptr
+            ? recv_some(read_fd_, dst + have, count - have, *deadline)
+            : recv_some(read_fd_, dst + have, count - have);
+    if (n == 0) {
+      if (have > 0)
+        throw NetError("peer closed the stream mid-read (torn message)");
+      return false;  // clean EOF before the first byte
+    }
+    have += n;
+  }
+  return true;
+}
+
+bool LineChannel::read_exact(char* dst, std::size_t count) {
+  return read_exact_until(dst, count, nullptr);
+}
+
+bool LineChannel::read_exact(char* dst, std::size_t count,
+                             Deadline deadline) {
+  return read_exact_until(dst, count, &deadline);
+}
 
 bool LineChannel::read_line_until(std::string& line,
                                   const Deadline* deadline) {

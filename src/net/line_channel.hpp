@@ -74,6 +74,12 @@ class LineChannel {
     buffer_.clear();
   }
 
+  /// Half-dead the underlying socket (::shutdown SHUT_RDWR) without
+  /// closing the fd: a reader blocked in recv on another thread wakes with
+  /// EOF instead of racing a close() that could recycle the fd under it.
+  /// No-op on non-sockets (the stdio bridge) and invalid channels.
+  void shutdown_io() noexcept;
+
   /// Sends all bytes (SIGPIPE-safe, partial writes retried). Throws
   /// NetError when the peer is gone.
   void send(std::string_view data) const {
@@ -109,7 +115,25 @@ class LineChannel {
                                        const char* context,
                                        Deadline deadline);
 
+  /// Reads exactly `count` bytes into `dst` (the binary framing's header
+  /// and payload reads). Returns false on clean EOF before the first
+  /// byte; EOF mid-read is a torn message and throws NetError, as do read
+  /// errors. Already-buffered bytes (e.g. what followed a negotiation
+  /// reply line) are consumed first. The deadline overload additionally
+  /// throws NetError once `deadline` passes with bytes still missing.
+  bool read_exact(char* dst, std::size_t count);
+  bool read_exact(char* dst, std::size_t count, Deadline deadline);
+
+  /// Pushes bytes back to the front of the read buffer — the negotiation
+  /// peek: a worker reads the first line of a connection, and when it is
+  /// not a hello, unreads it for the codec loop to consume.
+  void unread(std::string_view bytes) {
+    buffer_.insert(0, bytes.data(), bytes.size());
+  }
+
  private:
+  bool read_exact_until(char* dst, std::size_t count,
+                        const Deadline* deadline);
   bool read_line_until(std::string& line, const Deadline* deadline);
   [[nodiscard]] std::string expect_line_until(const char* context,
                                               const Deadline* deadline);

@@ -36,6 +36,12 @@ std::string QueuedWireBackend::error_detail(std::istringstream& words) {
   return detail;
 }
 
+std::string QueuedWireBackend::describe_reply(const Frame& reply) {
+  if (reply.type == FrameType::kError) return reply.text;
+  return std::string("unexpected '") + frame_type_name(reply.type) +
+         "' reply";
+}
+
 void QueuedWireBackend::add_top(const std::string& key, const Dfsm& top) {
   const std::lock_guard<std::mutex> lock(mutex_);
   FFSM_EXPECTS(!tops_.contains(key));

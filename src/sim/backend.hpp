@@ -114,6 +114,11 @@ class QueuedWireBackend : public ShardBackend {
   /// directive already consumed from `words`).
   [[nodiscard]] static std::string error_detail(std::istringstream& words);
 
+  /// Human-readable tail for a reply frame that should have been `ok` (or
+  /// another expected type): the error detail for kError, the frame type
+  /// name otherwise.
+  [[nodiscard]] static std::string describe_reply(const Frame& reply);
+
   /// Serializes the wire conversation and guards tops_/top_order_/queues.
   mutable std::mutex mutex_;
   std::unordered_map<std::string, TopState> tops_;

@@ -171,23 +171,49 @@ void FusionCluster::serve_shard(Shard& shard,
   }
 
   // Drain every top with a backlog — new submissions plus anything a
-  // previously failed drain left queued inside the backend.
-  for (const auto& [key, entry] : entries) {
-    if (backend.pending(*key) == 0) continue;
-    std::vector<FusionResponse> served;
+  // previously failed drain left queued inside the backend. The drains run
+  // in parallel: backends either serialize internally (subprocess) or
+  // multiplex concurrent serve exchanges on one connection (the replica
+  // backend's tagged binary wire), so distinct tops genuinely overlap.
+  // Results land in per-top slots and merge in registration order below —
+  // bookkeeping (inflight maps, failure records) stays single-threaded.
+  std::vector<std::pair<const std::string*, TopEntry*>> backlogged;
+  for (const auto& [key, entry] : entries)
+    if (backend.pending(*key) != 0) backlogged.emplace_back(key, entry);
+  const std::size_t backlogged_count = backlogged.size();
+  std::vector<std::vector<FusionResponse>> served_per_top(backlogged_count);
+  std::vector<std::exception_ptr> drain_errors(backlogged_count);
+  const auto drain_top = [&](std::size_t i) {
+    // The capture covers only drain() itself so a served batch can never
+    // be misreported as re-queued — response mapping in the merge happens
+    // outside it (a mapping failure, e.g. OOM, propagates to drain()'s
+    // caller as an error instead).
     try {
-      served = backend.drain(*key);
+      served_per_top[i] = backend.drain(*backlogged[i].first);
     } catch (...) {
+      drain_errors[i] = std::current_exception();
+    }
+  };
+  if (options_.parallel) {
+    ParallelOptions popt;
+    popt.pool = options_.pool;
+    popt.serial_threshold = 2;  // a whole wire exchange per iteration
+    parallel_for(0, backlogged_count, drain_top, popt);
+  } else {
+    for (std::size_t i = 0; i < backlogged_count; ++i) drain_top(i);
+  }
+
+  for (std::size_t i = 0; i < backlogged_count; ++i) {
+    const std::string& key = *backlogged[i].first;
+    TopEntry* entry = backlogged[i].second;
+    if (drain_errors[i]) {
       // The backend kept the batch queued internally; retried on the next
       // cluster drain (a subprocess backend respawns its worker then).
-      // The catch covers only drain() itself so a served batch can never
-      // be misreported as re-queued — response mapping below happens
-      // outside it (a mapping failure, e.g. OOM, propagates to drain()'s
-      // caller as an error instead).
-      record_failure(*key);
+      record_failure(key);
       requeued += entry->inflight.size();
       continue;
     }
+    std::vector<FusionResponse>& served = served_per_top[i];
     responses.reserve(responses.size() + served.size());
     for (FusionResponse& r : served) {
       const auto it = entry->inflight.find(r.ticket);
@@ -198,7 +224,7 @@ void FusionCluster::serve_shard(Shard& shard,
         cluster_ticket = it->second;
         entry->inflight.erase(it);
       }
-      responses.push_back({cluster_ticket, *key, std::move(r.client),
+      responses.push_back({cluster_ticket, key, std::move(r.client),
                            std::move(r.result)});
     }
   }

@@ -1,7 +1,12 @@
 #include "sim/messages.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstring>
+#include <functional>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "util/contracts.hpp"
@@ -452,6 +457,861 @@ ShardServiceConfig decode_config(std::string_view text) {
   if (!ended) bad("config: missing 'end'");
   if (seen != (1u << 5) - 1) bad("config: missing field");
   return out;
+}
+
+// ------------------------------------------------------------- wire modes
+
+const char* wire_mode_name(WireMode mode) {
+  switch (mode) {
+    case WireMode::kAuto:
+      return "auto";
+    case WireMode::kText:
+      return "text";
+    case WireMode::kBinary:
+      return "bin";
+  }
+  bad("unknown WireMode");
+}
+
+bool parse_wire_mode(std::string_view name, WireMode& out) {
+  if (name == "auto") {
+    out = WireMode::kAuto;
+  } else if (name == "text") {
+    out = WireMode::kText;
+  } else if (name == "bin") {
+    out = WireMode::kBinary;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kOk:
+      return "ok";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kConfig:
+      return "config";
+    case FrameType::kTop:
+      return "top";
+    case FrameType::kServe:
+      return "serve";
+    case FrameType::kRequest:
+      return "request";
+    case FrameType::kServing:
+      return "serving";
+    case FrameType::kResponse:
+      return "response";
+    case FrameType::kDone:
+      return "done";
+    case FrameType::kStatsQuery:
+      return "stats-query";
+    case FrameType::kStats:
+      return "stats";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+    case FrameType::kShutdown:
+      return "shutdown";
+    case FrameType::kBye:
+      return "bye";
+  }
+  bad("unknown FrameType");
+}
+
+// -------------------------------------------------------------- WireArena
+
+char* WireArena::allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers, simpler marks
+  while (current_ < chunks_.size()) {
+    if (sizes_[current_] - used_ >= bytes) {
+      char* out = chunks_[current_].get() + used_;
+      used_ += bytes;
+      return out;
+    }
+    ++current_;
+    used_ = 0;
+  }
+  const std::size_t capacity = std::max(chunk_size_, bytes);
+  chunks_.push_back(std::make_unique<char[]>(capacity));
+  sizes_.push_back(capacity);
+  current_ = chunks_.size() - 1;
+  used_ = bytes;
+  return chunks_[current_].get();
+}
+
+std::size_t WireArena::capacity() const noexcept {
+  std::size_t total = 0;
+  for (const std::size_t size : sizes_) total += size;
+  return total;
+}
+
+// ------------------------------------------------------------- text codec
+
+namespace {
+
+/// Pulls the next input line; false only at a clean end of input (which
+/// mid-frame means truncation). Channel-backed sources never return false
+/// — they throw NetError via expect_line instead.
+using LineSource = std::function<bool(std::string&)>;
+
+bool blank_line(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+std::string next_or_truncated(const LineSource& next, const char* what) {
+  std::string line;
+  if (!next(line)) bad(std::string(what) + ": truncated frame");
+  return line;
+}
+
+/// Lines up to and including the lone `end` terminator, newlines restored
+/// — the body collector behind every multi-line text frame.
+std::string collect_text_frame(std::string first, const LineSource& next,
+                               const char* what) {
+  std::string frame = std::move(first);
+  frame += '\n';
+  for (;;) {
+    const std::string line = next_or_truncated(next, what);
+    frame += line;
+    frame += '\n';
+    if (line == "end") return frame;
+  }
+}
+
+/// One text frame starting at `first` (a non-blank command/reply line),
+/// pulling body lines from `next` as the type requires.
+Frame parse_text_frame(const std::string& first, const LineSource& next) {
+  std::istringstream words(first);
+  std::string directive;
+  words >> directive;  // caller guarantees a non-blank line
+  Frame frame;
+  const auto line_end = [&](const char* what) { expect_line_end(words, what); };
+  if (directive == "ok") {
+    frame.type = FrameType::kOk;
+    line_end("ok");
+  } else if (directive == "error") {
+    frame.type = FrameType::kError;
+    std::string token;
+    if (words >> token) {
+      // Lenient like the historical error_detail: a garbled escape in an
+      // error message must not mask the error itself.
+      try {
+        frame.text = unescape_token(token);
+      } catch (const ContractViolation&) {
+        frame.text = token;
+      }
+    }
+    line_end("error");
+  } else if (directive == "done") {
+    frame.type = FrameType::kDone;
+    line_end("done");
+  } else if (directive == "ping") {
+    frame.type = FrameType::kPing;
+    line_end("ping");
+  } else if (directive == "pong") {
+    frame.type = FrameType::kPong;
+    line_end("pong");
+  } else if (directive == "shutdown") {
+    frame.type = FrameType::kShutdown;
+    line_end("shutdown");
+  } else if (directive == "bye") {
+    frame.type = FrameType::kBye;
+    line_end("bye");
+  } else if (directive == "serving") {
+    frame.type = FrameType::kServing;
+    frame.count = parse_unsigned<std::uint64_t>(words, "serving");
+    line_end("serving");
+  } else if (directive == "serve") {
+    frame.type = FrameType::kServe;
+    std::string token;
+    if (!(words >> token)) bad("'serve' requires <key> <count>");
+    frame.key = unescape_token(token);
+    frame.count = parse_unsigned<std::uint64_t>(words, "serve count");
+    line_end("serve");
+  } else if (directive == "stats") {
+    std::string token;
+    if (words >> token) {
+      // `stats <key>` is the query; a bare `stats` opens the counters
+      // frame (the reply).
+      frame.type = FrameType::kStatsQuery;
+      frame.key = unescape_token(token);
+      line_end("stats query");
+    } else {
+      frame.type = FrameType::kStats;
+      frame.stats = decode_stats(collect_text_frame(first, next, "stats"));
+    }
+  } else if (directive == "config") {
+    line_end("config");
+    frame.type = FrameType::kConfig;
+    frame.config = decode_config(collect_text_frame(first, next, "config"));
+  } else if (directive == "top") {
+    frame.type = FrameType::kTop;
+    std::string token;
+    if (!(words >> token)) bad("'top' requires a key");
+    frame.key = unescape_token(token);
+    line_end("top");
+    // The machine text is its own frame: first line through lone `end`.
+    frame.text = collect_text_frame(
+        next_or_truncated(next, "machine text"), next, "machine text");
+  } else if (directive == "request") {
+    frame.type = FrameType::kRequest;
+    frame.request =
+        decode_request(collect_text_frame(first, next, "request"));
+  } else if (directive == "response") {
+    frame.type = FrameType::kResponse;
+    frame.response =
+        decode_response(collect_text_frame(first, next, "response"));
+  } else {
+    bad("unknown command '" + directive + "'");
+  }
+  return frame;
+}
+
+class TextWireCodec final : public WireCodec {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "text"; }
+  [[nodiscard]] bool multiplexed() const noexcept override { return false; }
+
+  void encode(const Frame& frame, std::string& out) const override {
+    // Exchange ids exist only in the binary framing; silently dropping one
+    // here would desynchronize a multiplexing caller.
+    if (frame.exchange != 0) bad("text wire cannot carry exchange ids");
+    switch (frame.type) {
+      case FrameType::kOk:
+        out += "ok\n";
+        return;
+      case FrameType::kError:
+        out += "error ";
+        out += escape_token(frame.text);
+        out += '\n';
+        return;
+      case FrameType::kConfig:
+        out += encode_config(frame.config);
+        return;
+      case FrameType::kTop:
+        out += "top ";
+        out += escape_token(frame.key);
+        out += '\n';
+        out += frame.text;  // self-terminating machine-text frame
+        return;
+      case FrameType::kServe:
+        out += "serve ";
+        out += escape_token(frame.key);
+        out += ' ';
+        out += std::to_string(frame.count);
+        out += '\n';
+        return;
+      case FrameType::kRequest:
+        out += encode_request(frame.request);
+        return;
+      case FrameType::kServing:
+        out += "serving ";
+        out += std::to_string(frame.count);
+        out += '\n';
+        return;
+      case FrameType::kResponse:
+        out += encode_response(frame.response);
+        return;
+      case FrameType::kDone:
+        out += "done\n";
+        return;
+      case FrameType::kStatsQuery:
+        out += "stats ";
+        out += escape_token(frame.key);
+        out += '\n';
+        return;
+      case FrameType::kStats:
+        out += encode_stats(frame.stats);
+        return;
+      case FrameType::kPing:
+        out += "ping\n";
+        return;
+      case FrameType::kPong:
+        out += "pong\n";
+        return;
+      case FrameType::kShutdown:
+        out += "shutdown\n";
+        return;
+      case FrameType::kBye:
+        out += "bye\n";
+        return;
+    }
+    bad("unknown FrameType");
+  }
+
+  [[nodiscard]] Frame decode(std::string_view bytes) override {
+    std::string_view rest = bytes;
+    const auto next = [&rest](std::string& line) {
+      if (rest.empty()) return false;
+      const auto pos = rest.find('\n');
+      if (pos == std::string_view::npos)
+        bad("truncated frame (unterminated line)");
+      line.assign(rest.substr(0, pos));
+      rest.remove_prefix(pos + 1);
+      return true;
+    };
+    std::string first;
+    do {
+      if (!next(first)) bad("empty input");
+    } while (blank_line(first));
+    Frame frame = parse_text_frame(first, next);
+    std::string extra;
+    while (!rest.empty())
+      if (next(extra) && !blank_line(extra))
+        bad("trailing bytes after frame");
+    return frame;
+  }
+
+  [[nodiscard]] Frame expect(net::LineChannel& channel,
+                             const char* context) override {
+    std::string first;
+    do {
+      first = channel.expect_line(context);
+    } while (blank_line(first));
+    return parse_text_frame(first, [&](std::string& line) {
+      line = channel.expect_line(context);
+      return true;
+    });
+  }
+
+  [[nodiscard]] std::optional<Frame> read_command(
+      net::LineChannel& channel,
+      std::chrono::milliseconds frame_budget) override {
+    std::string first;
+    do {
+      if (!channel.read_line(first)) return std::nullopt;
+    } while (blank_line(first));
+    // The command line may block forever (an idle parent is fine); once a
+    // frame has begun, the rest shares one bounded budget.
+    const net::Deadline deadline =
+        std::chrono::steady_clock::now() + frame_budget;
+    return parse_text_frame(first, [&](std::string& line) {
+      line = channel.expect_line("command frame", deadline);
+      return true;
+    });
+  }
+};
+
+// ----------------------------------------------------------- binary codec
+//
+// Frame = 16-byte little-endian header + payload:
+//
+//   u32 payload_len | u8 type | u8 0 | u16 0 | u64 exchange
+//
+// Reserved header bytes must be zero. Payload layouts (all integers
+// little-endian, `str` = u32 length + raw bytes, `partition` = u32 count +
+// count x u32 block ids):
+//
+//   kError       str detail
+//   kConfig      u8 parallel, u64 threads, u8 incremental,
+//                u8 cache_policy, u64 cache_capacity
+//   kTop         str key, str machine_text
+//   kServe       str key, u64 count
+//   kServing     u64 count
+//   kStatsQuery  str key
+//   kStats       12 x u64 (ServiceStats field order)
+//   kRequest     u64 ticket, str client, u32 f, u8 policy,
+//                u32 n, n x partition
+//   kResponse    u64 ticket, str client, u32 n, n x partition,
+//                u32 machines_added, u32 descent_steps,
+//                u64 candidates_examined, u64 closures_evaluated,
+//                u64 cover_cache_hits, u64 graph_edges_examined,
+//                u32 dmin_before, u32 dmin_after
+//   (kOk, kDone, kPing, kPong, kShutdown, kBye: empty payload)
+
+constexpr std::size_t kBinHeaderSize = 16;
+/// Machines and batches are at most megabytes; anything close to this is
+/// a corrupted length, rejected before it can size an allocation.
+constexpr std::uint32_t kMaxBinPayload = 256u << 20;
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v & 0xff));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  if (s.size() > kMaxBinPayload) bad("oversized string field");
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+void put_partition(std::string& out, const Partition& p) {
+  const auto& assignment = p.assignment();
+  put_u32(out, static_cast<std::uint32_t>(assignment.size()));
+  for (const std::uint32_t v : assignment) put_u32(out, v);
+}
+
+std::uint8_t policy_wire(DescentPolicy policy) {
+  switch (policy) {
+    case DescentPolicy::kFirstFound:
+      return 0;
+    case DescentPolicy::kFewestBlocks:
+      return 1;
+    case DescentPolicy::kMostBlocks:
+      return 2;
+  }
+  bad("unknown DescentPolicy");
+}
+
+DescentPolicy policy_from_wire(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return DescentPolicy::kFirstFound;
+    case 1:
+      return DescentPolicy::kFewestBlocks;
+    case 2:
+      return DescentPolicy::kMostBlocks;
+    default:
+      bad("unknown descent policy byte");
+  }
+}
+
+std::uint8_t cache_policy_wire(CacheEvictionPolicy policy) {
+  switch (policy) {
+    case CacheEvictionPolicy::kLru:
+      return 0;
+    case CacheEvictionPolicy::kEpoch:
+      return 1;
+    case CacheEvictionPolicy::kUnbounded:
+      return 2;
+  }
+  bad("unknown CacheEvictionPolicy");
+}
+
+CacheEvictionPolicy cache_policy_from_wire(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return CacheEvictionPolicy::kLru;
+    case 1:
+      return CacheEvictionPolicy::kEpoch;
+    case 2:
+      return CacheEvictionPolicy::kUnbounded;
+    default:
+      bad("unknown cache policy byte");
+  }
+}
+
+/// Bounds-checked little-endian cursor over one binary payload.
+class BinReader {
+ public:
+  BinReader(const char* data, std::size_t size)
+      : p_(reinterpret_cast<const unsigned char*>(data)), end_(p_ + size) {}
+
+  [[nodiscard]] bool done() const noexcept { return p_ == end_; }
+
+  void require(std::size_t bytes) const {
+    if (static_cast<std::size_t>(end_ - p_) < bytes)
+      bad("truncated payload");
+  }
+
+  std::uint8_t u8() {
+    require(1);
+    return *p_++;
+  }
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p_[i]} << (8 * i);
+    p_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p_[i]} << (8 * i);
+    p_ += 8;
+    return v;
+  }
+
+  std::string_view str() {
+    const std::uint32_t size = u32();
+    require(size);
+    const auto* at = reinterpret_cast<const char*>(p_);
+    p_ += size;
+    return {at, size};
+  }
+
+  Partition partition() {
+    const std::uint32_t count = u32();
+    require(std::size_t{count} * 4);
+    std::vector<std::uint32_t> assignment;
+    assignment.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) assignment.push_back(u32());
+    return Partition(std::move(assignment));
+  }
+
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) bad("expected a 0/1 byte");
+    return v == 1;
+  }
+
+ private:
+  const unsigned char* p_;
+  const unsigned char* end_;
+};
+
+void encode_binary_payload(const Frame& frame, std::string& out) {
+  switch (frame.type) {
+    case FrameType::kOk:
+    case FrameType::kDone:
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kShutdown:
+    case FrameType::kBye:
+      return;
+    case FrameType::kError:
+      put_str(out, frame.text);
+      return;
+    case FrameType::kConfig:
+      put_u8(out, frame.config.parallel ? 1 : 0);
+      put_u64(out, frame.config.threads);
+      put_u8(out, frame.config.incremental ? 1 : 0);
+      put_u8(out, cache_policy_wire(frame.config.cache_config.policy));
+      put_u64(out, frame.config.cache_config.capacity);
+      return;
+    case FrameType::kTop:
+      put_str(out, frame.key);
+      put_str(out, frame.text);
+      return;
+    case FrameType::kServe:
+      put_str(out, frame.key);
+      put_u64(out, frame.count);
+      return;
+    case FrameType::kServing:
+      put_u64(out, frame.count);
+      return;
+    case FrameType::kStatsQuery:
+      put_str(out, frame.key);
+      return;
+    case FrameType::kStats:
+      put_u64(out, frame.stats.requests_submitted);
+      put_u64(out, frame.stats.requests_served);
+      put_u64(out, frame.stats.batches_served);
+      put_u64(out, frame.stats.restarts);
+      put_u64(out, frame.stats.failovers);
+      put_u64(out, frame.stats.health_probes_failed);
+      put_u64(out, frame.stats.cache_hits);
+      put_u64(out, frame.stats.cache_cold_misses);
+      put_u64(out, frame.stats.cache_eviction_misses);
+      put_u64(out, frame.stats.cache_evictions);
+      put_u64(out, frame.stats.cache_entries);
+      put_u64(out, frame.stats.cache_bytes);
+      return;
+    case FrameType::kRequest: {
+      const WireRequest& r = frame.request;
+      put_u64(out, r.ticket);
+      put_str(out, r.client);
+      put_u32(out, r.request.f);
+      put_u8(out, policy_wire(r.request.policy));
+      put_u32(out, static_cast<std::uint32_t>(r.request.originals.size()));
+      for (const Partition& p : r.request.originals) put_partition(out, p);
+      return;
+    }
+    case FrameType::kResponse: {
+      const FusionResponse& r = frame.response;
+      put_u64(out, r.ticket);
+      put_str(out, r.client);
+      put_u32(out, static_cast<std::uint32_t>(r.result.partitions.size()));
+      for (const Partition& p : r.result.partitions) put_partition(out, p);
+      const GenerateStats& s = r.result.stats;
+      put_u32(out, s.machines_added);
+      put_u32(out, s.descent_steps);
+      put_u64(out, s.candidates_examined);
+      put_u64(out, s.closures_evaluated);
+      put_u64(out, s.cover_cache_hits);
+      put_u64(out, s.graph_edges_examined);
+      put_u32(out, s.dmin_before);
+      put_u32(out, s.dmin_after);
+      return;
+    }
+  }
+  bad("unknown FrameType");
+}
+
+Frame decode_binary_payload(FrameType type, BinReader& in) {
+  Frame frame;
+  frame.type = type;
+  switch (type) {
+    case FrameType::kOk:
+    case FrameType::kDone:
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kShutdown:
+    case FrameType::kBye:
+      break;
+    case FrameType::kError:
+      frame.text = in.str();
+      break;
+    case FrameType::kConfig:
+      frame.config.parallel = in.boolean();
+      frame.config.threads = in.u64();
+      frame.config.incremental = in.boolean();
+      frame.config.cache_config.policy = cache_policy_from_wire(in.u8());
+      frame.config.cache_config.capacity = in.u64();
+      break;
+    case FrameType::kTop:
+      frame.key = in.str();
+      frame.text = in.str();
+      break;
+    case FrameType::kServe:
+      frame.key = in.str();
+      frame.count = in.u64();
+      break;
+    case FrameType::kServing:
+      frame.count = in.u64();
+      break;
+    case FrameType::kStatsQuery:
+      frame.key = in.str();
+      break;
+    case FrameType::kStats:
+      frame.stats.requests_submitted = in.u64();
+      frame.stats.requests_served = in.u64();
+      frame.stats.batches_served = in.u64();
+      frame.stats.restarts = in.u64();
+      frame.stats.failovers = in.u64();
+      frame.stats.health_probes_failed = in.u64();
+      frame.stats.cache_hits = in.u64();
+      frame.stats.cache_cold_misses = in.u64();
+      frame.stats.cache_eviction_misses = in.u64();
+      frame.stats.cache_evictions = in.u64();
+      frame.stats.cache_entries = in.u64();
+      frame.stats.cache_bytes = in.u64();
+      break;
+    case FrameType::kRequest: {
+      frame.request.ticket = in.u64();
+      frame.request.client = in.str();
+      frame.request.request.f = in.u32();
+      frame.request.request.policy = policy_from_wire(in.u8());
+      const std::uint32_t originals = in.u32();
+      frame.request.request.originals.reserve(
+          std::min<std::size_t>(originals, 4096));
+      for (std::uint32_t i = 0; i < originals; ++i)
+        frame.request.request.originals.push_back(in.partition());
+      break;
+    }
+    case FrameType::kResponse: {
+      frame.response.ticket = in.u64();
+      frame.response.client = in.str();
+      const std::uint32_t partitions = in.u32();
+      frame.response.result.partitions.reserve(
+          std::min<std::size_t>(partitions, 4096));
+      for (std::uint32_t i = 0; i < partitions; ++i)
+        frame.response.result.partitions.push_back(in.partition());
+      GenerateStats& s = frame.response.result.stats;
+      s.machines_added = in.u32();
+      s.descent_steps = in.u32();
+      s.candidates_examined = in.u64();
+      s.closures_evaluated = in.u64();
+      s.cover_cache_hits = in.u64();
+      s.graph_edges_examined = in.u64();
+      s.dmin_before = in.u32();
+      s.dmin_after = in.u32();
+      break;
+    }
+    default:
+      bad("unknown frame type byte");
+  }
+  if (!in.done()) bad("trailing payload bytes");
+  return frame;
+}
+
+struct BinHeader {
+  std::uint32_t payload_len = 0;
+  FrameType type = FrameType::kOk;
+  std::uint64_t exchange = 0;
+};
+
+BinHeader parse_binary_header(const char* data) {
+  const auto* h = reinterpret_cast<const unsigned char*>(data);
+  BinHeader out;
+  for (int i = 0; i < 4; ++i)
+    out.payload_len |= std::uint32_t{h[i]} << (8 * i);
+  const std::uint8_t type_byte = h[4];
+  if (h[5] != 0 || h[6] != 0 || h[7] != 0)
+    bad("reserved header bytes must be zero");
+  for (int i = 0; i < 8; ++i)
+    out.exchange |= std::uint64_t{h[8 + i]} << (8 * i);
+  if (type_byte < static_cast<std::uint8_t>(FrameType::kOk) ||
+      type_byte > static_cast<std::uint8_t>(FrameType::kBye))
+    bad("unknown frame type byte");
+  if (out.payload_len > kMaxBinPayload) bad("oversized frame");
+  out.type = static_cast<FrameType>(type_byte);
+  return out;
+}
+
+class BinaryWireCodec final : public WireCodec {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "bin"; }
+  [[nodiscard]] bool multiplexed() const noexcept override { return true; }
+
+  void encode(const Frame& frame, std::string& out) const override {
+    const std::size_t header_at = out.size();
+    out.append(kBinHeaderSize, '\0');
+    encode_binary_payload(frame, out);
+    const std::size_t payload = out.size() - header_at - kBinHeaderSize;
+    if (payload > kMaxBinPayload) bad("oversized frame");
+    std::string header;
+    header.reserve(kBinHeaderSize);
+    put_u32(header, static_cast<std::uint32_t>(payload));
+    put_u8(header, static_cast<std::uint8_t>(frame.type));
+    put_u8(header, 0);
+    put_u16(header, 0);
+    put_u64(header, frame.exchange);
+    out.replace(header_at, kBinHeaderSize, header);
+  }
+
+  [[nodiscard]] Frame decode(std::string_view bytes) override {
+    if (bytes.size() < kBinHeaderSize) bad("truncated header");
+    const BinHeader header = parse_binary_header(bytes.data());
+    if (bytes.size() - kBinHeaderSize < header.payload_len)
+      bad("truncated payload");
+    if (bytes.size() - kBinHeaderSize > header.payload_len)
+      bad("trailing bytes after frame");
+    BinReader in(bytes.data() + kBinHeaderSize, header.payload_len);
+    Frame frame = decode_binary_payload(header.type, in);
+    frame.exchange = header.exchange;
+    return frame;
+  }
+
+  [[nodiscard]] Frame expect(net::LineChannel& channel,
+                             const char* context) override {
+    char header_bytes[kBinHeaderSize];
+    if (!channel.read_exact(header_bytes, kBinHeaderSize))
+      throw net::NetError(std::string("peer closed the stream during ") +
+                          context);
+    return read_payload(channel, header_bytes, nullptr);
+  }
+
+  [[nodiscard]] std::optional<Frame> read_command(
+      net::LineChannel& channel,
+      std::chrono::milliseconds frame_budget) override {
+    char header_bytes[kBinHeaderSize];
+    // First byte may block forever (idle parent); the rest of the frame
+    // shares one bounded budget.
+    if (!channel.read_exact(header_bytes, 1)) return std::nullopt;
+    const net::Deadline deadline =
+        std::chrono::steady_clock::now() + frame_budget;
+    if (!channel.read_exact(header_bytes + 1, kBinHeaderSize - 1, deadline))
+      throw net::NetError("peer closed the stream mid-header");
+    return read_payload(channel, header_bytes, &deadline);
+  }
+
+ private:
+  Frame read_payload(net::LineChannel& channel, const char* header_bytes,
+                     const net::Deadline* deadline) {
+    const BinHeader header = parse_binary_header(header_bytes);
+    // Stage the payload in the arena: mark/restore means steady-state
+    // reads allocate no per-frame buffers (strings and partitions copied
+    // out of the staging block are the only allocations left).
+    const WireArena::Mark mark = arena_.mark();
+    char* payload = arena_.allocate(header.payload_len);
+    try {
+      const bool got =
+          header.payload_len == 0 ||
+          (deadline != nullptr
+               ? channel.read_exact(payload, header.payload_len, *deadline)
+               : channel.read_exact(payload, header.payload_len));
+      if (!got)
+        throw net::NetError("peer closed the stream mid-frame");
+      BinReader in(payload, header.payload_len);
+      Frame frame = decode_binary_payload(header.type, in);
+      frame.exchange = header.exchange;
+      arena_.restore(mark);
+      return frame;
+    } catch (...) {
+      arena_.restore(mark);
+      throw;
+    }
+  }
+
+  WireArena arena_;
+};
+
+}  // namespace
+
+std::unique_ptr<WireCodec> make_wire_codec(bool binary) {
+  if (binary) return std::make_unique<BinaryWireCodec>();
+  return std::make_unique<TextWireCodec>();
+}
+
+// ------------------------------------------------------------ negotiation
+
+std::string client_hello(WireMode mode) {
+  FFSM_EXPECTS(mode != WireMode::kText);
+  return mode == WireMode::kBinary ? "hello 1 bin\n" : "hello 1 bin,text\n";
+}
+
+bool parse_client_hello(std::string_view line, bool& offers_binary,
+                        bool& offers_text) {
+  std::istringstream words{std::string(line)};
+  std::string directive;
+  if (!(words >> directive) || directive != "hello") return false;
+  std::string version;
+  std::string offers;
+  if (!(words >> version >> offers))
+    bad("hello requires <version> <offers>");
+  expect_line_end(words, "hello");
+  if (version != "1") bad("unsupported hello version '" + version + "'");
+  offers_binary = false;
+  offers_text = false;
+  std::size_t start = 0;
+  while (start <= offers.size()) {
+    const std::size_t comma = offers.find(',', start);
+    const std::string_view offer =
+        std::string_view(offers).substr(start, comma == std::string::npos
+                                                   ? std::string::npos
+                                                   : comma - start);
+    if (offer == "bin") offers_binary = true;
+    if (offer == "text") offers_text = true;
+    // Unknown offers are ignored: a future codec degrades to what both
+    // sides share.
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+std::string worker_hello(bool binary) {
+  return binary ? "hello 1 bin\n" : "hello 1 text\n";
+}
+
+std::unique_ptr<WireCodec> negotiate_wire(net::LineChannel& channel,
+                                          WireMode mode) {
+  if (mode == WireMode::kText) return make_wire_codec(false);
+  channel.send(client_hello(mode));
+  const std::string reply = channel.expect_line("wire negotiation");
+  if (reply == "hello 1 bin") return make_wire_codec(true);
+  if (reply == "hello 1 text" && mode == WireMode::kAuto)
+    return make_wire_codec(false);
+  if (reply.rfind("error", 0) == 0) {
+    // A worker that predates negotiation answered `error unknown
+    // command...` and keeps listening — the stream is still in sync.
+    if (mode == WireMode::kBinary)
+      bad("peer cannot speak the binary wire (--wire=bin): " + reply);
+    return make_wire_codec(false);
+  }
+  bad("unexpected negotiation reply '" + reply + "'");
 }
 
 }  // namespace ffsm

@@ -26,13 +26,25 @@
 // percent-escaped (escape_token); partitions travel as their normalized
 // block assignments, so decode(encode(x)) == x and, for canonical frames,
 // encode(decode(text)) == text byte for byte.
+//
+// Since PR 6 the text protocol above is one of two interchangeable
+// encodings behind the WireCodec interface. The negotiated alternative is
+// a length-prefixed binary framing (BinaryWireCodec) whose frames carry an
+// exchange id, letting several serve exchanges interleave on one
+// connection. See the WireCodec section below and README "Wire format".
 #pragma once
 
+#include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "fusion/generator.hpp"
+#include "net/line_channel.hpp"
 
 namespace ffsm {
 
@@ -98,12 +110,18 @@ struct WireRequest {
   FusionRequest request;
 };
 
-// ------------------------------------------------------------------ codec
+// ----------------------------------------------------- free-function codec
 //
 // Every decode throws ContractViolation on malformed input (unknown
 // directive, missing field, trailing garbage) — a truncated or corrupted
 // frame must fail loudly at the boundary, never produce a half-read
 // message.
+//
+// DEPRECATED: these free functions are thin wrappers over the *text*
+// encoding and are kept so existing callers compile unchanged. New code
+// should speak Frame through a WireCodec (below), which also supports the
+// negotiated binary framing; these wrappers will be removed once
+// out-of-tree callers have migrated.
 
 [[nodiscard]] std::string encode_request(const WireRequest& request);
 [[nodiscard]] WireRequest decode_request(std::string_view text);
@@ -133,5 +151,180 @@ struct WireRequest {
 [[nodiscard]] const char* cache_policy_name(CacheEvictionPolicy policy);
 [[nodiscard]] CacheEvictionPolicy cache_policy_from_name(
     std::string_view name);
+
+// ------------------------------------------------------------- wire codec
+
+/// Which encoding a peer speaks (or is willing to negotiate).
+///   kAuto   — offer the binary framing, fall back to text when the peer
+///             does not negotiate (old workers). The default everywhere.
+///   kText   — speak the line-oriented text protocol, no hello at all;
+///             byte-identical to the pre-negotiation wire.
+///   kBinary — require the binary framing; a peer that cannot negotiate it
+///             fails the connection instead of falling back.
+enum class WireMode { kAuto, kText, kBinary };
+
+[[nodiscard]] const char* wire_mode_name(WireMode mode);
+/// Strict parse of "text" / "bin" / "auto" (the --wire flag values);
+/// returns false on anything else, leaving `out` untouched.
+[[nodiscard]] bool parse_wire_mode(std::string_view name, WireMode& out);
+
+/// Everything that crosses a backend boundary, as a tagged variant. One
+/// type for both directions: commands (kConfig, kTop, kServe + kRequest*,
+/// kStatsQuery, kPing, kShutdown) and replies (kOk, kError, kServing +
+/// kResponse* + kDone, kStats, kPong, kBye).
+enum class FrameType : std::uint8_t {
+  kOk = 1,
+  kError = 2,       // text = human-readable detail
+  kConfig = 3,      // config
+  kTop = 4,         // key + text (self-contained machine text)
+  kServe = 5,       // key + count, followed by `count` kRequest frames
+  kRequest = 6,     // request
+  kServing = 7,     // count, followed by `count` kResponse frames + kDone
+  kResponse = 8,    // response
+  kDone = 9,
+  kStatsQuery = 10,  // key
+  kStats = 11,       // stats
+  kPing = 12,
+  kPong = 13,
+  kShutdown = 14,
+  kBye = 15,
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType type);
+
+/// One decoded wire frame. Which fields are meaningful depends on `type`
+/// (see FrameType); the rest stay default-constructed. `exchange` is the
+/// multiplexing tag of the binary framing — replies echo the exchange id
+/// of their command, so several exchanges can interleave on one
+/// connection. The text encoding cannot carry it (always 0).
+struct Frame {
+  FrameType type = FrameType::kOk;
+  std::uint64_t exchange = 0;
+  std::string key;           // kTop, kServe, kStatsQuery
+  std::uint64_t count = 0;   // kServe, kServing
+  std::string text;          // kTop (machine text), kError (detail)
+  WireRequest request;       // kRequest
+  FusionResponse response;   // kResponse
+  ServiceStats stats;        // kStats
+  ShardServiceConfig config; // kConfig
+};
+
+/// Mark/restore bump allocator backing binary frame decode: the payload of
+/// every incoming frame is staged in one arena block (no per-frame buffer
+/// allocation in steady state — restore() keeps the memory) and parsed in
+/// place. Chunked so a mark survives growth; an allocation larger than the
+/// chunk size gets a dedicated chunk.
+class WireArena {
+ public:
+  explicit WireArena(std::size_t chunk_size = 64 * 1024)
+      : chunk_size_(chunk_size) {}
+
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] Mark mark() const noexcept { return {current_, used_}; }
+  /// Rewinds to `mark`; memory is retained for reuse, never freed.
+  void restore(const Mark& mark) noexcept {
+    current_ = mark.chunk;
+    used_ = mark.used;
+  }
+  [[nodiscard]] char* allocate(std::size_t bytes);
+  /// Total bytes owned (capacity, not live) — observability for tests.
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+ private:
+  std::size_t chunk_size_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::vector<std::size_t> sizes_;
+  std::size_t current_ = 0;  // chunk cursor
+  std::size_t used_ = 0;     // bytes used in chunks_[current_]
+};
+
+/// One wire encoding: how a Frame becomes bytes and back. Both directions
+/// of every backend (QueuedWireBackend subclasses parent-side, the shard
+/// worker on the other end) speak Frame through this interface and never
+/// touch encoding details. Implementations may keep decode scratch state
+/// (the binary codec's arena), so decode/read are non-const; one codec
+/// instance must not be shared by concurrent readers.
+class WireCodec {
+ public:
+  virtual ~WireCodec() = default;
+
+  /// Stable wire name: "text" or "bin" (also the negotiation token).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  /// Whether frames carry exchange ids (binary only) — the precondition
+  /// for interleaving exchanges on one connection.
+  [[nodiscard]] virtual bool multiplexed() const noexcept = 0;
+
+  /// Appends `frame`'s wire bytes to `out`.
+  virtual void encode(const Frame& frame, std::string& out) const = 0;
+  [[nodiscard]] std::string encode(const Frame& frame) const {
+    std::string out;
+    encode(frame, out);
+    return out;
+  }
+
+  /// Decodes exactly one frame from a complete buffer. Strict: truncated
+  /// input and trailing bytes both throw ContractViolation, as does any
+  /// malformed content. (The unit-testable surface; transport reads below
+  /// share its parsing.)
+  [[nodiscard]] virtual Frame decode(std::string_view bytes) = 0;
+
+  /// Reads one frame off the channel, blocking as long as it takes (the
+  /// parent side: serve replies legitimately take minutes, TCP keepalive
+  /// bounds a dead peer). EOF — even mid-frame — and transport errors
+  /// throw NetError; malformed content throws ContractViolation with the
+  /// stream position unknowable.
+  [[nodiscard]] virtual Frame expect(net::LineChannel& channel,
+                                     const char* context) = 0;
+
+  /// Reads one command frame (the worker side): returns std::nullopt on
+  /// clean EOF before the frame begins; once it has begun, the rest must
+  /// arrive within `frame_budget` or the read fails with NetError. A
+  /// ContractViolation means the frame was malformed; for the text codec
+  /// the line(s) were fully consumed and the stream is still in sync (the
+  /// error-reply-and-continue path old workers rely on); for the binary
+  /// codec the stream must be torn down.
+  [[nodiscard]] virtual std::optional<Frame> read_command(
+      net::LineChannel& channel, std::chrono::milliseconds frame_budget) = 0;
+};
+
+/// The codec for one negotiated wire: "bin" or "text".
+[[nodiscard]] std::unique_ptr<WireCodec> make_wire_codec(bool binary);
+
+// ------------------------------------------------------------ negotiation
+//
+// A parent that wants the binary wire opens every connection with a hello
+// line — `hello 1 <offer>[,<offer>...]` — listing the encodings it
+// accepts, best first. A negotiating worker answers `hello 1 <choice>`
+// and both sides switch; a worker that predates negotiation (or runs
+// --wire=text) answers `error unknown%20command...` like for any unknown
+// directive and keeps listening, so the parent falls back to text with
+// the stream still in sync. No hello means text, byte-identical to the
+// old wire.
+
+/// The parent's opening line (trailing '\n' included). kText sends no
+/// hello — calling this with kText is a contract violation.
+[[nodiscard]] std::string client_hello(WireMode mode);
+
+/// Parses a worker-received `hello` line. Returns false when `line` is
+/// not a hello at all; throws ContractViolation on a hello with an
+/// unsupported version. Unknown offer tokens are ignored (future codecs
+/// degrade gracefully).
+[[nodiscard]] bool parse_client_hello(std::string_view line,
+                                      bool& offers_binary, bool& offers_text);
+
+/// The worker's answer line for `binary` (trailing '\n' included).
+[[nodiscard]] std::string worker_hello(bool binary);
+
+/// Client-side negotiation on a fresh connection: sends the hello for
+/// `mode` (none for kText), reads the worker's answer, and returns the
+/// agreed codec. An `error` answer means a non-negotiating worker: kAuto
+/// falls back to text, kBinary throws ContractViolation. Any other answer
+/// is a protocol violation (throws; the caller drops the connection).
+[[nodiscard]] std::unique_ptr<WireCodec> negotiate_wire(
+    net::LineChannel& channel, WireMode mode);
 
 }  // namespace ffsm

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <numeric>
-#include <sstream>
+#include <unordered_set>
 #include <utility>
 
 #include "util/contracts.hpp"
 
 namespace ffsm {
+namespace {
+
+Frame command_frame(FrameType type) {
+  Frame frame;
+  frame.type = type;
+  return frame;
+}
+
+}  // namespace
 
 ReplicaBackend::ReplicaBackend(ReplicaBackendOptions options)
     : options_(std::move(options)) {
@@ -21,7 +30,11 @@ ReplicaBackend::ReplicaBackend(ReplicaBackendOptions options)
 
 ReplicaBackend::~ReplicaBackend() { shutdown(); }
 
-void ReplicaBackend::drop_connection_locked() noexcept { channel_.close(); }
+void ReplicaBackend::drop_connection_locked() noexcept {
+  // Exchanges still on this conversation keep it alive through their
+  // shared_ptr; they fail with NetError once it is poisoned, not here.
+  conversation_.reset();
+}
 
 std::vector<std::size_t> ReplicaBackend::scan_order() const {
   std::vector<std::size_t> order(options_.endpoints.size());
@@ -53,18 +66,6 @@ std::vector<std::size_t> ReplicaBackend::scan_order() const {
   return order;
 }
 
-void ReplicaBackend::register_top_locked(const std::string& key,
-                                         const TopState& top) {
-  channel_.send("top " + escape_token(key) + '\n' + top.machine_text);
-  const std::string reply = channel_.expect_line("top registration");
-  if (reply != "ok") {
-    drop_connection_locked();
-    throw ContractViolation("ReplicaBackend: worker at " +
-                            net::to_string(options_.endpoints[current_]) +
-                            " rejected top '" + key + "': " + reply);
-  }
-}
-
 void ReplicaBackend::connect_endpoint_locked(std::size_t replica) {
   const net::Endpoint& endpoint = options_.endpoints[replica];
   net::Socket socket = net::Socket::connect(endpoint.host, endpoint.port,
@@ -77,25 +78,37 @@ void ReplicaBackend::connect_endpoint_locked(std::size_t replica) {
     socket.enable_keepalive(options_.keepalive_idle_s,
                             options_.keepalive_interval_s,
                             options_.keepalive_probes);
-  channel_ = net::LineChannel(std::move(socket));
-  try {
-    // A listen-mode worker starts every connection with clean state, so
-    // the full handshake replays: config, then every top in registration
-    // order — which is why any replica serves bit-identically.
-    channel_.send(encode_config(options_.config));
-    const std::string reply = channel_.expect_line("config");
-    if (reply != "ok") {
-      drop_connection_locked();
-      throw ContractViolation("ReplicaBackend: worker rejected config (is " +
-                              net::to_string(endpoint) +
-                              " an ffsm_shard_worker --listen?): " + reply);
-    }
-    for (const std::string& key : top_order_)
-      register_top_locked(key, tops_.at(key));
-  } catch (const net::NetError&) {
-    drop_connection_locked();  // half-shaken connection is unusable
-    throw;
+  net::LineChannel channel(std::move(socket));
+  // Negotiation first (the worker answers before any serving state
+  // exists), then the handshake in the agreed encoding. A listen-mode
+  // worker starts every connection with clean state, so the full
+  // handshake replays: config, then every top in registration order —
+  // which is why any replica serves bit-identically. NetError here routes
+  // to the next replica; a worker that *answers* but wrongly throws
+  // ContractViolation and is not routed around.
+  std::unique_ptr<WireCodec> codec = negotiate_wire(channel, options_.wire);
+  Frame config = command_frame(FrameType::kConfig);
+  config.config = options_.config;
+  channel.send(codec->encode(config));
+  const Frame config_reply = codec->expect(channel, "config");
+  if (config_reply.type != FrameType::kOk)
+    throw ContractViolation("ReplicaBackend: worker rejected config (is " +
+                            net::to_string(endpoint) +
+                            " an ffsm_shard_worker --listen?): " +
+                            describe_reply(config_reply));
+  for (const std::string& key : top_order_) {
+    Frame top = command_frame(FrameType::kTop);
+    top.key = key;
+    top.text = tops_.at(key).machine_text;
+    channel.send(codec->encode(top));
+    const Frame top_reply = codec->expect(channel, "top registration");
+    if (top_reply.type != FrameType::kOk)
+      throw ContractViolation("ReplicaBackend: worker at " +
+                              net::to_string(endpoint) + " rejected top '" +
+                              key + "': " + describe_reply(top_reply));
   }
+  conversation_ = std::make_shared<WireConversation>(std::move(channel),
+                                                     std::move(codec));
   ++connects_;
   // A reconnect that lands on a different replica is a failover (or a
   // fail-back — both move the serving endpoint); the first connection
@@ -113,7 +126,9 @@ void ReplicaBackend::connect_any() {
       // bound), never by seed-list-size timeouts — submit()/pending()/
       // stats() squeeze in between attempts against a dead replica set.
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (channel_.valid()) return;  // raced a concurrent connector
+      if (conversation_ && !conversation_->poisoned())
+        return;  // raced a concurrent connector
+      conversation_.reset();
       connect_endpoint_locked(replica);
       return;
     } catch (const net::NetError& error) {
@@ -128,14 +143,15 @@ void ReplicaBackend::connect_any() {
 }
 
 void ReplicaBackend::maybe_fail_back_locked() {
-  if (!options_.monitor || !channel_.valid() || current_ == 0) return;
+  if (!options_.monitor || !conversation_ || current_ == 0) return;
+  // Moving the connection is only lossless while nothing is in flight on
+  // the wire; with exchanges active, fail-back waits for a later drain.
+  if (conversation_->active_exchanges() != 0) return;
   for (std::size_t replica = 0; replica < current_; ++replica) {
     if (options_.monitor->health(options_.endpoints[replica]).state !=
         net::ProbeState::kUp)
       continue;
     // An earlier-priority replica probes healthy again: move back to it.
-    // Dropping here is lossless — nothing is on the wire between
-    // exchanges, and the backlog is queued parent-side.
     drop_connection_locked();
     return;
   }
@@ -149,86 +165,118 @@ void ReplicaBackend::ensure_connected() {
   net::with_retry(options_.connect_retry, [&] {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (conversation_ && conversation_->poisoned())
+        drop_connection_locked();
       maybe_fail_back_locked();
-      if (channel_.valid()) return;
+      if (conversation_) return;
     }
     connect_any();
   });
 }
 
 void ReplicaBackend::register_added_top_locked(const std::string& key) {
-  if (!channel_.valid()) return;
+  if (!conversation_ || conversation_->poisoned()) return;
   try {
-    register_top_locked(key, tops_.at(key));
+    // A live connection learns the top through its own exchange — on the
+    // binary wire this interleaves with in-flight drains; on the text
+    // wire it waits for the connection like any other exchange.
+    WireConversation::Exchange exchange =
+        WireConversation::open(conversation_);
+    Frame top = command_frame(FrameType::kTop);
+    top.key = key;
+    top.text = tops_.at(key).machine_text;
+    exchange.send(std::move(top));
+    const Frame reply = exchange.receive();
+    if (reply.type == FrameType::kOk) return;
+    if (reply.type != FrameType::kError)
+      conversation_->poison("unexpected top reply");
+    throw ContractViolation("ReplicaBackend: worker at " +
+                            net::to_string(options_.endpoints[current_]) +
+                            " rejected top '" + key +
+                            "': " + describe_reply(reply));
   } catch (const net::NetError&) {
     // The connection is dead, not the registration: drop it so the next
-    // attempt reconnects lazily instead of re-hitting a corpse that
-    // still reports valid().
+    // attempt reconnects lazily instead of re-hitting a corpse.
     drop_connection_locked();
     throw;
   }
 }
 
-std::vector<FusionResponse> ReplicaBackend::serve_batch_locked(
-    const std::string& key, TopState& top) {
+std::mutex& ReplicaBackend::serve_gate(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return *serve_gates_.try_emplace(key, std::make_unique<std::mutex>())
+              .first->second;
+}
+
+std::vector<FusionResponse> ReplicaBackend::serve_exchange(
+    const std::shared_ptr<WireConversation>& conversation,
+    const std::string& key, const std::vector<WireRequest>& batch) {
   std::vector<FusionResponse> responses;
-  responses.reserve(top.queue.size());
+  responses.reserve(batch.size());
   const std::size_t window = std::max<std::size_t>(1, options_.serve_window);
-  for (std::size_t start = 0; start < top.queue.size(); start += window) {
+  for (std::size_t start = 0; start < batch.size(); start += window) {
     // The backpressure window: at most `window` request frames are on the
     // wire before we block on their responses. A wedged replica stalls
     // this drain here, with one window buffered, instead of swallowing
     // the whole backlog.
-    const std::size_t count = std::min(window, top.queue.size() - start);
-    std::string msg = "serve " + escape_token(key) + ' ' +
-                      std::to_string(count) + '\n';
-    for (std::size_t i = 0; i < count; ++i)
-      msg += encode_request(top.queue[start + i]);
-    channel_.send(msg);
+    const std::size_t count = std::min(window, batch.size() - start);
+    WireConversation::Exchange exchange =
+        WireConversation::open(conversation);
+    std::vector<Frame> frames;
+    frames.reserve(count + 1);
+    Frame serve = command_frame(FrameType::kServe);
+    serve.key = key;
+    serve.count = count;
+    frames.push_back(std::move(serve));
+    for (std::size_t i = 0; i < count; ++i) {
+      Frame request = command_frame(FrameType::kRequest);
+      request.request = batch[start + i];
+      frames.push_back(std::move(request));
+    }
+    // One send, one buffer: the serve command and its requests are
+    // contiguous on the wire even while other exchanges interleave.
+    exchange.send(std::move(frames));
 
-    const std::string header = channel_.expect_line("serve");
-    std::istringstream words(header);
-    std::string directive;
-    words >> directive;
-    if (directive == "error") {
+    const Frame header = exchange.receive();
+    if (header.type == FrameType::kError) {
       // The replica is alive and in sync — the batch itself failed. The
       // whole backlog stays queued for the cluster's retry path; windows
       // already served this round get re-served then, which is harmless
       // (generation is deterministic) and costs only worker counters.
       throw ContractViolation("ReplicaBackend: worker failed to serve '" +
-                              key + "': " + error_detail(words));
+                              key + "': " + header.text);
     }
-    std::size_t n = 0;
-    if (directive != "serving" || !(words >> n) || n != count) {
-      drop_connection_locked();
+    if (header.type != FrameType::kServing || header.count != count) {
+      conversation->poison("unexpected serve reply");
       throw ContractViolation("ReplicaBackend: unexpected serve reply '" +
-                              header + "'");
+                              std::string(frame_type_name(header.type)) +
+                              "'");
     }
-    try {
-      for (std::size_t i = 0; i < n; ++i)
-        responses.push_back(decode_response(
-            channel_.read_frame(channel_.expect_line("response"),
-                                "response")));
-      const std::string done = channel_.expect_line("serve trailer");
-      if (done != "done")
-        throw ContractViolation("ReplicaBackend: expected 'done', got '" +
-                                done + "'");
-    } catch (const net::NetError&) {
-      throw;  // transport died; drain() fails over and re-submits
-    } catch (const ContractViolation&) {
-      // A frame failed to decode: the stream position is unknowable, so
-      // the connection must go; the batch stays queued.
-      drop_connection_locked();
-      throw;
+    for (std::size_t i = 0; i < count; ++i) {
+      Frame reply = exchange.receive();
+      if (reply.type != FrameType::kResponse) {
+        conversation->poison("serve response missing");
+        throw ContractViolation("ReplicaBackend: expected response, got '" +
+                                std::string(frame_type_name(reply.type)) +
+                                "'");
+      }
+      responses.push_back(std::move(reply.response));
+    }
+    const Frame done = exchange.receive();
+    if (done.type != FrameType::kDone) {
+      conversation->poison("serve trailer missing");
+      throw ContractViolation("ReplicaBackend: expected 'done', got '" +
+                              std::string(frame_type_name(done.type)) + "'");
     }
   }
-  // Only now is the exchange complete — every response arrived, nothing
-  // can be lost. Responses are in queue order == ticket order.
-  top.queue.clear();
   return responses;
 }
 
 std::vector<FusionResponse> ReplicaBackend::drain(const std::string& key) {
+  // One drain per top at a time; drains for *different* tops proceed
+  // concurrently and, on the binary wire, interleave their exchanges on
+  // the shared connection.
+  const std::lock_guard<std::mutex> serialize(serve_gate(key));
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (top_of(key).queue.empty()) return {};
@@ -238,20 +286,46 @@ std::vector<FusionResponse> ReplicaBackend::drain(const std::string& key) {
   // reachable, under connect_retry) and the batch re-sent,
   // options_.serve_retry.max_attempts times in total. Anything else —
   // protocol errors, worker-side batch failures — propagates immediately
-  // with the batch still queued. All backoff sleeps run unlocked.
+  // with the batch still queued. All backoff sleeps run unlocked, and so
+  // does the wire I/O itself.
   return net::with_retry(
       options_.serve_retry, [&]() -> std::vector<FusionResponse> {
-        try {
-          ensure_connected();
+        ensure_connected();
+        std::shared_ptr<WireConversation> conversation;
+        std::vector<WireRequest> batch;
+        {
           const std::lock_guard<std::mutex> lock(mutex_);
+          if (!conversation_)
+            throw net::NetError("connection lost before serve");
+          conversation = conversation_;
           TopState& top = top_of(key);
           if (top.queue.empty()) return {};  // discarded while connecting
-          return serve_batch_locked(key, top);
+          // Copy, don't move: the queue stays authoritative until every
+          // response of the batch has arrived.
+          batch = top.queue;
+        }
+        std::vector<FusionResponse> responses;
+        try {
+          responses = serve_exchange(conversation, key, batch);
         } catch (const net::NetError&) {
           const std::lock_guard<std::mutex> lock(mutex_);
-          drop_connection_locked();
+          if (conversation_ == conversation) drop_connection_locked();
           throw;
         }
+        // Only now is the exchange complete — every response arrived,
+        // nothing can be lost. Drop exactly the batch's tickets: submits
+        // that arrived during the exchange stay queued for the next
+        // drain, and a discard_pending that raced it stays a no-op.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        TopState& top = top_of(key);
+        std::unordered_set<std::uint64_t> served;
+        served.reserve(batch.size());
+        for (const WireRequest& request : batch)
+          served.insert(request.ticket);
+        std::erase_if(top.queue, [&](const WireRequest& request) {
+          return served.contains(request.ticket);
+        });
+        return responses;
       });
 }
 
@@ -268,38 +342,50 @@ void ReplicaBackend::fill_parent_counters_locked(ServiceStats& stats) const {
 }
 
 ServiceStats ReplicaBackend::stats(const std::string& key) const {
-  auto* self = const_cast<ReplicaBackend*>(this);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  (void)top_of(key);  // key must be registered
+  std::shared_ptr<WireConversation> conversation;
   ServiceStats cold;
-  fill_parent_counters_locked(cold);
-  if (!channel_.valid()) return cold;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    (void)top_of(key);  // key must be registered
+    fill_parent_counters_locked(cold);
+    conversation = conversation_;
+  }
+  if (!conversation || conversation->poisoned()) return cold;
   try {
-    self->channel_.send("stats " + escape_token(key) + '\n');
-    const std::string first = self->channel_.expect_line("stats");
-    if (first.rfind("error", 0) == 0) return cold;
-    ServiceStats remote =
-        decode_stats(self->channel_.read_frame(first, "stats"));
+    WireConversation::Exchange exchange =
+        WireConversation::open(conversation);
+    Frame query = command_frame(FrameType::kStatsQuery);
+    query.key = key;
+    exchange.send(std::move(query));
+    const Frame reply = exchange.receive();
+    if (reply.type != FrameType::kStats) {
+      if (reply.type != FrameType::kError)
+        conversation->poison("unexpected stats reply");
+      return cold;
+    }
+    ServiceStats remote = reply.stats;
+    const std::lock_guard<std::mutex> lock(mutex_);
     fill_parent_counters_locked(remote);
     return remote;
   } catch (const ContractViolation&) {
-    // Transport or protocol died mid-query; the next drain reconnects.
-    self->drop_connection_locked();
+    // Transport or protocol died mid-query (the conversation is already
+    // poisoned); the next drain reconnects.
     return cold;
   }
 }
 
 void ReplicaBackend::shutdown() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (!channel_.valid()) return;
-  try {
-    // Fire-and-close: waiting for "bye" would block shutdown on a
-    // vanished peer (serve reads carry no deadline), and the worker ends
-    // the connection on EOF just the same.
-    channel_.send("shutdown\n");
-  } catch (const ContractViolation&) {
+  std::shared_ptr<WireConversation> conversation;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    conversation = std::move(conversation_);
   }
-  drop_connection_locked();
+  if (!conversation) return;
+  // Fire-and-close: waiting for "bye" would block shutdown on a vanished
+  // peer (serve reads carry no deadline), and the worker ends the
+  // connection on EOF just the same.
+  conversation->send_goodbye(command_frame(FrameType::kShutdown));
+  conversation->poison("shutdown");
 }
 
 std::uint64_t ReplicaBackend::connects() const {
@@ -309,7 +395,7 @@ std::uint64_t ReplicaBackend::connects() const {
 
 bool ReplicaBackend::connected() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return channel_.valid();
+  return conversation_ != nullptr && !conversation_->poisoned();
 }
 
 std::uint64_t ReplicaBackend::failovers() const {
@@ -320,6 +406,11 @@ std::uint64_t ReplicaBackend::failovers() const {
 std::size_t ReplicaBackend::current_replica() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return current_;
+}
+
+std::string ReplicaBackend::wire_name() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return conversation_ ? conversation_->wire_name() : "";
 }
 
 }  // namespace ffsm

@@ -18,14 +18,21 @@
 // queued and the cluster's failed-drain path takes over; any replica
 // coming back recovers the backlog.
 //
+// Every connection negotiates its encoding (sim/messages.hpp): by default
+// the backend offers the binary framing and falls back to text against
+// old workers. The connection itself is a WireConversation — on the
+// binary wire drains for different tops run as interleaved exchanges on
+// the one connection (wire I/O happens *outside* the backend lock), while
+// the text wire serializes exchanges exactly as before.
+//
 // Endpoint selection consults an optional net::HealthMonitor probing the
 // seed list in the background: the connect scan tries replicas the
 // monitor believes alive first (priority order within each verdict) but
 // never skips one — a stale verdict only reorders attempts, it cannot
 // cause unavailability. While serving through a lower-priority replica,
 // a higher-priority one probing back up triggers *fail-back* on the next
-// drain: the connection moves between exchanges, where no work is in
-// flight on the wire, so nothing is dropped.
+// drain: the connection moves only when no exchange is active on the
+// wire, so nothing is dropped.
 //
 // TcpBackend (sim/tcp_backend.hpp) is the one-endpoint special case and
 // derives from this class.
@@ -35,13 +42,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/health.hpp"
 #include "net/line_channel.hpp"
 #include "net/retry.hpp"
 #include "sim/backend.hpp"
+#include "sim/wire_conversation.hpp"
 
 namespace ffsm {
 
@@ -52,6 +62,11 @@ struct ReplicaBackendOptions {
   std::vector<net::Endpoint> endpoints;
   /// Wire-safe service options sent at every (re)connect.
   ShardServiceConfig config = {};
+  /// Negotiation stance for every connection (see sim/messages.hpp):
+  /// kAuto offers the binary framing and falls back to text against a
+  /// non-negotiating worker; kText pins the pre-negotiation wire; kBinary
+  /// requires the binary framing and fails the connection otherwise.
+  WireMode wire = WireMode::kAuto;
   /// Bounded time per connect attempt against a black-holed host.
   std::chrono::milliseconds connect_timeout{2000};
   /// Backoff across connect rounds; every round scans the whole replica
@@ -108,6 +123,9 @@ class ReplicaBackend : public QueuedWireBackend {
   [[nodiscard]] std::uint64_t failovers() const;
   /// Seed-list index of the live (or most recent) connection's replica.
   [[nodiscard]] std::size_t current_replica() const;
+  /// Negotiated encoding of the live connection ("bin" or "text"); empty
+  /// while disconnected.
+  [[nodiscard]] std::string wire_name() const;
 
  private:
   /// A live connection learns new tops immediately; otherwise the next
@@ -119,8 +137,8 @@ class ReplicaBackend : public QueuedWireBackend {
   /// NetError once every round failed on every replica.
   void ensure_connected();
   /// Drops a connection to a lower-priority replica when the monitor
-  /// reports an earlier one back up. Called between exchanges only —
-  /// parent-side queueing makes the drop lossless.
+  /// reports an earlier one back up. Only fires while no exchange is
+  /// active on the wire — parent-side queueing makes the drop lossless.
   void maybe_fail_back_locked();
   /// One scan over the replica set in scan_order(); first successful
   /// connect+handshake wins. Locks per endpoint (one lock hold <= one
@@ -129,7 +147,8 @@ class ReplicaBackend : public QueuedWireBackend {
   /// propagate immediately — a worker that *answers wrongly* is not
   /// routed around.
   void connect_any();
-  /// Connect + config/top handshake against one replica.
+  /// Connect + negotiate + config/top handshake against one replica; on
+  /// success installs the fresh WireConversation.
   void connect_endpoint_locked(std::size_t replica);
   /// Replica indices in attempt order: monitor-alive first (priority
   /// order within each verdict: kUp, kUnknown, kDown), every replica
@@ -137,18 +156,27 @@ class ReplicaBackend : public QueuedWireBackend {
   /// Reads only immutable options and the monitor — no backend lock.
   [[nodiscard]] std::vector<std::size_t> scan_order() const;
   void drop_connection_locked() noexcept;
-  /// Sends the registration frame for one top and expects "ok".
-  void register_top_locked(const std::string& key, const TopState& top);
-  /// Ships `top`'s whole backlog as serve_window-sized exchanges;
-  /// responses in queue (= ticket) order. Clears the queue only after the
-  /// last window succeeded. NetError => connection already dropped.
-  std::vector<FusionResponse> serve_batch_locked(const std::string& key,
-                                                 TopState& top);
+  /// Serializes drains per top — the cluster already guarantees one drain
+  /// per top at a time, the gate makes it a local invariant. Gates are
+  /// created lazily and never removed, so the returned reference is
+  /// stable.
+  [[nodiscard]] std::mutex& serve_gate(const std::string& key);
+  /// Ships `batch` as serve_window-sized exchanges on `conversation`;
+  /// responses in batch (= ticket) order. Runs WITHOUT the backend lock —
+  /// on the binary wire other tops' drains interleave on the same
+  /// connection while this one waits. NetError => the conversation is
+  /// already poisoned (the caller drops and retries).
+  std::vector<FusionResponse> serve_exchange(
+      const std::shared_ptr<WireConversation>& conversation,
+      const std::string& key, const std::vector<WireRequest>& batch);
   /// Parent-side counters the remote cannot know, onto `stats`.
   void fill_parent_counters_locked(ServiceStats& stats) const;
 
   ReplicaBackendOptions options_;
-  net::LineChannel channel_;
+  std::shared_ptr<WireConversation> conversation_;
+  /// One gate per top (lazily created; pointers keep them stable under
+  /// rehash). Locked for a whole drain, which outlives mutex_ holds.
+  std::unordered_map<std::string, std::unique_ptr<std::mutex>> serve_gates_;
   std::uint64_t connects_ = 0;
   std::uint64_t failovers_ = 0;
   std::size_t current_ = 0;  // endpoint index of the live/last connection

@@ -8,12 +8,20 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
-#include <sstream>
 #include <utility>
 
 #include "util/contracts.hpp"
 
 namespace ffsm {
+namespace {
+
+Frame command_frame(FrameType type) {
+  Frame frame;
+  frame.type = type;
+  return frame;
+}
+
+}  // namespace
 
 std::string discover_worker_path(const std::string& explicit_path) {
   if (!explicit_path.empty()) return explicit_path;
@@ -45,6 +53,7 @@ void SubprocessBackend::die_locked(const std::string& what) {
 
 void SubprocessBackend::kill_worker_locked() noexcept {
   channel_.close();
+  codec_.reset();
   if (worker_pid_ > 0) {
     ::kill(worker_pid_, SIGKILL);
     ::waitpid(worker_pid_, nullptr, 0);
@@ -63,38 +72,26 @@ void SubprocessBackend::send_locked(std::string_view data) {
   }
 }
 
-bool SubprocessBackend::read_line_locked(std::string& line) {
+Frame SubprocessBackend::expect_frame_locked(const char* context) {
   try {
-    return channel_.read_line(line);
+    return codec_->expect(channel_, context);
   } catch (const net::NetError&) {
-    return false;  // read error or torn line: same as EOF to callers
-  }
-}
-
-std::string SubprocessBackend::expect_line_locked(const char* context) {
-  std::string line;
-  if (!read_line_locked(line))
     die_locked(std::string("worker closed the channel during ") + context);
-  return line;
-}
-
-std::string SubprocessBackend::read_frame_locked(std::string first_line,
-                                                 const char* context) {
-  std::string frame = std::move(first_line);
-  frame += '\n';
-  for (;;) {
-    const std::string line = expect_line_locked(context);
-    frame += line;
-    frame += '\n';
-    if (line == "end") return frame;
   }
+  // A malformed frame (plain ContractViolation) propagates to the caller,
+  // which reaps — distinct from EOF so the error message says what broke.
 }
 
 void SubprocessBackend::register_top_locked(const std::string& key,
                                             const TopState& top) {
-  send_locked("top " + escape_token(key) + '\n' + top.machine_text);
-  const std::string reply = expect_line_locked("top registration");
-  if (reply != "ok") die_locked("worker rejected top '" + key + "': " + reply);
+  Frame frame = command_frame(FrameType::kTop);
+  frame.key = key;
+  frame.text = top.machine_text;
+  send_locked(codec_->encode(frame));
+  const Frame reply = expect_frame_locked("top registration");
+  if (reply.type != FrameType::kOk)
+    die_locked("worker rejected top '" + key +
+               "': " + describe_reply(reply));
 }
 
 void SubprocessBackend::ensure_worker_locked() {
@@ -137,13 +134,27 @@ void SubprocessBackend::ensure_worker_locked() {
   worker_pid_ = static_cast<int>(pid);
   ++spawns_;
 
-  // Handshake: configure, then re-register every top in registration
-  // order (so a respawned worker rebuilds the exact same services).
-  send_locked(encode_config(options_.config));
-  const std::string reply = expect_line_locked("config");
-  if (reply != "ok")
+  // Negotiate the encoding, then handshake: configure and re-register
+  // every top in registration order (so a respawned worker rebuilds the
+  // exact same services).
+  try {
+    codec_ = negotiate_wire(channel_, options_.wire);
+  } catch (const net::NetError&) {
+    die_locked("worker closed the channel during negotiation (is '" + path +
+               "' an ffsm_shard_worker?)");
+  } catch (const ContractViolation&) {
+    // The worker answered, but not with a wire we accept (e.g. --wire=bin
+    // against an old binary): reap it and let the mismatch propagate.
+    kill_worker_locked();
+    throw;
+  }
+  Frame config = command_frame(FrameType::kConfig);
+  config.config = options_.config;
+  send_locked(codec_->encode(config));
+  const Frame reply = expect_frame_locked("config");
+  if (reply.type != FrameType::kOk)
     die_locked("worker rejected config (is '" + path +
-               "' an ffsm_shard_worker?): " + reply);
+               "' an ffsm_shard_worker?): " + describe_reply(reply));
   for (const std::string& key : top_order_)
     register_top_locked(key, tops_.at(key));
 }
@@ -158,35 +169,46 @@ std::vector<FusionResponse> SubprocessBackend::drain(const std::string& key) {
   if (top.queue.empty()) return {};
   ensure_worker_locked();
 
-  std::string msg = "serve " + escape_token(key) + ' ' +
-                    std::to_string(top.queue.size()) + '\n';
-  for (const WireRequest& r : top.queue) msg += encode_request(r);
+  // The whole batch as one buffer, one write: serve command + requests.
+  std::string msg;
+  Frame serve = command_frame(FrameType::kServe);
+  serve.key = key;
+  serve.count = top.queue.size();
+  codec_->encode(serve, msg);
+  for (const WireRequest& request : top.queue) {
+    Frame frame = command_frame(FrameType::kRequest);
+    frame.request = request;
+    codec_->encode(frame, msg);
+  }
   send_locked(msg);
 
-  const std::string header = expect_line_locked("serve");
-  std::istringstream words(header);
-  std::string directive;
-  words >> directive;
-  if (directive == "error") {
+  const Frame header = expect_frame_locked("serve");
+  if (header.type == FrameType::kError) {
     // The worker is alive and in sync — the batch itself failed (the
     // analogue of generate_fusion_batch throwing in-process). Requests
     // stay queued for the cluster's retry path.
     throw ContractViolation("SubprocessBackend: worker failed to serve '" +
-                            key + "': " + error_detail(words));
+                            key + "': " + header.text);
   }
-  std::size_t count = 0;
-  if (directive != "serving" || !(words >> count) ||
-      count != top.queue.size())
-    die_locked("unexpected serve reply '" + header + "'");
+  if (header.type != FrameType::kServing || header.count != top.queue.size())
+    die_locked("unexpected serve reply '" +
+               std::string(frame_type_name(header.type)) + "'");
 
   std::vector<FusionResponse> responses;
-  responses.reserve(count);
+  responses.reserve(header.count);
   try {
-    for (std::size_t i = 0; i < count; ++i)
-      responses.push_back(decode_response(
-          read_frame_locked(expect_line_locked("response"), "response")));
-    const std::string done = expect_line_locked("serve trailer");
-    if (done != "done") die_locked("expected 'done', got '" + done + "'");
+    for (std::uint64_t i = 0; i < header.count; ++i) {
+      Frame reply = expect_frame_locked("response");
+      if (reply.type != FrameType::kResponse)
+        throw ContractViolation("expected response frame, got '" +
+                                std::string(frame_type_name(reply.type)) +
+                                "'");
+      responses.push_back(std::move(reply.response));
+    }
+    const Frame done = expect_frame_locked("serve trailer");
+    if (done.type != FrameType::kDone)
+      die_locked("expected 'done', got '" +
+                 std::string(frame_type_name(done.type)) + "'");
   } catch (const ContractViolation&) {
     // Either the channel died (already reaped by die_locked) or a frame
     // failed to decode — in both cases the stream is unusable; make the
@@ -211,11 +233,12 @@ ServiceStats SubprocessBackend::stats(const std::string& key) const {
   // service.
   if (!channel_.valid()) return cold;
   try {
-    self->send_locked("stats " + escape_token(key) + '\n');
-    const std::string first = self->expect_line_locked("stats");
-    if (first.rfind("error", 0) == 0) return cold;
-    ServiceStats remote =
-        decode_stats(self->read_frame_locked(first, "stats"));
+    Frame query = command_frame(FrameType::kStatsQuery);
+    query.key = key;
+    self->send_locked(self->codec_->encode(query));
+    const Frame reply = self->expect_frame_locked("stats");
+    if (reply.type != FrameType::kStats) return cold;
+    ServiceStats remote = reply.stats;
     remote.restarts = cold.restarts;
     return remote;
   } catch (const ContractViolation&) {
@@ -228,11 +251,13 @@ void SubprocessBackend::shutdown() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (channel_.valid()) {
     try {
-      channel_.send("shutdown\n");
+      if (codec_)
+        channel_.send(codec_->encode(command_frame(FrameType::kShutdown)));
     } catch (const net::NetError&) {
       // Worker already gone; the reap below still applies.
     }
     channel_.close();
+    codec_.reset();
   }
   if (worker_pid_ > 0) {
     // The worker exits on `shutdown` or stdin EOF, whichever it sees
@@ -250,6 +275,11 @@ int SubprocessBackend::worker_pid() const {
 std::uint64_t SubprocessBackend::spawns() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return spawns_;
+}
+
+std::string SubprocessBackend::wire_name() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return channel_.valid() && codec_ ? codec_->name() : "";
 }
 
 }  // namespace ffsm

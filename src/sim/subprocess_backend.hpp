@@ -1,11 +1,13 @@
 // SubprocessBackend: a cluster shard served by a worker OS process.
 //
 // The first out-of-process ShardBackend: one `ffsm_shard_worker` process
-// per shard, speaking the line-oriented wire protocol (sim/messages.hpp)
+// per shard, speaking the negotiated wire protocol (sim/messages.hpp)
 // over a socketpair bridged to the worker's stdin/stdout. Machines travel
 // as self-contained to_text (alphabet header included), so the worker
 // reconstructs bit-exact transition tables and serves bit-identical
-// fusions to the in-process backend.
+// fusions to the in-process backend. By default the backend offers the
+// binary framing at spawn and falls back to text against an old worker
+// binary; either way the exchanges below are the same Frames.
 //
 // Queueing lives parent-side: submit() queues here, drain(key) ships the
 // whole backlog as one `serve` exchange and clears it only once every
@@ -18,16 +20,16 @@
 // results are unaffected because caches never change results.
 //
 // Parent <-> worker exchanges (one in flight at a time, serialized on an
-// internal mutex):
-//   config / top <key> <machine-text>  -> ok | error <msg>   (at spawn)
-//   serve <key> <n> + n request frames -> serving <n> + n response frames
-//                                         + done | error <msg>
-//   stats <key>                        -> stats frame | error <msg>
-//   ping                               -> pong
+// internal mutex; Frame types of sim/messages.hpp):
+//   config / top                       -> ok | error          (at spawn)
+//   serve + n request frames           -> serving + n responses + done
+//                                         | error
+//   stats query                        -> stats | error
 //   shutdown                           -> bye, then worker exit
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,11 @@ struct SubprocessBackendOptions {
   std::string worker_path;
   /// Wire-safe service options sent to the worker at every (re)spawn.
   ShardServiceConfig config = {};
+  /// Negotiation stance at every (re)spawn (see sim/messages.hpp): kAuto
+  /// offers the binary framing and falls back to text against an old
+  /// worker binary; kText pins the pre-negotiation wire; kBinary requires
+  /// the binary framing and fails the spawn handshake otherwise.
+  WireMode wire = WireMode::kAuto;
 };
 
 class SubprocessBackend final : public QueuedWireBackend {
@@ -75,35 +82,36 @@ class SubprocessBackend final : public QueuedWireBackend {
   [[nodiscard]] int worker_pid() const;
   /// Workers (re)spawned so far — 1 after the first drain, +1 per restart.
   [[nodiscard]] std::uint64_t spawns() const;
+  /// Negotiated encoding of the live worker's wire ("bin" or "text");
+  /// empty while no worker is running.
+  [[nodiscard]] std::string wire_name() const;
 
  private:
   /// A live worker learns new tops immediately; otherwise the next
   /// ensure_worker_locked() registers them with the rest.
   void register_added_top_locked(const std::string& key) override;
 
-  /// Spawns + configures + re-registers tops if no worker is running.
-  /// Throws ContractViolation on spawn or handshake failure.
+  /// Spawns + negotiates + configures + re-registers tops if no worker is
+  /// running. Throws ContractViolation on spawn or handshake failure.
   void ensure_worker_locked();
   /// Reaps the worker (SIGKILL + waitpid) and closes the channel.
   void kill_worker_locked() noexcept;
-  /// Sends the frame for one top and expects "ok".
+  /// Sends the frame for one top and expects an ok frame.
   void register_top_locked(const std::string& key, const TopState& top);
 
   /// I/O over the channel (net::LineChannel: full-buffer SIGPIPE-safe
-  /// sends). send throws on a dead peer via die_locked; read_line returns
-  /// false on EOF or a read error.
+  /// sends). send throws on a dead peer via die_locked; expect_frame
+  /// throws (after reaping) on EOF or a transport error, and lets a
+  /// malformed frame's ContractViolation propagate for the caller to
+  /// decide.
   void send_locked(std::string_view data);
-  bool read_line_locked(std::string& line);
-  /// Reads one reply line; throws (after reaping) on EOF.
-  std::string expect_line_locked(const char* context);
-  /// Reads frame lines up to and including the lone "end" terminator,
-  /// starting from `first_line`.
-  std::string read_frame_locked(std::string first_line, const char* context);
+  [[nodiscard]] Frame expect_frame_locked(const char* context);
   [[noreturn]] void die_locked(const std::string& what);
 
   SubprocessBackendOptions options_;
   int worker_pid_ = 0;
   net::LineChannel channel_;
+  std::unique_ptr<WireCodec> codec_;  // live worker's negotiated encoding
   std::uint64_t spawns_ = 0;
 };
 

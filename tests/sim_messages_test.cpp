@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "fsm/serialize.hpp"
@@ -344,6 +347,176 @@ TEST(WireCodecRobustness, TruncationsAndCorruptionsOfEveryFrameTypeAreClean) {
       (void)survives(frame, corrupted);
     }
   }
+}
+
+/// One sample Frame per FrameType, every meaningful field populated and a
+/// distinct nonzero exchange id — the corpus for the binary-framing
+/// robustness properties below.
+std::vector<Frame> binary_sample_frames(Xoshiro256& rng) {
+  std::vector<Frame> frames;
+  std::uint64_t exchange = 0x1000;
+  const auto add = [&](FrameType type) -> Frame& {
+    Frame frame;
+    frame.type = type;
+    frame.exchange = ++exchange;
+    frames.push_back(std::move(frame));
+    return frames.back();
+  };
+  add(FrameType::kOk);
+  add(FrameType::kError).text = "worker failed: two words\nand a newline";
+  {
+    Frame& config = add(FrameType::kConfig);
+    config.config.threads = 8;
+    config.config.cache_config = {CacheEvictionPolicy::kEpoch, 9};
+  }
+  {
+    Frame& top = add(FrameType::kTop);
+    top.key = "counters-10";
+    top.text = "machine with\nmany lines\nand % signs\n";
+  }
+  {
+    Frame& serve = add(FrameType::kServe);
+    serve.key = "counters-10";
+    serve.count = 3;
+  }
+  {
+    Frame& request = add(FrameType::kRequest);
+    request.request.ticket = 77;
+    request.request.client = "uni\xc3\xa9ode client";
+    request.request.request.f = 2;
+    request.request.request.policy = DescentPolicy::kMostBlocks;
+    request.request.request.originals.push_back(random_partition(6, rng));
+    request.request.request.originals.push_back(random_partition(6, rng));
+  }
+  add(FrameType::kServing).count = 3;
+  {
+    Frame& response = add(FrameType::kResponse);
+    response.response.ticket = 78;
+    response.response.client = "  lead-and-trail  ";
+    response.response.result.partitions.push_back(random_partition(6, rng));
+    response.response.result.stats.machines_added = 2;
+    response.response.result.stats.dmin_after = 3;
+  }
+  add(FrameType::kDone);
+  add(FrameType::kStatsQuery).key = "counters-10";
+  {
+    Frame& stats = add(FrameType::kStats);
+    stats.stats.requests_served = 5;
+    stats.stats.restarts = 1;
+    stats.stats.failovers = 2;
+    stats.stats.health_probes_failed = 3;
+    stats.stats.cache_bytes = 4096;
+  }
+  add(FrameType::kPing);
+  add(FrameType::kPong);
+  add(FrameType::kShutdown);
+  add(FrameType::kBye);
+  return frames;
+}
+
+// The binary framing's round-trip property: every frame type survives
+// encode -> decode -> encode byte-identically, exchange tag included —
+// the bit-identity half of what the bench asserts end to end.
+TEST(WireCodecRobustness, BinaryFramesRoundTripByteIdentically) {
+  Xoshiro256 rng(99);
+  const std::unique_ptr<WireCodec> codec = make_wire_codec(true);
+  EXPECT_STREQ(codec->name(), "bin");
+  EXPECT_TRUE(codec->multiplexed());
+  for (const Frame& frame : binary_sample_frames(rng)) {
+    const std::string bytes = codec->encode(frame);
+    const Frame back = codec->decode(bytes);
+    EXPECT_EQ(back.type, frame.type) << frame_type_name(frame.type);
+    EXPECT_EQ(back.exchange, frame.exchange) << frame_type_name(frame.type);
+    EXPECT_EQ(codec->encode(back), bytes) << frame_type_name(frame.type);
+  }
+}
+
+// The binary trust boundary, mirroring the text-codec property above:
+// decode of damaged bytes must throw a clean ContractViolation or decode
+// to a frame that re-encodes — never crash, never escape a foreign
+// exception. Binary is stricter than text: EVERY truncation throws (the
+// length prefix makes "complete" unambiguous), as do trailing garbage,
+// nonzero reserved header bytes and unknown frame types. (Runs under
+// ASan in CI, so "never crash" is load-bearing.)
+TEST(WireCodecRobustness, BinaryTruncationsAndCorruptionsAreClean) {
+  Xoshiro256 rng(4243);
+  const std::unique_ptr<WireCodec> codec = make_wire_codec(true);
+
+  const auto survives = [&](const Frame& frame,
+                            const std::string& damaged) -> bool {
+    try {
+      const Frame decoded = codec->decode(damaged);
+      (void)codec->encode(decoded);  // whatever decodes must re-encode
+      return false;
+    } catch (const ContractViolation&) {
+      return true;  // the clean parse error
+    } catch (const std::exception& error) {
+      ADD_FAILURE() << frame_type_name(frame.type) << ": foreign exception '"
+                    << error.what() << "'";
+      return true;
+    }
+  };
+
+  for (const Frame& frame : binary_sample_frames(rng)) {
+    const std::string bytes = codec->encode(frame);
+    // Every strict prefix throws: the 16-byte header carries the payload
+    // length, so a short buffer is always detectably incomplete.
+    for (std::size_t len = 0; len < bytes.size(); ++len)
+      EXPECT_TRUE(survives(frame, bytes.substr(0, len)))
+          << frame_type_name(frame.type) << " truncated to " << len
+          << " bytes decoded as if complete";
+    // Trailing garbage is a framing violation, not ignorable padding.
+    EXPECT_TRUE(survives(frame, bytes + '\0'));
+    EXPECT_TRUE(survives(frame, bytes + "junk"));
+    // Reserved header bytes (offsets 5..7) must be zero on the wire.
+    for (std::size_t reserved = 5; reserved < 8; ++reserved) {
+      std::string damaged = bytes;
+      damaged[reserved] = 1;
+      EXPECT_TRUE(survives(frame, damaged))
+          << frame_type_name(frame.type) << " accepted nonzero reserved byte "
+          << reserved;
+    }
+    // An unknown frame type must throw, whatever the payload says.
+    for (const unsigned char type : {0u, 16u, 0xffu}) {
+      std::string damaged = bytes;
+      damaged[4] = static_cast<char>(type);
+      EXPECT_TRUE(survives(frame, damaged))
+          << frame_type_name(frame.type) << " accepted frame type "
+          << static_cast<unsigned>(type);
+    }
+    // Random single-byte corruption: 300 trials of flip-one-byte. Some
+    // corruptions still parse (a flipped bit inside a counter value); the
+    // property is that none crashes or escapes a foreign exception.
+    for (int trial = 0; trial < 300; ++trial) {
+      std::string corrupted = bytes;
+      const std::size_t pos = rng.below(corrupted.size());
+      const char byte = static_cast<char>(rng.below(256));
+      if (corrupted[pos] == byte) continue;
+      corrupted[pos] = byte;
+      (void)survives(frame, corrupted);
+    }
+  }
+}
+
+// The text codec through the same WireCodec interface: no exchange ids
+// (encoding a tagged frame is a contract violation — the caller must not
+// silently lose the tag), canonical re-encode, and the deprecated free
+// functions delegate to it byte-identically.
+TEST(WireCodecRobustness, TextCodecMatchesFreeFunctions) {
+  const std::unique_ptr<WireCodec> codec = make_wire_codec(false);
+  EXPECT_STREQ(codec->name(), "text");
+  EXPECT_FALSE(codec->multiplexed());
+
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.request.ticket = 12;
+  frame.request.client = "two words";
+  frame.request.request.f = 1;
+  frame.request.request.originals.push_back(Partition::identity(4));
+  EXPECT_EQ(codec->encode(frame), encode_request(frame.request));
+
+  frame.exchange = 7;  // text cannot carry the tag
+  EXPECT_THROW((void)codec->encode(frame), ContractViolation);
 }
 
 TEST(WireMachines, SelfContainedTextReproducesEventIds) {

@@ -1,7 +1,7 @@
 // ffsm_shard_worker: the out-of-process half of the serving backends.
 //
 // One worker hosts one cluster shard: a FusionService per registered top,
-// served over the line-oriented wire protocol (sim/messages.hpp). Two
+// served over the negotiated wire protocol (sim/messages.hpp). Two
 // transports, one protocol:
 //
 //   (default)        stdin/stdout — the SubprocessBackend socketpair
@@ -14,19 +14,32 @@
 //                    worker process; `shutdown` ends the connection, not
 //                    the listener.
 //
+// Every connection starts in text. A parent that wants the binary framing
+// opens with `hello 1 bin[,text]`; the worker answers `hello 1 <choice>`
+// and both sides switch (see sim/messages.hpp "negotiation").
+// `--wire=text` pins the pre-negotiation behaviour — the hello is just an
+// unknown command, answered with `error ...`, which is exactly the reply
+// an auto-mode parent treats as "fall back to text". `--wire=bin` refuses
+// non-negotiating parents instead of falling back.
+//
 // The parent owns all queueing and retry policy; the worker is a
 // stateless-between-drains serving engine whose only cross-exchange state
 // is what makes it worth keeping alive — the per-top closure caches and
 // stats counters, both scoped to one connection.
 //
-// Protocol (parent -> worker, one exchange at a time per connection):
-//   config frame                       -> ok            (once, before tops)
-//   top <key> + machine text           -> ok | error <msg>
-//   serve <key> <n> + n request frames -> serving <n> + n response frames
-//                                         + done | error <msg>
-//   stats <key>                        -> stats frame | error <msg>
-//   ping                               -> pong
-//   shutdown (or EOF)                  -> bye, connection done
+// Protocol (as Frame types; see sim/messages.hpp for both encodings):
+//   config                     -> ok            (once, before tops)
+//   top                        -> ok | error
+//   serve + n request frames   -> serving + n responses + done | error
+//   stats query                -> stats | error
+//   ping                       -> pong
+//   shutdown (or EOF)          -> bye, connection done
+//
+// On the text wire exchanges run strictly one at a time. On the binary
+// wire every command carries an exchange id and serve batches are
+// dispatched to their own threads, so drains for different tops interleave
+// on one connection; replies echo the command's exchange id and each
+// reply batch is sent as one write.
 //
 // Machines arrive as self-contained to_text (alphabet header included), so
 // the worker reconstructs bit-exact transition tables and its fusions are
@@ -39,11 +52,12 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fsm/serialize.hpp"
@@ -58,28 +72,37 @@ namespace {
 
 using namespace ffsm;
 
-/// Once a directive line announces a frame, the rest of that frame must
-/// arrive within this budget. A peer that dies (or wedges) after half a
-/// frame must fail its connection thread in bounded time — TCP keepalive
-/// covers half-open *silence*, but a peer that is alive and not sending
-/// would hold the thread forever without this. Generous: frames are sent
-/// whole by every backend, so only a broken peer ever comes close.
-constexpr std::chrono::seconds kFrameTimeout{60};
-
-[[nodiscard]] ffsm::net::Deadline frame_deadline() {
-  return std::chrono::steady_clock::now() + kFrameTimeout;
-}
+/// Once a frame's first line (or first byte) has arrived, the rest of that
+/// frame must arrive within this budget. A peer that dies (or wedges)
+/// after half a frame must fail its connection thread in bounded time —
+/// TCP keepalive covers half-open *silence*, but a peer that is alive and
+/// not sending would hold the thread forever without this. Generous:
+/// frames are sent whole by every backend, so only a broken peer ever
+/// comes close.
+constexpr std::chrono::milliseconds kFrameTimeout{60'000};
 
 /// Per-connection serving state. Listener mode gives every accepted
 /// connection a fresh Worker, so a reconnecting backend always finds the
-/// clean slate its re-register handshake assumes.
+/// clean slate its re-register handshake assumes. On the binary wire
+/// serve batches run on their own threads, so the map shape is guarded by
+/// `mutex` and each top's batches serialize on its own `serve_mutex`
+/// (drains for *different* tops run concurrently).
 struct Worker {
+  struct Service {
+    Service(Dfsm top, const FusionServiceOptions& options)
+        : service(std::move(top), options) {}
+    FusionService service;
+    std::mutex serve_mutex;  // one batch at a time per top
+  };
+
   ShardServiceConfig config;
   bool configured = false;
   std::optional<ThreadPool> pool;
-  std::unordered_map<std::string, std::unique_ptr<FusionService>> services;
+  std::mutex mutex;  // guards config/configured/pool + the map shape
+  std::unordered_map<std::string, std::unique_ptr<Service>> services;
 
-  FusionService& service_of(const std::string& key) {
+  Service& service_of(const std::string& key) {
+    const std::lock_guard<std::mutex> lock(mutex);
     const auto it = services.find(key);
     if (it == services.end())
       throw ContractViolation("unknown top '" + key + "'");
@@ -87,72 +110,50 @@ struct Worker {
   }
 };
 
-void handle_config(Worker& worker, net::LineChannel& channel,
-                   const std::string& first_line) {
-  const std::string frame =
-      channel.read_frame(first_line, "config", frame_deadline());
+void handle_config(Worker& worker, const Frame& command) {
+  const std::lock_guard<std::mutex> lock(worker.mutex);
   if (worker.configured) throw ContractViolation("duplicate 'config'");
-  worker.config = decode_config(frame);
+  worker.config = command.config;
   worker.configured = true;
   if (worker.config.parallel && !worker.pool)
     worker.pool.emplace(worker.config.threads);
-  channel.send("ok\n");
 }
 
-void handle_top(Worker& worker, net::LineChannel& channel,
-                std::istringstream& words) {
-  std::string token;
-  if (!(words >> token)) throw ContractViolation("'top' requires a key");
-  const std::string key = unescape_token(token);
-  const net::Deadline deadline = frame_deadline();
-  const std::string machine_text = channel.read_frame(
-      channel.expect_line("machine text", deadline), "machine text",
-      deadline);
+void handle_top(Worker& worker, const Frame& command) {
+  const std::lock_guard<std::mutex> lock(worker.mutex);
   if (!worker.configured) throw ContractViolation("'top' before 'config'");
-  if (worker.services.contains(key))
-    throw ContractViolation("duplicate top '" + key + "'");
+  if (worker.services.contains(command.key))
+    throw ContractViolation("duplicate top '" + command.key + "'");
   // Standalone parse: the alphabet header reproduces the parent's
   // EventIds, making the transition table bit-exact.
-  Dfsm top = from_text(machine_text);
+  Dfsm top = from_text(command.text);
   FusionServiceOptions options;
   options.parallel = worker.config.parallel;
   options.pool = worker.pool ? &*worker.pool : nullptr;
   options.incremental = worker.config.incremental;
   options.cache_config = worker.config.cache_config;
   worker.services.emplace(
-      key, std::make_unique<FusionService>(std::move(top), options));
-  channel.send("ok\n");
+      command.key,
+      std::make_unique<Worker::Service>(std::move(top), options));
 }
 
-void handle_serve(Worker& worker, net::LineChannel& channel,
-                  std::istringstream& words) {
-  std::string token;
-  std::size_t count = 0;
-  if (!(words >> token >> count))
-    throw ContractViolation("'serve' requires <key> <count>");
-  const std::string key = unescape_token(token);
-
-  // Consume the whole batch off the wire before decoding anything: a
-  // malformed frame then yields an error reply with the stream still in
-  // sync, instead of the remaining frames being misread as commands.
-  std::vector<std::string> frames;
-  frames.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const net::Deadline deadline = frame_deadline();  // budget per frame
-    frames.push_back(
-        channel.read_frame(channel.expect_line("serve batch", deadline),
-                           "request", deadline));
-  }
-  std::vector<WireRequest> requests;
-  requests.reserve(count);
-  for (const std::string& frame : frames)
-    requests.push_back(decode_request(frame));
-
-  FusionService& service = worker.service_of(key);
+/// Serves one batch and returns the reply frames (serving + responses +
+/// done), untagged — the caller stamps the exchange id. Throws with the
+/// service queue reset, so the parent's retry cannot serve duplicates.
+std::vector<Frame> run_serve(Worker& worker, const Frame& command,
+                             std::vector<Frame> requests) {
+  Worker::Service& entry = worker.service_of(command.key);
+  const std::lock_guard<std::mutex> batch(entry.serve_mutex);
+  FusionService& service = entry.service;
+  std::vector<std::uint64_t> tickets;
+  tickets.reserve(requests.size());
   std::vector<FusionService::Response> served;
   try {
-    for (WireRequest& r : requests)
-      service.submit(std::move(r.client), std::move(r.request));
+    for (Frame& frame : requests) {
+      tickets.push_back(frame.request.ticket);
+      service.submit(std::move(frame.request.client),
+                     std::move(frame.request.request));
+    }
     served = service.drain();
   } catch (...) {
     // The parent still holds every request of this batch; reset the
@@ -165,67 +166,316 @@ void handle_serve(Worker& worker, net::LineChannel& channel,
 
   // Service tickets are assigned in submission order and drain() returns
   // in ticket order, so index i maps back to wire ticket i.
-  std::string out = "serving " + std::to_string(served.size()) + '\n';
+  std::vector<Frame> replies;
+  replies.reserve(served.size() + 2);
+  Frame serving;
+  serving.type = FrameType::kServing;
+  serving.count = served.size();
+  replies.push_back(std::move(serving));
   for (std::size_t i = 0; i < served.size(); ++i) {
-    FusionResponse response;
-    response.ticket = requests[i].ticket;
-    response.client = std::move(served[i].client);
-    response.result = std::move(served[i].result);
-    out += encode_response(response);
+    Frame reply;
+    reply.type = FrameType::kResponse;
+    reply.response.ticket = tickets[i];
+    reply.response.client = std::move(served[i].client);
+    reply.response.result = std::move(served[i].result);
+    replies.push_back(std::move(reply));
   }
-  out += "done\n";
-  channel.send(out);
+  Frame done;
+  done.type = FrameType::kDone;
+  replies.push_back(std::move(done));
+  return replies;
 }
 
-void handle_stats(Worker& worker, net::LineChannel& channel,
-                  std::istringstream& words) {
-  std::string token;
-  if (!(words >> token)) throw ContractViolation("'stats' requires a key");
-  channel.send(encode_stats(worker.service_of(unescape_token(token)).stats()));
+Frame make_reply(FrameType type) {
+  Frame reply;
+  reply.type = type;
+  return reply;
 }
 
-/// Serves one connection's exchanges until `shutdown`, clean EOF, or a
-/// torn transport. Returns false only for the torn case. Never throws —
-/// listener threads are detached and an escaped exception would terminate
-/// the whole worker.
-bool serve_connection(net::LineChannel& channel) {
-  Worker worker;
-  std::string line;
+Frame make_error(const std::string& detail) {
+  Frame reply;
+  reply.type = FrameType::kError;
+  reply.text = detail;
+  return reply;
+}
+
+/// The text wire: one exchange at a time, every command handled inline.
+/// A malformed frame gets an `error` reply with the stream still in sync
+/// — the unknown-command branch of this loop is what a negotiating parent
+/// relies on for its text fallback. Returns false only for a torn
+/// transport.
+bool run_loop_text(Worker& worker, net::LineChannel& channel,
+                   WireCodec& codec) {
   try {
-    while (channel.read_line(line)) {
-      std::istringstream words(line);
-      std::string directive;
-      if (!(words >> directive)) continue;
+    for (;;) {
+      std::optional<Frame> command;
       try {
-        if (directive == "config") {
-          handle_config(worker, channel, line);
-        } else if (directive == "top") {
-          handle_top(worker, channel, words);
-        } else if (directive == "serve") {
-          handle_serve(worker, channel, words);
-        } else if (directive == "stats") {
-          handle_stats(worker, channel, words);
-        } else if (directive == "ping") {
-          channel.send("pong\n");
-        } else if (directive == "shutdown") {
-          channel.send("bye\n");
-          return true;
-        } else {
-          throw ContractViolation("unknown command '" + directive + "'");
-        }
+        command = codec.read_command(channel, kFrameTimeout);
       } catch (const net::NetError&) {
         throw;  // transport broke: no way to report an error to this peer
       } catch (const std::exception& error) {
-        channel.send("error " + escape_token(error.what()) + '\n');
+        // Text framing is line-delimited, so the malformed frame was
+        // consumed whole and the next line starts a fresh command.
+        channel.send(codec.encode(make_error(error.what())));
+        continue;
+      }
+      if (!command) return true;  // clean EOF: the parent is done with us
+      try {
+        switch (command->type) {
+          case FrameType::kConfig:
+            handle_config(worker, *command);
+            channel.send(codec.encode(make_reply(FrameType::kOk)));
+            break;
+          case FrameType::kTop:
+            handle_top(worker, *command);
+            channel.send(codec.encode(make_reply(FrameType::kOk)));
+            break;
+          case FrameType::kServe: {
+            // Consume the whole batch off the wire before serving any of
+            // it: a malformed frame then yields one error reply with the
+            // stream still in sync, instead of the remaining frames being
+            // misread as commands.
+            std::vector<Frame> requests;
+            requests.reserve(command->count);
+            std::string batch_error;
+            for (std::uint64_t i = 0; i < command->count; ++i) {
+              std::optional<Frame> frame;
+              try {
+                frame = codec.read_command(channel, kFrameTimeout);
+              } catch (const net::NetError&) {
+                throw;
+              } catch (const std::exception& error) {
+                if (batch_error.empty()) batch_error = error.what();
+                continue;  // frame consumed; keep draining the batch
+              }
+              if (!frame)
+                throw net::NetError("peer closed the stream mid-batch");
+              if (frame->type != FrameType::kRequest) {
+                if (batch_error.empty())
+                  batch_error = std::string("expected request frame, got '") +
+                                frame_type_name(frame->type) + "'";
+                continue;
+              }
+              requests.push_back(std::move(*frame));
+            }
+            if (!batch_error.empty()) throw ContractViolation(batch_error);
+            std::string out;
+            for (const Frame& reply :
+                 run_serve(worker, *command, std::move(requests)))
+              codec.encode(reply, out);
+            channel.send(out);
+            break;
+          }
+          case FrameType::kStatsQuery: {
+            Frame reply;
+            reply.type = FrameType::kStats;
+            reply.stats = worker.service_of(command->key).service.stats();
+            channel.send(codec.encode(reply));
+            break;
+          }
+          case FrameType::kPing:
+            channel.send(codec.encode(make_reply(FrameType::kPong)));
+            break;
+          case FrameType::kShutdown:
+            channel.send(codec.encode(make_reply(FrameType::kBye)));
+            return true;
+          default:
+            throw ContractViolation(
+                std::string("unexpected '") + frame_type_name(command->type) +
+                "' command");
+        }
+      } catch (const net::NetError&) {
+        throw;
+      } catch (const std::exception& error) {
+        channel.send(codec.encode(make_error(error.what())));
       }
     }
-    return true;  // clean EOF: the parent is done with us
   } catch (const std::exception&) {
     return false;  // torn connection; the peer's backend re-queues
   }
 }
 
-int listen_forever(std::uint16_t port) {
+/// The binary wire: commands carry exchange ids, serve batches run on
+/// their own threads, and every reply batch goes out as one write under a
+/// send lock — drains for different tops interleave on this connection.
+/// Any framing error tears the connection (length-prefixed streams cannot
+/// resync); semantic errors are answered with an `error` frame on the
+/// command's exchange.
+bool run_loop_binary(Worker& worker, net::LineChannel& channel,
+                     WireCodec& codec) {
+  std::mutex send_mutex;
+  std::vector<std::thread> serving;
+  const auto join_all = [&serving]() noexcept {
+    for (std::thread& thread : serving) thread.join();
+    serving.clear();
+  };
+  // Encoding is const/stateless, so serve threads encode concurrently;
+  // only the write itself serializes.
+  const auto send_frames = [&](const std::vector<Frame>& frames) {
+    std::string buffer;
+    for (const Frame& frame : frames) codec.encode(frame, buffer);
+    const std::lock_guard<std::mutex> lock(send_mutex);
+    channel.send(buffer);
+  };
+  const auto send_one = [&](Frame frame, std::uint64_t exchange) {
+    frame.exchange = exchange;
+    std::string buffer;
+    codec.encode(frame, buffer);
+    const std::lock_guard<std::mutex> lock(send_mutex);
+    channel.send(buffer);
+  };
+
+  bool clean = true;
+  try {
+    for (;;) {
+      std::optional<Frame> command = codec.read_command(channel,
+                                                        kFrameTimeout);
+      if (!command) break;  // clean EOF: the parent is done with us
+      if (command->type == FrameType::kServe) {
+        // The serve command and its requests are one send buffer on the
+        // parent side, so they are contiguous on the wire even while
+        // other exchanges interleave between batches.
+        std::vector<Frame> requests;
+        requests.reserve(command->count);
+        for (std::uint64_t i = 0; i < command->count; ++i) {
+          std::optional<Frame> frame = codec.read_command(channel,
+                                                          kFrameTimeout);
+          if (!frame)
+            throw net::NetError("peer closed the stream mid-batch");
+          if (frame->type != FrameType::kRequest ||
+              frame->exchange != command->exchange)
+            throw ContractViolation("serve batch framing violated");
+          requests.push_back(std::move(*frame));
+        }
+        // Bound the thread pile-up on a long-lived connection; joining
+        // here only ever waits on batches already in flight.
+        if (serving.size() >= 64) join_all();
+        serving.emplace_back([&worker, &send_frames,
+                              command = std::move(*command),
+                              requests = std::move(requests)]() mutable {
+          std::vector<Frame> replies;
+          try {
+            replies = run_serve(worker, command, std::move(requests));
+            for (Frame& reply : replies) reply.exchange = command.exchange;
+          } catch (const std::exception& error) {
+            replies.clear();
+            Frame reply = make_error(error.what());
+            reply.exchange = command.exchange;
+            replies.push_back(std::move(reply));
+          }
+          try {
+            send_frames(replies);
+          } catch (...) {
+            // The connection is dying; the reader loop sees it too.
+          }
+        });
+        continue;
+      }
+      try {
+        switch (command->type) {
+          case FrameType::kConfig:
+            handle_config(worker, *command);
+            send_one(make_reply(FrameType::kOk), command->exchange);
+            break;
+          case FrameType::kTop:
+            handle_top(worker, *command);
+            send_one(make_reply(FrameType::kOk), command->exchange);
+            break;
+          case FrameType::kStatsQuery: {
+            Frame reply;
+            reply.type = FrameType::kStats;
+            reply.stats = worker.service_of(command->key).service.stats();
+            send_one(std::move(reply), command->exchange);
+            break;
+          }
+          case FrameType::kPing:
+            send_one(make_reply(FrameType::kPong), command->exchange);
+            break;
+          case FrameType::kShutdown:
+            join_all();  // let in-flight batches reply before the bye
+            send_one(make_reply(FrameType::kBye), command->exchange);
+            return true;
+          default:
+            throw ContractViolation(
+                std::string("unexpected '") + frame_type_name(command->type) +
+                "' command");
+        }
+      } catch (const net::NetError&) {
+        throw;
+      } catch (const std::exception& error) {
+        send_one(make_error(error.what()), command->exchange);
+      }
+    }
+  } catch (const std::exception&) {
+    clean = false;
+    // Unblock serve threads wedged in send before joining them.
+    channel.shutdown_io();
+  }
+  join_all();
+  return clean;
+}
+
+/// Negotiates the wire for one fresh connection (every connection starts
+/// in text), then serves its exchanges until `shutdown`, clean EOF, or a
+/// torn transport. Returns false only for the torn case. Never throws —
+/// listener threads are detached and an escaped exception would terminate
+/// the whole worker.
+bool serve_connection(net::LineChannel& channel, WireMode mode) {
+  Worker worker;
+  try {
+    if (mode == WireMode::kText) {
+      // Pinned to the pre-negotiation wire: a hello is just an unknown
+      // command, answered with `error ...` — the reply an auto parent
+      // treats as "this worker speaks text".
+      const std::unique_ptr<WireCodec> codec = make_wire_codec(false);
+      return run_loop_text(worker, channel, *codec);
+    }
+    std::string first;
+    if (!channel.read_line(first)) return true;  // EOF before any command
+    bool offers_binary = false;
+    bool offers_text = false;
+    std::optional<std::string> hello_error;
+    bool is_hello = false;
+    try {
+      is_hello = parse_client_hello(first, offers_binary, offers_text);
+    } catch (const std::exception& error) {
+      hello_error = error.what();  // a hello, but one we cannot speak
+    }
+    if (!is_hello && !hello_error && mode == WireMode::kAuto) {
+      // Old-style parent: no hello, the first line is already a command.
+      channel.unread(first + "\n");
+      const std::unique_ptr<WireCodec> codec = make_wire_codec(false);
+      return run_loop_text(worker, channel, *codec);
+    }
+    if (hello_error || !offers_binary) {
+      // Unsupported hello, or no binary offer: --wire=bin refuses (the
+      // parent sees `error` where it awaits the hello reply and fails its
+      // connection); auto falls back to text when the parent allows it.
+      const bool fall_back =
+          mode == WireMode::kAuto && !hello_error && offers_text;
+      const std::string detail =
+          hello_error ? *hello_error
+          : fall_back ? std::string()
+          : mode == WireMode::kBinary
+              ? std::string("binary wire required (--wire=bin)")
+              : std::string("no common wire encoding");
+      if (!fall_back) {
+        channel.send("error " + escape_token(detail) + "\n");
+        return true;
+      }
+      channel.send(worker_hello(/*binary=*/false));
+      const std::unique_ptr<WireCodec> codec = make_wire_codec(false);
+      return run_loop_text(worker, channel, *codec);
+    }
+    channel.send(worker_hello(/*binary=*/true));
+    const std::unique_ptr<WireCodec> codec = make_wire_codec(true);
+    return run_loop_binary(worker, channel, *codec);
+  } catch (const std::exception&) {
+    return false;  // torn connection; the peer's backend re-queues
+  }
+}
+
+int listen_forever(std::uint16_t port, WireMode mode) {
   try {
     net::Listener listener(port);
     // The banner is the contract with ListenerWorkerProcess and with
@@ -238,9 +488,9 @@ int listen_forever(std::uint16_t port) {
       // One thread per connection, detached: connections are independent
       // (own Worker, own pool) and die with their peer or the process.
       std::thread(
-          [](net::Socket socket) {
+          [mode](net::Socket socket) {
             net::LineChannel channel(std::move(socket));
-            (void)serve_connection(channel);
+            (void)serve_connection(channel, mode);
           },
           std::move(connection))
           .detach();
@@ -271,30 +521,47 @@ int main(int argc, char** argv) {
 
   bool listen_mode = false;  // default: stdio bridge mode
   std::uint16_t listen_port = 0;
+  ffsm::WireMode wire = ffsm::WireMode::kAuto;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* port_text = nullptr;
+    const char* wire_text = nullptr;
     if (arg == "--listen" && i + 1 < argc) {
       port_text = argv[++i];
     } else if (arg.rfind("--listen=", 0) == 0) {
       port_text = arg.c_str() + std::strlen("--listen=");
+    } else if (arg == "--wire" && i + 1 < argc) {
+      wire_text = argv[++i];
+    } else if (arg.rfind("--wire=", 0) == 0) {
+      wire_text = arg.c_str() + std::strlen("--wire=");
     } else {
-      std::fprintf(stderr, "usage: %s [--listen <port>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--listen <port>] [--wire {text,bin,auto}]\n",
+                   argv[0]);
       return 2;
     }
-    // Strict parse (net::parse_port): atol would read "70o1" as 70 and
-    // "abc" as 0 — silently binding the wrong port is the one failure an
-    // operator cannot debug from the banner. Port 0 = ephemeral.
-    if (!net::parse_port(port_text, listen_port)) {
-      std::fprintf(stderr, "ffsm_shard_worker: bad port '%s'\n", port_text);
+    if (port_text != nullptr) {
+      // Strict parse (net::parse_port): atol would read "70o1" as 70 and
+      // "abc" as 0 — silently binding the wrong port is the one failure an
+      // operator cannot debug from the banner. Port 0 = ephemeral.
+      if (!ffsm::net::parse_port(port_text, listen_port)) {
+        std::fprintf(stderr, "ffsm_shard_worker: bad port '%s'\n", port_text);
+        return 2;
+      }
+      listen_mode = true;
+    }
+    // Same strictness for the wire: "binary" or "Text" silently meaning
+    // auto would make a negotiation bug invisible.
+    if (wire_text != nullptr && !ffsm::parse_wire_mode(wire_text, wire)) {
+      std::fprintf(stderr, "ffsm_shard_worker: bad wire mode '%s'\n",
+                   wire_text);
       return 2;
     }
-    listen_mode = true;
   }
 
   if (!listen_mode) {
-    net::LineChannel channel(STDIN_FILENO, STDOUT_FILENO);
-    return serve_connection(channel) ? 0 : 1;
+    ffsm::net::LineChannel channel(STDIN_FILENO, STDOUT_FILENO);
+    return serve_connection(channel, wire) ? 0 : 1;
   }
-  return listen_forever(listen_port);
+  return listen_forever(listen_port, wire);
 }

@@ -7,6 +7,8 @@
 // visible directly in the benchmark output.
 #include "bench_support.hpp"
 
+#include <thread>
+
 #include "fsm/random_dfsm.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -14,6 +16,12 @@
 namespace {
 
 using namespace ffsm;
+
+std::string fmt2(double value, const char* suffix = "") {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", value, suffix);
+  return buf;
+}
 
 CrossProduct random_pair_product(std::uint32_t states_each,
                                  std::uint32_t events, std::uint64_t seed) {
@@ -53,7 +61,10 @@ void report() {
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  std::printf("== Catalog machines, f=2: serial vs parallel (8 threads) ==\n");
+  std::printf(
+      "== Catalog machines, f=2: serial vs speculative thread sweep ==\n");
+  std::printf("hardware_concurrency=%u\n",
+              std::thread::hardware_concurrency());
   // Two 16-state catalog counters, 256-state top: big enough that the
   // identity partition's lower cover (C(256,2) closures) dominates.
   const CrossProduct cp = bench::counter_pair_product(16);
@@ -68,33 +79,49 @@ void report() {
       [&] { serial_result = generate_fusion(cp.top, originals, serial); },
       3, 1);
 
-  ThreadPool pool(8);
-  GenerateOptions parallel;
-  parallel.f = 2;
-  parallel.parallel = true;
-  parallel.pool = &pool;
-  FusionResult parallel_result;
-  const double parallel_ms = json.measure_ms(
-      "catalog_f2_parallel8",
-      [&] {
-        parallel_result = generate_fusion(cp.top, originals, parallel);
-      },
-      3, 1);
-
-  const bool identical =
-      serial_result.partitions == parallel_result.partitions;
-  const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
-  json.add_metric("catalog_f2", "speedup_8threads", speedup);
-  json.add_metric("catalog_f2", "bit_identical", identical ? 1.0 : 0.0);
+  TextTable sweep({"threads", "ms", "speedup", "closures", "spec launched",
+                   "spec hits", "spec wasted"});
+  sweep.add_row({"serial", fmt2(serial_ms), "1.00x",
+                 std::to_string(serial_result.stats.closures_evaluated), "-",
+                 "-", "-"});
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    GenerateOptions parallel;
+    parallel.f = 2;
+    parallel.parallel = true;
+    parallel.pool = &pool;
+    FusionResult parallel_result;
+    const std::string label =
+        "catalog_f2_parallel" + std::to_string(threads);
+    const double parallel_ms = json.measure_ms(
+        label,
+        [&] {
+          parallel_result = generate_fusion(cp.top, originals, parallel);
+        },
+        3, 1);
+    const bool identical =
+        serial_result.partitions == parallel_result.partitions;
+    const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
+    json.add_metric("catalog_f2",
+                    "speedup_" + std::to_string(threads) + "threads",
+                    speedup);
+    const GenerateStats& s = parallel_result.stats;
+    sweep.add_row({std::to_string(threads), fmt2(parallel_ms),
+                   fmt2(speedup, "x"),
+                   std::to_string(s.closures_evaluated),
+                   std::to_string(s.speculative_covers_launched),
+                   std::to_string(s.speculation_hits),
+                   std::to_string(s.speculation_wasted_closures)});
+    bench::require(
+        identical,
+        ("catalog f=2 speculative partitions bit-identical to serial at " +
+         std::to_string(threads) + " threads")
+            .c_str());
+  }
+  json.add_metric("catalog_f2", "bit_identical", 1.0);
   json.add_metric("catalog_f2", "machines_added",
                   static_cast<double>(serial_result.stats.machines_added));
-  std::printf(
-      "top=%u serial=%.2f ms parallel(8)=%.2f ms speedup=%.2fx "
-      "bit-identical=%s\n\n",
-      cp.top.size(), serial_ms, parallel_ms, speedup,
-      identical ? "yes" : "NO (BUG)");
-  bench::require(identical,
-                 "catalog f=2 parallel partitions bit-identical to serial");
+  std::printf("top=%u\n%s\n", cp.top.size(), sweep.to_string().c_str());
 }
 
 void generate_random_pairs(benchmark::State& state) {

@@ -1,8 +1,11 @@
 #include "partition/closure.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "util/contracts.hpp"
+#include "util/hash.hpp"
 
 namespace ffsm {
 
@@ -102,6 +105,99 @@ Partition merge_closure(const Dfsm& machine, const Partition& p,
   Partition result{std::move(assignment)};
   FFSM_ENSURES(is_closed(machine, result));
   return result;
+}
+
+MergeClosureEngine::MergeClosureEngine(const Dfsm& machine,
+                                       const Partition& base)
+    : machine_(machine) {
+  FFSM_EXPECTS(base.size() == machine.size());
+  n_ = machine.size();
+  k_ = static_cast<std::uint32_t>(machine.events().size());
+  seed_parent_.resize(n_);
+  seed_size_.assign(n_, 1);
+  for (std::uint32_t i = 0; i < n_; ++i) seed_parent_[i] = i;
+
+  // Seed with the base partition: link every element to its block's first
+  // element, then run the congruence closure once. The snapshot taken here
+  // is what evaluate() restores per pair.
+  std::vector<State> first(base.block_count(), kInvalidState);
+  queue_.clear();
+  for (State s = 0; s < n_; ++s) {
+    State& f = first[base.block_of(s)];
+    if (f == kInvalidState)
+      f = s;
+    else
+      queue_.emplace_back(f, s);
+  }
+  run(seed_parent_, seed_size_);
+
+  parent_.resize(n_);
+  size_.resize(n_);
+  norm_.resize(n_);
+  canon_.resize(n_);
+}
+
+void MergeClosureEngine::run(std::vector<std::uint32_t>& parent,
+                             std::vector<std::uint32_t>& size) {
+  // Congruence closure over the pending queue. Invariant: the seeded base
+  // is already closed, so within every class all members' successors are
+  // co-classed; pushing the *root representatives'* successors (instead of
+  // the original pair's, as merge_closure does) therefore reaches the same
+  // fixpoint — one pair per union instead of one per queue entry.
+  auto find = [&parent](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const auto [a, b] = queue_[head];
+    std::uint32_t x = find(a);
+    std::uint32_t y = find(b);
+    if (x == y) continue;
+    if (size[x] < size[y]) std::swap(x, y);
+    parent[y] = x;
+    size[x] += size[y];
+    for (std::uint32_t e = 0; e < k_; ++e)
+      queue_.emplace_back(machine_.step_local(x, e),
+                          machine_.step_local(y, e));
+  }
+}
+
+std::size_t MergeClosureEngine::evaluate(State a, State b) {
+  FFSM_EXPECTS(a < n_ && b < n_);
+  std::memcpy(parent_.data(), seed_parent_.data(),
+              static_cast<std::size_t>(n_) * sizeof(std::uint32_t));
+  std::memcpy(size_.data(), seed_size_.data(),
+              static_cast<std::size_t>(n_) * sizeof(std::uint32_t));
+  queue_.clear();
+  queue_.emplace_back(a, b);
+  run(parent_, size_);
+
+  // First-occurrence renumbering fused with the same per-element FNV-1a
+  // round Partition::hash() applies, so the returned hash equals
+  // Partition{canonical assignment}.hash() without building the Partition.
+  constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
+  std::fill(norm_.begin(), norm_.end(), kUnset);
+  std::uint32_t next = 0;
+  std::uint64_t h = kFnv1aOffset;
+  auto find = [this](std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  };
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const std::uint32_t r = find(i);
+    if (norm_[r] == kUnset) norm_[r] = next++;
+    canon_[i] = norm_[r];
+    h ^= canon_[i];
+    h *= kFnv1aPrime;
+  }
+  blocks_ = next;
+  return static_cast<std::size_t>(h);
 }
 
 }  // namespace ffsm

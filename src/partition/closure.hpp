@@ -29,4 +29,57 @@ namespace ffsm {
     const Dfsm& machine, const Partition& p,
     std::span<const std::pair<State, State>> merges);
 
+/// Batch evaluator for many single-pair merge closures over one fixed base
+/// partition — the lower-cover hot loop (every candidate cover is
+/// closure(base, {a,b}) for one pair of block representatives).
+///
+/// Compared to calling merge_closure per pair, the engine (a) seeds the
+/// base partition's union-find once and restores it per pair with two
+/// memcpys instead of re-running the seeding closure, and (b) fuses
+/// canonical renumbering with the FNV-1a hash (identical to
+/// Partition::hash()) in one pass, so callers can dedup candidates without
+/// materializing a Partition for every pair. Results are bit-identical to
+/// merge_closure(machine, base, {{a,b}}).
+///
+/// Not thread-safe; use one engine per thread over the same base.
+class MergeClosureEngine {
+ public:
+  /// Seeds the engine with the base partition's congruence closure. `base`
+  /// must be closed (it is in the lower-cover use; the seeding still
+  /// closes it otherwise, matching merge_closure's seeding semantics).
+  MergeClosureEngine(const Dfsm& machine, const Partition& base);
+
+  /// Computes closure(base, {(a,b)}). Returns the canonical assignment's
+  /// FNV-1a hash (== Partition::hash() of the resulting partition); the
+  /// assignment itself is readable via assignment() until the next call.
+  std::size_t evaluate(State a, State b);
+
+  /// Canonical (first-occurrence-normalized) block assignment of the last
+  /// evaluate() call. Constructing Partition{assignment()} is exact.
+  [[nodiscard]] std::span<const std::uint32_t> assignment() const noexcept {
+    return canon_;
+  }
+
+  /// Block count of the last evaluate() call's result.
+  [[nodiscard]] std::uint32_t block_count() const noexcept { return blocks_; }
+
+ private:
+  void run(std::vector<std::uint32_t>& parent,
+           std::vector<std::uint32_t>& size);
+
+  const Dfsm& machine_;
+  std::uint32_t n_ = 0;
+  std::uint32_t k_ = 0;
+  std::uint32_t blocks_ = 0;
+  // Union-find snapshot after seeding with the base partition; evaluate()
+  // memcpy-restores it into the scratch arrays per pair.
+  std::vector<std::uint32_t> seed_parent_;
+  std::vector<std::uint32_t> seed_size_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::vector<std::uint32_t> norm_;
+  std::vector<std::uint32_t> canon_;
+  std::vector<std::pair<State, State>> queue_;
+};
+
 }  // namespace ffsm

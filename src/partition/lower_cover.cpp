@@ -1,6 +1,7 @@
 #include "partition/lower_cover.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -274,6 +275,88 @@ std::vector<Partition> postpass_sharded(std::vector<Partition>&& candidates,
   return result;
 }
 
+/// Fused evaluation: one MergeClosureEngine per chunk of pairs, inline
+/// dedup on the fused canonical hash (exact compare on collision) so
+/// duplicate closures never materialize a Partition. Chunks have a FIXED
+/// size, independent of thread count, and are merged in ascending index
+/// order through a global first-occurrence filter — so the distinct list
+/// (and therefore the cover) is bit-identical to the classic
+/// evaluate-then-dedup pipeline at any thread count.
+std::vector<Partition> fused_candidates(
+    const Dfsm& machine, const Partition& p,
+    const std::vector<std::pair<State, State>>& pairs,
+    const LowerCoverOptions& options) {
+  struct Distinct {
+    std::size_t hash;
+    std::vector<std::uint32_t> canon;
+  };
+
+  const auto evaluate_range = [&](std::size_t lo, std::size_t hi,
+                                  std::vector<Distinct>& out) {
+    MergeClosureEngine engine(machine, p);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t h = engine.evaluate(pairs[i].first, pairs[i].second);
+      const std::span<const std::uint32_t> canon = engine.assignment();
+      bool duplicate = false;
+      for (const Distinct& d : out)
+        if (d.hash == h &&
+            std::equal(d.canon.begin(), d.canon.end(), canon.begin())) {
+          duplicate = true;
+          break;
+        }
+      if (!duplicate)
+        out.push_back({h, {canon.begin(), canon.end()}});
+    }
+  };
+
+  // Pair chunks are fixed-size (NOT thread-count-derived): the merge below
+  // is boundary-insensitive, but fixed chunks also keep the work split —
+  // and the per-chunk engine count — reproducible for profiling.
+  constexpr std::size_t kChunkPairs = 2048;
+  const std::size_t chunk_count =
+      options.parallel ? (pairs.size() + kChunkPairs - 1) / kChunkPairs : 1;
+  std::vector<std::vector<Distinct>> chunk_distinct(chunk_count);
+  if (chunk_count == 1) {
+    evaluate_range(0, pairs.size(), chunk_distinct[0]);
+  } else {
+    ParallelOptions popt;
+    popt.pool = options.pool;
+    popt.serial_threshold = 1;
+    parallel_for(
+        0, chunk_count,
+        [&](std::size_t c) {
+          const std::size_t lo = c * kChunkPairs;
+          const std::size_t hi = std::min(pairs.size(), lo + kChunkPairs);
+          evaluate_range(lo, hi, chunk_distinct[c]);
+        },
+        popt);
+  }
+
+  // Merge chunks in index order with a global first-occurrence filter. A
+  // value's global first occurrence survives its own chunk's inline dedup,
+  // so processing chunk survivors in ascending global-index order yields
+  // exactly the classic first-occurrence output.
+  std::vector<Partition> unique;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_hash;
+  for (auto& chunk : chunk_distinct) {
+    for (Distinct& d : chunk) {
+      auto& chain = by_hash[d.hash];
+      bool duplicate = false;
+      for (const std::size_t u : chain) {
+        const std::span<const std::uint32_t> a = unique[u].assignment();
+        if (std::equal(a.begin(), a.end(), d.canon.begin(), d.canon.end())) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      chain.push_back(unique.size());
+      unique.emplace_back(std::move(d.canon));
+    }
+  }
+  return unique;
+}
+
 }  // namespace
 
 std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
@@ -296,6 +379,37 @@ std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
     for (std::uint32_t j = i + 1; j < blocks; ++j)
       pairs.emplace_back(rep[i], rep[j]);
 
+  if (options.fused) {
+    // Already deduplicated in first-occurrence order; apply the same
+    // maximality filter as the post-passes, then check closedness on the
+    // few survivors (the classic path checks every closure inside
+    // merge_closure — pushing the check past dedup is most of the win).
+    std::vector<Partition> unique = fused_candidates(machine, p, pairs,
+                                                     options);
+    const std::size_t k = unique.size();
+    std::vector<char> dominated(k, 0);
+    const auto scan_row = [&](std::size_t i) {
+      for (std::size_t j = 0; j < k; ++j)
+        if (i != j && Partition::less(unique[i], unique[j])) {
+          dominated[i] = 1;
+          return;
+        }
+    };
+    if (options.parallel) {
+      ParallelOptions popt;
+      popt.pool = options.pool;
+      popt.serial_threshold = 16;
+      parallel_for(0, k, scan_row, popt);
+    } else {
+      for (std::size_t i = 0; i < k; ++i) scan_row(i);
+    }
+    std::vector<Partition> result;
+    for (std::size_t i = 0; i < k; ++i)
+      if (!dominated[i]) result.push_back(std::move(unique[i]));
+    for (const Partition& q : result) FFSM_ENSURES(is_closed(machine, q));
+    return result;
+  }
+
   // Independent merge closures, one per pair.
   std::vector<Partition> candidates(pairs.size());
   const auto evaluate = [&](std::size_t idx) {
@@ -314,6 +428,36 @@ std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
   return options.sharded_dedup
              ? postpass_sharded(std::move(candidates), options)
              : postpass_serial(std::move(candidates));
+}
+
+std::uint64_t prefetch_lower_cover(
+    const Dfsm& machine, const Partition& p, const LowerCoverOptions& options,
+    const CancellationToken& token,
+    std::shared_ptr<const LowerCoverCache::Cover>* cover, bool* from_cache) {
+  if (from_cache != nullptr) *from_cache = false;
+  if (cover != nullptr) *cover = nullptr;
+  if (options.cache != nullptr) {
+    if (auto cached = options.cache->find(p)) {
+      if (from_cache != nullptr) *from_cache = true;
+      if (cover != nullptr) *cover = std::move(cached);
+      return 0;
+    }
+  }
+  if (token.cancelled()) return 0;
+
+  const std::uint32_t blocks = p.block_count();
+  const std::uint64_t closures =
+      blocks <= 1 ? 0
+                  : static_cast<std::uint64_t>(blocks) * (blocks - 1) / 2;
+  auto computed = std::make_shared<const LowerCoverCache::Cover>(
+      lower_cover(machine, p, options));
+  // Publication is the only cancellation-gated step: the joiner may still
+  // consume a cover computed despite a late cancel, but a cancelled task
+  // must never re-populate a cache its owner already cleared.
+  if (options.cache != nullptr && !token.cancelled())
+    computed = options.cache->insert(p, std::move(computed));
+  if (cover != nullptr) *cover = std::move(computed);
+  return closures;
 }
 
 }  // namespace ffsm

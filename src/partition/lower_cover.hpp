@@ -184,6 +184,15 @@ struct LowerCoverOptions {
   /// (bench_ablation_parallel's dedup series). Both modes produce
   /// identical covers in identical order.
   bool sharded_dedup = true;
+  /// Evaluate pair closures through MergeClosureEngine: the base
+  /// partition's union-find is seeded once and memcpy-restored per pair,
+  /// and duplicates are dropped inline on the fused canonical hash before
+  /// any Partition materializes. Covers are bit-identical to the classic
+  /// path at any thread count (fixed-size pair chunks merged in index
+  /// order); default-off so the classic evaluator stays the ablation
+  /// baseline. When set, sharded_dedup is irrelevant (dedup already
+  /// happened inline).
+  bool fused = false;
   /// Optional memo shared across calls (and threads). Must only ever see
   /// partitions of one machine.
   LowerCoverCache* cache = nullptr;
@@ -204,5 +213,19 @@ struct LowerCoverOptions {
 [[nodiscard]] std::shared_ptr<const LowerCoverCache::Cover> lower_cover_cached(
     const Dfsm& machine, const Partition& p,
     const LowerCoverOptions& options = {}, bool* from_cache = nullptr);
+
+/// Speculative (cancellable) variant for prefetch tasks. Consults the
+/// cache, then — unless `token` was cancelled first — computes the cover.
+/// Cancellation gates *publication only*: a cover computed despite a late
+/// cancel is still handed back through `cover` (the joiner may use it), but
+/// it is never inserted into options.cache, so a cancel + cache clear()
+/// cannot be undone by a straggling speculation. Returns the number of
+/// pair closures evaluated (0 on a cache hit or a pre-compute cancel);
+/// `from_cache` (optional) reports whether the cache served the call.
+std::uint64_t prefetch_lower_cover(
+    const Dfsm& machine, const Partition& p, const LowerCoverOptions& options,
+    const CancellationToken& token,
+    std::shared_ptr<const LowerCoverCache::Cover>* cover,
+    bool* from_cache = nullptr);
 
 }  // namespace ffsm

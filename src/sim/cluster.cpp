@@ -22,6 +22,7 @@ FusionCluster::FusionCluster(FusionClusterOptions options)
       service_options.pool = options_.pool;
       service_options.incremental = options_.incremental;
       service_options.cache_config = options_.cache_config;
+      service_options.speculation_lookahead = options_.speculation_lookahead;
       shards_[s].backend = std::make_unique<InProcessBackend>(service_options);
     }
   }
@@ -351,6 +352,9 @@ FusionCluster::Stats FusionCluster::stats() const {
     for (const std::string& key : keys) {
       const ServiceStats s = shard.backend->stats(key);
       out.shard_batches_served += s.batches_served;
+      out.speculative_covers_launched += s.speculative_covers_launched;
+      out.speculation_hits += s.speculation_hits;
+      out.speculation_wasted_closures += s.speculation_wasted_closures;
       // Backend-level counters repeated on every top of the shard — count
       // the shared worker's restarts/failovers/probe failures once, not
       // once per hosted top.

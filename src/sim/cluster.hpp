@@ -55,6 +55,9 @@ struct FusionClusterOptions {
   /// Bound + eviction policy for every top's persistent closure cache;
   /// total resident cache memory is O(tops * capacity) entries.
   LowerCoverCacheConfig cache_config = {};
+  /// Speculative-descent lookahead for every served request (see
+  /// SpeculationOptions::lookahead).
+  std::uint32_t speculation_lookahead = 2;
   /// Produces the backend hosting each shard's tops; called once per
   /// shard at construction with the shard index. Leave empty for the
   /// default InProcessBackend built from the options above.
@@ -94,6 +97,11 @@ class FusionCluster {
     std::uint64_t drains = 0;
     std::uint64_t drain_failures = 0;
     std::uint64_t shard_batches_served = 0;
+    /// Speculative cover prefetches launched / consumed / abandoned,
+    /// summed over every top's backend (see GenerateStats).
+    std::uint64_t speculative_covers_launched = 0;
+    std::uint64_t speculation_hits = 0;
+    std::uint64_t speculation_wasted_closures = 0;
     /// Worker restarts across every top's backend (processes respawned,
     /// connections re-established); 0 for in-process shards.
     std::uint64_t restarts = 0;

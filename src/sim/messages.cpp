@@ -223,7 +223,9 @@ std::string encode_response(const FusionResponse& response) {
   out << "stats " << s.machines_added << ' ' << s.descent_steps << ' '
       << s.candidates_examined << ' ' << s.closures_evaluated << ' '
       << s.cover_cache_hits << ' ' << s.graph_edges_examined << ' '
-      << s.dmin_before << ' ' << s.dmin_after << '\n';
+      << s.speculative_covers_launched << ' ' << s.speculation_hits << ' '
+      << s.speculation_wasted_closures << ' ' << s.dmin_before << ' '
+      << s.dmin_after << '\n';
   out << "end\n";
   return out.str();
 }
@@ -267,6 +269,12 @@ FusionResponse decode_response(std::string_view text) {
           parse_unsigned<std::uint64_t>(words, "response stats");
       s.graph_edges_examined =
           parse_unsigned<std::uint64_t>(words, "response stats");
+      s.speculative_covers_launched =
+          parse_unsigned<std::uint64_t>(words, "response stats");
+      s.speculation_hits =
+          parse_unsigned<std::uint64_t>(words, "response stats");
+      s.speculation_wasted_closures =
+          parse_unsigned<std::uint64_t>(words, "response stats");
       s.dmin_before = parse_unsigned<std::uint32_t>(words, "response stats");
       s.dmin_after = parse_unsigned<std::uint32_t>(words, "response stats");
       expect_line_end(words, "response stats");
@@ -292,6 +300,11 @@ std::string encode_stats(const ServiceStats& stats) {
   out << "requests_submitted " << stats.requests_submitted << '\n';
   out << "requests_served " << stats.requests_served << '\n';
   out << "batches_served " << stats.batches_served << '\n';
+  out << "speculative_covers_launched " << stats.speculative_covers_launched
+      << '\n';
+  out << "speculation_hits " << stats.speculation_hits << '\n';
+  out << "speculation_wasted_closures " << stats.speculation_wasted_closures
+      << '\n';
   out << "restarts " << stats.restarts << '\n';
   out << "failovers " << stats.failovers << '\n';
   out << "health_probes_failed " << stats.health_probes_failed << '\n';
@@ -345,34 +358,45 @@ ServiceStats decode_stats(std::string_view text) {
     } else if (directive == "batches_served") {
       mark(2);
       out.batches_served = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "restarts") {
+    } else if (directive == "speculative_covers_launched") {
       mark(3);
+      out.speculative_covers_launched =
+          parse_unsigned<std::uint64_t>(words, "stats");
+    } else if (directive == "speculation_hits") {
+      mark(4);
+      out.speculation_hits = parse_unsigned<std::uint64_t>(words, "stats");
+    } else if (directive == "speculation_wasted_closures") {
+      mark(5);
+      out.speculation_wasted_closures =
+          parse_unsigned<std::uint64_t>(words, "stats");
+    } else if (directive == "restarts") {
+      mark(6);
       out.restarts = parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "failovers") {
-      mark(4);
+      mark(7);
       out.failovers = parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "health_probes_failed") {
-      mark(5);
+      mark(8);
       out.health_probes_failed =
           parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "cache_hits") {
-      mark(6);
+      mark(9);
       out.cache_hits = parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "cache_cold_misses") {
-      mark(7);
+      mark(10);
       out.cache_cold_misses = parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "cache_eviction_misses") {
-      mark(8);
+      mark(11);
       out.cache_eviction_misses =
           parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "cache_evictions") {
-      mark(9);
+      mark(12);
       out.cache_evictions = parse_unsigned<std::uint64_t>(words, "stats");
     } else if (directive == "cache_entries") {
-      mark(10);
+      mark(13);
       out.cache_entries = parse_unsigned<std::size_t>(words, "stats");
     } else if (directive == "cache_bytes") {
-      mark(11);
+      mark(14);
       out.cache_bytes = parse_unsigned<std::size_t>(words, "stats");
     } else {
       bad("stats: unknown counter '" + directive + "'");
@@ -381,7 +405,7 @@ ServiceStats decode_stats(std::string_view text) {
   }
   if (!have_header) bad("stats: empty input");
   if (!ended) bad("stats: missing 'end'");
-  if (seen != (1u << 12) - 1) bad("stats: missing counter");
+  if (seen != (1u << 15) - 1) bad("stats: missing counter");
   return out;
 }
 
@@ -396,6 +420,7 @@ std::string encode_config(const ShardServiceConfig& config) {
   out << "cache_policy " << cache_policy_name(config.cache_config.policy)
       << '\n';
   out << "cache_capacity " << config.cache_config.capacity << '\n';
+  out << "speculation_lookahead " << config.speculation_lookahead << '\n';
   out << "end\n";
   return out.str();
 }
@@ -448,6 +473,10 @@ ShardServiceConfig decode_config(std::string_view text) {
       mark(4);
       out.cache_config.capacity =
           parse_unsigned<std::size_t>(words, "config cache_capacity");
+    } else if (directive == "speculation_lookahead") {
+      mark(5);
+      out.speculation_lookahead =
+          parse_unsigned<std::uint32_t>(words, "config speculation_lookahead");
     } else {
       bad("config: unknown field '" + directive + "'");
     }
@@ -455,7 +484,7 @@ ShardServiceConfig decode_config(std::string_view text) {
   }
   if (!have_header) bad("config: empty input");
   if (!ended) bad("config: missing 'end'");
-  if (seen != (1u << 5) - 1) bad("config: missing field");
+  if (seen != (1u << 6) - 1) bad("config: missing field");
   return out;
 }
 
@@ -808,18 +837,21 @@ class TextWireCodec final : public WireCodec {
 //
 //   kError       str detail
 //   kConfig      u8 parallel, u64 threads, u8 incremental,
-//                u8 cache_policy, u64 cache_capacity
+//                u8 cache_policy, u64 cache_capacity,
+//                u32 speculation_lookahead
 //   kTop         str key, str machine_text
 //   kServe       str key, u64 count
 //   kServing     u64 count
 //   kStatsQuery  str key
-//   kStats       12 x u64 (ServiceStats field order)
+//   kStats       15 x u64 (ServiceStats field order)
 //   kRequest     u64 ticket, str client, u32 f, u8 policy,
 //                u32 n, n x partition
 //   kResponse    u64 ticket, str client, u32 n, n x partition,
 //                u32 machines_added, u32 descent_steps,
 //                u64 candidates_examined, u64 closures_evaluated,
 //                u64 cover_cache_hits, u64 graph_edges_examined,
+//                u64 speculative_covers_launched, u64 speculation_hits,
+//                u64 speculation_wasted_closures,
 //                u32 dmin_before, u32 dmin_after
 //   (kOk, kDone, kPing, kPong, kShutdown, kBye: empty payload)
 
@@ -989,6 +1021,7 @@ void encode_binary_payload(const Frame& frame, std::string& out) {
       put_u8(out, frame.config.incremental ? 1 : 0);
       put_u8(out, cache_policy_wire(frame.config.cache_config.policy));
       put_u64(out, frame.config.cache_config.capacity);
+      put_u32(out, frame.config.speculation_lookahead);
       return;
     case FrameType::kTop:
       put_str(out, frame.key);
@@ -1008,6 +1041,9 @@ void encode_binary_payload(const Frame& frame, std::string& out) {
       put_u64(out, frame.stats.requests_submitted);
       put_u64(out, frame.stats.requests_served);
       put_u64(out, frame.stats.batches_served);
+      put_u64(out, frame.stats.speculative_covers_launched);
+      put_u64(out, frame.stats.speculation_hits);
+      put_u64(out, frame.stats.speculation_wasted_closures);
       put_u64(out, frame.stats.restarts);
       put_u64(out, frame.stats.failovers);
       put_u64(out, frame.stats.health_probes_failed);
@@ -1041,6 +1077,9 @@ void encode_binary_payload(const Frame& frame, std::string& out) {
       put_u64(out, s.closures_evaluated);
       put_u64(out, s.cover_cache_hits);
       put_u64(out, s.graph_edges_examined);
+      put_u64(out, s.speculative_covers_launched);
+      put_u64(out, s.speculation_hits);
+      put_u64(out, s.speculation_wasted_closures);
       put_u32(out, s.dmin_before);
       put_u32(out, s.dmin_after);
       return;
@@ -1069,6 +1108,7 @@ Frame decode_binary_payload(FrameType type, BinReader& in) {
       frame.config.incremental = in.boolean();
       frame.config.cache_config.policy = cache_policy_from_wire(in.u8());
       frame.config.cache_config.capacity = in.u64();
+      frame.config.speculation_lookahead = in.u32();
       break;
     case FrameType::kTop:
       frame.key = in.str();
@@ -1088,6 +1128,9 @@ Frame decode_binary_payload(FrameType type, BinReader& in) {
       frame.stats.requests_submitted = in.u64();
       frame.stats.requests_served = in.u64();
       frame.stats.batches_served = in.u64();
+      frame.stats.speculative_covers_launched = in.u64();
+      frame.stats.speculation_hits = in.u64();
+      frame.stats.speculation_wasted_closures = in.u64();
       frame.stats.restarts = in.u64();
       frame.stats.failovers = in.u64();
       frame.stats.health_probes_failed = in.u64();
@@ -1125,6 +1168,9 @@ Frame decode_binary_payload(FrameType type, BinReader& in) {
       s.closures_evaluated = in.u64();
       s.cover_cache_hits = in.u64();
       s.graph_edges_examined = in.u64();
+      s.speculative_covers_launched = in.u64();
+      s.speculation_hits = in.u64();
+      s.speculation_wasted_closures = in.u64();
       s.dmin_before = in.u32();
       s.dmin_after = in.u32();
       break;

@@ -66,6 +66,12 @@ struct ServiceStats {
   std::uint64_t requests_submitted = 0;
   std::uint64_t requests_served = 0;
   std::uint64_t batches_served = 0;
+  /// Speculation counters summed over every request this service drained
+  /// (see GenerateStats); all 0 when the engine runs serial or
+  /// non-incremental.
+  std::uint64_t speculative_covers_launched = 0;
+  std::uint64_t speculation_hits = 0;
+  std::uint64_t speculation_wasted_closures = 0;
   /// Worker restarts this serving state survived: respawned processes
   /// (SubprocessBackend), re-established connections (TcpBackend). Always
   /// 0 from the serving side itself — the backend that owns the restart
@@ -100,6 +106,9 @@ struct ShardServiceConfig {
   bool incremental = true;
   /// Bound + eviction policy for each worker service's closure cache.
   LowerCoverCacheConfig cache_config = {};
+  /// Speculative prefetch depth per descent step (see
+  /// SpeculationOptions::lookahead); used when parallel && incremental.
+  std::uint32_t speculation_lookahead = 2;
 };
 
 /// A FusionRequest in its wire envelope: the backend ticket identifying

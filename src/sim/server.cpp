@@ -76,6 +76,7 @@ std::vector<FusionService::Response> FusionService::drain() {
   batch_options.pool = options_.pool;
   batch_options.incremental = options_.incremental;
   batch_options.cache = &cache_;
+  batch_options.speculation.lookahead = options_.speculation_lookahead;
   std::vector<FusionResult> results;
   try {
     results = generate_fusion_batch(top_, requests, batch_options);
@@ -100,6 +101,13 @@ std::vector<FusionService::Response> FusionService::drain() {
     const std::lock_guard<std::mutex> lock(mutex_);
     stats_.requests_served += responses.size();
     ++stats_.batches_served;
+    for (const Response& r : responses) {
+      stats_.speculative_covers_launched +=
+          r.result.stats.speculative_covers_launched;
+      stats_.speculation_hits += r.result.stats.speculation_hits;
+      stats_.speculation_wasted_closures +=
+          r.result.stats.speculation_wasted_closures;
+    }
   }
   return responses;
 }

@@ -84,6 +84,10 @@ struct FusionServiceOptions {
   /// CacheEvictionPolicy::kUnbounded restores the legacy grow-forever
   /// behaviour).
   LowerCoverCacheConfig cache_config = {};
+  /// Speculative-descent lookahead applied to every served request (see
+  /// SpeculationOptions::lookahead; only consulted when parallel &&
+  /// incremental).
+  std::uint32_t speculation_lookahead = 2;
 };
 
 class FusionService {

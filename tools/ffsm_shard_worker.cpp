@@ -132,6 +132,7 @@ void handle_top(Worker& worker, const Frame& command) {
   options.pool = worker.pool ? &*worker.pool : nullptr;
   options.incremental = worker.config.incremental;
   options.cache_config = worker.config.cache_config;
+  options.speculation_lookahead = worker.config.speculation_lookahead;
   worker.services.emplace(
       command.key,
       std::make_unique<Worker::Service>(std::move(top), options));

@@ -226,6 +226,16 @@ FusionResult generate_fusion_speculative(const Dfsm& top,
 
   const Partition identity = Partition::identity(n);
   TaskHandle maintenance;  // previous iteration's pipelined add_machine
+  // The maintenance task captures references to `graph` and the partition
+  // just appended to `result` — both function-locals. If an exception
+  // unwinds out of the loop while it is in flight (e.g. bad_alloc from a
+  // consume), it must be joined before those locals die.
+  struct JoinOnExit {
+    TaskHandle* handle;
+    ~JoinOnExit() {
+      if (handle->valid()) (void)handle->join();
+    }
+  } join_maintenance{&maintenance};
 
   while (true) {
     // The pipelined maintenance task must land before any graph read.

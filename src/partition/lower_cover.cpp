@@ -105,13 +105,19 @@ void LowerCoverCache::make_room_locked() {
 }
 
 std::shared_ptr<const LowerCoverCache::Cover> LowerCoverCache::insert(
-    const Partition& p, std::shared_ptr<const Cover> cover) {
+    const Partition& p, std::shared_ptr<const Cover> cover,
+    const CancellationToken* gate) {
   const std::unique_lock lock(mutex_);
   // First writer wins so concurrent computations of the same cover agree on
   // one shared value (they are identical anyway — the computation is
   // deterministic). A resident key never triggers eviction.
   const auto it = map_.find(p);
   if (it != map_.end()) return it->second->cover;
+
+  // The gate check must sit under the lock: a cancel() sequenced before a
+  // clear() on the owner's thread is visible here once clear() released
+  // the lock, making cancel-then-clear authoritative against stragglers.
+  if (gate != nullptr && gate->cancelled()) return cover;
 
   make_room_locked();
   auto entry = std::make_shared<Entry>();
@@ -453,9 +459,11 @@ std::uint64_t prefetch_lower_cover(
       lower_cover(machine, p, options));
   // Publication is the only cancellation-gated step: the joiner may still
   // consume a cover computed despite a late cancel, but a cancelled task
-  // must never re-populate a cache its owner already cleared.
-  if (options.cache != nullptr && !token.cancelled())
-    computed = options.cache->insert(p, std::move(computed));
+  // must never re-populate a cache its owner already cleared. The token is
+  // passed as the insert gate so the decisive check runs under the cache's
+  // lock (atomic with respect to a concurrent cancel + clear).
+  if (options.cache != nullptr)
+    computed = options.cache->insert(p, std::move(computed), &token);
   if (cover != nullptr) *cover = std::move(computed);
   return closures;
 }

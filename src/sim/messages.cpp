@@ -6,6 +6,7 @@
 #include <cstring>
 #include <functional>
 #include <sstream>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -1303,9 +1304,24 @@ std::unique_ptr<WireCodec> make_wire_codec(bool binary) {
 
 // ------------------------------------------------------------ negotiation
 
+namespace {
+
+// Protocol version carried by the hello line. Bumped whenever a negotiated
+// payload changes shape in either encoding, so mixed-build peers fail at
+// the handshake instead of mid-stream:
+//   1 — initial negotiated wire (binary framing + exchange multiplexing).
+//   2 — stats frame grew the speculation counters, config frame grew
+//       speculation_lookahead (text directives and binary payload bytes).
+constexpr std::string_view kHelloVersion = "2";
+
+}  // namespace
+
 std::string client_hello(WireMode mode) {
   FFSM_EXPECTS(mode != WireMode::kText);
-  return mode == WireMode::kBinary ? "hello 1 bin\n" : "hello 1 bin,text\n";
+  std::string line = "hello ";
+  line += kHelloVersion;
+  line += mode == WireMode::kBinary ? " bin\n" : " bin,text\n";
+  return line;
 }
 
 bool parse_client_hello(std::string_view line, bool& offers_binary,
@@ -1318,7 +1334,8 @@ bool parse_client_hello(std::string_view line, bool& offers_binary,
   if (!(words >> version >> offers))
     bad("hello requires <version> <offers>");
   expect_line_end(words, "hello");
-  if (version != "1") bad("unsupported hello version '" + version + "'");
+  if (version != kHelloVersion)
+    bad("unsupported hello version '" + version + "'");
   offers_binary = false;
   offers_text = false;
   std::size_t start = 0;
@@ -1339,7 +1356,10 @@ bool parse_client_hello(std::string_view line, bool& offers_binary,
 }
 
 std::string worker_hello(bool binary) {
-  return binary ? "hello 1 bin\n" : "hello 1 text\n";
+  std::string line = "hello ";
+  line += kHelloVersion;
+  line += binary ? " bin\n" : " text\n";
+  return line;
 }
 
 std::unique_ptr<WireCodec> negotiate_wire(net::LineChannel& channel,
@@ -1347,11 +1367,23 @@ std::unique_ptr<WireCodec> negotiate_wire(net::LineChannel& channel,
   if (mode == WireMode::kText) return make_wire_codec(false);
   channel.send(client_hello(mode));
   const std::string reply = channel.expect_line("wire negotiation");
-  if (reply == "hello 1 bin") return make_wire_codec(true);
-  if (reply == "hello 1 text" && mode == WireMode::kAuto)
+  const std::string accept_bin = "hello " + std::string(kHelloVersion) +
+                                 " bin";
+  const std::string accept_text = "hello " + std::string(kHelloVersion) +
+                                  " text";
+  if (reply == accept_bin) return make_wire_codec(true);
+  if (reply == accept_text && mode == WireMode::kAuto)
     return make_wire_codec(false);
   if (reply.rfind("error", 0) == 0) {
-    // A worker that predates negotiation answered `error unknown
+    // A worker that speaks negotiation but a different protocol version
+    // answered `error ...unsupported hello version...` (and closed). Never
+    // fall back to text here: the text payloads changed shape across
+    // versions too, so a downgrade would fail mid-stream instead. (The
+    // match must be this specific — a pre-negotiation text worker echoes
+    // the unknown directive, so its reply also contains "hello".)
+    if (reply.find("unsupported%20hello%20version") != std::string::npos)
+      bad("peer speaks an incompatible wire protocol version: " + reply);
+    // A worker that predates negotiation entirely answered `error unknown
     // command...` and keeps listening — the stream is still in sync.
     if (mode == WireMode::kBinary)
       bad("peer cannot speak the binary wire (--wire=bin): " + reply);

@@ -306,13 +306,21 @@ class WireCodec {
 // ------------------------------------------------------------ negotiation
 //
 // A parent that wants the binary wire opens every connection with a hello
-// line — `hello 1 <offer>[,<offer>...]` — listing the encodings it
-// accepts, best first. A negotiating worker answers `hello 1 <choice>`
-// and both sides switch; a worker that predates negotiation (or runs
-// --wire=text) answers `error unknown%20command...` like for any unknown
-// directive and keeps listening, so the parent falls back to text with
-// the stream still in sync. No hello means text, byte-identical to the
-// old wire.
+// line — `hello <version> <offer>[,<offer>...]` — listing the encodings
+// it accepts, best first. A negotiating worker answers
+// `hello <version> <choice>` and both sides switch; a worker that
+// predates negotiation (or runs --wire=text) answers
+// `error unknown%20command...` like for any unknown directive and keeps
+// listening, so the parent falls back to text with the stream still in
+// sync. No hello means text, byte-identical to the old wire.
+//
+// The version is a single integer both sides must match exactly; it is
+// bumped whenever a negotiated payload changes shape in either encoding
+// (current: 2 — see kHelloVersion in messages.cpp for the history). A
+// worker seeing an unsupported version answers
+// `error unsupported%20hello%20version...`; the parent recognizes that
+// reply and fails the connection in every mode — no text fallback, since
+// the text payloads differ across versions too.
 
 /// The parent's opening line (trailing '\n' included). kText sends no
 /// hello — calling this with kText is a contract violation.
@@ -330,9 +338,11 @@ class WireCodec {
 
 /// Client-side negotiation on a fresh connection: sends the hello for
 /// `mode` (none for kText), reads the worker's answer, and returns the
-/// agreed codec. An `error` answer means a non-negotiating worker: kAuto
-/// falls back to text, kBinary throws ContractViolation. Any other answer
-/// is a protocol violation (throws; the caller drops the connection).
+/// agreed codec. An `error` answer mentioning the hello means a version
+/// mismatch and throws in every mode; any other `error` means a
+/// non-negotiating worker: kAuto falls back to text, kBinary throws
+/// ContractViolation. Any other answer is a protocol violation (throws;
+/// the caller drops the connection).
 [[nodiscard]] std::unique_ptr<WireCodec> negotiate_wire(
     net::LineChannel& channel, WireMode mode);
 

@@ -119,19 +119,22 @@ bool TaskHandle::join() {
   FFSM_EXPECTS(state_ != nullptr);
   using Status = State::Status;
   {
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    if (state_->status != Status::kPending) {
-      state_->done_cv.wait(lock, [this] {
-        return state_->status == Status::kDone ||
-               state_->status == Status::kCancelled;
-      });
-      return state_->status == Status::kDone;
-    }
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->status == Status::kDone) return true;
+    if (state_->status == Status::kCancelled) return false;
   }
-  // Still pending: claim it and run inline — the joining thread makes
-  // progress even when the pool has zero workers or they are all busy.
+  // Pending or running. A pending task is claimed and run inline — the
+  // joining thread makes progress even when the pool has zero workers or
+  // they are all busy.
   state_->claim_and_run();
-  const std::lock_guard<std::mutex> lock(state_->mutex);
+  // claim_and_run is a no-op when a pool worker claimed the task between
+  // the check above and the claim; the wait below covers that race — join
+  // must not return while the body is still running elsewhere.
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->done_cv.wait(lock, [this] {
+    return state_->status == Status::kDone ||
+           state_->status == Status::kCancelled;
+  });
   return state_->status == Status::kDone;
 }
 

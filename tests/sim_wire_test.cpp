@@ -12,8 +12,12 @@
 #include <vector>
 
 #include "fusion/generator.hpp"
+#include "net/line_channel.hpp"
+#include "net/listener.hpp"
+#include "net/socket.hpp"
 #include "sim/backend_config.hpp"
 #include "sim/cluster.hpp"
+#include "sim/messages.hpp"
 #include "sim/subprocess_backend.hpp"
 #include "sim/tcp_backend.hpp"
 #include "test_support.hpp"
@@ -137,6 +141,46 @@ TEST(WireNegotiation, SubprocessSpawnNegotiatesBinary) {
   EXPECT_EQ(backend.wire_name(), "bin");
   backend.shutdown();
   EXPECT_EQ(backend.wire_name(), "");
+}
+
+TEST(WireNegotiation, StaleHelloVersionIsRejected) {
+  // The payloads changed shape when the version went to 2 (speculation
+  // stats + config lookahead), so a previous-version hello must fail the
+  // handshake instead of decoding garbage mid-stream.
+  bool offers_binary = false;
+  bool offers_text = false;
+  EXPECT_THROW(
+      (void)parse_client_hello("hello 1 bin,text", offers_binary, offers_text),
+      ContractViolation);
+  // The current client/worker pair still agrees with itself.
+  std::string hello = client_hello(WireMode::kAuto);
+  hello.pop_back();  // read_line strips the '\n'
+  EXPECT_TRUE(parse_client_hello(hello, offers_binary, offers_text));
+  EXPECT_TRUE(offers_binary);
+  EXPECT_TRUE(offers_text);
+}
+
+TEST(WireNegotiation, VersionMismatchNeverFallsBackToText) {
+  // A worker on a different protocol version answers `error
+  // ...unsupported hello version...` and closes. The parent must fail the
+  // connection in EVERY mode — the text payloads differ across versions
+  // too, so the auto-mode text fallback (reserved for pre-negotiation
+  // workers) would just fail mid-stream instead.
+  net::Listener listener(0);
+  std::thread stale_worker([&listener] {
+    for (int i = 0; i < 2; ++i) {
+      net::LineChannel channel(listener.accept());
+      std::string hello;
+      EXPECT_TRUE(channel.read_line(hello));
+      channel.send("error wire:%20unsupported%20hello%20version%20'2'\n");
+    }
+  });
+  for (const WireMode mode : {WireMode::kAuto, WireMode::kBinary}) {
+    net::LineChannel channel(net::Socket::connect(
+        "127.0.0.1", listener.port(), milliseconds(2000)));
+    EXPECT_THROW((void)negotiate_wire(channel, mode), ContractViolation);
+  }
+  stale_worker.join();
 }
 
 TEST(WireMultiplexing, ConcurrentTopDrainsInterleaveOnOneConnection) {

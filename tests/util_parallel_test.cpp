@@ -243,6 +243,28 @@ TEST(TaskHandle, TasksInterleaveWithBatches) {
   for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
+TEST(TaskHandle, JoinBlocksWhenWorkerClaimsConcurrently) {
+  // Regression: join() used to return false immediately when a pool worker
+  // claimed the task between join()'s pending check and its inline claim —
+  // while the body was still running. Submit-then-join-immediately is
+  // exactly that race; with workers present, whoever loses the claim must
+  // wait for the winner, so join() == true and the body has finished.
+  ThreadPool pool(4);
+  constexpr std::size_t kRounds = 500;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    std::atomic<bool> body_finished{false};
+    TaskHandle task = pool.submit([&] {
+      // A short spin widens the window in which join() can observe the
+      // task Running rather than Pending or Done.
+      for (volatile int spin = 0; spin < 64; ++spin) {
+      }
+      body_finished.store(true);
+    });
+    EXPECT_TRUE(task.join()) << "round " << round;
+    EXPECT_TRUE(body_finished.load()) << "round " << round;
+  }
+}
+
 TEST(TaskHandle, DestroyedPoolCancelsPendingTasks) {
   std::atomic<int> ran{0};
   TaskHandle task;

@@ -15,8 +15,9 @@
 //                    the listener.
 //
 // Every connection starts in text. A parent that wants the binary framing
-// opens with `hello 1 bin[,text]`; the worker answers `hello 1 <choice>`
-// and both sides switch (see sim/messages.hpp "negotiation").
+// opens with `hello <version> bin[,text]`; the worker answers
+// `hello <version> <choice>` and both sides switch (see sim/messages.hpp
+// "negotiation" — the version must match exactly, a mismatch is refused).
 // `--wire=text` pins the pre-negotiation behaviour — the hello is just an
 // unknown command, answered with `error ...`, which is exactly the reply
 // an auto-mode parent treats as "fall back to text". `--wire=bin` refuses

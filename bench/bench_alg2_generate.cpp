@@ -7,6 +7,7 @@
 // visible directly in the benchmark output.
 #include "bench_support.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "fsm/random_dfsm.hpp"
@@ -84,7 +85,13 @@ void report() {
   sweep.add_row({"serial", fmt2(serial_ms), "1.00x",
                  std::to_string(serial_result.stats.closures_evaluated), "-",
                  "-", "-"});
+  // Clamp the sweep to the machine: sweeping 8 speculation threads on a
+  // 1- or 2-core runner measures scheduler contention, not the descent —
+  // and its timings pollute the perf history with noise.
+  const std::uint32_t max_threads =
+      std::max(1u, std::thread::hardware_concurrency());
   for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    if (threads > max_threads) continue;
     ThreadPool pool(threads);
     GenerateOptions parallel;
     parallel.f = 2;

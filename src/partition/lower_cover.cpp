@@ -11,9 +11,89 @@
 
 namespace ffsm {
 
+namespace {
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FrequencySketch::FrequencySketch(std::size_t capacity)
+    : width_(next_pow2(std::max<std::size_t>(64, 8 * capacity))),
+      // Classic TinyLFU ages once the sample holds ~10x the resident set's
+      // worth of accesses; tying it to width keeps the period proportional
+      // to the sketch's resolution.
+      sample_size_(8 * width_),
+      table_(new std::atomic<std::uint8_t>[kDepth * width_ / 2]) {
+  for (std::size_t i = 0; i < kDepth * width_ / 2; ++i)
+    table_[i].store(0, std::memory_order_relaxed);
+}
+
+std::size_t FrequencySketch::index(std::size_t hash,
+                                   std::size_t row) const noexcept {
+  // Per-row remix of the key hash (splitmix64-style finalizer over a
+  // row-salted seed) so the four rows probe independent positions.
+  std::uint64_t x = static_cast<std::uint64_t>(hash) +
+                    (row + 1) * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x) & (width_ - 1);
+}
+
+void FrequencySketch::increment(std::size_t hash) noexcept {
+  for (std::size_t row = 0; row < kDepth; ++row) {
+    const std::size_t idx = row * width_ + index(hash, row);
+    std::atomic<std::uint8_t>& byte = table_[idx / 2];
+    const std::uint8_t shift = (idx & 1) ? 4 : 0;
+    // Load/store (not CAS): a concurrent increment may be lost, which only
+    // under-counts — acceptable for an estimator, and race-free.
+    const std::uint8_t v = byte.load(std::memory_order_relaxed);
+    const std::uint8_t count = (v >> shift) & 0x0f;
+    if (count < kMaxCount)
+      byte.store(
+          static_cast<std::uint8_t>(v + (std::uint8_t{1} << shift)),
+          std::memory_order_relaxed);
+  }
+  if (increments_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      sample_size_) {
+    // Concurrent agers can double-halve; benign for an estimator.
+    increments_.store(0, std::memory_order_relaxed);
+    age();
+  }
+}
+
+std::uint32_t FrequencySketch::estimate(std::size_t hash) const noexcept {
+  std::uint32_t best = kMaxCount;
+  for (std::size_t row = 0; row < kDepth; ++row) {
+    const std::size_t idx = row * width_ + index(hash, row);
+    const std::uint8_t v = table_[idx / 2].load(std::memory_order_relaxed);
+    const std::uint8_t shift = (idx & 1) ? 4 : 0;
+    best = std::min<std::uint32_t>(best, (v >> shift) & 0x0f);
+  }
+  return best;
+}
+
+void FrequencySketch::age() noexcept {
+  // Halve both packed nibbles of every byte at once: shift, then mask off
+  // the bit each high nibble leaked into its low neighbour.
+  for (std::size_t i = 0; i < kDepth * width_ / 2; ++i) {
+    const std::uint8_t v = table_[i].load(std::memory_order_relaxed);
+    table_[i].store(static_cast<std::uint8_t>((v >> 1) & 0x77),
+                    std::memory_order_relaxed);
+  }
+}
+
 LowerCoverCache::LowerCoverCache(Config config) : config_(config) {
   if (config_.policy != CacheEvictionPolicy::kUnbounded)
     FFSM_EXPECTS(config_.capacity >= 1);
+  if (config_.policy == CacheEvictionPolicy::kLfuAdmit)
+    sketch_ = std::make_unique<FrequencySketch>(config_.capacity);
 }
 
 std::size_t LowerCoverCache::entry_bytes(const Partition& key,
@@ -29,15 +109,20 @@ std::shared_ptr<const LowerCoverCache::Cover> LowerCoverCache::find(
     const Partition& p) const {
   {
     const std::shared_lock lock(mutex_);
+    // Every lookup (hit or miss) feeds the admission sketch: frequency has
+    // to accumulate while a key is still being rejected, or a hot-but-not-
+    // yet-resident key could never earn its way in.
+    if (sketch_) sketch_->increment(p.hash());
     const auto it = map_.find(p);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      // Recency bump, kLru only: kEpoch/kUnbounded never read last_used,
-      // and skipping the shared clock_ RMW keeps their hit path free of
-      // cross-thread cache-line traffic. A relaxed store suffices —
+      // Recency bump, kLru/kLfuAdmit only: kEpoch/kUnbounded never read
+      // last_used, and skipping the shared clock_ RMW keeps their hit path
+      // free of cross-thread cache-line traffic. A relaxed store suffices —
       // eviction order only affects which entry gets recomputed later,
       // never results.
-      if (config_.policy == CacheEvictionPolicy::kLru)
+      if (config_.policy == CacheEvictionPolicy::kLru ||
+          config_.policy == CacheEvictionPolicy::kLfuAdmit)
         it->second->last_used.store(
             clock_.fetch_add(1, std::memory_order_relaxed) + 1,
             std::memory_order_relaxed);
@@ -64,31 +149,42 @@ void LowerCoverCache::record_eviction_locked(const Partition& key) {
   evicted_hashes_.insert(key.hash());
 }
 
+LowerCoverCache::Map::iterator LowerCoverCache::lru_victim_locked() {
+  // O(capacity) victim scan, but only on a miss that already paid for
+  // a full cover computation (orders of magnitude more work than the
+  // scan); an intrusive LRU list is not worth the hit-path writes.
+  auto victim = map_.begin();
+  std::uint64_t oldest =
+      victim->second->last_used.load(std::memory_order_relaxed);
+  for (auto it = std::next(map_.begin()); it != map_.end(); ++it) {
+    const std::uint64_t used =
+        it->second->last_used.load(std::memory_order_relaxed);
+    if (used < oldest) {
+      oldest = used;
+      victim = it;
+    }
+  }
+  return victim;
+}
+
+void LowerCoverCache::evict_locked(Map::iterator victim) {
+  record_eviction_locked(victim->first);
+  bytes_.fetch_sub(victim->second->bytes, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  map_.erase(victim);
+}
+
 void LowerCoverCache::make_room_locked() {
   switch (config_.policy) {
     case CacheEvictionPolicy::kUnbounded:
       return;
     case CacheEvictionPolicy::kLru:
-      // O(capacity) victim scan, but only on a miss that already paid for
-      // a full cover computation (orders of magnitude more work than the
-      // scan); an intrusive LRU list is not worth the hit-path writes.
-      while (map_.size() >= config_.capacity) {
-        auto victim = map_.begin();
-        std::uint64_t oldest =
-            victim->second->last_used.load(std::memory_order_relaxed);
-        for (auto it = std::next(map_.begin()); it != map_.end(); ++it) {
-          const std::uint64_t used =
-              it->second->last_used.load(std::memory_order_relaxed);
-          if (used < oldest) {
-            oldest = used;
-            victim = it;
-          }
-        }
-        record_eviction_locked(victim->first);
-        bytes_.fetch_sub(victim->second->bytes, std::memory_order_relaxed);
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-        map_.erase(victim);
-      }
+    case CacheEvictionPolicy::kLfuAdmit:
+      // kLfuAdmit normally decides admission in insert() before reaching
+      // here; this path still evicts LRU-style for import() replays and
+      // any admitted insert.
+      while (map_.size() >= config_.capacity)
+        evict_locked(lru_victim_locked());
       return;
     case CacheEvictionPolicy::kEpoch:
       if (map_.size() >= config_.capacity) {
@@ -119,14 +215,39 @@ std::shared_ptr<const LowerCoverCache::Cover> LowerCoverCache::insert(
   // the lock, making cancel-then-clear authoritative against stragglers.
   if (gate != nullptr && gate->cancelled()) return cover;
 
+  // TinyLFU admission: at capacity, the candidate must be strictly
+  // hotter (by sketch estimate) than the LRU victim it would displace;
+  // otherwise the insert is rejected and the caller keeps its computed
+  // cover — the hot set stays resident through a scan flood. Ties reject
+  // (classic TinyLFU): once estimates saturate, admitting ties would
+  // resume exactly the churn the gate exists to stop; periodic aging is
+  // what lets a genuinely hotter newcomer eventually win. Rejection never
+  // affects results, only what gets recomputed later.
+  if (config_.policy == CacheEvictionPolicy::kLfuAdmit &&
+      map_.size() >= config_.capacity) {
+    const auto victim = lru_victim_locked();
+    if (sketch_->estimate(p.hash()) <=
+        sketch_->estimate(victim->first.hash())) {
+      admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return cover;
+    }
+    evict_locked(victim);
+  }
+
+  emplace_locked(p, std::move(cover));
+  return map_.find(p)->second->cover;
+}
+
+void LowerCoverCache::emplace_locked(const Partition& key,
+                                     std::shared_ptr<const Cover> cover) {
   make_room_locked();
   auto entry = std::make_shared<Entry>();
   entry->cover = std::move(cover);
-  entry->bytes = entry_bytes(p, *entry->cover);
+  entry->bytes = entry_bytes(key, *entry->cover);
   entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
   bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
-  return map_.emplace(p, std::move(entry)).first->second->cover;
+  map_.emplace(key, std::move(entry));
 }
 
 std::size_t LowerCoverCache::size() const {
@@ -139,6 +260,38 @@ void LowerCoverCache::clear() {
   map_.clear();
   evicted_hashes_.clear();
   bytes_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<WarmCacheEntry> LowerCoverCache::export_hot(std::size_t n) const {
+  const std::shared_lock lock(mutex_);
+  std::vector<std::pair<std::uint64_t, const Map::value_type*>> ranked;
+  ranked.reserve(map_.size());
+  for (const auto& kv : map_)
+    ranked.emplace_back(kv.second->last_used.load(std::memory_order_relaxed),
+                        &kv);
+  // Hottest (most recently used) first; ties broken by key hash so the
+  // snapshot does not depend on unordered_map iteration order.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second->first.hash() > b.second->first.hash();
+            });
+  if (ranked.size() > n) ranked.resize(n);
+  std::vector<WarmCacheEntry> out;
+  out.reserve(ranked.size());
+  for (const auto& [used, kv] : ranked)
+    out.push_back({kv->first, *kv->second->cover});
+  return out;
+}
+
+void LowerCoverCache::import(const std::vector<WarmCacheEntry>& entries) {
+  const std::unique_lock lock(mutex_);
+  // Replay coldest first so the exporter's hottest entries end up with the
+  // youngest clocks (and survive longest if this cache must evict).
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (map_.contains(it->key)) continue;
+    emplace_locked(it->key, std::make_shared<const Cover>(it->cover));
+  }
 }
 
 std::shared_ptr<const LowerCoverCache::Cover> lower_cover_cached(

@@ -58,13 +58,72 @@ enum class CacheEvictionPolicy : std::uint8_t {
   /// the number of distinct partitions ever descended through; only
   /// sensible for short-lived, single-workload caches (kept default-off).
   kUnbounded,
+  /// LRU eviction behind a TinyLFU admission filter: a 4-bit count-min
+  /// frequency sketch (FrequencySketch) tracks how often each key was
+  /// looked up recently, and an insert at capacity is *rejected* when the
+  /// candidate's estimated frequency is below the LRU victim's — a one-off
+  /// scan key can no longer evict a hot descent-prefix key. Rejection
+  /// never changes results (the caller keeps its freshly computed cover;
+  /// the next miss recomputes), it only decides what stays resident.
+  kLfuAdmit,
 };
 
 struct LowerCoverCacheConfig {
   CacheEvictionPolicy policy = CacheEvictionPolicy::kLru;
-  /// Maximum resident entries for kLru/kEpoch (must be >= 1); ignored by
-  /// kUnbounded. The cache never holds more than `capacity` entries.
+  /// Maximum resident entries for kLru/kEpoch/kLfuAdmit (must be >= 1);
+  /// ignored by kUnbounded. The cache never holds more than `capacity`
+  /// entries.
   std::size_t capacity = 1024;
+};
+
+/// One exported hot cache entry — the partition descended from plus its
+/// lower cover. The unit of the warm cache handoff: export_hot() hands a
+/// vector of these to the backend, which ships them in a kCacheWarm frame
+/// and replays them into the replacement worker's cache via import().
+struct WarmCacheEntry {
+  Partition key;
+  std::vector<Partition> cover;
+};
+
+/// TinyLFU-style frequency sketch: a depth-4 count-min sketch of 4-bit
+/// saturating counters (two per byte) with periodic halving ("aging") once
+/// a sample-size worth of increments has accumulated, so estimates track
+/// *recent* popularity rather than all of history. Counters are atomic
+/// bytes updated with relaxed plain stores — concurrent increments may
+/// lose updates, which only makes the (already approximate) estimate
+/// conservative; there are no data races.
+class FrequencySketch {
+ public:
+  /// Sized for `capacity` resident entries: width is the smallest power of
+  /// two >= max(64, 8 * capacity) counters per row.
+  explicit FrequencySketch(std::size_t capacity);
+
+  /// Records one lookup of `hash` and ages the sketch when the sample
+  /// period elapses.
+  void increment(std::size_t hash) noexcept;
+
+  /// Estimated recent lookup count for `hash` (min over rows, <= 15).
+  [[nodiscard]] std::uint32_t estimate(std::size_t hash) const noexcept;
+
+  /// Bytes held by the counter table.
+  [[nodiscard]] std::size_t table_bytes() const noexcept {
+    return kDepth * width_ / 2;
+  }
+
+ private:
+  static constexpr std::size_t kDepth = 4;
+  static constexpr std::uint32_t kMaxCount = 15;
+
+  /// Counter index of `hash` in `row`.
+  [[nodiscard]] std::size_t index(std::size_t hash,
+                                  std::size_t row) const noexcept;
+  /// Halves every counter in place: the aging step.
+  void age() noexcept;
+
+  std::size_t width_;  // counters per row; power of two
+  std::size_t sample_size_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> table_;
+  std::atomic<std::uint64_t> increments_{0};
 };
 
 /// Thread-safe, size-bounded memo of lower covers keyed by the partition
@@ -110,6 +169,18 @@ class LowerCoverCache {
   /// preserved and the drop is not counted as eviction.
   void clear();
 
+  /// Snapshot of the (up to) `n` hottest resident entries, most recently
+  /// used first — the payload of a warm cache handoff. Covers are copied
+  /// out, so the snapshot stays valid after eviction or clear().
+  [[nodiscard]] std::vector<WarmCacheEntry> export_hot(std::size_t n) const;
+
+  /// Replays an export_hot() snapshot into this cache (typically a fresh
+  /// one on a respawned worker or a failover target). Bypasses admission —
+  /// the exporter already judged these entries hot — but still respects
+  /// the capacity bound, and preserves the exporter's recency order.
+  /// Resident keys are left untouched (first writer wins, as in insert()).
+  void import(const std::vector<WarmCacheEntry>& entries);
+
   // Lifetime counters (monotonic, approximate under contention).
 
   [[nodiscard]] std::uint64_t hits() const noexcept {
@@ -142,14 +213,26 @@ class LowerCoverCache {
   [[nodiscard]] std::size_t approx_bytes() const noexcept {
     return bytes_.load(std::memory_order_relaxed);
   }
+  /// Inserts rejected by the TinyLFU admission filter (kLfuAdmit only;
+  /// 0 otherwise). Each reject kept a hotter victim resident at the price
+  /// of recomputing the rejected key on its next miss.
+  [[nodiscard]] std::uint64_t admission_rejects() const noexcept {
+    return admission_rejects_.load(std::memory_order_relaxed);
+  }
+  /// Bytes held by the admission frequency sketch (kLfuAdmit only).
+  [[nodiscard]] std::size_t sketch_bytes() const noexcept {
+    return sketch_ ? sketch_->table_bytes() : 0;
+  }
 
  private:
   struct Entry {
     std::shared_ptr<const Cover> cover;
-    /// Logical access clock value of the last find() hit (kLru).
+    /// Logical access clock value of the last find() hit (kLru/kLfuAdmit).
     std::atomic<std::uint64_t> last_used{0};
     std::size_t bytes = 0;
   };
+  using Map = std::unordered_map<Partition, std::shared_ptr<Entry>,
+                                 PartitionHash>;
 
   /// Payload estimate for one (key, cover) pair.
   static std::size_t entry_bytes(const Partition& key, const Cover& cover);
@@ -157,11 +240,23 @@ class LowerCoverCache {
   /// Evicts per policy until an insert fits; requires unique lock held.
   void make_room_locked();
 
+  /// The map_ iterator of the LRU entry (kLru/kLfuAdmit eviction victim);
+  /// requires lock held and map_ non-empty.
+  [[nodiscard]] Map::iterator lru_victim_locked();
+
+  /// Evicts the entry at `victim`; requires unique lock held.
+  void evict_locked(Map::iterator victim);
+
+  /// Places one entry, evicting first if needed; requires unique lock
+  /// held and the key non-resident. Shared by insert() and import().
+  void emplace_locked(const Partition& key,
+                      std::shared_ptr<const Cover> cover);
+
   Config config_;
   mutable std::shared_mutex mutex_;
   // shared_ptr<Entry> values: stable addresses across rehash, so find()
   // can bump last_used outside any per-entry lock.
-  std::unordered_map<Partition, std::shared_ptr<Entry>, PartitionHash> map_;
+  Map map_;
   /// Remembers an evicted key's hash for miss classification, keeping the
   /// tombstone set bounded; requires unique lock held.
   void record_eviction_locked(const Partition& key);
@@ -179,6 +274,9 @@ class LowerCoverCache {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> epochs_{0};
   std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::uint64_t> admission_rejects_{0};
+  /// Admission frequency sketch; allocated only under kLfuAdmit.
+  std::unique_ptr<FrequencySketch> sketch_;
 };
 
 struct LowerCoverOptions {

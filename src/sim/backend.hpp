@@ -98,7 +98,18 @@ class QueuedWireBackend : public ShardBackend {
     std::string machine_text;    // self-contained to_text, for re-register
     std::uint32_t top_size = 0;  // states, for caller-side validate
     std::vector<WireRequest> queue;  // accepted, not yet served
+    /// Warm cache snapshot captured (best-effort) after the last
+    /// successful drain, replayed alongside the config/top handshake when
+    /// the transport is re-established — a respawned worker or failover
+    /// target starts with the predecessor's hot set instead of stone-cold.
+    std::vector<WarmCacheEntry> warm;
   };
+
+  /// Entries captured per top by the post-drain warm snapshot (and the
+  /// most a handshake replays). Covers are a few hundred bytes each, so
+  /// the snapshot stays well under a single network read even at the
+  /// default cache capacity.
+  static constexpr std::uint64_t kWarmSnapshotEntries = 64;
 
   [[nodiscard]] TopState& top_of(const std::string& key);
   [[nodiscard]] const TopState& top_of(const std::string& key) const;

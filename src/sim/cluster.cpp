@@ -368,6 +368,8 @@ FusionCluster::Stats FusionCluster::stats() const {
       out.cache_evictions += s.cache_evictions;
       out.cache_entries += s.cache_entries;
       out.cache_bytes += s.cache_bytes;
+      out.cache_admission_rejects += s.cache_admission_rejects;
+      out.cache_sketch_bytes += s.cache_sketch_bytes;
     }
     out.restarts += shard_restarts;
     out.failovers += shard_failovers;

@@ -125,6 +125,10 @@ class FusionCluster {
     std::uint64_t cache_evictions = 0;
     std::size_t cache_entries = 0;
     std::size_t cache_bytes = 0;
+    /// Inserts rejected by the kLfuAdmit frequency gate, and the resident
+    /// footprint of the admission sketches; 0 under every other policy.
+    std::uint64_t cache_admission_rejects = 0;
+    std::size_t cache_sketch_bytes = 0;
   };
 
   explicit FusionCluster(FusionClusterOptions options = {});

@@ -137,6 +137,8 @@ const char* cache_policy_name(CacheEvictionPolicy policy) {
       return "epoch";
     case CacheEvictionPolicy::kUnbounded:
       return "unbounded";
+    case CacheEvictionPolicy::kLfuAdmit:
+      return "lfu_admit";
   }
   bad("unknown CacheEvictionPolicy");
 }
@@ -145,6 +147,7 @@ CacheEvictionPolicy cache_policy_from_name(std::string_view name) {
   if (name == "lru") return CacheEvictionPolicy::kLru;
   if (name == "epoch") return CacheEvictionPolicy::kEpoch;
   if (name == "unbounded") return CacheEvictionPolicy::kUnbounded;
+  if (name == "lfu_admit") return CacheEvictionPolicy::kLfuAdmit;
   bad("unknown cache policy '" + std::string(name) + "'");
 }
 
@@ -315,6 +318,8 @@ std::string encode_stats(const ServiceStats& stats) {
   out << "cache_evictions " << stats.cache_evictions << '\n';
   out << "cache_entries " << stats.cache_entries << '\n';
   out << "cache_bytes " << stats.cache_bytes << '\n';
+  out << "cache_admission_rejects " << stats.cache_admission_rejects << '\n';
+  out << "cache_sketch_bytes " << stats.cache_sketch_bytes << '\n';
   out << "end\n";
   return out.str();
 }
@@ -399,6 +404,13 @@ ServiceStats decode_stats(std::string_view text) {
     } else if (directive == "cache_bytes") {
       mark(14);
       out.cache_bytes = parse_unsigned<std::size_t>(words, "stats");
+    } else if (directive == "cache_admission_rejects") {
+      mark(15);
+      out.cache_admission_rejects =
+          parse_unsigned<std::uint64_t>(words, "stats");
+    } else if (directive == "cache_sketch_bytes") {
+      mark(16);
+      out.cache_sketch_bytes = parse_unsigned<std::size_t>(words, "stats");
     } else {
       bad("stats: unknown counter '" + directive + "'");
     }
@@ -406,7 +418,7 @@ ServiceStats decode_stats(std::string_view text) {
   }
   if (!have_header) bad("stats: empty input");
   if (!ended) bad("stats: missing 'end'");
-  if (seen != (1u << 15) - 1) bad("stats: missing counter");
+  if (seen != (1u << 17) - 1) bad("stats: missing counter");
   return out;
 }
 
@@ -548,6 +560,8 @@ const char* frame_type_name(FrameType type) {
       return "shutdown";
     case FrameType::kBye:
       return "bye";
+    case FrameType::kCacheWarm:
+      return "cachewarm";
   }
   bad("unknown FrameType");
 }
@@ -662,6 +676,38 @@ Frame parse_text_frame(const std::string& first, const LineSource& next) {
     frame.key = unescape_token(token);
     frame.count = parse_unsigned<std::uint64_t>(words, "serve count");
     line_end("serve");
+  } else if (directive == "cachewarm") {
+    frame.type = FrameType::kCacheWarm;
+    std::string token;
+    if (!(words >> token)) bad("'cachewarm' requires <key> <count>");
+    frame.key = unescape_token(token);
+    frame.count = parse_unsigned<std::uint64_t>(words, "cachewarm count");
+    line_end("cachewarm");
+    // Body: `entry` opens one cache entry (its key partition), `cover`
+    // lines add that entry's cover partitions, a lone `end` closes the
+    // frame. A query carries zero entries.
+    for (;;) {
+      const std::string line = next_or_truncated(next, "cachewarm");
+      std::istringstream body(line);
+      std::string what;
+      if (!(body >> what)) continue;  // blank line
+      if (what == "end") {
+        expect_line_end(body, "cachewarm end");
+        break;
+      }
+      if (what == "entry") {
+        WarmCacheEntry entry;
+        entry.key = parse_partition(body, "cachewarm entry");
+        frame.entries.push_back(std::move(entry));
+      } else if (what == "cover") {
+        if (frame.entries.empty())
+          bad("cachewarm: 'cover' before any 'entry'");
+        frame.entries.back().cover.push_back(
+            parse_partition(body, "cachewarm cover"));
+      } else {
+        bad("cachewarm: unknown directive '" + what + "'");
+      }
+    }
   } else if (directive == "stats") {
     std::string token;
     if (words >> token) {
@@ -769,6 +815,22 @@ class TextWireCodec final : public WireCodec {
       case FrameType::kBye:
         out += "bye\n";
         return;
+      case FrameType::kCacheWarm: {
+        out += "cachewarm ";
+        out += escape_token(frame.key);
+        out += ' ';
+        out += std::to_string(frame.count);
+        out += '\n';
+        std::ostringstream body;
+        for (const WarmCacheEntry& entry : frame.entries) {
+          append_partition(body, "entry", entry.key);
+          for (const Partition& p : entry.cover)
+            append_partition(body, "cover", p);
+        }
+        out += body.str();
+        out += "end\n";
+        return;
+      }
     }
     bad("unknown FrameType");
   }
@@ -844,7 +906,9 @@ class TextWireCodec final : public WireCodec {
 //   kServe       str key, u64 count
 //   kServing     u64 count
 //   kStatsQuery  str key
-//   kStats       15 x u64 (ServiceStats field order)
+//   kStats       17 x u64 (ServiceStats field order)
+//   kCacheWarm   str key, u64 count, u32 n,
+//                n x (partition key, u32 m, m x partition)
 //   kRequest     u64 ticket, str client, u32 f, u8 policy,
 //                u32 n, n x partition
 //   kResponse    u64 ticket, str client, u32 n, n x partition,
@@ -925,6 +989,8 @@ std::uint8_t cache_policy_wire(CacheEvictionPolicy policy) {
       return 1;
     case CacheEvictionPolicy::kUnbounded:
       return 2;
+    case CacheEvictionPolicy::kLfuAdmit:
+      return 3;
   }
   bad("unknown CacheEvictionPolicy");
 }
@@ -937,6 +1003,8 @@ CacheEvictionPolicy cache_policy_from_wire(std::uint8_t v) {
       return CacheEvictionPolicy::kEpoch;
     case 2:
       return CacheEvictionPolicy::kUnbounded;
+    case 3:
+      return CacheEvictionPolicy::kLfuAdmit;
     default:
       bad("unknown cache policy byte");
   }
@@ -1054,6 +1122,18 @@ void encode_binary_payload(const Frame& frame, std::string& out) {
       put_u64(out, frame.stats.cache_evictions);
       put_u64(out, frame.stats.cache_entries);
       put_u64(out, frame.stats.cache_bytes);
+      put_u64(out, frame.stats.cache_admission_rejects);
+      put_u64(out, frame.stats.cache_sketch_bytes);
+      return;
+    case FrameType::kCacheWarm:
+      put_str(out, frame.key);
+      put_u64(out, frame.count);
+      put_u32(out, static_cast<std::uint32_t>(frame.entries.size()));
+      for (const WarmCacheEntry& entry : frame.entries) {
+        put_partition(out, entry.key);
+        put_u32(out, static_cast<std::uint32_t>(entry.cover.size()));
+        for (const Partition& p : entry.cover) put_partition(out, p);
+      }
       return;
     case FrameType::kRequest: {
       const WireRequest& r = frame.request;
@@ -1141,7 +1221,25 @@ Frame decode_binary_payload(FrameType type, BinReader& in) {
       frame.stats.cache_evictions = in.u64();
       frame.stats.cache_entries = in.u64();
       frame.stats.cache_bytes = in.u64();
+      frame.stats.cache_admission_rejects = in.u64();
+      frame.stats.cache_sketch_bytes = in.u64();
       break;
+    case FrameType::kCacheWarm: {
+      frame.key = in.str();
+      frame.count = in.u64();
+      const std::uint32_t entries = in.u32();
+      frame.entries.reserve(std::min<std::size_t>(entries, 4096));
+      for (std::uint32_t i = 0; i < entries; ++i) {
+        WarmCacheEntry entry;
+        entry.key = in.partition();
+        const std::uint32_t covers = in.u32();
+        entry.cover.reserve(std::min<std::size_t>(covers, 4096));
+        for (std::uint32_t j = 0; j < covers; ++j)
+          entry.cover.push_back(in.partition());
+        frame.entries.push_back(std::move(entry));
+      }
+      break;
+    }
     case FrameType::kRequest: {
       frame.request.ticket = in.u64();
       frame.request.client = in.str();
@@ -1200,7 +1298,7 @@ BinHeader parse_binary_header(const char* data) {
   for (int i = 0; i < 8; ++i)
     out.exchange |= std::uint64_t{h[8 + i]} << (8 * i);
   if (type_byte < static_cast<std::uint8_t>(FrameType::kOk) ||
-      type_byte > static_cast<std::uint8_t>(FrameType::kBye))
+      type_byte > static_cast<std::uint8_t>(FrameType::kCacheWarm))
     bad("unknown frame type byte");
   if (out.payload_len > kMaxBinPayload) bad("oversized frame");
   out.type = static_cast<FrameType>(type_byte);
@@ -1312,7 +1410,10 @@ namespace {
 //   1 — initial negotiated wire (binary framing + exchange multiplexing).
 //   2 — stats frame grew the speculation counters, config frame grew
 //       speculation_lookahead (text directives and binary payload bytes).
-constexpr std::string_view kHelloVersion = "2";
+//   3 — stats frame grew the cache admission counters, the cachewarm
+//       frame (warm cache handoff) was added, and the lfu_admit cache
+//       policy joined the config vocabulary.
+constexpr std::string_view kHelloVersion = "3";
 
 }  // namespace
 

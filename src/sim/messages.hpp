@@ -18,7 +18,7 @@
 //   requests_submitted <n>                parallel <0|1>
 //   ... (one counter per line)            threads <n>
 //   end                                   incremental <0|1>
-//                                         cache_policy <lru|epoch|unbounded>
+//                                         cache_policy <lru|epoch|...>
 //                                         cache_capacity <n>
 //                                         end
 //
@@ -92,6 +92,10 @@ struct ServiceStats {
   std::uint64_t cache_evictions = 0;
   std::size_t cache_entries = 0;
   std::size_t cache_bytes = 0;
+  /// Inserts rejected by the TinyLFU admission filter (kLfuAdmit only).
+  std::uint64_t cache_admission_rejects = 0;
+  /// Bytes held by the admission frequency sketch (kLfuAdmit only).
+  std::size_t cache_sketch_bytes = 0;
 };
 
 /// The FusionServiceOptions subset that can cross a process boundary
@@ -197,6 +201,11 @@ enum class FrameType : std::uint8_t {
   kPong = 13,
   kShutdown = 14,
   kBye = 15,
+  // key + count + entries. Dual-purpose (warm cache handoff): with
+  // `entries` empty it queries the worker for its (up to) `count` hottest
+  // cache entries — answered by a kCacheWarm carrying them; with `entries`
+  // non-empty it imports them into the worker's cache — answered by kOk.
+  kCacheWarm = 16,
 };
 
 [[nodiscard]] const char* frame_type_name(FrameType type);
@@ -216,6 +225,7 @@ struct Frame {
   FusionResponse response;   // kResponse
   ServiceStats stats;        // kStats
   ShardServiceConfig config; // kConfig
+  std::vector<WarmCacheEntry> entries;  // kCacheWarm
 };
 
 /// Mark/restore bump allocator backing binary frame decode: the payload of
@@ -316,7 +326,7 @@ class WireCodec {
 //
 // The version is a single integer both sides must match exactly; it is
 // bumped whenever a negotiated payload changes shape in either encoding
-// (current: 2 — see kHelloVersion in messages.cpp for the history). A
+// (current: 3 — see kHelloVersion in messages.cpp for the history). A
 // worker seeing an unsupported version answers
 // `error unsupported%20hello%20version...`; the parent recognizes that
 // reply and fails the connection in every mode — no text fallback, since

@@ -107,6 +107,25 @@ void ReplicaBackend::connect_endpoint_locked(std::size_t replica) {
                               net::to_string(endpoint) + " rejected top '" +
                               key + "': " + describe_reply(top_reply));
   }
+  // Warm handoff: replay the last captured cache snapshots so a failover
+  // (or fail-back) target serves its first drain with the previous
+  // replica's hot set resident — same exchange discipline as the top
+  // replay above, still pre-conversation on the raw channel.
+  for (const std::string& key : top_order_) {
+    const TopState& top = tops_.at(key);
+    if (top.warm.empty()) continue;
+    Frame warm = command_frame(FrameType::kCacheWarm);
+    warm.key = key;
+    warm.count = top.warm.size();
+    warm.entries = top.warm;
+    channel.send(codec->encode(warm));
+    const Frame warm_reply = codec->expect(channel, "warm cache replay");
+    if (warm_reply.type != FrameType::kOk)
+      throw ContractViolation("ReplicaBackend: worker at " +
+                              net::to_string(endpoint) +
+                              " rejected warm cache for '" + key +
+                              "': " + describe_reply(warm_reply));
+  }
   conversation_ = std::make_shared<WireConversation>(std::move(channel),
                                                      std::move(codec));
   ++connects_;
@@ -316,17 +335,47 @@ std::vector<FusionResponse> ReplicaBackend::drain(const std::string& key) {
         // nothing can be lost. Drop exactly the batch's tickets: submits
         // that arrived during the exchange stay queued for the next
         // drain, and a discard_pending that raced it stays a no-op.
-        const std::lock_guard<std::mutex> lock(mutex_);
-        TopState& top = top_of(key);
-        std::unordered_set<std::uint64_t> served;
-        served.reserve(batch.size());
-        for (const WireRequest& request : batch)
-          served.insert(request.ticket);
-        std::erase_if(top.queue, [&](const WireRequest& request) {
-          return served.contains(request.ticket);
-        });
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          TopState& top = top_of(key);
+          std::unordered_set<std::uint64_t> served;
+          served.reserve(batch.size());
+          for (const WireRequest& request : batch)
+            served.insert(request.ticket);
+          std::erase_if(top.queue, [&](const WireRequest& request) {
+            return served.contains(request.ticket);
+          });
+        }
+        capture_warm_snapshot(conversation, key);
         return responses;
       });
+}
+
+void ReplicaBackend::capture_warm_snapshot(
+    const std::shared_ptr<WireConversation>& conversation,
+    const std::string& key) {
+  // Best-effort: the drain already completed, so a failure here only
+  // costs the snapshot a future failover would have replayed.
+  try {
+    WireConversation::Exchange exchange =
+        WireConversation::open(conversation);
+    Frame query = command_frame(FrameType::kCacheWarm);
+    query.key = key;
+    query.count = kWarmSnapshotEntries;
+    exchange.send(std::move(query));
+    Frame reply = exchange.receive();
+    if (reply.type != FrameType::kCacheWarm) {
+      if (reply.type != FrameType::kError)
+        conversation->poison("unexpected cachewarm reply");
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    top_of(key).warm = std::move(reply.entries);
+  } catch (const net::NetError&) {
+    // Connection died after the batch completed; the next drain
+    // reconnects (and replays whatever snapshot we last captured).
+  } catch (const ContractViolation&) {
+  }
 }
 
 void ReplicaBackend::fill_parent_counters_locked(ServiceStats& stats) const {

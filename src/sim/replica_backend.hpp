@@ -11,7 +11,11 @@
 // the in-flight retry reconnects to the best replica reachable, replaying
 // the full config/top handshake — a listen-mode worker starts every
 // connection with clean state, so a fresh replica is bit-identical by
-// construction (caches never change results). Queueing stays parent-side
+// construction (caches never change results). The handshake also replays
+// the warm cache snapshot captured after the last successful drain
+// (kCacheWarm), so a failover target serves its first drain with the
+// previous primary's hot set resident instead of stone-cold — results
+// stay bit-identical either way. Queueing stays parent-side
 // (QueuedWireBackend): the batch is re-submitted to the survivor and the
 // queue cleared only once every response arrived, so failover is
 // lossless. With every replica down, drain() throws with the batch still
@@ -169,6 +173,13 @@ class ReplicaBackend : public QueuedWireBackend {
   std::vector<FusionResponse> serve_exchange(
       const std::shared_ptr<WireConversation>& conversation,
       const std::string& key, const std::vector<WireRequest>& batch);
+  /// Best-effort kCacheWarm export query after a successful drain: stores
+  /// the replica's hottest cache entries in the top's warm snapshot, to be
+  /// replayed by the next connect handshake (failover or fail-back).
+  /// Failures are swallowed — the drain already completed.
+  void capture_warm_snapshot(
+      const std::shared_ptr<WireConversation>& conversation,
+      const std::string& key);
   /// Parent-side counters the remote cannot know, onto `stats`.
   void fill_parent_counters_locked(ServiceStats& stats) const;
 

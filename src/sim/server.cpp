@@ -124,6 +124,8 @@ FusionService::Stats FusionService::stats() const {
   out.cache_evictions = cache_.evictions();
   out.cache_entries = cache_.size();
   out.cache_bytes = cache_.approx_bytes();
+  out.cache_admission_rejects = cache_.admission_rejects();
+  out.cache_sketch_bytes = cache_.sketch_bytes();
   return out;
 }
 

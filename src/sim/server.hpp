@@ -137,6 +137,15 @@ class FusionService {
     return cache_;
   }
 
+  /// Replays a warm cache snapshot (LowerCoverCache::export_hot from a
+  /// predecessor — the other half of the kCacheWarm handoff) into the
+  /// closure cache; thread-safe. Entries must key partitions of top()'s
+  /// state set; anything else is a caller bug the cache cannot detect, so
+  /// the backends only ever replay snapshots exported for the same top.
+  void warm_cache(const std::vector<WarmCacheEntry>& entries) {
+    cache_.import(entries);
+  }
+
  private:
   struct Pending {
     std::uint64_t ticket;

@@ -94,6 +94,20 @@ void SubprocessBackend::register_top_locked(const std::string& key,
                "': " + describe_reply(reply));
 }
 
+void SubprocessBackend::replay_warm_locked(const std::string& key,
+                                           const TopState& top) {
+  if (top.warm.empty()) return;
+  Frame frame = command_frame(FrameType::kCacheWarm);
+  frame.key = key;
+  frame.count = top.warm.size();
+  frame.entries = top.warm;
+  send_locked(codec_->encode(frame));
+  const Frame reply = expect_frame_locked("warm cache replay");
+  if (reply.type != FrameType::kOk)
+    die_locked("worker rejected warm cache for '" + key +
+               "': " + describe_reply(reply));
+}
+
 void SubprocessBackend::ensure_worker_locked() {
   if (channel_.valid() && worker_pid_ > 0) {
     const pid_t status = ::waitpid(worker_pid_, nullptr, WNOHANG);
@@ -157,6 +171,11 @@ void SubprocessBackend::ensure_worker_locked() {
                "' an ffsm_shard_worker?): " + describe_reply(reply));
   for (const std::string& key : top_order_)
     register_top_locked(key, tops_.at(key));
+  // Warm handoff: replay the last pre-death cache snapshots so the fresh
+  // worker serves its first drain with the predecessor's hot set resident
+  // instead of recomputing every shared descent prefix from scratch.
+  for (const std::string& key : top_order_)
+    replay_warm_locked(key, tops_.at(key));
 }
 
 void SubprocessBackend::register_added_top_locked(const std::string& key) {
@@ -217,6 +236,23 @@ std::vector<FusionResponse> SubprocessBackend::drain(const std::string& key) {
     throw;
   }
   top.queue.clear();
+  // Best-effort warm snapshot for the next respawn handshake, captured
+  // while the worker's cache reflects the batch just served. The
+  // responses are already in hand, so a failure here must not fail the
+  // drain — it only costs the snapshot (die_locked already reaped a dead
+  // worker; the next drain respawns).
+  try {
+    Frame query = command_frame(FrameType::kCacheWarm);
+    query.key = key;
+    query.count = kWarmSnapshotEntries;
+    send_locked(codec_->encode(query));
+    Frame snapshot = expect_frame_locked("warm cache snapshot");
+    if (snapshot.type == FrameType::kCacheWarm)
+      top.warm = std::move(snapshot.entries);
+    else if (snapshot.type != FrameType::kError)
+      kill_worker_locked();  // stream out of sync; respawn next drain
+  } catch (const ContractViolation&) {
+  }
   return responses;
 }
 

@@ -25,6 +25,7 @@
 //   serve + n request frames           -> serving + n responses + done
 //                                         | error
 //   stats query                        -> stats | error
+//   cachewarm query / import           -> cachewarm | ok | error
 //   shutdown                           -> bye, then worker exit
 #pragma once
 
@@ -98,6 +99,9 @@ class SubprocessBackend final : public QueuedWireBackend {
   void kill_worker_locked() noexcept;
   /// Sends the frame for one top and expects an ok frame.
   void register_top_locked(const std::string& key, const TopState& top);
+  /// Ships a top's warm cache snapshot (if any) and expects an ok frame —
+  /// the import half of the kCacheWarm handoff, run at every (re)spawn.
+  void replay_warm_locked(const std::string& key, const TopState& top);
 
   /// I/O over the channel (net::LineChannel: full-buffer SIGPIPE-safe
   /// sends). send throws on a dead peer via die_locked; expect_frame

@@ -66,7 +66,7 @@ TEST(WireEnums, NamesRoundTrip) {
     EXPECT_EQ(policy_from_name(policy_name(p)), p);
   for (const CacheEvictionPolicy p :
        {CacheEvictionPolicy::kLru, CacheEvictionPolicy::kEpoch,
-        CacheEvictionPolicy::kUnbounded})
+        CacheEvictionPolicy::kUnbounded, CacheEvictionPolicy::kLfuAdmit})
     EXPECT_EQ(cache_policy_from_name(cache_policy_name(p)), p);
   EXPECT_THROW((void)policy_from_name("bogus"), ContractViolation);
   EXPECT_THROW((void)cache_policy_from_name("bogus"), ContractViolation);
@@ -184,6 +184,8 @@ TEST(WireStatsCodec, RandomStatsRoundTripByteIdentically) {
     original.cache_evictions = rng();
     original.cache_entries = static_cast<std::size_t>(rng.below(1 << 20));
     original.cache_bytes = static_cast<std::size_t>(rng.below(1 << 30));
+    original.cache_admission_rejects = rng();
+    original.cache_sketch_bytes = static_cast<std::size_t>(rng.below(1 << 20));
 
     const std::string text = encode_stats(original);
     const ServiceStats back = decode_stats(text);
@@ -198,6 +200,8 @@ TEST(WireStatsCodec, RandomStatsRoundTripByteIdentically) {
     EXPECT_EQ(back.health_probes_failed, original.health_probes_failed);
     EXPECT_EQ(back.cache_eviction_misses, original.cache_eviction_misses);
     EXPECT_EQ(back.cache_bytes, original.cache_bytes);
+    EXPECT_EQ(back.cache_admission_rejects, original.cache_admission_rejects);
+    EXPECT_EQ(back.cache_sketch_bytes, original.cache_sketch_bytes);
     EXPECT_EQ(encode_stats(back), text);
   }
 }
@@ -205,7 +209,7 @@ TEST(WireStatsCodec, RandomStatsRoundTripByteIdentically) {
 TEST(WireConfigCodec, AllCachePoliciesRoundTripByteIdentically) {
   for (const CacheEvictionPolicy policy :
        {CacheEvictionPolicy::kLru, CacheEvictionPolicy::kEpoch,
-        CacheEvictionPolicy::kUnbounded})
+        CacheEvictionPolicy::kUnbounded, CacheEvictionPolicy::kLfuAdmit})
     for (const bool parallel : {false, true})
       for (const bool incremental : {false, true}) {
         ShardServiceConfig original;
@@ -273,6 +277,15 @@ TEST(WireCodec, MalformedFramesThrow) {
   dup_spec.replace(hits_at, std::strlen("speculation_hits 0"),
                    "speculative_covers_launched 0");
   EXPECT_THROW((void)decode_stats(dup_spec), ContractViolation);
+  // And for the admission counters added with the cache tentpole: a
+  // duplicated rejects line standing in for the sketch-bytes line keeps
+  // the line count right but must still throw.
+  const auto sketch_at = stats_text.find("cache_sketch_bytes 0\n");
+  ASSERT_NE(sketch_at, std::string::npos);
+  std::string dup_admit = stats_text;
+  dup_admit.replace(sketch_at, std::strlen("cache_sketch_bytes 0"),
+                    "cache_admission_rejects 0");
+  EXPECT_THROW((void)decode_stats(dup_admit), ContractViolation);
   const std::string config_text = encode_config(ShardServiceConfig{});
   std::string duplicated_config = config_text;
   const auto threads_at = duplicated_config.find("threads 0\n");
@@ -433,6 +446,26 @@ std::vector<Frame> binary_sample_frames(Xoshiro256& rng) {
     stats.stats.failovers = 2;
     stats.stats.health_probes_failed = 3;
     stats.stats.cache_bytes = 4096;
+    stats.stats.cache_admission_rejects = 11;
+    stats.stats.cache_sketch_bytes = 128;
+  }
+  {
+    // Both halves of the warm handoff: the export query (empty entries)
+    // and a two-entry import, one cover empty.
+    Frame& query = add(FrameType::kCacheWarm);
+    query.key = "counters-10";
+    query.count = 64;
+    Frame& warm = add(FrameType::kCacheWarm);
+    warm.key = "counters-10";
+    warm.count = 2;
+    WarmCacheEntry first;
+    first.key = random_partition(6, rng);
+    first.cover.push_back(random_partition(6, rng));
+    first.cover.push_back(random_partition(6, rng));
+    warm.entries.push_back(std::move(first));
+    WarmCacheEntry second;
+    second.key = random_partition(6, rng);
+    warm.entries.push_back(std::move(second));
   }
   add(FrameType::kPing);
   add(FrameType::kPong);
@@ -504,7 +537,7 @@ TEST(WireCodecRobustness, BinaryTruncationsAndCorruptionsAreClean) {
           << reserved;
     }
     // An unknown frame type must throw, whatever the payload says.
-    for (const unsigned char type : {0u, 16u, 0xffu}) {
+    for (const unsigned char type : {0u, 17u, 0xffu}) {
       std::string damaged = bytes;
       damaged[4] = static_cast<char>(type);
       EXPECT_TRUE(survives(frame, damaged))
@@ -544,6 +577,93 @@ TEST(WireCodecRobustness, TextCodecMatchesFreeFunctions) {
 
   frame.exchange = 7;  // text cannot carry the tag
   EXPECT_THROW((void)codec->encode(frame), ContractViolation);
+}
+
+// The warm-handoff frame on the text wire: query and import round-trip
+// byte-identically through the codec interface (there is no deprecated
+// free-function pair for this frame type).
+TEST(WireCacheWarmCodec, TextFramesRoundTripByteIdentically) {
+  Xoshiro256 rng(7);
+  const std::unique_ptr<WireCodec> codec = make_wire_codec(false);
+
+  Frame query;
+  query.type = FrameType::kCacheWarm;
+  query.key = "two words";  // escaped token on the wire
+  query.count = 64;
+  const std::string query_text = codec->encode(query);
+  const Frame query_back = codec->decode(query_text);
+  EXPECT_EQ(query_back.type, FrameType::kCacheWarm);
+  EXPECT_EQ(query_back.key, query.key);
+  EXPECT_EQ(query_back.count, query.count);
+  EXPECT_TRUE(query_back.entries.empty());
+  EXPECT_EQ(codec->encode(query_back), query_text);
+
+  Frame warm;
+  warm.type = FrameType::kCacheWarm;
+  warm.key = "counters-10";
+  warm.count = 2;
+  for (int i = 0; i < 2; ++i) {
+    WarmCacheEntry entry;
+    entry.key = random_partition(6, rng);
+    for (int c = 0; c <= i; ++c)
+      entry.cover.push_back(random_partition(6, rng));
+    warm.entries.push_back(std::move(entry));
+  }
+  const std::string warm_text = codec->encode(warm);
+  const Frame warm_back = codec->decode(warm_text);
+  ASSERT_EQ(warm_back.entries.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(warm_back.entries[i].key, warm.entries[i].key) << i;
+    EXPECT_EQ(warm_back.entries[i].cover, warm.entries[i].cover) << i;
+  }
+  EXPECT_EQ(codec->encode(warm_back), warm_text);
+}
+
+// The warm-handoff frame's text trust boundary: truncations, a cover line
+// with no open entry, and unknown body directives all throw cleanly.
+TEST(WireCacheWarmCodec, MalformedTextFramesThrow) {
+  Xoshiro256 rng(8);
+  const std::unique_ptr<WireCodec> codec = make_wire_codec(false);
+  Frame warm;
+  warm.type = FrameType::kCacheWarm;
+  warm.key = "k";
+  warm.count = 1;
+  WarmCacheEntry entry;
+  entry.key = random_partition(4, rng);
+  entry.cover.push_back(random_partition(4, rng));
+  warm.entries.push_back(std::move(entry));
+  const std::string good = codec->encode(warm);
+
+  // Every strict prefix throws, except the one that merely lost the
+  // trailing newline of the `end` line.
+  for (std::size_t len = 0; len + 2 < good.size(); ++len)
+    EXPECT_THROW((void)codec->decode(good.substr(0, len)), ContractViolation)
+        << "truncated to " << len << " bytes decoded as if complete";
+  EXPECT_THROW((void)codec->decode("cachewarm k\nend\n"), ContractViolation);
+  EXPECT_THROW((void)codec->decode("cachewarm k 1\ncover 0 1\nend\n"),
+               ContractViolation);  // 'cover' before any 'entry'
+  EXPECT_THROW((void)codec->decode("cachewarm k 1\nbogus 0 1\nend\n"),
+               ContractViolation);  // unknown body directive
+  EXPECT_THROW((void)codec->decode(good + "junk\n"), ContractViolation);
+}
+
+// The binary header's payload bound: a length field past kMaxBinPayload
+// (256 MiB) is rejected from the 16 header bytes alone — a corrupted or
+// hostile peer cannot make the decoder try to buffer gigabytes.
+TEST(WireCacheWarmCodec, BinaryOversizedPayloadLengthIsRejected) {
+  const std::unique_ptr<WireCodec> codec = make_wire_codec(true);
+  Frame query;
+  query.type = FrameType::kCacheWarm;
+  query.key = "k";
+  query.count = 64;
+  query.exchange = 9;
+  std::string bytes = codec->encode(query);
+  // Little-endian payload_len in header bytes 0..3: claim 256 MiB + 1.
+  bytes[0] = '\x01';
+  bytes[1] = '\x00';
+  bytes[2] = '\x00';
+  bytes[3] = '\x10';
+  EXPECT_THROW((void)codec->decode(bytes), ContractViolation);
 }
 
 TEST(WireMachines, SelfContainedTextReproducesEventIds) {

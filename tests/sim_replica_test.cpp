@@ -2,8 +2,10 @@
 // of its primary worker without losing (or re-queueing) a single request —
 // the batch drains through the secondary bit-identically to in-process
 // serving; with every replica dead requests stay queued until one
-// revives; and a revived higher-priority replica gets the traffic back
-// (fail-back) without dropping in-flight work.
+// revives; a revived higher-priority replica gets the traffic back
+// (fail-back) without dropping in-flight work; and the failover handshake
+// replays the warm cache snapshot so the secondary's first drain serves
+// from the dead primary's hot set.
 #include "sim/replica_backend.hpp"
 
 #include <gtest/gtest.h>
@@ -264,6 +266,49 @@ TEST(ReplicaCluster, DrainSurvivesPrimaryKillWithoutARequeue) {
   EXPECT_EQ(stats.failovers, 1u);
   EXPECT_EQ(stats.restarts, 1u);
   EXPECT_EQ(stats.requests_requeued, 0u);
+}
+
+TEST(ReplicaBackend, FailoverReplaysWarmCacheToTheSecondary) {
+  ReplicaFixture fx;
+  auto primary = std::make_unique<ListenerWorkerProcess>();
+  ListenerWorkerProcess secondary;
+  ReplicaBackend backend(fast_options({primary->port(), secondary.port()}));
+  backend.add_top("small", fx.product.top);
+
+  // First drain on the primary; afterwards the backend captures the
+  // primary's hottest cache entries as the top's warm snapshot.
+  const std::vector<FusionRequest> asks = {
+      fx.request(1), fx.request(2),
+      fx.request(3, DescentPolicy::kMostBlocks)};
+  for (std::size_t i = 0; i < asks.size(); ++i)
+    backend.submit("small", "warm" + std::to_string(i), asks[i]);
+  const auto warm = backend.drain("small");
+  ASSERT_EQ(warm.size(), asks.size());
+  ASSERT_EQ(backend.current_replica(), 0u);
+
+  // Failover: the reconnect handshake replays the snapshot into the
+  // secondary, so its FIRST drain serves the repeated stream from the
+  // predecessor's hot set — every descent partition was already resident,
+  // where a cold failover target would re-enter them all as cold misses.
+  primary->kill();
+  for (std::size_t i = 0; i < asks.size(); ++i)
+    backend.submit("small", "over" + std::to_string(i), asks[i]);
+  const auto over = backend.drain("small");
+  ASSERT_EQ(over.size(), asks.size());
+  EXPECT_EQ(backend.current_replica(), 1u);
+  EXPECT_EQ(backend.failovers(), 1u);
+  const ServiceStats stats = backend.stats("small");
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_cold_misses, 0u);
+
+  // The handoff must never change results: both drains bit-identical to
+  // serving the same stream cold in-process.
+  const auto expected = fx.expect(
+      {asks[0], asks[1], asks[2], asks[0], asks[1], asks[2]});
+  for (std::size_t i = 0; i < asks.size(); ++i) {
+    EXPECT_EQ(warm[i].result.partitions, expected[i]) << i;
+    EXPECT_EQ(over[i].result.partitions, expected[i + asks.size()]) << i;
+  }
 }
 
 TEST(ReplicaBackend, RejectsAnEmptyOrUnconnectableSeedList) {

@@ -143,6 +143,42 @@ TEST(SubprocessBackend, ShutdownReapsWorkerAndNextDrainRespawns) {
   EXPECT_EQ(backend.spawns(), 2u);
 }
 
+TEST(SubprocessBackend, RespawnReplaysWarmCacheToTheFreshWorker) {
+  const SubprocessFixture fx;
+  SubprocessBackend backend;
+  backend.add_top("small", fx.small.top);
+
+  // First drain computes everything; afterwards the backend captures the
+  // worker's hottest cache entries as the top's warm snapshot.
+  backend.submit("small", "a", {fx.small_originals, 1});
+  backend.submit("small", "b",
+                 {fx.small_originals, 2, DescentPolicy::kMostBlocks});
+  const auto first = backend.drain("small");
+  ASSERT_EQ(first.size(), 2u);
+  const int pid = backend.worker_pid();
+  ASSERT_GT(pid, 0);
+
+  // SIGKILL the worker: the respawn handshake replays the snapshot, so
+  // the fresh process serves the repeated stream from its predecessor's
+  // hot set — zero cold misses where an unwarmed respawn would re-enter
+  // every descent partition cold.
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  backend.submit("small", "a2", {fx.small_originals, 1});
+  backend.submit("small", "b2",
+                 {fx.small_originals, 2, DescentPolicy::kMostBlocks});
+  const auto second = backend.drain("small");
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(backend.spawns(), 2u);
+  const ServiceStats stats = backend.stats("small");
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_cold_misses, 0u);
+
+  // Warm or cold, the results are bit-identical.
+  EXPECT_EQ(second[0].result.partitions, first[0].result.partitions);
+  EXPECT_EQ(second[1].result.partitions, first[1].result.partitions);
+}
+
 TEST(SubprocessCluster, ServesBitIdenticallyToInProcessCluster) {
   const SubprocessFixture fx;
 

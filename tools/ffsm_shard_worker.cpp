@@ -33,6 +33,7 @@
 //   top                        -> ok | error
 //   serve + n request frames   -> serving + n responses + done | error
 //   stats query                -> stats | error
+//   cachewarm query / import   -> cachewarm | ok | error
 //   ping                       -> pong
 //   shutdown (or EOF)          -> bye, connection done
 //
@@ -201,6 +202,25 @@ Frame make_error(const std::string& detail) {
   return reply;
 }
 
+/// The kCacheWarm dual command: empty entries = export query (answered
+/// with the service's hottest cache entries), non-empty = import into the
+/// service's cache (answered with ok). Imports bypass admission but
+/// respect capacity, so a warmed worker still serves bit-identically.
+Frame handle_cachewarm(Worker& worker, const Frame& command) {
+  Worker::Service& entry = worker.service_of(command.key);
+  if (command.entries.empty()) {
+    Frame reply;
+    reply.type = FrameType::kCacheWarm;
+    reply.key = command.key;
+    reply.count = command.count;
+    reply.entries = entry.service.cache().export_hot(
+        static_cast<std::size_t>(command.count));
+    return reply;
+  }
+  entry.service.warm_cache(command.entries);
+  return make_reply(FrameType::kOk);
+}
+
 /// The text wire: one exchange at a time, every command handled inline.
 /// A malformed frame gets an `error` reply with the stream still in sync
 /// — the unknown-command branch of this loop is what a negotiating parent
@@ -275,6 +295,9 @@ bool run_loop_text(Worker& worker, net::LineChannel& channel,
             channel.send(codec.encode(reply));
             break;
           }
+          case FrameType::kCacheWarm:
+            channel.send(codec.encode(handle_cachewarm(worker, *command)));
+            break;
           case FrameType::kPing:
             channel.send(codec.encode(make_reply(FrameType::kPong)));
             break;
@@ -390,6 +413,9 @@ bool run_loop_binary(Worker& worker, net::LineChannel& channel,
             send_one(std::move(reply), command->exchange);
             break;
           }
+          case FrameType::kCacheWarm:
+            send_one(handle_cachewarm(worker, *command), command->exchange);
+            break;
           case FrameType::kPing:
             send_one(make_reply(FrameType::kPong), command->exchange);
             break;

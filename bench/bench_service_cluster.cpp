@@ -16,6 +16,7 @@
 // history from day one.
 #include "bench_support.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "net/health.hpp"
+#include "obs/obs.hpp"
 #include "sim/backend_config.hpp"
 #include "sim/cluster.hpp"
 #include "sim/tcp_backend.hpp"
@@ -269,11 +271,17 @@ void report_backends(bench::JsonReporter& json, const Workload& w,
     const char* const name = entry.label;
     json.set_backend(name);
 
+    // Each backend gets its own enabled Obs so the per-backend drain
+    // percentiles below come from exactly this backend's drains.
+    obs::Obs backend_obs;
+    BackendConfig config = entry.config;
+    config.obs = &backend_obs;
     FusionClusterOptions options;
     options.shards = 3;
     options.pool = &pool;
     options.cache_config = cache;
-    options.backend_factory = make_backend_factory(entry.config);
+    options.obs = &backend_obs;
+    options.backend_factory = make_backend_factory(std::move(config));
     auto cluster = std::make_unique<FusionCluster>(options);
     for (std::size_t t = 0; t < w.keys.size(); ++t)
       cluster->add_top(w.keys[t], w.products[t].top);
@@ -351,6 +359,19 @@ void report_backends(bench::JsonReporter& json, const Workload& w,
                     static_cast<double>(stats.failovers));
     json.add_metric(name, "health_probes_failed",
                     static_cast<double>(stats.health_probes_failed));
+    // Per-backend drain-latency percentiles from the merged histogram —
+    // what the CI step summary tabulates across backends.
+    const obs::ObsSnapshot obs_snap = cluster->obs_snapshot();
+    const auto drain_hist = obs_snap.histograms.find("cluster.drain");
+    bench::require(drain_hist != obs_snap.histograms.end() &&
+                       drain_hist->second.count() > 0,
+                   "instrumented cluster recorded its drains");
+    json.add_metric(name, "drain_p50_us",
+                    static_cast<double>(drain_hist->second.percentile(50)));
+    json.add_metric(name, "drain_p95_us",
+                    static_cast<double>(drain_hist->second.percentile(95)));
+    json.add_metric(name, "drain_p99_us",
+                    static_cast<double>(drain_hist->second.percentile(99)));
     cluster->shutdown();
   }
   json.set_backend("");
@@ -370,12 +391,146 @@ void report_backends(bench::JsonReporter& json, const Workload& w,
                  "binary-wire cold drain within 15% of in-process");
 }
 
+/// The observability tentpole's acceptance checks, hard-asserted:
+///   1. overhead — warm drains through a fully instrumented in-process
+///      cluster must land within 5% of the identical drains against a
+///      compiled-in no-op recorder (a disabled Obs: no clock reads, no
+///      ring writes), best-of-N on both sides to shed scheduler noise;
+///   2. determinism — both variants serve bit-identical fusions;
+///   3. content — a full instrumented run over the binary wire yields a
+///      merged snapshot with nonzero p50/p95/p99 for the drain, the wire
+///      round-trips and worker-side generation, plus worker spans merged
+///      from an out-of-process backend; the percentiles land in the JSON
+///      history.
+void report_obs(bench::JsonReporter& json, const Workload& w,
+                ThreadPool& pool) {
+  std::printf("== Observability: no-op recorder vs instrumented drains ==\n");
+  json.set_backend("inprocess");
+  const std::size_t clients = 8 * w.keys.size();
+  const LowerCoverCacheConfig cache = {CacheEvictionPolicy::kLru, 64};
+  constexpr int kRounds = 9;
+
+  // One cold drain to fill the caches, then best-of-kRounds warm drains:
+  // the instrumented hot path is the warm one (every cache.get, span and
+  // queue-wait sample still fires), and min-of-N is the stable statistic
+  // for a 5% bound on a shared machine.
+  const auto warm_best_ms = [&](obs::Obs& obs,
+                                std::vector<std::vector<Partition>>&
+                                    fingerprint) {
+    FusionClusterOptions options;
+    options.shards = 3;
+    options.pool = &pool;
+    options.cache_config = cache;
+    options.obs = &obs;
+    FusionCluster cluster(options);
+    for (std::size_t t = 0; t < w.keys.size(); ++t)
+      cluster.add_top(w.keys[t], w.products[t].top);
+    submit_clients(cluster, w);
+    bench::require(cluster.drain().responses.size() == clients,
+                   "every client answered in the cold drain");
+    double best = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+      submit_clients(cluster, w);
+      WallTimer timer;
+      const auto report = cluster.drain();
+      const double ms = timer.elapsed_ms();
+      if (round == 0 || ms < best) best = ms;
+      bench::require(report.responses.size() == clients,
+                     "every client answered in a warm drain");
+      if (round == 0)
+        for (const auto& r : report.responses)
+          fingerprint.push_back(r.result.partitions);
+    }
+    return best;
+  };
+
+  obs::ObsConfig disabled;
+  disabled.enabled = false;
+  obs::Obs noop_obs(disabled);
+  obs::Obs live_obs;
+  std::vector<std::vector<Partition>> noop_results;
+  std::vector<std::vector<Partition>> live_results;
+  const double noop_ms = warm_best_ms(noop_obs, noop_results);
+  const double live_ms = warm_best_ms(live_obs, live_results);
+  bench::require(noop_obs.snapshot().histograms.empty(),
+                 "the no-op recorder recorded nothing");
+  bench::require(live_results == noop_results,
+                 "instrumented drains serve bit-identical fusions");
+  std::printf("warm drain, best of %d: no-op recorder %.2f ms vs "
+              "instrumented %.2f ms (%.1f%%)\n",
+              kRounds, noop_ms, live_ms,
+              noop_ms > 0 ? 100.0 * live_ms / noop_ms : 0.0);
+  json.add_metric("obs", "noop_warm_drain_ms", noop_ms);
+  json.add_metric("obs", "instrumented_warm_drain_ms", live_ms);
+  json.add_metric("obs", "instrumented_vs_noop", live_ms / noop_ms);
+  bench::require(live_ms <= 1.05 * noop_ms,
+                 "instrumented drain within 5% of the no-op recorder");
+
+  // Content: instrumented serving over the binary wire to a real worker
+  // process. The merged snapshot must show where the milliseconds went at
+  // every layer — parent drains, wire round-trips, worker generation.
+  ListenerWorkerProcess worker;
+  obs::Obs wire_obs;
+  BackendConfig config;
+  config.kind = BackendConfig::Kind::kTcp;
+  config.endpoints = {{"127.0.0.1", worker.port()}};
+  config.wire = WireMode::kBinary;
+  config.service.parallel = true;
+  config.service.threads = 0;
+  config.service.cache_config = cache;
+  config.obs = &wire_obs;
+  FusionClusterOptions options;
+  options.shards = 3;
+  options.pool = &pool;
+  options.cache_config = cache;
+  options.obs = &wire_obs;
+  options.backend_factory = make_backend_factory(std::move(config));
+  FusionCluster cluster(options);
+  for (std::size_t t = 0; t < w.keys.size(); ++t)
+    cluster.add_top(w.keys[t], w.products[t].top);
+  for (int round = 0; round < 2; ++round) {
+    submit_clients(cluster, w);
+    bench::require(cluster.drain().responses.size() == clients,
+                   "every client answered over the instrumented wire");
+  }
+  const obs::ObsSnapshot snap = cluster.obs_snapshot();
+  for (const char* series : {"cluster.drain", "wire.roundtrip",
+                             "gen.request"}) {
+    const auto it = snap.histograms.find(series);
+    bench::require(it != snap.histograms.end() && it->second.count() > 0,
+                   "merged snapshot carries the advertised series");
+    const std::uint64_t p50 = it->second.percentile(50);
+    const std::uint64_t p95 = it->second.percentile(95);
+    const std::uint64_t p99 = it->second.percentile(99);
+    bench::require(p50 > 0 && p95 > 0 && p99 > 0,
+                   "drain / wire / generation percentiles are nonzero");
+    json.add_metric("obs", std::string(series) + "_p50_us",
+                    static_cast<double>(p50));
+    json.add_metric("obs", std::string(series) + "_p95_us",
+                    static_cast<double>(p95));
+    json.add_metric("obs", std::string(series) + "_p99_us",
+                    static_cast<double>(p99));
+  }
+  const bool worker_spans =
+      std::any_of(snap.spans.begin(), snap.spans.end(),
+                  [](const obs::TraceSpan& span) {
+                    return !span.source.empty() &&
+                           span.name.rfind("gen.", 0) == 0;
+                  });
+  bench::require(worker_spans,
+                 "snapshot merges generation spans from a worker process");
+  cluster.shutdown();
+  json.set_backend("");
+  std::printf("\n");
+}
+
 void report() {
   bench::JsonReporter json("service_cluster");
   const Workload w = make_workload();
   ThreadPool pool(8);
   report_caches(json, w, pool);
   report_backends(json, w, pool);
+  report_obs(json, w, pool);
 }
 
 void cluster_drain(benchmark::State& state) {

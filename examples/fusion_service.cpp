@@ -44,6 +44,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +53,7 @@
 #include "fsm/product.hpp"
 #include "fusion/generator.hpp"
 #include "net/health.hpp"
+#include "obs/obs.hpp"
 #include "sim/backend_config.hpp"
 #include "sim/cluster.hpp"
 #include "util/table.hpp"
@@ -80,6 +82,9 @@ struct CliOptions {
   /// special cases here; make_backend_factory() validates the shape.
   ffsm::BackendConfig backend;
   std::size_t shards = 3;
+  /// Write the cluster-wide trace (parent drains + worker generation,
+  /// merged over the wire) as Chrome trace-event JSON here; empty = off.
+  std::string trace_out;
 };
 
 bool parse_cli(int argc, char** argv, CliOptions& cli) {
@@ -110,6 +115,9 @@ bool parse_cli(int argc, char** argv, CliOptions& cli) {
       const long n = std::atol(arg.c_str() + std::strlen("--shards="));
       if (n < 1) return false;
       cli.shards = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      cli.trace_out = arg.substr(std::strlen("--trace-out="));
+      if (cli.trace_out.empty()) return false;
     } else {
       return false;
     }
@@ -123,7 +131,7 @@ bool parse_cli(int argc, char** argv, CliOptions& cli) {
       stderr,
       "usage: %s [--backend={inprocess,subprocess,tcp,replica-tcp}] "
       "[--connect host:port[,host:port...]] [--wire={text,bin,auto}] "
-      "[--shards=N]\n"
+      "[--shards=N] [--trace-out=trace.json]\n"
       "  --backend=tcp requires --connect with one worker (a running "
       "`ffsm_shard_worker --listen <port>`)\n"
       "  --backend=replica-tcp requires --connect with the worker replica "
@@ -145,18 +153,28 @@ int main(int argc, char** argv) {
 
   // Three tenants: counter products of 100, 144 and 196 states.
   ThreadPool pool(8);
+  // One observability timeline for the whole run: the cluster's drain
+  // spans, every backend's wire timing, and (merged over kObs) each
+  // worker's generation spans.
+  obs::Obs obs;
   const LowerCoverCacheConfig cache_config = {CacheEvictionPolicy::kLru, 64};
   cli.backend.service.parallel = true;
   cli.backend.service.threads = 4;
   cli.backend.service.cache_config = cache_config;
-  if (cli.backend.kind == BackendConfig::Kind::kReplica)
+  cli.backend.obs = &obs;
+  if (cli.backend.kind == BackendConfig::Kind::kReplica) {
     // One monitor probes the whole seed list for every shard; shared into
     // the factory so it outlives this scope.
-    cli.backend.monitor = std::make_shared<net::HealthMonitor>();
+    net::HealthMonitorOptions monitor_options;
+    monitor_options.obs = &obs;
+    cli.backend.monitor =
+        std::make_shared<net::HealthMonitor>(std::move(monitor_options));
+  }
   FusionClusterOptions options;
   options.shards = cli.shards;
   options.pool = &pool;
   options.cache_config = cache_config;
+  options.obs = &obs;
   try {
     options.backend_factory = make_backend_factory(cli.backend);
   } catch (const ContractViolation& error) {
@@ -261,6 +279,35 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%s", table.to_string().c_str());
 
+  // Where the milliseconds went: latency percentiles over every histogram
+  // in the merged cluster snapshot — parent-side drain/queue/merge timing
+  // plus worker-side generation and cache phases pulled over kObs. Taken
+  // before shutdown() so out-of-process workers are still answering.
+  const obs::ObsSnapshot snap = cluster.obs_snapshot();
+  TextTable latencies({"histogram (us)", "count", "p50", "p95", "p99"});
+  for (const auto& [name, hist] : snap.histograms)
+    latencies.add_row({name, std::to_string(hist.count()),
+                       std::to_string(hist.percentile(50)),
+                       std::to_string(hist.percentile(95)),
+                       std::to_string(hist.percentile(99))});
+  std::printf("\n%s", latencies.to_string().c_str());
+
+  if (!cli.trace_out.empty()) {
+    std::ofstream trace(cli.trace_out, std::ios::trunc);
+    if (!trace) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+                   cli.trace_out.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(trace, snap.spans);
+    std::printf("\ntrace: %zu spans -> %s (load via chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                snap.spans.size(), cli.trace_out.c_str());
+  }
+
   cluster.shutdown();  // terminates subprocess workers, no-op in-process
+  // The monitor's prober thread records into `obs`; stop it before `obs`
+  // (declared later, destroyed first) goes away.
+  if (cli.backend.monitor) cli.backend.monitor->stop();
   return 0;
 }

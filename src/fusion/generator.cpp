@@ -129,7 +129,15 @@ class SpeculationEngine {
     const auto it = inflight_.find(p);
     if (it != inflight_.end()) {
       Prefetch& slot = *it->second;
-      if (slot.task.join() && slot.cover != nullptr) {
+      // Time the join itself: how long the descent stalls on a prefetch it
+      // decided to consume (0 when the worker already finished — the ideal).
+      obs::Obs* const obs = cover_options_.obs;
+      const bool timed = obs != nullptr && obs->enabled();
+      const std::uint64_t join_start = timed ? obs->now_us() : 0;
+      const bool finished = slot.task.join();
+      if (timed)
+        obs->record("gen.speculation_join", obs->now_us() - join_start);
+      if (finished && slot.cover != nullptr) {
         ++stats_.speculation_hits;
         if (slot.from_cache)
           ++stats_.cover_cache_hits;
@@ -218,6 +226,7 @@ FusionResult generate_fusion_speculative(const Dfsm& top,
   // of a fresh congruence closure each (see MergeClosureEngine).
   cover_options.fused = true;
   cover_options.cache = cache;
+  cover_options.obs = options.obs;
 
   ThreadPool& pool =
       options.pool != nullptr ? *options.pool : ThreadPool::global();
@@ -347,6 +356,7 @@ FusionResult generate_fusion(const Dfsm& top,
   cover_options.pool = options.pool;
   cover_options.parallel = options.parallel;
   cover_options.cache = cache;
+  cover_options.obs = options.obs;
 
   // Outer loop: one fusion machine per iteration until dmin exceeds f.
   // dmin == kInfinity (single-state top) tolerates everything already.
@@ -421,6 +431,7 @@ std::vector<FusionResult> generate_fusion_batch(
   cover_options.pool = options.pool;
   cover_options.parallel = options.parallel;
   cover_options.cache = cache;
+  cover_options.obs = options.obs;
 
   // Amortize the shared top-machine work once, before fanning out: every
   // request's first descent step needs the identity partition's lower cover
@@ -458,6 +469,8 @@ std::vector<FusionResult> generate_fusion_batch(
   std::vector<std::exception_ptr> errors(requests.size());
   const auto serve = [&](std::size_t i) {
     try {
+      const obs::ScopedSpan span(options.obs, "gen.request",
+                                 {.top = options.obs_top});
       GenerateOptions per_request;
       per_request.f = requests[i].f;
       per_request.policy = requests[i].policy;
@@ -468,6 +481,7 @@ std::vector<FusionResult> generate_fusion_batch(
       per_request.incremental = options.incremental;
       per_request.cache = cache;
       per_request.speculation = options.speculation;
+      per_request.obs = options.obs;
       results[i] = generate_fusion(top, requests[i].originals, per_request);
     } catch (...) {
       errors[i] = std::current_exception();

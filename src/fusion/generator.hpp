@@ -85,6 +85,12 @@ struct GenerateOptions {
   /// speculate. Speculation cannot change results — only which thread
   /// computes a cover, and what lands in the cache early.
   SpeculationOptions speculation = {};
+  /// Optional observability context (nullptr = uninstrumented), forwarded
+  /// into every lower-cover call (see LowerCoverOptions::obs). The
+  /// generator itself adds `gen.speculation_join` (time the descent spends
+  /// waiting on a speculative prefetch it decided to consume). Never
+  /// affects results.
+  obs::Obs* obs = nullptr;
 };
 
 struct GenerateStats {
@@ -177,6 +183,13 @@ struct BatchOptions {
   /// Per-request speculative-descent tuning (see
   /// GenerateOptions::speculation).
   SpeculationOptions speculation = {};
+  /// Optional observability context (nullptr = uninstrumented): every
+  /// request runs under a `gen.request` span tagged with `obs_top`, and
+  /// obs flows down into the per-request generator + lower-cover calls.
+  obs::Obs* obs = nullptr;
+  /// Top tag stamped on this batch's `gen.request` spans (typically the
+  /// serving key, e.g. "sensors/0"); empty = untagged.
+  std::string obs_top;
 };
 
 /// Runs Algorithm 2 for every request against `top`. results[i] corresponds

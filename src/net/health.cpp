@@ -74,8 +74,19 @@ void HealthMonitor::probe_round() {
   for (const Endpoint& endpoint : cycle) {
     const auto start = std::chrono::steady_clock::now();
     const bool ok = probe(endpoint);
-    const auto rtt = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const auto rtt =
+        std::chrono::duration_cast<std::chrono::milliseconds>(elapsed);
+    if (options_.obs != nullptr && options_.obs->enabled()) {
+      options_.obs->record(
+          "health.probe." + to_string(endpoint),
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                  .count()));
+      if (!ok)
+        options_.obs->instant("health.probe_failed",
+                              {.shard = to_string(endpoint)});
+    }
     const std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [watched, health] : entries_) {
       if (!(watched == endpoint)) continue;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "net/socket.hpp"
+#include "obs/obs.hpp"
 
 namespace ffsm::net {
 
@@ -64,6 +65,12 @@ struct HealthMonitorOptions {
   /// Spawn the background prober at construction. false = rounds run only
   /// when probe_now() is called (tests drive probing by hand).
   bool start_thread = true;
+  /// Optional observability context (nullptr = uninstrumented). Every
+  /// probe's round trip lands in a `health.probe.<host:port>` histogram
+  /// (µs, one series per endpoint) and each failed probe emits a
+  /// `health.probe_failed` instant tagged with the endpoint. Never
+  /// affects verdicts.
+  obs::Obs* obs = nullptr;
 };
 
 class HealthMonitor {

@@ -1,0 +1,61 @@
+#include "obs/metrics.hpp"
+
+#include <mutex>
+
+namespace ffsm::obs {
+
+std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (p <= 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested sample, 1-based: ceil(p/100 * total), at least 1.
+  auto rank = static_cast<std::uint64_t>(p / 100.0 *
+                                         static_cast<double>(total));
+  if (static_cast<double>(rank) * 100.0 < p * static_cast<double>(total))
+    ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return histogram_bucket_bound(i);
+  }
+  return histogram_bucket_bound(kHistogramBuckets - 1);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  {
+    const std::shared_lock lock(mutex_);
+    if (const auto it = counters_.find(name); it != counters_.end())
+      return *it->second;
+  }
+  const std::unique_lock lock(mutex_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  {
+    const std::shared_lock lock(mutex_);
+    if (const auto it = histograms_.find(name); it != histograms_.end())
+      return *it->second;
+  }
+  const std::unique_lock lock(mutex_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::snapshot(
+    std::map<std::string, std::uint64_t>* counters,
+    std::map<std::string, HistogramSnapshot>* histograms) const {
+  const std::shared_lock lock(mutex_);
+  if (counters != nullptr)
+    for (const auto& [name, c] : counters_) (*counters)[name] = c->value();
+  if (histograms != nullptr)
+    for (const auto& [name, h] : histograms_)
+      (*histograms)[name] = h->snapshot();
+}
+
+}  // namespace ffsm::obs

@@ -1,0 +1,157 @@
+// Cluster-wide metrics: named monotonic counters and log-bucketed latency
+// histograms.
+//
+// A Histogram is a fixed array of 64 power-of-2 buckets (bucket 0 holds the
+// value 0; bucket i holds [2^(i-1), 2^i) for microsecond-scale latencies up
+// to ~2^62, clamped into the last bucket beyond that). record() is lock-free
+// — one relaxed fetch_add per bucket hit plus one for the running sum — so
+// the hot paths it instruments never serialize on telemetry. Snapshots are
+// plain bucket arrays that merge by element-wise addition, which makes them
+// associative and commutative: per-thread, per-shard and per-process
+// histograms can be folded into one cluster-wide distribution in any order
+// and the percentiles come out the same (property-tested in
+// obs_metrics_test).
+//
+// MetricsRegistry maps stable names to counters/histograms. Lookup takes a
+// shared lock; the returned references stay valid for the registry's
+// lifetime (node-based map), so call sites may cache them and record with
+// no lock at all.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace ffsm::obs {
+
+/// Fixed bucket count shared by every histogram: snapshots from different
+/// threads, shards and processes always line up bucket-for-bucket.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Bucket index of a recorded value: 0 for 0, otherwise bit_width(value)
+/// clamped into the last bucket — i.e. bucket i spans [2^(i-1), 2^i).
+[[nodiscard]] constexpr std::size_t histogram_bucket(
+    std::uint64_t value) noexcept {
+  std::size_t width = 0;
+  while (value != 0) {
+    ++width;
+    value >>= 1;
+  }
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+/// Upper bound (inclusive representative) of a bucket, used as the reported
+/// percentile value: 0 for bucket 0, else 2^i - 1.
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_bound(
+    std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) bucket = 64;
+  return bucket == 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << bucket) - 1;
+}
+
+/// A point-in-time copy of one histogram. Plain data: copyable, wire-able,
+/// and mergeable by element-wise addition.
+struct HistogramSnapshot {
+  std::uint64_t sum = 0;  ///< Sum of raw recorded values (for the mean).
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t b : buckets) n += b;
+    return n;
+  }
+
+  /// Element-wise accumulation; associative and commutative, so any merge
+  /// tree over any partitioning of the samples yields the same snapshot.
+  void merge(const HistogramSnapshot& other) noexcept {
+    sum += other.sum;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+      buckets[i] += other.buckets[i];
+  }
+
+  /// Value at percentile p (0 < p <= 100): the bound of the bucket holding
+  /// the ceil(p/100 * count)-th smallest sample. 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+  }
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Lock-free latency histogram. All stores are relaxed: recording can never
+/// block, reorder computation, or perturb results — only the telemetry.
+class Histogram {
+ public:
+  Histogram() {
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void record(std::uint64_t value) noexcept {
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[histogram_bucket(value)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot out;
+    out.sum = sum_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+      out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> sum_;
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_;
+};
+
+/// Named monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Name -> counter/histogram directory. Entries are created on first use
+/// and never removed, so returned references are stable; recording through
+/// them is lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Point-in-time copy of every metric, keyed by name.
+  void snapshot(std::map<std::string, std::uint64_t>* counters,
+                std::map<std::string, HistogramSnapshot>* histograms) const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  // unique_ptr values: the payloads hold atomics (not movable) and their
+  // addresses must survive rehash-free map growth.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ffsm::obs

@@ -1,0 +1,81 @@
+#include "obs/obs.hpp"
+
+#include <utility>
+
+namespace ffsm::obs {
+
+void ObsSnapshot::merge(const ObsSnapshot& other, std::string_view source) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, snap] : other.histograms)
+    histograms[name].merge(snap);
+  spans.reserve(spans.size() + other.spans.size());
+  for (const TraceSpan& span : other.spans) {
+    spans.push_back(span);
+    if (spans.back().source.empty()) spans.back().source = source;
+  }
+}
+
+Obs::Obs(ObsConfig config)
+    : enabled_(config.enabled),
+      trace_(config.enabled
+                 ? static_cast<std::unique_ptr<TraceRecorder>>(
+                       std::make_unique<RingTraceRecorder>(
+                           config.trace_capacity))
+                 : std::make_unique<NoopTraceRecorder>()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void Obs::instant(std::string_view name, const SpanTags& tags) {
+  if (!enabled_) return;
+  TraceSpan span;
+  span.name = std::string(name);
+  span.shard = std::string(tags.shard);
+  span.top = std::string(tags.top);
+  span.exchange = tags.exchange;
+  span.parent = tags.parent;
+  span.start_us = now_us();
+  span.instant = true;
+  trace_->record(std::move(span));
+  metrics_.counter(name).increment();
+}
+
+void Obs::span_since(std::string_view name, std::uint64_t start_us,
+                     const SpanTags& tags) {
+  if (!enabled_) return;
+  const std::uint64_t duration = now_us() - start_us;
+  metrics_.histogram(name).record(duration);
+  TraceSpan span;
+  span.name = std::string(name);
+  span.shard = std::string(tags.shard);
+  span.top = std::string(tags.top);
+  span.exchange = tags.exchange;
+  span.parent = tags.parent;
+  span.start_us = start_us;
+  span.duration_us = duration;
+  trace_->record(std::move(span));
+}
+
+ObsSnapshot Obs::snapshot() const {
+  ObsSnapshot out;
+  metrics_.snapshot(&out.counters, &out.histograms);
+  out.spans = trace_->snapshot();
+  return out;
+}
+
+void ScopedSpan::finish() {
+  if (obs_ == nullptr) return;
+  Obs* obs = std::exchange(obs_, nullptr);
+  const std::uint64_t duration = obs->now_us() - start_us_;
+  obs->metrics().histogram(name_).record(duration);
+  TraceSpan span;
+  span.name = std::string(name_);
+  span.shard = std::string(tags_.shard);
+  span.top = std::string(tags_.top);
+  span.exchange = tags_.exchange;
+  span.parent = tags_.parent;
+  span.start_us = start_us_;
+  span.duration_us = duration;
+  span.id = id_;
+  obs->trace().record(std::move(span));
+}
+
+}  // namespace ffsm::obs

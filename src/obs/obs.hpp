@@ -1,0 +1,137 @@
+// Obs: one observability context — a MetricsRegistry, a TraceRecorder and
+// the monotonic clock their samples are timed on.
+//
+// Every component that instruments a hot path takes an `Obs*` (nullptr =
+// not instrumented); an Obs constructed disabled swaps the ring recorder
+// for the compiled-in NoopTraceRecorder and turns every ScopedSpan into a
+// single pointer check, which is the baseline bench_service_cluster
+// compares instrumented drains against. Instrumentation never feeds back
+// into computation, so results are bit-identical with obs on, off or
+// absent.
+//
+// ObsSnapshot is the mergeable, wire-able view: counters and histogram
+// buckets merge by name (summation — histograms stay exact under any merge
+// order), spans concatenate with a `source` tag naming the peer they came
+// from. Worker processes ship their snapshots back over kObs frames;
+// FusionCluster::obs_snapshot() folds parent + per-shard snapshots into
+// one cluster-wide view.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ffsm::obs {
+
+/// Mergeable point-in-time view of one Obs (or a whole cluster of them).
+struct ObsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::vector<TraceSpan> spans;
+
+  /// Folds `other` in: counters/histograms merge by name, spans append.
+  /// Spans whose source is still "" are tagged with `source` (a span
+  /// already tagged by an earlier merge keeps its original source).
+  void merge(const ObsSnapshot& other, std::string_view source = {});
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && histograms.empty() && spans.empty();
+  }
+
+  bool operator==(const ObsSnapshot&) const = default;
+};
+
+struct ObsConfig {
+  /// Disabled: metrics still exist but nothing records (no clock reads, no
+  /// ring writes) — the no-op overhead baseline.
+  bool enabled = true;
+  /// Span ring capacity (most recent spans retained).
+  std::size_t trace_capacity = 4096;
+};
+
+class Obs {
+ public:
+  explicit Obs(ObsConfig config = {});
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] TraceRecorder& trace() noexcept { return *trace_; }
+
+  /// Microseconds since this instance's construction (steady clock).
+  [[nodiscard]] std::uint64_t now_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records `value` into histogram `name` when enabled.
+  void record(std::string_view name, std::uint64_t value) {
+    if (enabled_) metrics_.histogram(name).record(value);
+  }
+
+  /// Increments counter `name` when enabled.
+  void count(std::string_view name, std::uint64_t n = 1) {
+    if (enabled_) metrics_.counter(name).add(n);
+  }
+
+  /// Records an instant (point) event when enabled.
+  void instant(std::string_view name, const SpanTags& tags = {});
+
+  /// Records a completed span that started at `start_us` (a value from
+  /// now_us()): one histogram sample plus one trace span. For spans whose
+  /// start and end straddle scopes (e.g. a wire round-trip measured
+  /// send-to-first-reply), where ScopedSpan does not fit.
+  void span_since(std::string_view name, std::uint64_t start_us,
+                  const SpanTags& tags = {});
+
+  [[nodiscard]] ObsSnapshot snapshot() const;
+
+ private:
+  bool enabled_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: on destruction records one histogram sample (microseconds,
+/// keyed by the span name) and one trace span. With a null or disabled
+/// Obs the constructor is a pointer check and everything else a no-op.
+/// The name must outlive the span (call sites use string literals).
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Obs* obs, std::string_view name, SpanTags tags = {})
+      : obs_(obs != nullptr && obs->enabled() ? obs : nullptr) {
+    if (obs_ == nullptr) return;
+    name_ = name;
+    tags_ = tags;
+    id_ = obs_->trace().next_id();
+    start_us_ = obs_->now_us();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { finish(); }
+
+  /// This span's id, for tagging children (0 when not recording).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Ends the span now (idempotent; the destructor calls it too).
+  void finish();
+
+ private:
+  Obs* obs_ = nullptr;
+  std::string_view name_;
+  SpanTags tags_;
+  std::uint64_t start_us_ = 0;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace ffsm::obs

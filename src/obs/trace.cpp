@@ -1,0 +1,161 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace ffsm::obs {
+
+RingTraceRecorder::RingTraceRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void RingTraceRecorder::record(TraceSpan span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (span.id == 0) span.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[head_] = std::move(span);
+  }
+  head_ = (head_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TraceSpan> RingTraceRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Full ring: head_ points at the oldest entry.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  return out;
+}
+
+std::uint64_t RingTraceRecorder::recorded() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control bytes).
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_metadata(std::ostream& out, const char* what, int pid, int tid,
+                    std::string_view name, bool with_tid) {
+  out << "{\"ph\":\"M\",\"name\":\"" << what << "\",\"pid\":" << pid;
+  if (with_tid) out << ",\"tid\":" << tid;
+  out << ",\"args\":{\"name\":";
+  write_json_string(out, name);
+  out << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceSpan>& spans) {
+  // pid per span source; tid per (pid, shard, top) lane. Ids are assigned
+  // in first-appearance order so the output is deterministic for a given
+  // span sequence.
+  std::map<std::string, int> pids;
+  std::map<std::pair<int, std::string>, int> tids;
+  const auto pid_of = [&](const std::string& source) {
+    return pids.emplace(source, static_cast<int>(pids.size()) + 1)
+        .first->second;
+  };
+  const auto tid_of = [&](int pid, const TraceSpan& span) {
+    std::string lane = span.shard;
+    if (!span.top.empty()) {
+      if (!lane.empty()) lane += '/';
+      lane += span.top;
+    }
+    return tids
+        .emplace(std::make_pair(pid, std::move(lane)),
+                 static_cast<int>(tids.size()) + 1)
+        .first->second;
+  };
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    const int pid = pid_of(span.source);
+    const int tid = tid_of(pid, span);
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":";
+    write_json_string(out, span.name);
+    if (span.instant) {
+      out << ",\"ph\":\"i\",\"s\":\"p\"";
+    } else {
+      out << ",\"ph\":\"X\",\"dur\":" << span.duration_us;
+    }
+    out << ",\"ts\":" << span.start_us << ",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{\"id\":" << span.id
+        << ",\"parent\":" << span.parent << ",\"exchange\":" << span.exchange;
+    if (!span.shard.empty()) {
+      out << ",\"shard\":";
+      write_json_string(out, span.shard);
+    }
+    if (!span.top.empty()) {
+      out << ",\"top\":";
+      write_json_string(out, span.top);
+    }
+    out << "}}";
+  }
+  // Name the lanes after the fact (metadata events may appear anywhere in
+  // the stream).
+  for (const auto& [source, pid] : pids) {
+    if (!first) out << ",";
+    first = false;
+    write_metadata(out, "process_name", pid, 0,
+                   source.empty() ? std::string_view("cluster") : source,
+                   false);
+  }
+  for (const auto& [key, tid] : tids) {
+    if (!first) out << ",";
+    first = false;
+    write_metadata(out, "thread_name", key.first, tid,
+                   key.second.empty() ? std::string_view("main") : key.second,
+                   true);
+  }
+  out << "]}\n";
+}
+
+}  // namespace ffsm::obs

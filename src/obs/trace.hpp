@@ -1,0 +1,123 @@
+// Bounded-ring trace recorder + Chrome trace-event export.
+//
+// A TraceSpan is one timed interval (or an instant event) on the monotonic
+// clock of the Obs instance that recorded it: name, start/duration in
+// microseconds, optional shard/top/exchange tags and a parent span id for
+// nesting. RingTraceRecorder keeps the most recent `capacity` spans in a
+// fixed ring — a long-lived service records forever in bounded memory and a
+// snapshot always holds the latest window. NoopTraceRecorder is the
+// compiled-in do-nothing implementation benchmarked against the ring in
+// bench_service_cluster (instrumented drains must stay within 5% of it).
+//
+// write_chrome_trace() emits the snapshot as Chrome trace-event JSON
+// (load via chrome://tracing or https://ui.perfetto.dev): one process lane
+// per span source (the shard a span was merged from), one thread lane per
+// shard/top tag.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ffsm::obs {
+
+/// One recorded span. Plain data; crosses the wire inside kObs frames.
+struct TraceSpan {
+  std::string name;
+  /// Which peer this span was merged from ("" until a merge tags it — the
+  /// recording process itself never knows its cluster-wide identity).
+  std::string source;
+  std::string shard;  ///< Shard/endpoint tag ("" when not applicable).
+  std::string top;    ///< Top-machine key tag ("" when not applicable).
+  /// Start, microseconds since the recording Obs instance's epoch.
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint64_t id = 0;      ///< Nonzero, unique per recorder.
+  std::uint64_t parent = 0;  ///< Enclosing span's id; 0 = root.
+  std::uint64_t exchange = 0;  ///< Wire exchange tag; 0 = none.
+  bool instant = false;  ///< Point event; duration_us is meaningless.
+
+  bool operator==(const TraceSpan&) const = default;
+};
+
+/// Optional tags attached to a span at the recording site.
+struct SpanTags {
+  std::string_view shard = {};
+  std::string_view top = {};
+  std::uint64_t exchange = 0;
+  std::uint64_t parent = 0;
+};
+
+/// Recorder interface. `record` must be safe to call from many threads.
+class TraceRecorder {
+ public:
+  virtual ~TraceRecorder() = default;
+
+  /// False when every record() is a guaranteed no-op (lets call sites skip
+  /// clock reads and tag copies entirely).
+  [[nodiscard]] virtual bool enabled() const noexcept = 0;
+
+  /// Reserves a span id before the span completes, so children can name
+  /// their parent while it is still open. Returns 0 when disabled.
+  virtual std::uint64_t next_id() noexcept = 0;
+
+  /// Stores one completed span (id already assigned via next_id, or 0 to
+  /// have the recorder assign one).
+  virtual void record(TraceSpan span) = 0;
+
+  /// Copy of the retained spans, oldest first.
+  [[nodiscard]] virtual std::vector<TraceSpan> snapshot() const = 0;
+};
+
+/// The no-op recorder: drops everything. The bench's overhead baseline.
+class NoopTraceRecorder final : public TraceRecorder {
+ public:
+  [[nodiscard]] bool enabled() const noexcept override { return false; }
+  std::uint64_t next_id() noexcept override { return 0; }
+  void record(TraceSpan) override {}
+  [[nodiscard]] std::vector<TraceSpan> snapshot() const override {
+    return {};
+  }
+};
+
+/// Fixed-capacity ring of the most recent spans. A mutex guards the ring
+/// itself — spans are drain-granular (hundreds per second, not millions),
+/// so contention is negligible next to the work being traced; the id
+/// counter is atomic so next_id() never blocks.
+class RingTraceRecorder final : public TraceRecorder {
+ public:
+  explicit RingTraceRecorder(std::size_t capacity = 4096);
+
+  [[nodiscard]] bool enabled() const noexcept override { return true; }
+  std::uint64_t next_id() noexcept override {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record(TraceSpan span) override;
+  [[nodiscard]] std::vector<TraceSpan> snapshot() const override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total spans ever recorded (>= capacity means the ring has wrapped).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> ring_;
+  std::size_t head_ = 0;        ///< Next write position.
+  std::uint64_t recorded_ = 0;  ///< Lifetime record() count.
+};
+
+/// Serializes spans as a Chrome trace-event JSON object
+/// (`{"traceEvents": [...]}`). Spans are grouped into one trace "process"
+/// per source and one "thread" per (source, shard, top) lane, both named
+/// via metadata events, so a merged cluster snapshot renders as one
+/// timeline keyed by shard.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceSpan>& spans);
+
+}  // namespace ffsm::obs

@@ -297,17 +297,30 @@ void LowerCoverCache::import(const std::vector<WarmCacheEntry>& entries) {
 std::shared_ptr<const LowerCoverCache::Cover> lower_cover_cached(
     const Dfsm& machine, const Partition& p, const LowerCoverOptions& options,
     bool* from_cache) {
+  obs::Obs* const obs = options.obs;
+  const bool timed = obs != nullptr && obs->enabled();
   if (from_cache != nullptr) *from_cache = false;
   if (options.cache != nullptr) {
-    if (auto cached = options.cache->find(p)) {
+    const std::uint64_t find_start = timed ? obs->now_us() : 0;
+    auto cached = options.cache->find(p);
+    if (timed) obs->record("cache.get", obs->now_us() - find_start);
+    if (cached) {
       if (from_cache != nullptr) *from_cache = true;
       return cached;
     }
   }
-  auto computed = std::make_shared<const LowerCoverCache::Cover>(
-      lower_cover(machine, p, options));
-  if (options.cache != nullptr)
-    return options.cache->insert(p, std::move(computed));
+  std::shared_ptr<const LowerCoverCache::Cover> computed;
+  {
+    obs::ScopedSpan span(obs, "gen.lower_cover");
+    computed = std::make_shared<const LowerCoverCache::Cover>(
+        lower_cover(machine, p, options));
+  }
+  if (options.cache != nullptr) {
+    const std::uint64_t insert_start = timed ? obs->now_us() : 0;
+    auto resident = options.cache->insert(p, std::move(computed));
+    if (timed) obs->record("cache.insert", obs->now_us() - insert_start);
+    return resident;
+  }
   return computed;
 }
 
@@ -538,13 +551,18 @@ std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
     for (std::uint32_t j = i + 1; j < blocks; ++j)
       pairs.emplace_back(rep[i], rep[j]);
 
+  obs::Obs* const obs = options.obs;
+  const bool timed = obs != nullptr && obs->enabled();
+
   if (options.fused) {
     // Already deduplicated in first-occurrence order; apply the same
     // maximality filter as the post-passes, then check closedness on the
     // few survivors (the classic path checks every closure inside
     // merge_closure — pushing the check past dedup is most of the win).
+    const std::uint64_t eval_start = timed ? obs->now_us() : 0;
     std::vector<Partition> unique = fused_candidates(machine, p, pairs,
                                                      options);
+    if (timed) obs->record("gen.closure_eval", obs->now_us() - eval_start);
     const std::size_t k = unique.size();
     std::vector<char> dominated(k, 0);
     const auto scan_row = [&](std::size_t i) {
@@ -570,6 +588,7 @@ std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
   }
 
   // Independent merge closures, one per pair.
+  const std::uint64_t eval_start = timed ? obs->now_us() : 0;
   std::vector<Partition> candidates(pairs.size());
   const auto evaluate = [&](std::size_t idx) {
     const std::pair<State, State> merge[1] = {pairs[idx]};
@@ -583,6 +602,7 @@ std::vector<Partition> lower_cover(const Dfsm& machine, const Partition& p,
   } else {
     for (std::size_t i = 0; i < pairs.size(); ++i) evaluate(i);
   }
+  if (timed) obs->record("gen.closure_eval", obs->now_us() - eval_start);
 
   return options.sharded_dedup
              ? postpass_sharded(std::move(candidates), options)
@@ -593,10 +613,15 @@ std::uint64_t prefetch_lower_cover(
     const Dfsm& machine, const Partition& p, const LowerCoverOptions& options,
     const CancellationToken& token,
     std::shared_ptr<const LowerCoverCache::Cover>* cover, bool* from_cache) {
+  obs::Obs* const obs = options.obs;
+  const bool timed = obs != nullptr && obs->enabled();
   if (from_cache != nullptr) *from_cache = false;
   if (cover != nullptr) *cover = nullptr;
   if (options.cache != nullptr) {
-    if (auto cached = options.cache->find(p)) {
+    const std::uint64_t find_start = timed ? obs->now_us() : 0;
+    auto cached = options.cache->find(p);
+    if (timed) obs->record("cache.get", obs->now_us() - find_start);
+    if (cached) {
       if (from_cache != nullptr) *from_cache = true;
       if (cover != nullptr) *cover = std::move(cached);
       return 0;
@@ -608,15 +633,22 @@ std::uint64_t prefetch_lower_cover(
   const std::uint64_t closures =
       blocks <= 1 ? 0
                   : static_cast<std::uint64_t>(blocks) * (blocks - 1) / 2;
-  auto computed = std::make_shared<const LowerCoverCache::Cover>(
-      lower_cover(machine, p, options));
+  std::shared_ptr<const LowerCoverCache::Cover> computed;
+  {
+    obs::ScopedSpan span(obs, "gen.lower_cover");
+    computed = std::make_shared<const LowerCoverCache::Cover>(
+        lower_cover(machine, p, options));
+  }
   // Publication is the only cancellation-gated step: the joiner may still
   // consume a cover computed despite a late cancel, but a cancelled task
   // must never re-populate a cache its owner already cleared. The token is
   // passed as the insert gate so the decisive check runs under the cache's
   // lock (atomic with respect to a concurrent cancel + clear).
-  if (options.cache != nullptr)
+  if (options.cache != nullptr) {
+    const std::uint64_t insert_start = timed ? obs->now_us() : 0;
     computed = options.cache->insert(p, std::move(computed), &token);
+    if (timed) obs->record("cache.insert", obs->now_us() - insert_start);
+  }
   if (cover != nullptr) *cover = std::move(computed);
   return closures;
 }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "fsm/dfsm.hpp"
+#include "obs/obs.hpp"
 #include "partition/partition.hpp"
 #include "util/parallel.hpp"
 
@@ -303,6 +304,12 @@ struct LowerCoverOptions {
   /// Optional memo shared across calls (and threads). Must only ever see
   /// partitions of one machine.
   LowerCoverCache* cache = nullptr;
+  /// Optional observability context (nullptr = uninstrumented). Feeds the
+  /// `gen.lower_cover` span (one full cover computation), the
+  /// `gen.closure_eval` histogram (the candidate-evaluation phase inside
+  /// it) and `cache.get` / `cache.insert` (memo lookup / publish latency).
+  /// Never affects results.
+  obs::Obs* obs = nullptr;
 };
 
 /// Maximal closed partitions strictly below `p` on `machine`'s transition

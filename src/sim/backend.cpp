@@ -106,7 +106,11 @@ FusionService& InProcessBackend::service_of(const std::string& key) const {
 }
 
 void InProcessBackend::add_top(const std::string& key, const Dfsm& top) {
-  auto service = std::make_unique<FusionService>(top, options_);
+  // Each service tags its spans with its serving key, so one shared Obs
+  // still tells the tops apart.
+  FusionServiceOptions per_top = options_;
+  per_top.obs_top = key;
+  auto service = std::make_unique<FusionService>(top, per_top);
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] = services_.try_emplace(key, std::move(service));
   FFSM_EXPECTS(inserted);

@@ -70,6 +70,14 @@ class ShardBackend {
   /// them, exactly like any real process-level metric.
   [[nodiscard]] virtual ServiceStats stats(const std::string& key) const = 0;
 
+  /// This backend's contribution to the cluster-wide observability view.
+  /// Out-of-process backends query their worker over the wire (kObs) and
+  /// return its counters, histograms and trace spans; a dead or pre-obs
+  /// worker yields an empty snapshot. The in-process backend records
+  /// directly into the cluster's own Obs, so the base default — empty — is
+  /// correct for it (no double counting).
+  [[nodiscard]] virtual obs::ObsSnapshot obs_snapshot() { return {}; }
+
   /// Releases backend resources (terminates worker processes, flushes
   /// queues are NOT dropped — only serving capacity goes away). Idempotent;
   /// also invoked by destruction.

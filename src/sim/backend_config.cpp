@@ -71,6 +71,7 @@ make_backend_factory(BackendConfig config) {
         options.worker_path = config.worker_path;
         options.config = config.service;
         options.wire = config.wire;
+        options.obs = config.obs;
         return std::make_unique<SubprocessBackend>(std::move(options));
       };
     case BackendConfig::Kind::kTcp:
@@ -87,6 +88,7 @@ make_backend_factory(BackendConfig config) {
         options.keepalive_idle_s = config.keepalive_idle_s;
         options.keepalive_interval_s = config.keepalive_interval_s;
         options.keepalive_probes = config.keepalive_probes;
+        options.obs = config.obs;
         return std::make_unique<TcpBackend>(std::move(options));
       };
     case BackendConfig::Kind::kReplica:
@@ -103,6 +105,7 @@ make_backend_factory(BackendConfig config) {
         options.keepalive_interval_s = config.keepalive_interval_s;
         options.keepalive_probes = config.keepalive_probes;
         options.monitor = config.monitor;
+        options.obs = config.obs;
         return std::make_unique<ReplicaBackend>(std::move(options));
       };
   }

@@ -62,6 +62,13 @@ struct BackendConfig {
   int keepalive_probes = 3;
   /// Optional liveness oracle shared across shards; kReplica only.
   std::shared_ptr<net::HealthMonitor> monitor;
+  /// Optional observability context handed to every backend the factory
+  /// builds (nullptr = uninstrumented). Typically the cluster's own Obs
+  /// (FusionCluster::obs()), so backend-side events — wire timing,
+  /// respawns, failovers — land in the same timeline as the cluster's
+  /// drain spans. Ignored by kInProcess (the cluster instruments its
+  /// default backend directly).
+  obs::Obs* obs = nullptr;
 };
 
 /// CLI name of a backend kind: "inprocess", "subprocess", "tcp",

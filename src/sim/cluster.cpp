@@ -12,6 +12,12 @@ namespace ffsm {
 FusionCluster::FusionCluster(FusionClusterOptions options)
     : options_(std::move(options)), shards_(options_.shards) {
   FFSM_EXPECTS(options_.shards >= 1);
+  if (options_.obs != nullptr) {
+    obs_ = options_.obs;
+  } else {
+    owned_obs_ = std::make_unique<obs::Obs>();
+    obs_ = owned_obs_.get();
+  }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (options_.backend_factory) {
       shards_[s].backend = options_.backend_factory(s);
@@ -23,6 +29,10 @@ FusionCluster::FusionCluster(FusionClusterOptions options)
       service_options.incremental = options_.incremental;
       service_options.cache_config = options_.cache_config;
       service_options.speculation_lookahead = options_.speculation_lookahead;
+      // In-process shards record straight into the cluster's own context
+      // (which is why ShardBackend::obs_snapshot's empty default is right
+      // for them — nothing to merge twice).
+      service_options.obs = obs_;
       shards_[s].backend = std::make_unique<InProcessBackend>(service_options);
     }
   }
@@ -92,8 +102,9 @@ std::uint64_t FusionCluster::submit(const std::string& top_key,
   FFSM_EXPECTS(shard.tops.contains(top_key));
   const std::uint64_t ticket =
       next_ticket_.fetch_add(1, std::memory_order_relaxed);
-  shard.queue.push_back(
-      {ticket, top_key, std::move(client), std::move(request)});
+  shard.queue.push_back({ticket, top_key, std::move(client),
+                         std::move(request),
+                         obs_->enabled() ? obs_->now_us() : 0});
   requests_submitted_.fetch_add(1, std::memory_order_relaxed);
   return ticket;
 }
@@ -115,7 +126,7 @@ std::size_t FusionCluster::pending() const {
   return count;
 }
 
-void FusionCluster::serve_shard(Shard& shard,
+void FusionCluster::serve_shard(Shard& shard, std::uint64_t parent_span,
                                 std::vector<Response>& responses,
                                 std::uint64_t& requeued,
                                 std::vector<std::string>& failed_tops) {
@@ -143,7 +154,11 @@ void FusionCluster::serve_shard(Shard& shard,
   // Feed the backlog into the backend's per-top queues. This is where
   // request contents are validated (ShardBackend::validate checks
   // partition sizes against the top); a rejected request goes back to the
-  // cluster queue.
+  // cluster queue. One clock read covers the whole feed loop — items
+  // snapshotted above were all enqueued before this point, so the delta
+  // never goes negative.
+  const bool timed = obs_->enabled();
+  const std::uint64_t feed_now = timed ? obs_->now_us() : 0;
   std::vector<Item> rejected;
   for (Item& item : items) {
     TopEntry* entry = nullptr;
@@ -166,6 +181,8 @@ void FusionCluster::serve_shard(Shard& shard,
       rejected.push_back(std::move(item));
       continue;
     }
+    if (timed && item.enqueued_us != 0)
+      obs_->record("cluster.queue_wait", feed_now - item.enqueued_us);
     const std::uint64_t backend_ticket =
         backend.submit(item.top, item.client, std::move(item.request));
     entry->inflight.emplace(backend_ticket, item.ticket);
@@ -190,6 +207,9 @@ void FusionCluster::serve_shard(Shard& shard,
     // outside it (a mapping failure, e.g. OOM, propagates to drain()'s
     // caller as an error instead).
     try {
+      const obs::ScopedSpan span(obs_, "cluster.serve_top",
+                                 {.top = *backlogged[i].first,
+                                  .parent = parent_span});
       served_per_top[i] = backend.drain(*backlogged[i].first);
     } catch (...) {
       drain_errors[i] = std::current_exception();
@@ -243,6 +263,9 @@ void FusionCluster::serve_shard(Shard& shard,
 FusionCluster::DrainReport FusionCluster::drain() {
   const std::lock_guard<std::mutex> drain_lock(drain_mutex_);
   drains_.fetch_add(1, std::memory_order_relaxed);
+  // One span per drain round; serve_top and merge spans parent under it,
+  // and its duration feeds the cluster.drain histogram.
+  const obs::ScopedSpan drain_span(obs_, "cluster.drain");
 
   const std::size_t n = shards_.size();
   std::vector<std::vector<Response>> responses(n);
@@ -255,7 +278,8 @@ FusionCluster::DrainReport FusionCluster::drain() {
   std::vector<std::exception_ptr> errors(n);
   const auto serve = [&](std::size_t s) {
     try {
-      serve_shard(shards_[s], responses[s], requeued[s], failed[s]);
+      serve_shard(shards_[s], drain_span.id(), responses[s], requeued[s],
+                  failed[s]);
     } catch (...) {
       errors[s] = std::current_exception();
     }
@@ -272,22 +296,26 @@ FusionCluster::DrainReport FusionCluster::drain() {
     if (error) std::rethrow_exception(error);
 
   DrainReport report;
-  for (std::size_t s = 0; s < n; ++s) {
-    report.responses.insert(report.responses.end(),
-                            std::make_move_iterator(responses[s].begin()),
-                            std::make_move_iterator(responses[s].end()));
-    report.requeued += requeued[s];
-    report.failed_tops.insert(report.failed_tops.end(), failed[s].begin(),
-                              failed[s].end());
+  {
+    const obs::ScopedSpan merge_span(obs_, "cluster.merge",
+                                     {.parent = drain_span.id()});
+    for (std::size_t s = 0; s < n; ++s) {
+      report.responses.insert(report.responses.end(),
+                              std::make_move_iterator(responses[s].begin()),
+                              std::make_move_iterator(responses[s].end()));
+      report.requeued += requeued[s];
+      report.failed_tops.insert(report.failed_tops.end(), failed[s].begin(),
+                                failed[s].end());
+    }
+    std::sort(report.responses.begin(), report.responses.end(),
+              [](const Response& a, const Response& b) {
+                return a.ticket < b.ticket;
+              });
+    std::sort(report.failed_tops.begin(), report.failed_tops.end());
+    report.failed_tops.erase(
+        std::unique(report.failed_tops.begin(), report.failed_tops.end()),
+        report.failed_tops.end());
   }
-  std::sort(report.responses.begin(), report.responses.end(),
-            [](const Response& a, const Response& b) {
-              return a.ticket < b.ticket;
-            });
-  std::sort(report.failed_tops.begin(), report.failed_tops.end());
-  report.failed_tops.erase(
-      std::unique(report.failed_tops.begin(), report.failed_tops.end()),
-      report.failed_tops.end());
 
   requests_served_.fetch_add(report.responses.size(),
                              std::memory_order_relaxed);
@@ -346,35 +374,55 @@ FusionCluster::Stats FusionCluster::stats() const {
       keys.reserve(shard.tops.size());
       for (const auto& [key, entry] : shard.tops) keys.push_back(key);
     }
-    std::uint64_t shard_restarts = 0;
-    std::uint64_t shard_failovers = 0;
-    std::uint64_t shard_probe_failures = 0;
+    // Fold every top's counters into one per-shard ServiceStats by the
+    // aggregation rule declared next to each counter in the X-macro table
+    // (sim/messages.hpp). kPerBackend counters repeat on every top of the
+    // shard — the shared worker's restarts/failovers/probe failures — so
+    // they fold by max, not sum; everything else accumulates. A counter
+    // added to the table aggregates correctly here with no further code.
+    ServiceStats totals;
     for (const std::string& key : keys) {
       const ServiceStats s = shard.backend->stats(key);
-      out.shard_batches_served += s.batches_served;
-      out.speculative_covers_launched += s.speculative_covers_launched;
-      out.speculation_hits += s.speculation_hits;
-      out.speculation_wasted_closures += s.speculation_wasted_closures;
-      // Backend-level counters repeated on every top of the shard — count
-      // the shared worker's restarts/failovers/probe failures once, not
-      // once per hosted top.
-      shard_restarts = std::max(shard_restarts, s.restarts);
-      shard_failovers = std::max(shard_failovers, s.failovers);
-      shard_probe_failures =
-          std::max(shard_probe_failures, s.health_probes_failed);
-      out.cache_hits += s.cache_hits;
-      out.cache_cold_misses += s.cache_cold_misses;
-      out.cache_eviction_misses += s.cache_eviction_misses;
-      out.cache_evictions += s.cache_evictions;
-      out.cache_entries += s.cache_entries;
-      out.cache_bytes += s.cache_bytes;
-      out.cache_admission_rejects += s.cache_admission_rejects;
-      out.cache_sketch_bytes += s.cache_sketch_bytes;
+#define FFSM_FOLD_COUNTER(name, agg)                    \
+  if constexpr (StatsAgg::agg == StatsAgg::kPerBackend) \
+    totals.name = std::max(totals.name, s.name);        \
+  else                                                  \
+    totals.name += s.name;
+      FFSM_SERVICE_STATS_COUNTERS(FFSM_FOLD_COUNTER)
+#undef FFSM_FOLD_COUNTER
     }
-    out.restarts += shard_restarts;
-    out.failovers += shard_failovers;
-    out.health_probes_failed += shard_probe_failures;
+    // Map the shard totals onto the cluster view. requests_submitted /
+    // requests_served stay with the cluster's own atomics above (the
+    // backend's copies count direct submissions too).
+    out.shard_batches_served += totals.batches_served;
+    out.speculative_covers_launched += totals.speculative_covers_launched;
+    out.speculation_hits += totals.speculation_hits;
+    out.speculation_wasted_closures += totals.speculation_wasted_closures;
+    out.restarts += totals.restarts;
+    out.failovers += totals.failovers;
+    out.health_probes_failed += totals.health_probes_failed;
+    out.cache_hits += totals.cache_hits;
+    out.cache_cold_misses += totals.cache_cold_misses;
+    out.cache_eviction_misses += totals.cache_eviction_misses;
+    out.cache_evictions += totals.cache_evictions;
+    out.cache_entries += totals.cache_entries;
+    out.cache_bytes += totals.cache_bytes;
+    out.cache_admission_rejects += totals.cache_admission_rejects;
+    out.cache_sketch_bytes += totals.cache_sketch_bytes;
   }
+  return out;
+}
+
+obs::ObsSnapshot FusionCluster::obs_snapshot() {
+  obs::ObsSnapshot out = obs_->snapshot();
+  // Each wire backend answers a kObs query (SubprocessBackend over its
+  // stdio channel, ReplicaBackend over the current replica connection);
+  // in-process backends already recorded into obs_ and return {}. Merge
+  // tags the remote spans with their shard so the Chrome export lays each
+  // worker out on its own process track.
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    out.merge(shards_[s].backend->obs_snapshot(),
+              "shard" + std::to_string(s));
   return out;
 }
 

@@ -58,6 +58,15 @@ struct FusionClusterOptions {
   /// Speculative-descent lookahead for every served request (see
   /// SpeculationOptions::lookahead).
   std::uint32_t speculation_lookahead = 2;
+  /// Observability context shared by the cluster and its default
+  /// in-process backends. nullptr (the default) makes the cluster
+  /// construct and own a private *enabled* Obs, so drain spans and
+  /// latency histograms work out of the box; pass an explicitly disabled
+  /// Obs to opt out of all instrumentation (zero clock reads on the hot
+  /// path — the bench baseline). Wire backends built by a factory get
+  /// their context via BackendConfig::obs; point it at this cluster's
+  /// obs() so every event lands in one timeline.
+  obs::Obs* obs = nullptr;
   /// Produces the backend hosting each shard's tops; called once per
   /// shard at construction with the shard index. Leave empty for the
   /// default InProcessBackend built from the options above.
@@ -187,12 +196,29 @@ class FusionCluster {
 
   [[nodiscard]] Stats stats() const;
 
+  /// The cluster's observability context — never null (the one supplied
+  /// in FusionClusterOptions::obs, else the private one the cluster
+  /// owns). Hand it to BackendConfig::obs so wire backends share it.
+  [[nodiscard]] obs::Obs& obs() const noexcept { return *obs_; }
+
+  /// The cluster-wide observability view: this process's counters,
+  /// histograms and trace spans merged with every shard backend's
+  /// snapshot. Out-of-process backends answer a kObs query over the wire;
+  /// their spans arrive tagged with source "shard<i>" so one Chrome trace
+  /// shows parent drains and worker generation side by side. A dead or
+  /// pre-obs (hello < v4) worker contributes an empty snapshot.
+  [[nodiscard]] obs::ObsSnapshot obs_snapshot();
+
  private:
   struct Item {
     std::uint64_t ticket;
     std::string top;
     std::string client;
     FusionRequest request;
+    /// Obs timestamp at submit (0 when instrumentation is disabled);
+    /// feeds the cluster.queue_wait histogram when the item is handed to
+    /// its backend.
+    std::uint64_t enqueued_us = 0;
   };
 
   struct TopEntry {
@@ -212,11 +238,17 @@ class FusionCluster {
   /// Serves one shard: feed its queue into the backend's per-top queues,
   /// drain each top with a backlog, map backend tickets back to cluster
   /// tickets. Failures are captured in the out-params, never thrown.
-  void serve_shard(Shard& shard, std::vector<Response>& responses,
+  /// `parent_span` is the enclosing cluster.drain span id; the per-top
+  /// cluster.serve_top spans parent under it.
+  void serve_shard(Shard& shard, std::uint64_t parent_span,
+                   std::vector<Response>& responses,
                    std::uint64_t& requeued,
                    std::vector<std::string>& failed_tops);
 
   FusionClusterOptions options_;
+  /// Backing storage for obs_ when FusionClusterOptions::obs was null.
+  std::unique_ptr<obs::Obs> owned_obs_;
+  obs::Obs* obs_ = nullptr;  // never null after construction
   std::vector<Shard> shards_;
   std::mutex drain_mutex_;  // serializes drain() rounds
   std::atomic<std::uint64_t> next_ticket_{1};

@@ -301,25 +301,10 @@ FusionResponse decode_response(std::string_view text) {
 std::string encode_stats(const ServiceStats& stats) {
   std::ostringstream out;
   out << "stats\n";
-  out << "requests_submitted " << stats.requests_submitted << '\n';
-  out << "requests_served " << stats.requests_served << '\n';
-  out << "batches_served " << stats.batches_served << '\n';
-  out << "speculative_covers_launched " << stats.speculative_covers_launched
-      << '\n';
-  out << "speculation_hits " << stats.speculation_hits << '\n';
-  out << "speculation_wasted_closures " << stats.speculation_wasted_closures
-      << '\n';
-  out << "restarts " << stats.restarts << '\n';
-  out << "failovers " << stats.failovers << '\n';
-  out << "health_probes_failed " << stats.health_probes_failed << '\n';
-  out << "cache_hits " << stats.cache_hits << '\n';
-  out << "cache_cold_misses " << stats.cache_cold_misses << '\n';
-  out << "cache_eviction_misses " << stats.cache_eviction_misses << '\n';
-  out << "cache_evictions " << stats.cache_evictions << '\n';
-  out << "cache_entries " << stats.cache_entries << '\n';
-  out << "cache_bytes " << stats.cache_bytes << '\n';
-  out << "cache_admission_rejects " << stats.cache_admission_rejects << '\n';
-  out << "cache_sketch_bytes " << stats.cache_sketch_bytes << '\n';
+#define FFSM_STATS_ENCODE_LINE(name, agg) \
+  out << #name " " << stats.name << '\n';
+  FFSM_SERVICE_STATS_COUNTERS(FFSM_STATS_ENCODE_LINE)
+#undef FFSM_STATS_ENCODE_LINE
   out << "end\n";
   return out.str();
 }
@@ -355,70 +340,24 @@ ServiceStats decode_stats(std::string_view text) {
       ended = true;
       continue;
     }
-    if (directive == "requests_submitted") {
-      mark(0);
-      out.requests_submitted = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "requests_served") {
-      mark(1);
-      out.requests_served = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "batches_served") {
-      mark(2);
-      out.batches_served = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "speculative_covers_launched") {
-      mark(3);
-      out.speculative_covers_launched =
-          parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "speculation_hits") {
-      mark(4);
-      out.speculation_hits = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "speculation_wasted_closures") {
-      mark(5);
-      out.speculation_wasted_closures =
-          parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "restarts") {
-      mark(6);
-      out.restarts = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "failovers") {
-      mark(7);
-      out.failovers = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "health_probes_failed") {
-      mark(8);
-      out.health_probes_failed =
-          parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "cache_hits") {
-      mark(9);
-      out.cache_hits = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "cache_cold_misses") {
-      mark(10);
-      out.cache_cold_misses = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "cache_eviction_misses") {
-      mark(11);
-      out.cache_eviction_misses =
-          parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "cache_evictions") {
-      mark(12);
-      out.cache_evictions = parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "cache_entries") {
-      mark(13);
-      out.cache_entries = parse_unsigned<std::size_t>(words, "stats");
-    } else if (directive == "cache_bytes") {
-      mark(14);
-      out.cache_bytes = parse_unsigned<std::size_t>(words, "stats");
-    } else if (directive == "cache_admission_rejects") {
-      mark(15);
-      out.cache_admission_rejects =
-          parse_unsigned<std::uint64_t>(words, "stats");
-    } else if (directive == "cache_sketch_bytes") {
-      mark(16);
-      out.cache_sketch_bytes = parse_unsigned<std::size_t>(words, "stats");
-    } else {
-      bad("stats: unknown counter '" + directive + "'");
-    }
+    bool matched = false;
+    std::uint32_t bit = 0;
+#define FFSM_STATS_DECODE_LINE(name, agg)               \
+  if (!matched && directive == #name) {                 \
+    mark(bit);                                          \
+    out.name = static_cast<decltype(out.name)>(         \
+        parse_unsigned<std::uint64_t>(words, "stats")); \
+    matched = true;                                     \
+  }                                                     \
+  ++bit;
+    FFSM_SERVICE_STATS_COUNTERS(FFSM_STATS_DECODE_LINE)
+#undef FFSM_STATS_DECODE_LINE
+    if (!matched) bad("stats: unknown counter '" + directive + "'");
     expect_line_end(words, "stats counter");
   }
   if (!have_header) bad("stats: empty input");
   if (!ended) bad("stats: missing 'end'");
-  if (seen != (1u << 17) - 1) bad("stats: missing counter");
+  if (seen != (1u << kServiceStatsCounters) - 1) bad("stats: missing counter");
   return out;
 }
 
@@ -562,6 +501,8 @@ const char* frame_type_name(FrameType type) {
       return "bye";
     case FrameType::kCacheWarm:
       return "cachewarm";
+    case FrameType::kObs:
+      return "obs";
   }
   bad("unknown FrameType");
 }
@@ -708,6 +649,76 @@ Frame parse_text_frame(const std::string& first, const LineSource& next) {
         bad("cachewarm: unknown directive '" + what + "'");
       }
     }
+  } else if (directive == "obs") {
+    frame.type = FrameType::kObs;
+    line_end("obs");
+    // Body: `counter`, `hist` and `span` lines in any order, a lone `end`
+    // closes the frame. An empty body is the query form.
+    for (;;) {
+      const std::string line = next_or_truncated(next, "obs");
+      std::istringstream body(line);
+      std::string what;
+      if (!(body >> what)) continue;  // blank line
+      if (what == "end") {
+        expect_line_end(body, "obs end");
+        break;
+      }
+      if (what == "counter") {
+        std::string token;
+        if (!(body >> token)) bad("obs: 'counter' requires <name> <value>");
+        const std::uint64_t value =
+            parse_unsigned<std::uint64_t>(body, "obs counter");
+        expect_line_end(body, "obs counter");
+        if (!frame.obs.counters.emplace(unescape_token(token), value).second)
+          bad("obs: duplicate counter");
+      } else if (what == "hist") {
+        std::string token;
+        if (!(body >> token))
+          bad("obs: 'hist' requires <name> <sum> <n> [<bucket> <count>]...");
+        obs::HistogramSnapshot h;
+        h.sum = parse_unsigned<std::uint64_t>(body, "obs hist sum");
+        const std::uint32_t nonzero =
+            parse_unsigned<std::uint32_t>(body, "obs hist bucket count");
+        if (nonzero > obs::kHistogramBuckets)
+          bad("obs: histogram bucket count out of range");
+        for (std::uint32_t i = 0; i < nonzero; ++i) {
+          const std::uint32_t idx =
+              parse_unsigned<std::uint32_t>(body, "obs hist bucket");
+          if (idx >= obs::kHistogramBuckets)
+            bad("obs: histogram bucket index out of range");
+          const std::uint64_t count =
+              parse_unsigned<std::uint64_t>(body, "obs hist bucket");
+          if (count == 0 || h.buckets[idx] != 0)
+            bad("obs: malformed histogram bucket");
+          h.buckets[idx] = count;
+        }
+        expect_line_end(body, "obs hist");
+        if (!frame.obs.histograms.emplace(unescape_token(token), h).second)
+          bad("obs: duplicate histogram");
+      } else if (what == "span") {
+        std::string name;
+        std::string source;
+        std::string shard;
+        std::string top;
+        if (!(body >> name >> source >> shard >> top))
+          bad("obs: 'span' requires <name> <source> <shard> <top> + fields");
+        obs::TraceSpan s;
+        s.name = unescape_token(name);
+        s.source = unescape_token(source);
+        s.shard = unescape_token(shard);
+        s.top = unescape_token(top);
+        s.start_us = parse_unsigned<std::uint64_t>(body, "obs span");
+        s.duration_us = parse_unsigned<std::uint64_t>(body, "obs span");
+        s.id = parse_unsigned<std::uint64_t>(body, "obs span");
+        s.parent = parse_unsigned<std::uint64_t>(body, "obs span");
+        s.exchange = parse_unsigned<std::uint64_t>(body, "obs span");
+        s.instant = parse_bool(body, "obs span instant");
+        expect_line_end(body, "obs span");
+        frame.obs.spans.push_back(std::move(s));
+      } else {
+        bad("obs: unknown directive '" + what + "'");
+      }
+    }
   } else if (directive == "stats") {
     std::string token;
     if (words >> token) {
@@ -831,6 +842,30 @@ class TextWireCodec final : public WireCodec {
         out += "end\n";
         return;
       }
+      case FrameType::kObs: {
+        out += "obs\n";
+        std::ostringstream body;
+        for (const auto& [name, value] : frame.obs.counters)
+          body << "counter " << escape_token(name) << ' ' << value << '\n';
+        for (const auto& [name, h] : frame.obs.histograms) {
+          std::uint32_t nonzero = 0;
+          for (const std::uint64_t c : h.buckets) nonzero += c != 0 ? 1 : 0;
+          body << "hist " << escape_token(name) << ' ' << h.sum << ' '
+               << nonzero;
+          for (std::size_t i = 0; i < h.buckets.size(); ++i)
+            if (h.buckets[i] != 0) body << ' ' << i << ' ' << h.buckets[i];
+          body << '\n';
+        }
+        for (const obs::TraceSpan& s : frame.obs.spans)
+          body << "span " << escape_token(s.name) << ' '
+               << escape_token(s.source) << ' ' << escape_token(s.shard)
+               << ' ' << escape_token(s.top) << ' ' << s.start_us << ' '
+               << s.duration_us << ' ' << s.id << ' ' << s.parent << ' '
+               << s.exchange << ' ' << (s.instant ? 1 : 0) << '\n';
+        out += body.str();
+        out += "end\n";
+        return;
+      }
     }
     bad("unknown FrameType");
   }
@@ -906,9 +941,16 @@ class TextWireCodec final : public WireCodec {
 //   kServe       str key, u64 count
 //   kServing     u64 count
 //   kStatsQuery  str key
-//   kStats       17 x u64 (ServiceStats field order)
+//   kStats       kServiceStatsCounters x u64
+//                (FFSM_SERVICE_STATS_COUNTERS row order)
 //   kCacheWarm   str key, u64 count, u32 n,
 //                n x (partition key, u32 m, m x partition)
+//   kObs         u32 nc, nc x (str name, u64 value),
+//                u32 nh, nh x (str name, u64 sum, u32 nb,
+//                              nb x (u8 bucket, u64 count)),
+//                u32 ns, ns x (str name, str source, str shard, str top,
+//                              u64 start_us, u64 duration_us, u64 id,
+//                              u64 parent, u64 exchange, u8 instant)
 //   kRequest     u64 ticket, str client, u32 f, u8 policy,
 //                u32 n, n x partition
 //   kResponse    u64 ticket, str client, u32 n, n x partition,
@@ -1107,23 +1149,9 @@ void encode_binary_payload(const Frame& frame, std::string& out) {
       put_str(out, frame.key);
       return;
     case FrameType::kStats:
-      put_u64(out, frame.stats.requests_submitted);
-      put_u64(out, frame.stats.requests_served);
-      put_u64(out, frame.stats.batches_served);
-      put_u64(out, frame.stats.speculative_covers_launched);
-      put_u64(out, frame.stats.speculation_hits);
-      put_u64(out, frame.stats.speculation_wasted_closures);
-      put_u64(out, frame.stats.restarts);
-      put_u64(out, frame.stats.failovers);
-      put_u64(out, frame.stats.health_probes_failed);
-      put_u64(out, frame.stats.cache_hits);
-      put_u64(out, frame.stats.cache_cold_misses);
-      put_u64(out, frame.stats.cache_eviction_misses);
-      put_u64(out, frame.stats.cache_evictions);
-      put_u64(out, frame.stats.cache_entries);
-      put_u64(out, frame.stats.cache_bytes);
-      put_u64(out, frame.stats.cache_admission_rejects);
-      put_u64(out, frame.stats.cache_sketch_bytes);
+#define FFSM_STATS_PUT(name, agg) put_u64(out, frame.stats.name);
+      FFSM_SERVICE_STATS_COUNTERS(FFSM_STATS_PUT)
+#undef FFSM_STATS_PUT
       return;
     case FrameType::kCacheWarm:
       put_str(out, frame.key);
@@ -1135,6 +1163,41 @@ void encode_binary_payload(const Frame& frame, std::string& out) {
         for (const Partition& p : entry.cover) put_partition(out, p);
       }
       return;
+    case FrameType::kObs: {
+      const obs::ObsSnapshot& o = frame.obs;
+      put_u32(out, static_cast<std::uint32_t>(o.counters.size()));
+      for (const auto& [name, value] : o.counters) {
+        put_str(out, name);
+        put_u64(out, value);
+      }
+      put_u32(out, static_cast<std::uint32_t>(o.histograms.size()));
+      for (const auto& [name, h] : o.histograms) {
+        put_str(out, name);
+        put_u64(out, h.sum);
+        std::uint32_t nonzero = 0;
+        for (const std::uint64_t c : h.buckets) nonzero += c != 0 ? 1 : 0;
+        put_u32(out, nonzero);
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+          if (h.buckets[i] == 0) continue;
+          put_u8(out, static_cast<std::uint8_t>(i));
+          put_u64(out, h.buckets[i]);
+        }
+      }
+      put_u32(out, static_cast<std::uint32_t>(o.spans.size()));
+      for (const obs::TraceSpan& s : o.spans) {
+        put_str(out, s.name);
+        put_str(out, s.source);
+        put_str(out, s.shard);
+        put_str(out, s.top);
+        put_u64(out, s.start_us);
+        put_u64(out, s.duration_us);
+        put_u64(out, s.id);
+        put_u64(out, s.parent);
+        put_u64(out, s.exchange);
+        put_u8(out, s.instant ? 1 : 0);
+      }
+      return;
+    }
     case FrameType::kRequest: {
       const WireRequest& r = frame.request;
       put_u64(out, r.ticket);
@@ -1206,23 +1269,10 @@ Frame decode_binary_payload(FrameType type, BinReader& in) {
       frame.key = in.str();
       break;
     case FrameType::kStats:
-      frame.stats.requests_submitted = in.u64();
-      frame.stats.requests_served = in.u64();
-      frame.stats.batches_served = in.u64();
-      frame.stats.speculative_covers_launched = in.u64();
-      frame.stats.speculation_hits = in.u64();
-      frame.stats.speculation_wasted_closures = in.u64();
-      frame.stats.restarts = in.u64();
-      frame.stats.failovers = in.u64();
-      frame.stats.health_probes_failed = in.u64();
-      frame.stats.cache_hits = in.u64();
-      frame.stats.cache_cold_misses = in.u64();
-      frame.stats.cache_eviction_misses = in.u64();
-      frame.stats.cache_evictions = in.u64();
-      frame.stats.cache_entries = in.u64();
-      frame.stats.cache_bytes = in.u64();
-      frame.stats.cache_admission_rejects = in.u64();
-      frame.stats.cache_sketch_bytes = in.u64();
+#define FFSM_STATS_GET(name, agg) \
+  frame.stats.name = static_cast<decltype(frame.stats.name)>(in.u64());
+      FFSM_SERVICE_STATS_COUNTERS(FFSM_STATS_GET)
+#undef FFSM_STATS_GET
       break;
     case FrameType::kCacheWarm: {
       frame.key = in.str();
@@ -1237,6 +1287,52 @@ Frame decode_binary_payload(FrameType type, BinReader& in) {
         for (std::uint32_t j = 0; j < covers; ++j)
           entry.cover.push_back(in.partition());
         frame.entries.push_back(std::move(entry));
+      }
+      break;
+    }
+    case FrameType::kObs: {
+      const std::uint32_t counters = in.u32();
+      for (std::uint32_t i = 0; i < counters; ++i) {
+        std::string name(in.str());
+        const std::uint64_t value = in.u64();
+        if (!frame.obs.counters.emplace(std::move(name), value).second)
+          bad("obs: duplicate counter");
+      }
+      const std::uint32_t hists = in.u32();
+      for (std::uint32_t i = 0; i < hists; ++i) {
+        std::string name(in.str());
+        obs::HistogramSnapshot h;
+        h.sum = in.u64();
+        const std::uint32_t nonzero = in.u32();
+        if (nonzero > obs::kHistogramBuckets)
+          bad("obs: histogram bucket count out of range");
+        for (std::uint32_t j = 0; j < nonzero; ++j) {
+          const std::uint8_t idx = in.u8();
+          if (idx >= obs::kHistogramBuckets)
+            bad("obs: histogram bucket index out of range");
+          const std::uint64_t count = in.u64();
+          if (count == 0 || h.buckets[idx] != 0)
+            bad("obs: malformed histogram bucket");
+          h.buckets[idx] = count;
+        }
+        if (!frame.obs.histograms.emplace(std::move(name), h).second)
+          bad("obs: duplicate histogram");
+      }
+      const std::uint32_t spans = in.u32();
+      frame.obs.spans.reserve(std::min<std::size_t>(spans, 4096));
+      for (std::uint32_t i = 0; i < spans; ++i) {
+        obs::TraceSpan s;
+        s.name = in.str();
+        s.source = in.str();
+        s.shard = in.str();
+        s.top = in.str();
+        s.start_us = in.u64();
+        s.duration_us = in.u64();
+        s.id = in.u64();
+        s.parent = in.u64();
+        s.exchange = in.u64();
+        s.instant = in.boolean();
+        frame.obs.spans.push_back(std::move(s));
       }
       break;
     }
@@ -1298,7 +1394,7 @@ BinHeader parse_binary_header(const char* data) {
   for (int i = 0; i < 8; ++i)
     out.exchange |= std::uint64_t{h[8 + i]} << (8 * i);
   if (type_byte < static_cast<std::uint8_t>(FrameType::kOk) ||
-      type_byte > static_cast<std::uint8_t>(FrameType::kCacheWarm))
+      type_byte > static_cast<std::uint8_t>(FrameType::kObs))
     bad("unknown frame type byte");
   if (out.payload_len > kMaxBinPayload) bad("oversized frame");
   out.type = static_cast<FrameType>(type_byte);
@@ -1413,7 +1509,9 @@ namespace {
 //   3 — stats frame grew the cache admission counters, the cachewarm
 //       frame (warm cache handoff) was added, and the lfu_admit cache
 //       policy joined the config vocabulary.
-constexpr std::string_view kHelloVersion = "3";
+//   4 — the obs frame (kObs: counters, latency histograms and trace spans)
+//       joined both codecs.
+constexpr std::string_view kHelloVersion = "4";
 
 }  // namespace
 

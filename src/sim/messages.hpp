@@ -45,6 +45,7 @@
 
 #include "fusion/generator.hpp"
 #include "net/line_channel.hpp"
+#include "obs/obs.hpp"
 
 namespace ffsm {
 
@@ -57,11 +58,60 @@ struct FusionResponse {
   FusionResult result;
 };
 
+// The single source of truth for the ServiceStats counter set: one X(name,
+// aggregation) row per counter, in wire order. Everything that enumerates
+// the counters expands this table — the text codec's encode/decode lines,
+// the binary codec's fixed-order u64 list, the duplicate/missing seen-bit
+// bookkeeping, and FusionCluster::stats() aggregation — so adding a counter
+// is one row here plus one struct field below (a mismatch between the two
+// fails to compile). Appending a row changes the negotiated payload shape:
+// bump the hello version (kHelloVersion in messages.cpp).
+//
+// The second column is the cluster aggregation rule:
+//   kPerTop     — the counter is per-service; per-top values add up.
+//   kPerBackend — the counter is backend-level and repeats identically for
+//                 every top a backend hosts; FusionCluster::stats() takes
+//                 the max across a shard's tops, then sums across shards.
+#define FFSM_SERVICE_STATS_COUNTERS(X)          \
+  X(requests_submitted, kPerTop)                \
+  X(requests_served, kPerTop)                   \
+  X(batches_served, kPerTop)                    \
+  X(speculative_covers_launched, kPerTop)       \
+  X(speculation_hits, kPerTop)                  \
+  X(speculation_wasted_closures, kPerTop)       \
+  X(restarts, kPerBackend)                      \
+  X(failovers, kPerBackend)                     \
+  X(health_probes_failed, kPerBackend)          \
+  X(cache_hits, kPerTop)                        \
+  X(cache_cold_misses, kPerTop)                 \
+  X(cache_eviction_misses, kPerTop)             \
+  X(cache_evictions, kPerTop)                   \
+  X(cache_entries, kPerTop)                     \
+  X(cache_bytes, kPerTop)                       \
+  X(cache_admission_rejects, kPerTop)           \
+  X(cache_sketch_bytes, kPerTop)
+
+/// The second X-macro column as a real type, so aggregation code can
+/// branch on it with `if constexpr (StatsAgg::agg == ...)` instead of
+/// re-listing counter names (see FusionCluster::stats()).
+enum class StatsAgg { kPerTop, kPerBackend };
+
+/// Number of rows in FFSM_SERVICE_STATS_COUNTERS.
+inline constexpr std::size_t kServiceStatsCounters = []() {
+  std::size_t n = 0;
+#define FFSM_STATS_COUNT(name, agg) ++n;
+  FFSM_SERVICE_STATS_COUNTERS(FFSM_STATS_COUNT)
+#undef FFSM_STATS_COUNT
+  return n;
+}();
+
 /// Lifetime counters of one serving backend — a FusionService or the shard
 /// worker wrapping one. The cache_* fields snapshot the persistent closure
 /// cache; eviction misses are broken out from cold misses so a bounded
 /// cache under pressure does not masquerade as a cold workload
 /// (cache_hits + cache_cold_misses + cache_eviction_misses == lookups).
+/// The field set is mirrored by FFSM_SERVICE_STATS_COUNTERS above, which
+/// drives both codecs and the cluster aggregation.
 struct ServiceStats {
   std::uint64_t requests_submitted = 0;
   std::uint64_t requests_served = 0;
@@ -206,6 +256,11 @@ enum class FrameType : std::uint8_t {
   // cache entries — answered by a kCacheWarm carrying them; with `entries`
   // non-empty it imports them into the worker's cache — answered by kOk.
   kCacheWarm = 16,
+  // obs (an obs::ObsSnapshot). Dual-purpose like kCacheWarm: an *empty*
+  // snapshot queries the worker for its connection-local metrics + spans —
+  // answered by a kObs carrying them; the parent merges the reply into the
+  // cluster-wide view tagged with the shard it came from.
+  kObs = 17,
 };
 
 [[nodiscard]] const char* frame_type_name(FrameType type);
@@ -226,6 +281,7 @@ struct Frame {
   ServiceStats stats;        // kStats
   ShardServiceConfig config; // kConfig
   std::vector<WarmCacheEntry> entries;  // kCacheWarm
+  obs::ObsSnapshot obs;      // kObs
 };
 
 /// Mark/restore bump allocator backing binary frame decode: the payload of
@@ -326,7 +382,7 @@ class WireCodec {
 //
 // The version is a single integer both sides must match exactly; it is
 // bumped whenever a negotiated payload changes shape in either encoding
-// (current: 3 — see kHelloVersion in messages.cpp for the history). A
+// (current: 4 — see kHelloVersion in messages.cpp for the history). A
 // worker seeing an unsupported version answers
 // `error unsupported%20hello%20version...`; the parent recognizes that
 // reply and fails the connection in every mode — no text fallback, since

@@ -126,13 +126,18 @@ void ReplicaBackend::connect_endpoint_locked(std::size_t replica) {
                               " rejected warm cache for '" + key +
                               "': " + describe_reply(warm_reply));
   }
-  conversation_ = std::make_shared<WireConversation>(std::move(channel),
-                                                     std::move(codec));
+  conversation_ = std::make_shared<WireConversation>(
+      std::move(channel), std::move(codec), options_.obs);
   ++connects_;
   // A reconnect that lands on a different replica is a failover (or a
   // fail-back — both move the serving endpoint); the first connection
   // ever is neither.
-  if (connects_ > 1 && replica != current_) ++failovers_;
+  if (connects_ > 1 && replica != current_) {
+    ++failovers_;
+    if (options_.obs != nullptr)
+      options_.obs->instant("replica.failover",
+                            {.shard = net::to_string(endpoint)});
+  }
   current_ = replica;
 }
 
@@ -420,6 +425,35 @@ ServiceStats ReplicaBackend::stats(const std::string& key) const {
     // Transport or protocol died mid-query (the conversation is already
     // poisoned); the next drain reconnects.
     return cold;
+  }
+}
+
+obs::ObsSnapshot ReplicaBackend::obs_snapshot() {
+  std::shared_ptr<WireConversation> conversation;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    conversation = conversation_;
+  }
+  // Disconnected => this incarnation has observed nothing; parent-side
+  // timing (wire, queueing) lives in the cluster's own Obs already.
+  if (!conversation || conversation->poisoned()) return {};
+  try {
+    WireConversation::Exchange exchange =
+        WireConversation::open(conversation);
+    // An empty kObs frame is the query form; the reply carries the
+    // replica's per-connection snapshot (mirrors the kCacheWarm query).
+    exchange.send(command_frame(FrameType::kObs));
+    Frame reply = exchange.receive();
+    if (reply.type != FrameType::kObs) {
+      if (reply.type != FrameType::kError)
+        conversation->poison("unexpected obs reply");
+      return {};
+    }
+    return std::move(reply.obs);
+  } catch (const ContractViolation&) {
+    // Transport (NetError derives from this) or protocol died mid-query;
+    // the conversation is already poisoned and the next drain reconnects.
+    return {};
   }
 }
 

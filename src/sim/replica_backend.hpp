@@ -96,6 +96,12 @@ struct ReplicaBackendOptions {
   /// reconnect. Shared: one monitor typically probes every shard's
   /// replicas.
   std::shared_ptr<net::HealthMonitor> monitor;
+  /// Optional observability context (nullptr = uninstrumented): wire
+  /// encode/decode/round-trip timing on every connection (see
+  /// WireConversation), a `replica.failover` instant event whenever the
+  /// serving endpoint moves to a different replica, and obs_snapshot()
+  /// pulling the live replica's own snapshot over the wire (kObs).
+  obs::Obs* obs = nullptr;
 };
 
 class ReplicaBackend : public QueuedWireBackend {
@@ -114,6 +120,10 @@ class ReplicaBackend : public QueuedWireBackend {
   /// and health_probes_failed are filled parent-side — the replica that
   /// answers cannot know how often it was replaced.
   [[nodiscard]] ServiceStats stats(const std::string& key) const override;
+  /// The live replica's observability snapshot via a kObs exchange
+  /// (per-connection on the worker side, like stats()); empty when
+  /// disconnected or the query fails.
+  [[nodiscard]] obs::ObsSnapshot obs_snapshot() override;
   /// Graceful goodbye (`shutdown` + close). Replicas keep listening;
   /// queued requests stay queued and the next drain() reconnects.
   void shutdown() override;

@@ -77,6 +77,8 @@ std::vector<FusionService::Response> FusionService::drain() {
   batch_options.incremental = options_.incremental;
   batch_options.cache = &cache_;
   batch_options.speculation.lookahead = options_.speculation_lookahead;
+  batch_options.obs = options_.obs;
+  batch_options.obs_top = options_.obs_top;
   std::vector<FusionResult> results;
   try {
     results = generate_fusion_batch(top_, requests, batch_options);

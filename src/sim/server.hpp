@@ -88,6 +88,14 @@ struct FusionServiceOptions {
   /// SpeculationOptions::lookahead; only consulted when parallel &&
   /// incremental).
   std::uint32_t speculation_lookahead = 2;
+  /// Optional observability context (nullptr = uninstrumented), forwarded
+  /// into every served batch (gen.request spans, lower-cover/cache
+  /// metrics); the service itself adds `cache.warm_replay` (time to replay
+  /// a warm snapshot into the closure cache). Never affects results.
+  obs::Obs* obs = nullptr;
+  /// Top tag stamped on this service's spans (typically the serving key,
+  /// e.g. "sensors"); empty = untagged.
+  std::string obs_top;
 };
 
 class FusionService {
@@ -143,6 +151,8 @@ class FusionService {
   /// state set; anything else is a caller bug the cache cannot detect, so
   /// the backends only ever replay snapshots exported for the same top.
   void warm_cache(const std::vector<WarmCacheEntry>& entries) {
+    const obs::ScopedSpan span(options_.obs, "cache.warm_replay",
+                               {.top = options_.obs_top});
     cache_.import(entries);
   }
 

@@ -147,6 +147,10 @@ void SubprocessBackend::ensure_worker_locked() {
   channel_ = net::LineChannel(net::Socket(sv[0]));
   worker_pid_ = static_cast<int>(pid);
   ++spawns_;
+  // The first spawn is cold start, not a fault; every further one replaced
+  // a dead worker.
+  if (options_.obs != nullptr && spawns_ > 1)
+    options_.obs->instant("worker.respawn");
 
   // Negotiate the encoding, then handshake: configure and re-register
   // every top in registration order (so a respawned worker rebuilds the
@@ -280,6 +284,24 @@ ServiceStats SubprocessBackend::stats(const std::string& key) const {
   } catch (const ContractViolation&) {
     // Channel died mid-query; the next drain respawns. Report cold.
     return cold;
+  }
+}
+
+obs::ObsSnapshot SubprocessBackend::obs_snapshot() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // No worker => nothing observed this incarnation; the parent-side view
+  // (queueing, wire timing) lives in the cluster's own Obs already.
+  if (!channel_.valid()) return {};
+  try {
+    // An empty kObs frame is the query form; the worker replies with a
+    // kObs frame carrying its snapshot (mirrors the kCacheWarm query).
+    send_locked(codec_->encode(command_frame(FrameType::kObs)));
+    Frame reply = expect_frame_locked("obs");
+    if (reply.type != FrameType::kObs) return {};
+    return std::move(reply.obs);
+  } catch (const ContractViolation&) {
+    // Channel died mid-query; the next drain respawns. Report empty.
+    return {};
   }
 }
 

@@ -57,6 +57,11 @@ struct SubprocessBackendOptions {
   /// worker binary; kText pins the pre-negotiation wire; kBinary requires
   /// the binary framing and fails the spawn handshake otherwise.
   WireMode wire = WireMode::kAuto;
+  /// Optional observability context (nullptr = uninstrumented): the
+  /// backend emits a `worker.respawn` instant event per respawn, and
+  /// obs_snapshot() pulls the worker's own counters/histograms/spans over
+  /// the wire (kObs).
+  obs::Obs* obs = nullptr;
 };
 
 class SubprocessBackend final : public QueuedWireBackend {
@@ -74,6 +79,10 @@ class SubprocessBackend final : public QueuedWireBackend {
   /// fresh or just-crashed shard really has served nothing), with
   /// `restarts` filled parent-side from the spawn count.
   [[nodiscard]] ServiceStats stats(const std::string& key) const override;
+  /// The live worker's observability snapshot via a kObs exchange; empty
+  /// when no worker is running or the query fails (the next drain
+  /// respawns).
+  [[nodiscard]] obs::ObsSnapshot obs_snapshot() override;
   /// Graceful worker termination (`shutdown` + EOF + waitpid). Queued
   /// requests stay queued; the next drain() respawns.
   void shutdown() override;

@@ -32,6 +32,7 @@ ReplicaBackendOptions as_replica_options(TcpBackendOptions options) {
   replica.keepalive_idle_s = options.keepalive_idle_s;
   replica.keepalive_interval_s = options.keepalive_interval_s;
   replica.keepalive_probes = options.keepalive_probes;
+  replica.obs = options.obs;
   return replica;
 }
 

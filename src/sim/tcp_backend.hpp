@@ -63,6 +63,8 @@ struct TcpBackendOptions {
   int keepalive_idle_s = 30;
   int keepalive_interval_s = 10;
   int keepalive_probes = 3;
+  /// Optional observability context (see ReplicaBackendOptions::obs).
+  obs::Obs* obs = nullptr;
 };
 
 class TcpBackend final : public ReplicaBackend {

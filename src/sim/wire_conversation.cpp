@@ -7,8 +7,9 @@
 namespace ffsm {
 
 WireConversation::WireConversation(net::LineChannel channel,
-                                   std::unique_ptr<WireCodec> codec)
-    : channel_(std::move(channel)), codec_(std::move(codec)) {
+                                   std::unique_ptr<WireCodec> codec,
+                                   obs::Obs* obs)
+    : channel_(std::move(channel)), codec_(std::move(codec)), obs_(obs) {
   FFSM_EXPECTS(channel_.valid());
   FFSM_EXPECTS(codec_ != nullptr);
 }
@@ -86,6 +87,8 @@ Frame WireConversation::receive_for(std::uint64_t id) {
     reading_ = true;
     lock.unlock();
     Frame frame;
+    const std::uint64_t decode_start =
+        obs_ != nullptr && obs_->enabled() ? obs_->now_us() : 0;
     try {
       frame = codec_->expect(channel_, "conversation");
     } catch (const std::exception& error) {
@@ -94,6 +97,8 @@ Frame WireConversation::receive_for(std::uint64_t id) {
       poison_locked(error.what());
       throw;
     }
+    if (obs_ != nullptr && obs_->enabled())
+      obs_->record("wire.decode", obs_->now_us() - decode_start);
     lock.lock();
     reading_ = false;
     route_locked(std::move(frame));
@@ -107,7 +112,12 @@ Frame WireConversation::receive_exclusive() {
     if (dead_) throw net::NetError(death_reason_);
   }
   try {
-    return codec_->expect(channel_, "reply");
+    const std::uint64_t decode_start =
+        obs_ != nullptr && obs_->enabled() ? obs_->now_us() : 0;
+    Frame frame = codec_->expect(channel_, "reply");
+    if (obs_ != nullptr && obs_->enabled())
+      obs_->record("wire.decode", obs_->now_us() - decode_start);
+    return frame;
   } catch (const std::exception& error) {
     poison(error.what());
     throw;
@@ -159,9 +169,11 @@ WireConversation::Exchange::Exchange(
 WireConversation::Exchange::Exchange(Exchange&& other) noexcept
     : conversation_(std::move(other.conversation_)),
       id_(other.id_),
-      exclusive_(std::move(other.exclusive_)) {
+      exclusive_(std::move(other.exclusive_)),
+      sent_at_us_(other.sent_at_us_) {
   other.conversation_.reset();
   other.id_ = 0;
+  other.sent_at_us_ = 0;
 }
 
 WireConversation::Exchange& WireConversation::Exchange::operator=(
@@ -171,8 +183,10 @@ WireConversation::Exchange& WireConversation::Exchange::operator=(
     conversation_ = std::move(other.conversation_);
     id_ = other.id_;
     exclusive_ = std::move(other.exclusive_);
+    sent_at_us_ = other.sent_at_us_;
     other.conversation_.reset();
     other.id_ = 0;
+    other.sent_at_us_ = 0;
   }
   return *this;
 }
@@ -199,27 +213,47 @@ void WireConversation::Exchange::close() noexcept {
 
 void WireConversation::Exchange::send(std::vector<Frame> frames) {
   FFSM_EXPECTS(conversation_ != nullptr);
+  obs::Obs* obs = conversation_->obs_;
+  const bool timed = obs != nullptr && obs->enabled();
+  const std::uint64_t encode_start = timed ? obs->now_us() : 0;
   std::string buffer;
   const bool multiplexed = conversation_->multiplexed();
   for (Frame& frame : frames) {
     if (multiplexed) frame.exchange = id_;
     conversation_->codec_->encode(frame, buffer);
   }
+  if (timed) obs->record("wire.encode", obs->now_us() - encode_start);
   conversation_->send_buffer(buffer);
+  if (timed) sent_at_us_ = obs->now_us();
 }
 
 void WireConversation::Exchange::send(Frame frame) {
   FFSM_EXPECTS(conversation_ != nullptr);
+  obs::Obs* obs = conversation_->obs_;
+  const bool timed = obs != nullptr && obs->enabled();
+  const std::uint64_t encode_start = timed ? obs->now_us() : 0;
   if (conversation_->multiplexed()) frame.exchange = id_;
   std::string buffer;
   conversation_->codec_->encode(frame, buffer);
+  if (timed) obs->record("wire.encode", obs->now_us() - encode_start);
   conversation_->send_buffer(buffer);
+  if (timed) sent_at_us_ = obs->now_us();
 }
 
 Frame WireConversation::Exchange::receive() {
   FFSM_EXPECTS(conversation_ != nullptr);
-  if (conversation_->multiplexed()) return conversation_->receive_for(id_);
-  return conversation_->receive_exclusive();
+  Frame frame = conversation_->multiplexed()
+                    ? conversation_->receive_for(id_)
+                    : conversation_->receive_exclusive();
+  if (sent_at_us_ != 0) {
+    // Send-to-first-reply: later frames of a streamed reply (serving /
+    // response / done) extend the same dialogue, so only the first one
+    // closes the round-trip sample.
+    conversation_->obs_->span_since("wire.roundtrip", sent_at_us_,
+                                    {.exchange = id_});
+    sent_at_us_ = 0;
+  }
+  return frame;
 }
 
 }  // namespace ffsm

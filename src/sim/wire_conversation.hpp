@@ -40,9 +40,13 @@ namespace ffsm {
 class WireConversation {
  public:
   /// Takes a connected channel whose handshake (negotiation + config +
-  /// tops) already ran, and the codec that negotiation agreed on.
-  WireConversation(net::LineChannel channel,
-                   std::unique_ptr<WireCodec> codec);
+  /// tops) already ran, and the codec that negotiation agreed on. `obs`
+  /// (optional) times wire encode/decode and per-exchange round-trips:
+  /// `wire.encode` — encoding a send buffer; `wire.decode` — pulling and
+  /// decoding one frame off the wire (includes time blocked on the peer);
+  /// `wire.roundtrip` — an exchange's send to its first reply.
+  WireConversation(net::LineChannel channel, std::unique_ptr<WireCodec> codec,
+                   obs::Obs* obs = nullptr);
   ~WireConversation();
 
   WireConversation(const WireConversation&) = delete;
@@ -106,6 +110,9 @@ class WireConversation {
     std::uint64_t id_ = 0;
     /// Text wire: the whole connection, held for the exchange's lifetime.
     std::unique_lock<std::mutex> exclusive_;
+    /// Obs timestamp of the last send with no reply seen yet (0 = none);
+    /// the first receive after it records one wire.roundtrip sample.
+    std::uint64_t sent_at_us_ = 0;
   };
 
   /// Opens a new exchange. Multiplexed: returns immediately with a fresh
@@ -124,6 +131,7 @@ class WireConversation {
 
   net::LineChannel channel_;
   std::unique_ptr<WireCodec> codec_;
+  obs::Obs* obs_ = nullptr;
 
   std::mutex send_mutex_;
   std::mutex exclusive_mutex_;  // text wire: one exchange at a time

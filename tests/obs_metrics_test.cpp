@@ -1,0 +1,141 @@
+// Metrics properties the cluster aggregation leans on: log-bucket
+// assignment at every power-of-2 boundary, percentile rank semantics,
+// and snapshot merging that is associative and commutative — per-thread,
+// per-shard and per-process histograms must fold into the same
+// distribution in any order.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ffsm::obs {
+namespace {
+
+TEST(HistogramBuckets, BoundaryValuesLandInTheRightBucket) {
+  // Bucket 0 holds exactly 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  for (std::size_t i = 1; i < 63; ++i) {
+    const std::uint64_t low = std::uint64_t{1} << (i - 1);
+    const std::uint64_t high = (std::uint64_t{1} << i) - 1;
+    EXPECT_EQ(histogram_bucket(low), i) << "lower bound of bucket " << i;
+    EXPECT_EQ(histogram_bucket(high), i) << "upper bound of bucket " << i;
+  }
+  // Values past 2^62 clamp into the last bucket instead of indexing out
+  // of the fixed array.
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_bucket(std::uint64_t{1} << 63), kHistogramBuckets - 1);
+}
+
+TEST(HistogramBuckets, BoundsAreConsistentWithAssignment) {
+  // The reported percentile value (the bucket's bound) must itself fall
+  // back into the bucket it bounds — otherwise re-recording a reported
+  // percentile would drift upward.
+  for (std::size_t i = 0; i < kHistogramBuckets - 1; ++i)
+    EXPECT_EQ(histogram_bucket(histogram_bucket_bound(i)), i) << i;
+}
+
+TEST(Histogram, PercentileFollowsRankSemantics) {
+  Histogram h;
+  // 100 samples: 50 fast (value 3 -> bucket 2, bound 3), 45 medium
+  // (value 100 -> bucket 7, bound 127), 5 slow (value 5000 -> bucket 13,
+  // bound 8191).
+  for (int i = 0; i < 50; ++i) h.record(3);
+  for (int i = 0; i < 45; ++i) h.record(100);
+  for (int i = 0; i < 5; ++i) h.record(5000);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_EQ(s.sum, 50u * 3 + 45u * 100 + 5u * 5000);
+  EXPECT_EQ(s.percentile(50), 3u);     // rank 50 is the last fast sample
+  EXPECT_EQ(s.percentile(51), 127u);   // rank 51 is the first medium one
+  EXPECT_EQ(s.percentile(95), 127u);
+  EXPECT_EQ(s.percentile(96), 8191u);
+  EXPECT_EQ(s.percentile(99), 8191u);
+  EXPECT_EQ(s.percentile(100), 8191u);
+  EXPECT_EQ(HistogramSnapshot{}.percentile(50), 0u);  // empty -> 0
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  // Split one sample stream across three histograms, then fold the
+  // snapshots in several different orders/trees: every fold must equal
+  // the histogram that saw all samples, bucket for bucket.
+  Xoshiro256 rng(2024);
+  Histogram whole;
+  Histogram parts[3];
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t value = rng() >> (rng.below(60));
+    whole.record(value);
+    parts[rng.below(3)].record(value);
+  }
+  const HistogramSnapshot a = parts[0].snapshot();
+  const HistogramSnapshot b = parts[1].snapshot();
+  const HistogramSnapshot c = parts[2].snapshot();
+
+  HistogramSnapshot abc = a;
+  abc.merge(b);
+  abc.merge(c);
+  HistogramSnapshot cba = c;
+  cba.merge(b);
+  cba.merge(a);
+  HistogramSnapshot a_bc = a;  // a + (b + c): a different merge tree
+  HistogramSnapshot bc = b;
+  bc.merge(c);
+  a_bc.merge(bc);
+
+  EXPECT_EQ(abc, cba);
+  EXPECT_EQ(abc, a_bc);
+  EXPECT_EQ(abc, whole.snapshot());
+  EXPECT_EQ(abc.percentile(50), whole.snapshot().percentile(50));
+  EXPECT_EQ(abc.percentile(99), whole.snapshot().percentile(99));
+}
+
+TEST(Histogram, ConcurrentRecordsAreAllCounted) {
+  // record() is relaxed-atomic per bucket; nothing may be lost under
+  // contention. (TSan runs this in CI — the lock-free claim is checked,
+  // not assumed.)
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<std::uint64_t>(t * 37 + i % 1024));
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(h.snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, NamesResolveToStableReferences) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.counter("requests");
+  Counter& c2 = registry.counter("requests");
+  EXPECT_EQ(&c1, &c2);  // cacheable at the call site
+  c1.add(3);
+  c2.increment();
+  EXPECT_EQ(c1.value(), 4u);
+
+  Histogram& h1 = registry.histogram("latency");
+  Histogram& h2 = registry.histogram("latency");
+  EXPECT_EQ(&h1, &h2);
+  h1.record(9);
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+  registry.snapshot(&counters, &histograms);
+  EXPECT_EQ(counters.at("requests"), 4u);
+  EXPECT_EQ(histograms.at("latency").count(), 1u);
+}
+
+}  // namespace
+}  // namespace ffsm::obs

@@ -467,6 +467,37 @@ std::vector<Frame> binary_sample_frames(Xoshiro256& rng) {
     second.key = random_partition(6, rng);
     warm.entries.push_back(std::move(second));
   }
+  {
+    // Both halves of the obs exchange: the query (empty snapshot) and a
+    // populated reply — counters, a sparse histogram and spans whose tag
+    // strings need escaping (or are empty, the "%" token).
+    add(FrameType::kObs);
+    Frame& obs = add(FrameType::kObs);
+    obs.obs.counters["requests"] = 12;
+    obs.obs.counters["two words"] = 1;
+    obs::HistogramSnapshot h;
+    h.sum = 12345;
+    h.buckets[0] = 3;
+    h.buckets[7] = 40;
+    h.buckets[63] = 1;
+    obs.obs.histograms["gen.request"] = h;
+    obs::TraceSpan span;
+    span.name = "cluster.serve_top";
+    span.source = "shard1";
+    span.shard = "127.0.0.1:7001";
+    span.top = "counters 10";
+    span.start_us = 10;
+    span.duration_us = 20;
+    span.id = 3;
+    span.parent = 2;
+    span.exchange = 9;
+    obs.obs.spans.push_back(std::move(span));
+    obs::TraceSpan failover;
+    failover.name = "replica.failover";
+    failover.id = 4;
+    failover.instant = true;
+    obs.obs.spans.push_back(std::move(failover));
+  }
   add(FrameType::kPing);
   add(FrameType::kPong);
   add(FrameType::kShutdown);
@@ -537,7 +568,8 @@ TEST(WireCodecRobustness, BinaryTruncationsAndCorruptionsAreClean) {
           << reserved;
     }
     // An unknown frame type must throw, whatever the payload says.
-    for (const unsigned char type : {0u, 17u, 0xffu}) {
+    // (18 is the first id past kObs, the newest frame type.)
+    for (const unsigned char type : {0u, 18u, 0xffu}) {
       std::string damaged = bytes;
       damaged[4] = static_cast<char>(type);
       EXPECT_TRUE(survives(frame, damaged))
@@ -664,6 +696,98 @@ TEST(WireCacheWarmCodec, BinaryOversizedPayloadLengthIsRejected) {
   bytes[2] = '\x00';
   bytes[3] = '\x10';
   EXPECT_THROW((void)codec->decode(bytes), ContractViolation);
+}
+
+TEST(WireObsCodec, TextFramesRoundTripByteIdentically) {
+  const std::unique_ptr<WireCodec> codec = make_wire_codec(false);
+
+  // The query form: a bare obs frame with an empty snapshot.
+  Frame query;
+  query.type = FrameType::kObs;
+  const std::string query_text = codec->encode(query);
+  const Frame query_back = codec->decode(query_text);
+  EXPECT_EQ(query_back.type, FrameType::kObs);
+  EXPECT_TRUE(query_back.obs.empty());
+  EXPECT_EQ(codec->encode(query_back), query_text);
+
+  // The reply form: counters, a sparse histogram, and spans with tag
+  // strings that need escaping (spaces, newline, empty -> "%").
+  Frame reply;
+  reply.type = FrameType::kObs;
+  reply.obs.counters["requests"] = 12;
+  reply.obs.counters["two words"] = 3;
+  obs::HistogramSnapshot h;
+  h.sum = 999;
+  h.buckets[0] = 2;
+  h.buckets[5] = 7;
+  h.buckets[63] = 1;
+  reply.obs.histograms["cluster.drain"] = h;
+  obs::TraceSpan span;
+  span.name = "gen.request";
+  span.source = "conn1";
+  span.top = "nasty\ntop key";
+  span.start_us = 100;
+  span.duration_us = 50;
+  span.id = 2;
+  span.parent = 1;
+  reply.obs.spans.push_back(std::move(span));
+  obs::TraceSpan failover;
+  failover.name = "replica.failover";
+  failover.shard = "127.0.0.1:7001";
+  failover.id = 3;
+  failover.instant = true;
+  reply.obs.spans.push_back(std::move(failover));
+
+  const std::string reply_text = codec->encode(reply);
+  const Frame reply_back = codec->decode(reply_text);
+  EXPECT_EQ(reply_back.type, FrameType::kObs);
+  EXPECT_EQ(reply_back.obs, reply.obs);  // every field, span for span
+  EXPECT_EQ(codec->encode(reply_back), reply_text);
+}
+
+// The obs frame's text trust boundary: truncations and every malformed
+// body line throw cleanly — duplicate metric names, histogram bucket
+// indices past the fixed array, zero bucket counts and unknown
+// directives must all be rejected, not silently merged.
+TEST(WireObsCodec, MalformedTextFramesThrow) {
+  const std::unique_ptr<WireCodec> codec = make_wire_codec(false);
+  Frame frame;
+  frame.type = FrameType::kObs;
+  frame.obs.counters["requests"] = 12;
+  obs::HistogramSnapshot h;
+  h.sum = 9;
+  h.buckets[3] = 2;
+  frame.obs.histograms["cluster.drain"] = h;
+  obs::TraceSpan span;
+  span.name = "gen.request";
+  span.id = 1;
+  frame.obs.spans.push_back(std::move(span));
+  const std::string good = codec->encode(frame);
+
+  // Every strict prefix throws, except the one that merely lost the
+  // trailing newline of the `end` line.
+  for (std::size_t len = 0; len + 2 < good.size(); ++len)
+    EXPECT_THROW((void)codec->decode(good.substr(0, len)), ContractViolation)
+        << "truncated to " << len << " bytes decoded as if complete";
+  EXPECT_THROW((void)codec->decode(good + "junk\n"), ContractViolation);
+  EXPECT_THROW(
+      (void)codec->decode("obs\ncounter a 1\ncounter a 2\nend\n"),
+      ContractViolation);  // duplicate counter
+  EXPECT_THROW((void)codec->decode("obs\nhist a 1 1\nhist a 1 1\nend\n"),
+               ContractViolation);  // duplicate histogram (also short line)
+  EXPECT_THROW((void)codec->decode("obs\nhist a 0 1 64 1\nend\n"),
+               ContractViolation);  // bucket index out of range
+  EXPECT_THROW((void)codec->decode("obs\nhist a 0 65\nend\n"),
+               ContractViolation);  // more buckets than exist
+  EXPECT_THROW((void)codec->decode("obs\nhist a 0 1 3 0\nend\n"),
+               ContractViolation);  // zero count for a "nonzero" bucket
+  EXPECT_THROW((void)codec->decode("obs\nhist a 0 2 3 1 3 1\nend\n"),
+               ContractViolation);  // the same bucket listed twice
+  EXPECT_THROW((void)codec->decode("obs\nspan a % % %\nend\n"),
+               ContractViolation);  // span missing its numeric fields
+  EXPECT_THROW((void)codec->decode("obs\nbogus 1\nend\n"),
+               ContractViolation);  // unknown body directive
+  EXPECT_THROW((void)codec->decode("obs trailing\nend\n"), ContractViolation);
 }
 
 TEST(WireMachines, SelfContainedTextReproducesEventIds) {

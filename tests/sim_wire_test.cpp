@@ -152,6 +152,11 @@ TEST(WireNegotiation, StaleHelloVersionIsRejected) {
   EXPECT_THROW(
       (void)parse_client_hello("hello 1 bin,text", offers_binary, offers_text),
       ContractViolation);
+  // Version 3 (pre-obs) peers don't know the kObs frame, so they must be
+  // turned away at the handshake too.
+  EXPECT_THROW(
+      (void)parse_client_hello("hello 3 bin,text", offers_binary, offers_text),
+      ContractViolation);
   // The current client/worker pair still agrees with itself.
   std::string hello = client_hello(WireMode::kAuto);
   hello.pop_back();  // read_line strips the '\n'

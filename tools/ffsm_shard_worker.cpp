@@ -53,6 +53,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -65,6 +66,7 @@
 #include "fsm/serialize.hpp"
 #include "net/line_channel.hpp"
 #include "net/listener.hpp"
+#include "obs/obs.hpp"
 #include "sim/messages.hpp"
 #include "sim/server.hpp"
 #include "util/contracts.hpp"
@@ -100,6 +102,11 @@ struct Worker {
   ShardServiceConfig config;
   bool configured = false;
   std::optional<ThreadPool> pool;
+  /// Connection-scoped observability: every hosted service records into
+  /// this context (spans tagged with its top key), and a kObs query is
+  /// answered with its snapshot. Dies with the connection, like the
+  /// caches — the parent is expected to pull snapshots while serving.
+  obs::Obs obs;
   std::mutex mutex;  // guards config/configured/pool + the map shape
   std::unordered_map<std::string, std::unique_ptr<Service>> services;
 
@@ -135,6 +142,8 @@ void handle_top(Worker& worker, const Frame& command) {
   options.incremental = worker.config.incremental;
   options.cache_config = worker.config.cache_config;
   options.speculation_lookahead = worker.config.speculation_lookahead;
+  options.obs = &worker.obs;
+  options.obs_top = command.key;
   worker.services.emplace(
       command.key,
       std::make_unique<Worker::Service>(std::move(top), options));
@@ -201,6 +210,47 @@ Frame make_error(const std::string& detail) {
   reply.text = detail;
   return reply;
 }
+
+/// The kObs query: answered with this connection's full observability
+/// snapshot — counters, histograms, trace spans. Reading a snapshot never
+/// resets anything (counters are lifetime totals; the span ring keeps its
+/// window), so the parent can poll and merge freely.
+Frame handle_obs(Worker& worker) {
+  Frame reply;
+  reply.type = FrameType::kObs;
+  reply.obs = worker.obs.snapshot();
+  return reply;
+}
+
+/// --trace-out sink: spans absorbed from every finished connection,
+/// rewritten to the file as each connection ends, so listener mode (which
+/// never exits) still leaves a loadable Chrome trace behind.
+struct TraceFile {
+  std::string path;
+  std::mutex mutex;
+  std::uint64_t connections = 0;
+  std::vector<obs::TraceSpan> spans;
+
+  void absorb(const obs::Obs& obs) {
+    obs::ObsSnapshot snap = obs.snapshot();
+    const std::lock_guard<std::mutex> lock(mutex);
+    const std::string source = "conn" + std::to_string(++connections);
+    spans.reserve(spans.size() + snap.spans.size());
+    for (obs::TraceSpan& span : snap.spans) {
+      if (span.source.empty()) span.source = source;
+      spans.push_back(std::move(span));
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "ffsm_shard_worker: cannot write trace to '%s'\n",
+                   path.c_str());
+      return;
+    }
+    obs::write_chrome_trace(out, spans);
+  }
+};
+
+TraceFile* g_trace_file = nullptr;  // set once in main, before any thread
 
 /// The kCacheWarm dual command: empty entries = export query (answered
 /// with the service's hottest cache entries), non-empty = import into the
@@ -297,6 +347,9 @@ bool run_loop_text(Worker& worker, net::LineChannel& channel,
           }
           case FrameType::kCacheWarm:
             channel.send(codec.encode(handle_cachewarm(worker, *command)));
+            break;
+          case FrameType::kObs:
+            channel.send(codec.encode(handle_obs(worker)));
             break;
           case FrameType::kPing:
             channel.send(codec.encode(make_reply(FrameType::kPong)));
@@ -416,6 +469,9 @@ bool run_loop_binary(Worker& worker, net::LineChannel& channel,
           case FrameType::kCacheWarm:
             send_one(handle_cachewarm(worker, *command), command->exchange);
             break;
+          case FrameType::kObs:
+            send_one(handle_obs(worker), command->exchange);
+            break;
           case FrameType::kPing:
             send_one(make_reply(FrameType::kPong), command->exchange);
             break;
@@ -448,8 +504,8 @@ bool run_loop_binary(Worker& worker, net::LineChannel& channel,
 /// torn transport. Returns false only for the torn case. Never throws —
 /// listener threads are detached and an escaped exception would terminate
 /// the whole worker.
-bool serve_connection(net::LineChannel& channel, WireMode mode) {
-  Worker worker;
+bool serve_connection_impl(Worker& worker, net::LineChannel& channel,
+                           WireMode mode) {
   try {
     if (mode == WireMode::kText) {
       // Pinned to the pre-negotiation wire: a hello is just an unknown
@@ -503,6 +559,15 @@ bool serve_connection(net::LineChannel& channel, WireMode mode) {
   }
 }
 
+bool serve_connection(net::LineChannel& channel, WireMode mode) {
+  Worker worker;
+  const bool clean = serve_connection_impl(worker, channel, mode);
+  // Flush this connection's spans whether it ended cleanly or tore —
+  // a trace of the run that died is the one an operator wants most.
+  if (g_trace_file != nullptr) g_trace_file->absorb(worker.obs);
+  return clean;
+}
+
 int listen_forever(std::uint16_t port, WireMode mode) {
   try {
     net::Listener listener(port);
@@ -550,6 +615,7 @@ int main(int argc, char** argv) {
   bool listen_mode = false;  // default: stdio bridge mode
   std::uint16_t listen_port = 0;
   ffsm::WireMode wire = ffsm::WireMode::kAuto;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* port_text = nullptr;
@@ -562,9 +628,14 @@ int main(int argc, char** argv) {
       wire_text = argv[++i];
     } else if (arg.rfind("--wire=", 0) == 0) {
       wire_text = arg.c_str() + std::strlen("--wire=");
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--listen <port>] [--wire {text,bin,auto}]\n",
+                   "usage: %s [--listen <port>] [--wire {text,bin,auto}] "
+                   "[--trace-out <file.json>]\n",
                    argv[0]);
       return 2;
     }
@@ -585,6 +656,12 @@ int main(int argc, char** argv) {
                    wire_text);
       return 2;
     }
+  }
+
+  TraceFile trace_file;
+  if (!trace_out.empty()) {
+    trace_file.path = std::move(trace_out);
+    g_trace_file = &trace_file;
   }
 
   if (!listen_mode) {

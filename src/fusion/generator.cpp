@@ -469,8 +469,9 @@ std::vector<FusionResult> generate_fusion_batch(
   std::vector<std::exception_ptr> errors(requests.size());
   const auto serve = [&](std::size_t i) {
     try {
-      const obs::ScopedSpan span(options.obs, "gen.request",
-                                 {.top = options.obs_top});
+      const obs::ScopedSpan span(
+          options.obs, "gen.request",
+          {.top = options.obs_top, .parent = options.obs_parent});
       GenerateOptions per_request;
       per_request.f = requests[i].f;
       per_request.policy = requests[i].policy;

@@ -190,6 +190,12 @@ struct BatchOptions {
   /// Top tag stamped on this batch's `gen.request` spans (typically the
   /// serving key, e.g. "sensors/0"); empty = untagged.
   std::string obs_top;
+  /// Parent span id stamped on this batch's `gen.request` spans; 0 = no
+  /// parent. Set by serving layers that know which span caused the batch —
+  /// locally the enclosing drain, or across a process boundary the
+  /// parent-side cluster.serve_top id carried in the serve frame — so the
+  /// merged trace nests generation under the originating drain.
+  std::uint64_t obs_parent = 0;
 };
 
 /// Runs Algorithm 2 for every request against `top`. results[i] corresponds

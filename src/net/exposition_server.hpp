@@ -1,0 +1,62 @@
+// ExpositionServer: a tiny scrape endpoint over net::Listener.
+//
+// Serves GET requests with bodies produced by a caller-supplied handler —
+// the obs exposition (`/metrics`) plus a one-line health verdict
+// (`/health`) in practice. This is deliberately a minimal HTTP/1.0 subset,
+// just enough for `curl`, Prometheus and the CI scrape check: one request
+// per connection, request line + headers read and discarded, response with
+// Content-Length and `Connection: close`. It is a telemetry side-door, not
+// a web server — no keep-alive, no chunking, no TLS — and it runs on one
+// background thread so a scrape can never contend with the serving path
+// beyond the snapshot the handler takes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "net/listener.hpp"
+
+namespace ffsm::net {
+
+class ExpositionServer {
+ public:
+  /// Returns the response body for `path` ("/metrics", "/health", ...);
+  /// an empty string means 404. Called on the server thread — must be
+  /// thread-safe against whatever it snapshots.
+  using Handler = std::function<std::string(std::string_view path)>;
+
+  /// Binds `port` (0 = ephemeral; see port()) and starts serving. Throws
+  /// net::NetError when the port cannot be bound.
+  ExpositionServer(std::uint16_t port, Handler handler);
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  ~ExpositionServer() { stop(); }
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+
+  /// Stops accepting and joins the server thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  Listener listener_;
+  Handler handler_;
+  std::thread thread_;
+};
+
+/// One scrape as a client: connects to host:port, GETs `path`, returns the
+/// response body (headers stripped). Throws net::NetError on transport
+/// failure, ContractViolation on a non-200 status. Used by the bench's
+/// live-scrape assert and handy for tests.
+[[nodiscard]] std::string scrape_exposition(
+    const std::string& host, std::uint16_t port, const std::string& path);
+
+}  // namespace ffsm::net

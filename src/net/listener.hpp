@@ -31,7 +31,12 @@ class Listener {
   [[nodiscard]] Socket accept();
 
   /// Stops accepting; an accept() blocked in another thread fails over.
-  void close() noexcept { socket_.close(); }
+  /// The shutdown is what wakes it — a bare ::close leaves a blocked
+  /// accept() sleeping forever on Linux.
+  void close() noexcept {
+    socket_.shutdown_rw();
+    socket_.close();
+  }
 
  private:
   Socket socket_;

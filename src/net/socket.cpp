@@ -164,6 +164,10 @@ void Socket::close() noexcept {
   }
 }
 
+void Socket::shutdown_rw() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 void Socket::send_all(std::string_view data) const {
   FFSM_EXPECTS(valid());
   net::send_all(fd_, data);

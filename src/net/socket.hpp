@@ -123,6 +123,12 @@ class Socket {
 
   void close() noexcept;
 
+  /// ::shutdown(SHUT_RDWR) without closing the fd: wakes any thread
+  /// blocked in accept()/recv() on this socket (a bare ::close does not),
+  /// so a cross-thread stop can interrupt a blocking loop before the fd
+  /// goes away. No-op on an invalid socket.
+  void shutdown_rw() noexcept;
+
   /// Turns on TCP keepalive probing: after `idle_s` seconds of silence,
   /// probe every `interval_s` seconds, `probes` times, then declare the
   /// peer dead (reads/writes fail with NetError). The detector for

@@ -1,0 +1,187 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace ffsm::obs {
+
+namespace {
+
+bool legal_first(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool legal_rest(char c) { return legal_first(c) || (c >= '0' && c <= '9'); }
+
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty() || !legal_first(name.front())) out += '_';
+  for (const char c : name) out += legal_rest(c) ? c : '_';
+  return out;
+}
+
+/// Series families whose name embeds a dynamic suffix (endpoint, top key):
+/// the prefix becomes the metric, the remainder a label.
+struct SuffixFamily {
+  std::string_view prefix;  // Includes the trailing dot.
+  std::string_view label;
+};
+
+constexpr SuffixFamily kSuffixFamilies[] = {
+    {"health.probe.", "endpoint"},
+    {"cluster.pending.", "top"},
+};
+
+/// Escaped label value: backslash, double quote and newline per the
+/// exposition format.
+std::string escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '"')
+      out += "\\\"";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+/// One sample line: `metric{label="value"} 123` (no label block when the
+/// series carries none; `extra` appends family labels like le="...").
+void sample_line(std::string& out, const ExpositionSeries& series,
+                 std::string_view suffix, std::string_view extra_label,
+                 std::string_view value) {
+  out += series.metric;
+  out += suffix;
+  if (!series.label_key.empty() || !extra_label.empty()) {
+    out += '{';
+    if (!series.label_key.empty()) {
+      out += series.label_key;
+      out += "=\"";
+      out += escape_label(series.label_value);
+      out += '"';
+      if (!extra_label.empty()) out += ',';
+    }
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void type_block(std::string& out, const std::string& metric,
+                std::string_view kind, const std::string& family) {
+  out += "# HELP ";
+  out += metric;
+  out += " ffsm series ";
+  out += family;
+  out += '\n';
+  out += "# TYPE ";
+  out += metric;
+  out += ' ';
+  out += kind;
+  out += '\n';
+}
+
+std::string u64_str(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string i64_str(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+/// Groups same-metric series (label-split families) so each metric gets
+/// exactly one # TYPE/# HELP block followed by all its samples.
+template <typename Value>
+using ByMetric =
+    std::map<std::string,
+             std::vector<std::pair<ExpositionSeries, const Value*>>>;
+
+template <typename Value>
+ByMetric<Value> group(const std::map<std::string, Value>& series) {
+  ByMetric<Value> out;
+  for (const auto& [name, value] : series) {
+    ExpositionSeries mapped = map_exposition_series(name);
+    std::string metric = mapped.metric;
+    out[std::move(metric)].emplace_back(std::move(mapped), &value);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool legal_exposition_name(std::string_view name) {
+  if (name.empty() || !legal_first(name.front())) return false;
+  for (const char c : name.substr(1))
+    if (!legal_rest(c)) return false;
+  return true;
+}
+
+ExpositionSeries map_exposition_series(std::string_view name) {
+  for (const SuffixFamily& family : kSuffixFamilies) {
+    if (name.size() > family.prefix.size() &&
+        name.substr(0, family.prefix.size()) == family.prefix) {
+      ExpositionSeries out;
+      out.metric =
+          sanitize(name.substr(0, family.prefix.size() - 1));  // Drop dot.
+      out.label_key = std::string(family.label);
+      out.label_value = std::string(name.substr(family.prefix.size()));
+      return out;
+    }
+  }
+  return {sanitize(name), {}, {}};
+}
+
+std::string render_exposition(const ObsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [metric, entries] : group(snapshot.counters)) {
+    type_block(out, metric, "counter", entries.front().first.metric);
+    for (const auto& [series, value] : entries)
+      sample_line(out, series, "", "", u64_str(*value));
+  }
+  for (const auto& [metric, entries] : group(snapshot.gauges)) {
+    type_block(out, metric, "gauge", entries.front().first.metric);
+    for (const auto& [series, value] : entries)
+      sample_line(out, series, "", "", i64_str(*value));
+  }
+  for (const auto& [metric, entries] : group(snapshot.histograms)) {
+    type_block(out, metric, "histogram", entries.front().first.metric);
+    for (const auto& [series, hist] : entries) {
+      // Cumulative buckets up to the last occupied one, then +Inf. All
+      // samples are microseconds; the le bounds are the log2 bucket upper
+      // bounds.
+      std::size_t last = 0;
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        if (hist->buckets[i] != 0) last = i;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i <= last; ++i) {
+        cumulative += hist->buckets[i];
+        sample_line(out, series, "_bucket",
+                    "le=\"" + u64_str(histogram_bucket_bound(i)) + "\"",
+                    u64_str(cumulative));
+      }
+      sample_line(out, series, "_bucket", "le=\"+Inf\"",
+                  u64_str(hist->count()));
+      sample_line(out, series, "_sum", "", u64_str(hist->sum));
+      sample_line(out, series, "_count", "", u64_str(hist->count()));
+    }
+  }
+  return out;
+}
+
+}  // namespace ffsm::obs

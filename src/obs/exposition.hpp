@@ -1,0 +1,55 @@
+// Prometheus-style text exposition of an ObsSnapshot.
+//
+// Obs series names are dotted (`cluster.drain`, `wire.roundtrip`) and two
+// families embed a dynamic suffix in the name itself
+// (`health.probe.<host:port>`, `cluster.pending.<top>`), neither of which
+// is legal in the exposition format: metric names must match
+// [a-zA-Z_:][a-zA-Z0-9_:]*, and per-instance dimensions belong in labels,
+// not the name (a per-endpoint metric *name* would explode the namespace
+// and defeat aggregation). This header owns the mapping:
+//
+//   cluster.drain              -> cluster_drain
+//   health.probe.10.0.0.7:7001 -> health_probe{endpoint="10.0.0.7:7001"}
+//   cluster.pending.top8       -> cluster_pending{top="top8"}
+//
+// render_exposition() then emits the whole snapshot as `# TYPE`/`# HELP`
+// annotated families: counters and gauges as single samples, histograms as
+// the conventional cumulative `_bucket{le="..."}` series (log2 bucket
+// upper bounds, closed with `+Inf`) plus `_sum` and `_count`. The output
+// is a complete scrape body for a /metrics endpoint.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/obs.hpp"
+
+namespace ffsm::obs {
+
+/// True when `name` is a legal exposition metric name:
+/// [a-zA-Z_:][a-zA-Z0-9_:]*.
+[[nodiscard]] bool legal_exposition_name(std::string_view name);
+
+/// One obs series mapped onto the exposition namespace: a legal metric
+/// name plus at most one label carrying a dynamic suffix split out of the
+/// series name.
+struct ExpositionSeries {
+  std::string metric;       ///< Legal exposition name.
+  std::string label_key;    ///< "" when the series has no dynamic suffix.
+  std::string label_value;  ///< Raw (unescaped) label value.
+};
+
+/// Maps an obs series name onto the exposition namespace. Known
+/// dynamic-suffix families (`health.probe.<endpoint>`,
+/// `cluster.pending.<top>`) split into metric + label; every other name is
+/// sanitized in place (dots and any other illegal byte become '_', a
+/// leading digit gets a '_' prefix). The returned metric always satisfies
+/// legal_exposition_name().
+[[nodiscard]] ExpositionSeries map_exposition_series(std::string_view name);
+
+/// Renders `snapshot` as Prometheus text exposition. Series mapping to the
+/// same metric (label-split families) share one `# TYPE`/`# HELP` block.
+/// Spans are not exposed (they are trace data, not scrapeable series).
+[[nodiscard]] std::string render_exposition(const ObsSnapshot& snapshot);
+
+}  // namespace ffsm::obs

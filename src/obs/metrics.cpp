@@ -4,9 +4,12 @@
 
 namespace ffsm::obs {
 
-std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
-  const std::uint64_t total = count();
-  if (total == 0) return 0;
+namespace {
+
+/// Index of the bucket holding the ceil(p/100 * count)-th smallest sample.
+std::size_t percentile_bucket(const HistogramSnapshot& snap,
+                              double p) noexcept {
+  const std::uint64_t total = snap.count();
   if (p <= 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
   // Rank of the requested sample, 1-based: ceil(p/100 * total), at least 1.
@@ -17,10 +20,22 @@ std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
   if (rank == 0) rank = 1;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
-    seen += buckets[i];
-    if (seen >= rank) return histogram_bucket_bound(i);
+    seen += snap.buckets[i];
+    if (seen >= rank) return i;
   }
-  return histogram_bucket_bound(kHistogramBuckets - 1);
+  return kHistogramBuckets - 1;
+}
+
+}  // namespace
+
+std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
+  if (count() == 0) return 0;
+  return histogram_bucket_bound(percentile_bucket(*this, p));
+}
+
+std::uint64_t HistogramSnapshot::percentile_mid(double p) const noexcept {
+  if (count() == 0) return 0;
+  return histogram_bucket_mid(percentile_bucket(*this, p));
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
@@ -47,15 +62,30 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return *slot;
 }
 
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  {
+    const std::shared_lock lock(mutex_);
+    if (const auto it = gauges_.find(name); it != gauges_.end())
+      return *it->second;
+  }
+  const std::unique_lock lock(mutex_);
+  auto& slot = gauges_[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 void MetricsRegistry::snapshot(
     std::map<std::string, std::uint64_t>* counters,
-    std::map<std::string, HistogramSnapshot>* histograms) const {
+    std::map<std::string, HistogramSnapshot>* histograms,
+    std::map<std::string, std::int64_t>* gauges) const {
   const std::shared_lock lock(mutex_);
   if (counters != nullptr)
     for (const auto& [name, c] : counters_) (*counters)[name] = c->value();
   if (histograms != nullptr)
     for (const auto& [name, h] : histograms_)
       (*histograms)[name] = h->snapshot();
+  if (gauges != nullptr)
+    for (const auto& [name, g] : gauges_) (*gauges)[name] = g->value();
 }
 
 }  // namespace ffsm::obs

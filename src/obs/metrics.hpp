@@ -55,6 +55,18 @@ inline constexpr std::size_t kHistogramBuckets = 64;
                       : (std::uint64_t{1} << bucket) - 1;
 }
 
+/// Midpoint of a bucket's value range: 0 for bucket 0, else the average of
+/// the bucket's inclusive bounds [2^(i-1), 2^i - 1]. The expected-case
+/// representative when samples spread across the bucket, vs the worst-case
+/// `histogram_bucket_bound`.
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_mid(
+    std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  const std::uint64_t lo = std::uint64_t{1} << (bucket - 1);
+  const std::uint64_t hi = histogram_bucket_bound(bucket);
+  return lo + (hi - lo) / 2;
+}
+
 /// A point-in-time copy of one histogram. Plain data: copyable, wire-able,
 /// and mergeable by element-wise addition.
 struct HistogramSnapshot {
@@ -75,9 +87,22 @@ struct HistogramSnapshot {
       buckets[i] += other.buckets[i];
   }
 
-  /// Value at percentile p (0 < p <= 100): the bound of the bucket holding
-  /// the ceil(p/100 * count)-th smallest sample. 0 when empty.
+  /// Value at percentile p (0 < p <= 100): the *upper bound* of the bucket
+  /// holding the ceil(p/100 * count)-th smallest sample. 0 when empty.
+  ///
+  /// Because buckets span [2^(i-1), 2^i), the true sample can be almost a
+  /// factor of 2 smaller than the reported bound — percentile() is a
+  /// conservative (pessimistic) estimate with a <= 2x overestimate, never
+  /// an underestimate. Dashboards and human-facing tables should prefer
+  /// percentile_mid(), which reports the bucket midpoint (expected error
+  /// ~+/-33% instead of a systematic power-of-2 ceiling).
   [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  /// Like percentile(), but reports the *midpoint* of the selected bucket —
+  /// the expected-case representative when samples spread across the
+  /// bucket's range. Same bucket selection, so percentile_mid(p) <=
+  /// percentile(p) always.
+  [[nodiscard]] std::uint64_t percentile_mid(double p) const noexcept;
 
   [[nodiscard]] double mean() const noexcept {
     const std::uint64_t n = count();
@@ -130,6 +155,28 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Named level gauge: a current value that moves both ways (queue depth,
+/// pending requests, live connections), unlike a Counter which only grows.
+/// Snapshot merging across sources *sums* gauges — each process reports its
+/// own level, and the cluster-wide level is the sum of the parts.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  void decrement() noexcept { add(-1); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 /// Name -> counter/histogram directory. Entries are created on first use
 /// and never removed, so returned references are stable; recording through
 /// them is lock-free.
@@ -141,10 +188,13 @@ class MetricsRegistry {
 
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Histogram& histogram(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
 
-  /// Point-in-time copy of every metric, keyed by name.
+  /// Point-in-time copy of every metric, keyed by name. Any output map may
+  /// be null to skip that metric kind.
   void snapshot(std::map<std::string, std::uint64_t>* counters,
-                std::map<std::string, HistogramSnapshot>* histograms) const;
+                std::map<std::string, HistogramSnapshot>* histograms,
+                std::map<std::string, std::int64_t>* gauges = nullptr) const;
 
  private:
   mutable std::shared_mutex mutex_;
@@ -152,6 +202,7 @@ class MetricsRegistry {
   // addresses must survive rehash-free map growth.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
 };
 
 }  // namespace ffsm::obs

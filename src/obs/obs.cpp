@@ -8,11 +8,51 @@ void ObsSnapshot::merge(const ObsSnapshot& other, std::string_view source) {
   for (const auto& [name, value] : other.counters) counters[name] += value;
   for (const auto& [name, snap] : other.histograms)
     histograms[name].merge(snap);
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
   spans.reserve(spans.size() + other.spans.size());
   for (const TraceSpan& span : other.spans) {
     spans.push_back(span);
     if (spans.back().source.empty()) spans.back().source = source;
   }
+}
+
+ObsSnapshot ObsSnapshot::diff(const ObsSnapshot& newer,
+                              const ObsSnapshot& older) {
+  ObsSnapshot out;
+  for (const auto& [name, value] : newer.counters) {
+    const auto it = older.counters.find(name);
+    const std::uint64_t base = it == older.counters.end() ? 0 : it->second;
+    // Reset clamp: a source that restarted re-counts from zero; its whole
+    // new cumulative value is this window's activity.
+    const std::uint64_t delta = value >= base ? value - base : value;
+    if (delta != 0) out.counters[name] = delta;
+  }
+  for (const auto& [name, snap] : newer.histograms) {
+    const auto it = older.histograms.find(name);
+    HistogramSnapshot delta;
+    if (it == older.histograms.end()) {
+      delta = snap;
+    } else {
+      const HistogramSnapshot& base = it->second;
+      bool reset = snap.sum < base.sum;
+      for (std::size_t i = 0; !reset && i < kHistogramBuckets; ++i)
+        reset = snap.buckets[i] < base.buckets[i];
+      if (reset) {
+        delta = snap;
+      } else {
+        delta.sum = snap.sum - base.sum;
+        for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+          delta.buckets[i] = snap.buckets[i] - base.buckets[i];
+      }
+    }
+    if (delta.count() != 0 || delta.sum != 0) out.histograms[name] = delta;
+  }
+  for (const auto& [name, value] : newer.gauges) {
+    const auto it = older.gauges.find(name);
+    const std::int64_t base = it == older.gauges.end() ? 0 : it->second;
+    if (value != base) out.gauges[name] = value - base;
+  }
+  return out;
 }
 
 Obs::Obs(ObsConfig config)
@@ -56,14 +96,25 @@ void Obs::span_since(std::string_view name, std::uint64_t start_us,
 
 ObsSnapshot Obs::snapshot() const {
   ObsSnapshot out;
-  metrics_.snapshot(&out.counters, &out.histograms);
+  metrics_.snapshot(&out.counters, &out.histograms, &out.gauges);
   out.spans = trace_->snapshot();
   return out;
+}
+
+namespace {
+thread_local std::uint64_t t_current_span_id = 0;
+}  // namespace
+
+std::uint64_t current_span_id() noexcept { return t_current_span_id; }
+
+std::uint64_t ScopedSpan::exchange_current(std::uint64_t id) noexcept {
+  return std::exchange(t_current_span_id, id);
 }
 
 void ScopedSpan::finish() {
   if (obs_ == nullptr) return;
   Obs* obs = std::exchange(obs_, nullptr);
+  exchange_current(previous_current_);
   const std::uint64_t duration = obs->now_us() - start_us_;
   obs->metrics().histogram(name_).record(duration);
   TraceSpan span;

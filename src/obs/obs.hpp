@@ -34,15 +34,36 @@ namespace ffsm::obs {
 struct ObsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, std::int64_t> gauges;
   std::vector<TraceSpan> spans;
 
-  /// Folds `other` in: counters/histograms merge by name, spans append.
-  /// Spans whose source is still "" are tagged with `source` (a span
-  /// already tagged by an earlier merge keeps its original source).
+  /// Folds `other` in: counters/histograms/gauges merge by name (summation
+  /// — each source reports its own level, the fold is the cluster-wide
+  /// total), spans append. Spans whose source is still "" are tagged with
+  /// `source` (a span already tagged by an earlier merge keeps its
+  /// original source).
   void merge(const ObsSnapshot& other, std::string_view source = {});
 
+  /// Delta `newer - older`, keyed by series name — the windowed-collection
+  /// primitive: successive cumulative snapshots diff into per-window
+  /// activity without ever resetting a live registry.
+  ///
+  /// Counters subtract with a reset clamp: a counter that went *backwards*
+  /// (the source restarted with fresh counters) contributes its new
+  /// cumulative value, not a huge unsigned wraparound. Histograms subtract
+  /// bucket-wise with the same whole-histogram reset clamp. Gauges are
+  /// levels, not accumulations: the delta is the signed movement
+  /// (newer - older), so merged windows report net change; read current
+  /// levels off a cumulative snapshot. Series that did not move are
+  /// dropped, so diff(s, s) is empty. Spans are not diffed (they are a
+  /// bounded most-recent ring, not a cumulative series) — the result
+  /// carries none.
+  [[nodiscard]] static ObsSnapshot diff(const ObsSnapshot& newer,
+                                        const ObsSnapshot& older);
+
   [[nodiscard]] bool empty() const noexcept {
-    return counters.empty() && histograms.empty() && spans.empty();
+    return counters.empty() && histograms.empty() && gauges.empty() &&
+           spans.empty();
   }
 
   bool operator==(const ObsSnapshot&) const = default;
@@ -82,6 +103,17 @@ class Obs {
     if (enabled_) metrics_.counter(name).add(n);
   }
 
+  /// Sets gauge `name` to `v` when enabled (levels: queue depth, live
+  /// connections — see Gauge).
+  void gauge_set(std::string_view name, std::int64_t v) {
+    if (enabled_) metrics_.gauge(name).set(v);
+  }
+
+  /// Moves gauge `name` by `n` (either sign) when enabled.
+  void gauge_add(std::string_view name, std::int64_t n) {
+    if (enabled_) metrics_.gauge(name).add(n);
+  }
+
   /// Records an instant (point) event when enabled.
   void instant(std::string_view name, const SpanTags& tags = {});
 
@@ -101,10 +133,21 @@ class Obs {
   std::chrono::steady_clock::time_point epoch_;
 };
 
+/// Id of the innermost live ScopedSpan on the calling thread, 0 when none.
+/// This is how a child finds its parent without explicit plumbing: a
+/// backend about to ship work across a process boundary stamps the current
+/// id into the serve frame, and the worker parents its spans under it —
+/// cross-process trace stitching. Only ScopedSpans on an *enabled* Obs
+/// participate.
+[[nodiscard]] std::uint64_t current_span_id() noexcept;
+
 /// RAII span: on destruction records one histogram sample (microseconds,
 /// keyed by the span name) and one trace span. With a null or disabled
 /// Obs the constructor is a pointer check and everything else a no-op.
 /// The name must outlive the span (call sites use string literals).
+/// While live, the span is the thread's current_span_id(); construction
+/// saves the previous innermost id and finish() restores it, so nesting on
+/// one thread behaves as a stack. Construct and finish on the same thread.
 class ScopedSpan {
  public:
   ScopedSpan() = default;
@@ -114,6 +157,7 @@ class ScopedSpan {
     name_ = name;
     tags_ = tags;
     id_ = obs_->trace().next_id();
+    previous_current_ = exchange_current(id_);
     start_us_ = obs_->now_us();
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -127,11 +171,15 @@ class ScopedSpan {
   void finish();
 
  private:
+  /// Swaps the calling thread's current-span id, returning the old one.
+  static std::uint64_t exchange_current(std::uint64_t id) noexcept;
+
   Obs* obs_ = nullptr;
   std::string_view name_;
   SpanTags tags_;
   std::uint64_t start_us_ = 0;
   std::uint64_t id_ = 0;
+  std::uint64_t previous_current_ = 0;
 };
 
 }  // namespace ffsm::obs

@@ -1,0 +1,78 @@
+#include "obs/window.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace ffsm::obs {
+
+WindowedObs::WindowedObs(WindowedObsConfig config) : config_(config) {
+  FFSM_EXPECTS(config_.windows > 0);
+  FFSM_EXPECTS(config_.window_us > 0);
+}
+
+WindowedObs::WindowedObs(const WindowedObs& other) {
+  const std::lock_guard<std::mutex> lock(other.mutex_);
+  config_ = other.config_;
+  windows_ = other.windows_;
+  last_seen_ = other.last_seen_;
+}
+
+WindowedObs& WindowedObs::operator=(const WindowedObs& other) {
+  if (this == &other) return *this;
+  // Two locks, consistent order by address, to keep the copy atomic.
+  WindowedObs copy(other);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  config_ = copy.config_;
+  windows_ = std::move(copy.windows_);
+  last_seen_ = std::move(copy.last_seen_);
+  return *this;
+}
+
+void WindowedObs::rotate_to_locked(std::uint64_t now_us) {
+  if (windows_.empty()) {
+    // Align the first window to a window_us grid so rotation instants are
+    // independent of when the first sample happened to arrive.
+    const std::uint64_t start = now_us - now_us % config_.window_us;
+    windows_.push_back({start, start + config_.window_us, {}});
+  }
+  // A stalled poller may skip several boundaries; seal empty windows in
+  // between so window timestamps stay contiguous and honest.
+  while (now_us >= windows_.back().end_us) {
+    const std::uint64_t start = windows_.back().end_us;
+    windows_.push_back({start, start + config_.window_us, {}});
+    if (windows_.size() > config_.windows)
+      windows_.erase(windows_.begin(),
+                     windows_.begin() +
+                         static_cast<std::ptrdiff_t>(windows_.size() -
+                                                     config_.windows));
+  }
+}
+
+void WindowedObs::ingest(const std::string& source,
+                         const ObsSnapshot& cumulative,
+                         std::uint64_t now_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rotate_to_locked(now_us);
+  const auto it = last_seen_.try_emplace(source).first;
+  ObsSnapshot delta = ObsSnapshot::diff(cumulative, it->second);
+  it->second = cumulative;
+  it->second.spans.clear();  // Deltas never carry spans; don't retain them.
+  if (!delta.empty()) windows_.back().activity.merge(delta, source);
+}
+
+std::vector<ObsWindow> WindowedObs::windows() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return windows_;
+}
+
+ObsSnapshot WindowedObs::merged(std::size_t last) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ObsSnapshot out;
+  const std::size_t take = last < windows_.size() ? last : windows_.size();
+  for (std::size_t i = windows_.size() - take; i < windows_.size(); ++i)
+    out.merge(windows_[i].activity);
+  return out;
+}
+
+}  // namespace ffsm::obs

@@ -1,0 +1,84 @@
+// WindowedObs: the last N fixed-duration windows of activity, per source.
+//
+// Everything in src/obs is cumulative — counters only grow, histogram
+// buckets only fill — which makes merging exact but makes "what happened
+// recently" invisible: after an hour of traffic, one slow minute barely
+// moves the lifetime p95. WindowedObs answers the recent-activity question
+// without resetting anything: each ingested cumulative snapshot is diffed
+// against the previous one from the same source (ObsSnapshot::diff, with
+// its counter-reset clamp so a respawned worker's fresh counters read as
+// new activity, not underflow), and the delta is merged into the current
+// fixed-duration window. When the clock crosses a window boundary the
+// current window is sealed and a new one starts; only the most recent
+// `windows` are retained, oldest dropped. "p95 over the last 10 seconds"
+// is then just merged(k).histograms["..."].percentile(95).
+//
+// Time is caller-supplied (an Obs::now_us() value), so rotation is exact
+// and testable; ingest order per source must be chronological. All methods
+// lock one mutex — this is telemetry-plane code fed by a poller at hertz
+// rates, not a hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ffsm::obs {
+
+/// One sealed (or still-filling) window of deltas merged across sources.
+struct ObsWindow {
+  std::uint64_t start_us = 0;  ///< Window start on the feeding clock.
+  std::uint64_t end_us = 0;    ///< start_us + window duration.
+  ObsSnapshot activity;        ///< Sum of per-source deltas in the window.
+};
+
+struct WindowedObsConfig {
+  /// Most recent windows retained (the current, still-filling one
+  /// included); older windows are dropped on rotation.
+  std::size_t windows = 6;
+  /// Fixed width of every window, microseconds.
+  std::uint64_t window_us = 10'000'000;
+};
+
+class WindowedObs {
+ public:
+  explicit WindowedObs(WindowedObsConfig config = {});
+
+  WindowedObs(const WindowedObs& other);
+  WindowedObs& operator=(const WindowedObs& other);
+
+  /// Feeds one cumulative snapshot from `source` observed at `now_us`.
+  /// The delta against the previous snapshot from the same source lands in
+  /// the window containing now_us (rotating and dropping as needed). The
+  /// first snapshot from a new source counts in full — a worker that
+  /// appears mid-flight contributes its history to the current window
+  /// once, then deltas.
+  void ingest(const std::string& source, const ObsSnapshot& cumulative,
+              std::uint64_t now_us);
+
+  /// The retained windows, oldest first (the last one may still be
+  /// filling). Empty before the first ingest.
+  [[nodiscard]] std::vector<ObsWindow> windows() const;
+
+  /// Activity merged over the most recent `last` windows (all retained
+  /// windows when `last` >= the retained count) — e.g. merged(1) is the
+  /// current window, merged() the whole retained horizon.
+  [[nodiscard]] ObsSnapshot merged(
+      std::size_t last = static_cast<std::size_t>(-1)) const;
+
+  [[nodiscard]] WindowedObsConfig config() const { return config_; }
+
+ private:
+  void rotate_to_locked(std::uint64_t now_us);
+
+  WindowedObsConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<ObsWindow> windows_;  // Oldest first; back is current.
+  std::map<std::string, ObsSnapshot> last_seen_;  // Per-source cumulative.
+};
+
+}  // namespace ffsm::obs

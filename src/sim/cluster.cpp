@@ -1,6 +1,7 @@
 #include "sim/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -10,7 +11,9 @@
 namespace ffsm {
 
 FusionCluster::FusionCluster(FusionClusterOptions options)
-    : options_(std::move(options)), shards_(options_.shards) {
+    : options_(std::move(options)),
+      shards_(options_.shards),
+      windows_(options_.telemetry_windows) {
   FFSM_EXPECTS(options_.shards >= 1);
   if (options_.obs != nullptr) {
     obs_ = options_.obs;
@@ -36,7 +39,11 @@ FusionCluster::FusionCluster(FusionClusterOptions options)
       shards_[s].backend = std::make_unique<InProcessBackend>(service_options);
     }
   }
+  if (options_.telemetry_poll_us != 0)
+    poller_ = std::thread([this] { poller_loop(); });
 }
+
+FusionCluster::~FusionCluster() { stop_poller(); }
 
 std::size_t FusionCluster::shard_of(const std::string& key) const noexcept {
   // Byte hash, not std::hash: shard assignment must be stable across runs
@@ -106,6 +113,12 @@ std::uint64_t FusionCluster::submit(const std::string& top_key,
                          std::move(request),
                          obs_->enabled() ? obs_->now_us() : 0});
   requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_->enabled()) {
+    // Levels, not counts: moved back down as responses are delivered (or
+    // the backlog is discarded), so a scrape sees the live backlog.
+    obs_->gauge_add("cluster.queue_depth", 1);
+    obs_->gauge_add("cluster.pending." + top_key, 1);
+  }
   return ticket;
 }
 
@@ -236,6 +249,7 @@ void FusionCluster::serve_shard(Shard& shard, std::uint64_t parent_span,
     }
     std::vector<FusionResponse>& served = served_per_top[i];
     responses.reserve(responses.size() + served.size());
+    std::int64_t delivered = 0;
     for (FusionResponse& r : served) {
       const auto it = entry->inflight.find(r.ticket);
       // Ticket 0 marks a request submitted to the backend directly,
@@ -244,9 +258,14 @@ void FusionCluster::serve_shard(Shard& shard, std::uint64_t parent_span,
       if (it != entry->inflight.end()) {
         cluster_ticket = it->second;
         entry->inflight.erase(it);
+        ++delivered;  // Only cluster-submitted requests moved the gauges.
       }
       responses.push_back({cluster_ticket, key, std::move(r.client),
                            std::move(r.result)});
+    }
+    if (timed && delivered != 0) {
+      obs_->gauge_add("cluster.queue_depth", -delivered);
+      obs_->gauge_add("cluster.pending." + key, -delivered);
     }
   }
 
@@ -329,6 +348,11 @@ std::size_t FusionCluster::discard_pending(const std::string& top_key) {
   const std::lock_guard<std::mutex> drain_lock(drain_mutex_);
   Shard& shard = shards_[shard_of(top_key)];
   std::size_t count = 0;
+  // Gauge-tracked discards: every cluster-submitted request moved the
+  // gauges up once, so cluster-queue removals plus inflight entries move
+  // them back down (the backend's count can include direct submissions,
+  // which never touched the gauges).
+  std::size_t tracked = 0;
   TopEntry* entry = nullptr;
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
@@ -337,6 +361,7 @@ std::size_t FusionCluster::discard_pending(const std::string& top_key) {
         [&](const Item& item) { return item.top == top_key; });
     count += static_cast<std::size_t>(shard.queue.end() - removed);
     shard.queue.erase(removed, shard.queue.end());
+    tracked = count;
     const auto it = shard.tops.find(top_key);
     if (it != shard.tops.end()) entry = &it->second;
   }
@@ -345,12 +370,22 @@ std::size_t FusionCluster::discard_pending(const std::string& top_key) {
     // queued inside the backend. Outside a drain, inflight mirrors
     // exactly those, so both reset together.
     count += shard.backend->discard_pending(top_key);
+    tracked += entry->inflight.size();
     entry->inflight.clear();
+  }
+  if (obs_->enabled() && tracked != 0) {
+    obs_->gauge_add("cluster.queue_depth",
+                    -static_cast<std::int64_t>(tracked));
+    obs_->gauge_add("cluster.pending." + top_key,
+                    -static_cast<std::int64_t>(tracked));
   }
   return count;
 }
 
 void FusionCluster::shutdown() {
+  // Poller first: a poll racing backend shutdown would observe (or worse,
+  // respawn) half-terminated workers.
+  stop_poller();
   const std::lock_guard<std::mutex> drain_lock(drain_mutex_);
   for (Shard& shard : shards_) shard.backend->shutdown();
 }
@@ -424,6 +459,49 @@ obs::ObsSnapshot FusionCluster::obs_snapshot() {
     out.merge(shards_[s].backend->obs_snapshot(),
               "shard" + std::to_string(s));
   return out;
+}
+
+void FusionCluster::poll_telemetry() {
+  // Same constituents as obs_snapshot(), ingested per source so each
+  // one's diff baseline is independent — a respawned worker's counter
+  // reset clamps on its own series without disturbing the others.
+  const std::uint64_t now = obs_->now_us();
+  // Metrics only: the windowed view never carries spans (diff drops
+  // them), so don't pay for copying the trace ring on every poll.
+  obs::ObsSnapshot parent;
+  obs_->metrics().snapshot(&parent.counters, &parent.histograms,
+                           &parent.gauges);
+  windows_.ingest("parent", parent, now);
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    windows_.ingest("shard" + std::to_string(s),
+                    shards_[s].backend->obs_snapshot(), now);
+}
+
+obs::WindowedObs FusionCluster::obs_windows() const { return windows_; }
+
+void FusionCluster::poller_loop() {
+  std::unique_lock<std::mutex> lock(poller_mutex_);
+  while (!poller_stop_) {
+    poller_cv_.wait_for(lock,
+                        std::chrono::microseconds(options_.telemetry_poll_us),
+                        [this] { return poller_stop_; });
+    if (poller_stop_) return;
+    // Poll outside the lock: a poll does a wire exchange per remote shard
+    // and can take a while; a stop request only needs to win the next
+    // wait, not interrupt a poll in flight.
+    lock.unlock();
+    poll_telemetry();
+    lock.lock();
+  }
+}
+
+void FusionCluster::stop_poller() {
+  {
+    const std::lock_guard<std::mutex> lock(poller_mutex_);
+    poller_stop_ = true;
+  }
+  poller_cv_.notify_all();
+  if (poller_.joinable()) poller_.join();
 }
 
 }  // namespace ffsm

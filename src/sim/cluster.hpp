@@ -30,14 +30,17 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/window.hpp"
 #include "sim/backend.hpp"
 
 namespace ffsm {
@@ -67,6 +70,17 @@ struct FusionClusterOptions {
   /// their context via BackendConfig::obs; point it at this cluster's
   /// obs() so every event lands in one timeline.
   obs::Obs* obs = nullptr;
+  /// Background telemetry poller. Nonzero starts one poller thread that
+  /// every `telemetry_poll_us` microseconds pulls the cluster-wide
+  /// cumulative snapshot — this process's Obs plus one kObs exchange per
+  /// wire backend (interleaving with drains on the same connection) — and
+  /// diffs it into the rotating window set behind obs_windows(). 0 (the
+  /// default) starts no thread; poll_telemetry() can still be called
+  /// manually.
+  std::uint64_t telemetry_poll_us = 0;
+  /// Window count + width of the view the poller maintains (see
+  /// obs::WindowedObsConfig; default 6 × 10 s).
+  obs::WindowedObsConfig telemetry_windows = {};
   /// Produces the backend hosting each shard's tops; called once per
   /// shard at construction with the shard index. Leave empty for the
   /// default InProcessBackend built from the options above.
@@ -142,6 +156,10 @@ class FusionCluster {
 
   explicit FusionCluster(FusionClusterOptions options = {});
 
+  /// Stops the telemetry poller (worker processes are reaped by the
+  /// backends' own destructors; call shutdown() for an orderly stop).
+  ~FusionCluster();
+
   /// Registers `top` under `key` on the backend of shard `shard_of(key)`.
   /// The key must be new. Thread-safe.
   void add_top(const std::string& key, Dfsm top);
@@ -209,6 +227,20 @@ class FusionCluster {
   /// pre-obs (hello < v4) worker contributes an empty snapshot.
   [[nodiscard]] obs::ObsSnapshot obs_snapshot();
 
+  /// One telemetry poll round, synchronously: ingest obs_snapshot()'s
+  /// constituents (this process as "parent", each wire backend as
+  /// "shard<i>") into the windowed view. The poller thread calls this on
+  /// its schedule; tests and pollerless setups call it directly.
+  void poll_telemetry();
+
+  /// A copy of the rotating windowed-telemetry view poll_telemetry()
+  /// maintains — per-window activity deltas over the last
+  /// telemetry_windows horizon. This is the serve-cost feed a placement /
+  /// rebalancing loop consumes ("requests per top over the last minute"),
+  /// as opposed to obs_snapshot()'s since-birth cumulatives. Empty until
+  /// the first poll.
+  [[nodiscard]] obs::WindowedObs obs_windows() const;
+
  private:
   struct Item {
     std::uint64_t ticket;
@@ -245,6 +277,13 @@ class FusionCluster {
                    std::uint64_t& requeued,
                    std::vector<std::string>& failed_tops);
 
+  /// Telemetry poller thread body: poll_telemetry() every
+  /// telemetry_poll_us until stop_poller().
+  void poller_loop();
+
+  /// Stops and joins the poller thread; idempotent.
+  void stop_poller();
+
   FusionClusterOptions options_;
   /// Backing storage for obs_ when FusionClusterOptions::obs was null.
   std::unique_ptr<obs::Obs> owned_obs_;
@@ -257,6 +296,13 @@ class FusionCluster {
   std::atomic<std::uint64_t> requests_requeued_{0};
   std::atomic<std::uint64_t> drains_{0};
   std::atomic<std::uint64_t> drain_failures_{0};
+  /// Windowed telemetry view (internally synchronized — the poller writes
+  /// while obs_windows() copies).
+  obs::WindowedObs windows_;
+  std::mutex poller_mutex_;  // guards poller_stop_
+  std::condition_variable poller_cv_;
+  bool poller_stop_ = false;
+  std::thread poller_;
 };
 
 }  // namespace ffsm

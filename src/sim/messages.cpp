@@ -48,6 +48,13 @@ Unsigned parse_unsigned(std::istringstream& words, const char* what) {
   return value;
 }
 
+template <typename Signed>
+Signed parse_signed(std::istringstream& words, const char* what) {
+  Signed value{};
+  if (!(words >> value)) bad(std::string(what) + ": expected a number");
+  return value;
+}
+
 bool parse_bool(std::istringstream& words, const char* what) {
   std::string token;
   if (!(words >> token) || (token != "0" && token != "1"))
@@ -613,9 +620,10 @@ Frame parse_text_frame(const std::string& first, const LineSource& next) {
   } else if (directive == "serve") {
     frame.type = FrameType::kServe;
     std::string token;
-    if (!(words >> token)) bad("'serve' requires <key> <count>");
+    if (!(words >> token)) bad("'serve' requires <key> <count> <parent>");
     frame.key = unescape_token(token);
     frame.count = parse_unsigned<std::uint64_t>(words, "serve count");
+    frame.parent = parse_unsigned<std::uint64_t>(words, "serve parent");
     line_end("serve");
   } else if (directive == "cachewarm") {
     frame.type = FrameType::kCacheWarm;
@@ -652,8 +660,8 @@ Frame parse_text_frame(const std::string& first, const LineSource& next) {
   } else if (directive == "obs") {
     frame.type = FrameType::kObs;
     line_end("obs");
-    // Body: `counter`, `hist` and `span` lines in any order, a lone `end`
-    // closes the frame. An empty body is the query form.
+    // Body: `counter`, `gauge`, `hist` and `span` lines in any order, a
+    // lone `end` closes the frame. An empty body is the query form.
     for (;;) {
       const std::string line = next_or_truncated(next, "obs");
       std::istringstream body(line);
@@ -671,6 +679,14 @@ Frame parse_text_frame(const std::string& first, const LineSource& next) {
         expect_line_end(body, "obs counter");
         if (!frame.obs.counters.emplace(unescape_token(token), value).second)
           bad("obs: duplicate counter");
+      } else if (what == "gauge") {
+        std::string token;
+        if (!(body >> token)) bad("obs: 'gauge' requires <name> <value>");
+        const std::int64_t value =
+            parse_signed<std::int64_t>(body, "obs gauge");
+        expect_line_end(body, "obs gauge");
+        if (!frame.obs.gauges.emplace(unescape_token(token), value).second)
+          bad("obs: duplicate gauge");
       } else if (what == "hist") {
         std::string token;
         if (!(body >> token))
@@ -790,6 +806,8 @@ class TextWireCodec final : public WireCodec {
         out += escape_token(frame.key);
         out += ' ';
         out += std::to_string(frame.count);
+        out += ' ';
+        out += std::to_string(frame.parent);
         out += '\n';
         return;
       case FrameType::kRequest:
@@ -847,6 +865,8 @@ class TextWireCodec final : public WireCodec {
         std::ostringstream body;
         for (const auto& [name, value] : frame.obs.counters)
           body << "counter " << escape_token(name) << ' ' << value << '\n';
+        for (const auto& [name, value] : frame.obs.gauges)
+          body << "gauge " << escape_token(name) << ' ' << value << '\n';
         for (const auto& [name, h] : frame.obs.histograms) {
           std::uint32_t nonzero = 0;
           for (const std::uint64_t c : h.buckets) nonzero += c != 0 ? 1 : 0;
@@ -938,7 +958,8 @@ class TextWireCodec final : public WireCodec {
 //                u8 cache_policy, u64 cache_capacity,
 //                u32 speculation_lookahead
 //   kTop         str key, str machine_text
-//   kServe       str key, u64 count
+//   kServe       str key, u64 count, u64 parent (parent-side span id the
+//                worker parents its spans under; 0 = unlinked)
 //   kServing     u64 count
 //   kStatsQuery  str key
 //   kStats       kServiceStatsCounters x u64
@@ -946,6 +967,7 @@ class TextWireCodec final : public WireCodec {
 //   kCacheWarm   str key, u64 count, u32 n,
 //                n x (partition key, u32 m, m x partition)
 //   kObs         u32 nc, nc x (str name, u64 value),
+//                u32 ng, ng x (str name, u64 value-as-two's-complement),
 //                u32 nh, nh x (str name, u64 sum, u32 nb,
 //                              nb x (u8 bucket, u64 count)),
 //                u32 ns, ns x (str name, str source, str shard, str top,
@@ -1141,6 +1163,7 @@ void encode_binary_payload(const Frame& frame, std::string& out) {
     case FrameType::kServe:
       put_str(out, frame.key);
       put_u64(out, frame.count);
+      put_u64(out, frame.parent);
       return;
     case FrameType::kServing:
       put_u64(out, frame.count);
@@ -1169,6 +1192,11 @@ void encode_binary_payload(const Frame& frame, std::string& out) {
       for (const auto& [name, value] : o.counters) {
         put_str(out, name);
         put_u64(out, value);
+      }
+      put_u32(out, static_cast<std::uint32_t>(o.gauges.size()));
+      for (const auto& [name, value] : o.gauges) {
+        put_str(out, name);
+        put_u64(out, static_cast<std::uint64_t>(value));
       }
       put_u32(out, static_cast<std::uint32_t>(o.histograms.size()));
       for (const auto& [name, h] : o.histograms) {
@@ -1261,6 +1289,7 @@ Frame decode_binary_payload(FrameType type, BinReader& in) {
     case FrameType::kServe:
       frame.key = in.str();
       frame.count = in.u64();
+      frame.parent = in.u64();
       break;
     case FrameType::kServing:
       frame.count = in.u64();
@@ -1297,6 +1326,13 @@ Frame decode_binary_payload(FrameType type, BinReader& in) {
         const std::uint64_t value = in.u64();
         if (!frame.obs.counters.emplace(std::move(name), value).second)
           bad("obs: duplicate counter");
+      }
+      const std::uint32_t gauges = in.u32();
+      for (std::uint32_t i = 0; i < gauges; ++i) {
+        std::string name(in.str());
+        const auto value = static_cast<std::int64_t>(in.u64());
+        if (!frame.obs.gauges.emplace(std::move(name), value).second)
+          bad("obs: duplicate gauge");
       }
       const std::uint32_t hists = in.u32();
       for (std::uint32_t i = 0; i < hists; ++i) {
@@ -1511,7 +1547,10 @@ namespace {
 //       policy joined the config vocabulary.
 //   4 — the obs frame (kObs: counters, latency histograms and trace spans)
 //       joined both codecs.
-constexpr std::string_view kHelloVersion = "4";
+//   5 — the serve frame grew the parent span id (cross-process trace
+//       stitching) and the obs frame grew the gauge list (windowed
+//       telemetry), in both encodings.
+constexpr std::string_view kHelloVersion = "5";
 
 }  // namespace
 

@@ -240,7 +240,7 @@ enum class FrameType : std::uint8_t {
   kError = 2,       // text = human-readable detail
   kConfig = 3,      // config
   kTop = 4,         // key + text (self-contained machine text)
-  kServe = 5,       // key + count, followed by `count` kRequest frames
+  kServe = 5,       // key + count + parent span id, then `count` kRequests
   kRequest = 6,     // request
   kServing = 7,     // count, followed by `count` kResponse frames + kDone
   kResponse = 8,    // response
@@ -275,6 +275,11 @@ struct Frame {
   std::uint64_t exchange = 0;
   std::string key;           // kTop, kServe, kStatsQuery
   std::uint64_t count = 0;   // kServe, kServing
+  // kServe: id of the parent-side span (cluster.serve_top) this batch is
+  // served under, 0 = unlinked. The worker parents its gen.* spans on it,
+  // so the merged trace nests worker work under the originating drain —
+  // cross-process trace stitching (hello v5).
+  std::uint64_t parent = 0;
   std::string text;          // kTop (machine text), kError (detail)
   WireRequest request;       // kRequest
   FusionResponse response;   // kResponse
@@ -382,7 +387,7 @@ class WireCodec {
 //
 // The version is a single integer both sides must match exactly; it is
 // bumped whenever a negotiated payload changes shape in either encoding
-// (current: 4 — see kHelloVersion in messages.cpp for the history). A
+// (current: 5 — see kHelloVersion in messages.cpp for the history). A
 // worker seeing an unsupported version answers
 // `error unsupported%20hello%20version...`; the parent recognizes that
 // reply and fails the connection in every mode — no text fallback, since

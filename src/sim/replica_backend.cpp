@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 
 namespace ffsm {
@@ -251,6 +252,9 @@ std::vector<FusionResponse> ReplicaBackend::serve_exchange(
     Frame serve = command_frame(FrameType::kServe);
     serve.key = key;
     serve.count = count;
+    // Trace stitching: the innermost parent-side span (cluster.serve_top)
+    // becomes the parent of the worker's gen.* spans for this window.
+    serve.parent = obs::current_span_id();
     frames.push_back(std::move(serve));
     for (std::size_t i = 0; i < count; ++i) {
       Frame request = command_frame(FrameType::kRequest);

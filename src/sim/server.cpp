@@ -59,7 +59,8 @@ std::size_t FusionService::discard_pending() {
   return count;
 }
 
-std::vector<FusionService::Response> FusionService::drain() {
+std::vector<FusionService::Response> FusionService::drain(
+    std::uint64_t obs_parent) {
   std::vector<Pending> batch;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -79,6 +80,8 @@ std::vector<FusionService::Response> FusionService::drain() {
   batch_options.speculation.lookahead = options_.speculation_lookahead;
   batch_options.obs = options_.obs;
   batch_options.obs_top = options_.obs_top;
+  batch_options.obs_parent =
+      obs_parent != 0 ? obs_parent : obs::current_span_id();
   std::vector<FusionResult> results;
   try {
     results = generate_fusion_batch(top_, requests, batch_options);

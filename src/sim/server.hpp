@@ -135,7 +135,14 @@ class FusionService {
 
   /// Serves every queued request as one batch and returns the responses in
   /// ticket order. Thread-safe; concurrent submits land in the next batch.
-  std::vector<Response> drain();
+  ///
+  /// `obs_parent` is the span id this batch's `gen.request` spans are
+  /// parented under: pass the id carried in a serve frame when the caller
+  /// is a worker serving a remote drain (cross-process trace stitching).
+  /// The default 0 falls back to the calling thread's innermost live
+  /// ScopedSpan (obs::current_span_id()), which nests in-process serving
+  /// under the enclosing cluster.serve_top automatically.
+  std::vector<Response> drain(std::uint64_t obs_parent = 0);
 
   [[nodiscard]] Stats stats() const;
 

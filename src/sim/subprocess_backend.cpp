@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 
 namespace ffsm {
@@ -197,6 +198,10 @@ std::vector<FusionResponse> SubprocessBackend::drain(const std::string& key) {
   Frame serve = command_frame(FrameType::kServe);
   serve.key = key;
   serve.count = top.queue.size();
+  // Trace stitching: ship the innermost parent-side span id (the
+  // cluster.serve_top wrapping this drain) so the worker's gen.* spans
+  // come back parent-linked under it.
+  serve.parent = obs::current_span_id();
   codec_->encode(serve, msg);
   for (const WireRequest& request : top.queue) {
     Frame frame = command_frame(FrameType::kRequest);

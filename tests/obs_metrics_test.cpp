@@ -63,6 +63,49 @@ TEST(Histogram, PercentileFollowsRankSemantics) {
   EXPECT_EQ(HistogramSnapshot{}.percentile(50), 0u);  // empty -> 0
 }
 
+TEST(HistogramBuckets, MidpointsSitInsideTheirBucket) {
+  // percentile_mid reports the bucket midpoint; re-recording it must land
+  // back in the same bucket, and it can never exceed the bucket's bound
+  // (percentile()'s conservative representative).
+  EXPECT_EQ(histogram_bucket_mid(0), 0u);
+  for (std::size_t i = 1; i < kHistogramBuckets; ++i) {
+    const std::uint64_t mid = histogram_bucket_mid(i);
+    EXPECT_EQ(histogram_bucket(mid), i) << i;
+    EXPECT_LE(mid, histogram_bucket_bound(i)) << i;
+  }
+}
+
+TEST(Histogram, PercentileMidReportsBucketMidpoints) {
+  // Same samples as PercentileFollowsRankSemantics: the bucket selection
+  // is identical, only the representative changes (midpoint, not bound).
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(3);
+  for (int i = 0; i < 45; ++i) h.record(100);
+  for (int i = 0; i < 5; ++i) h.record(5000);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.percentile_mid(50), 2u);     // bucket 2 = [2, 3]
+  EXPECT_EQ(s.percentile_mid(95), 95u);    // bucket 7 = [64, 127]
+  EXPECT_EQ(s.percentile_mid(99), 6143u);  // bucket 13 = [4096, 8191]
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0})
+    EXPECT_LE(s.percentile_mid(p), s.percentile(p)) << p;
+  EXPECT_EQ(HistogramSnapshot{}.percentile_mid(50), 0u);  // empty -> 0
+}
+
+TEST(MetricsRegistry, GaugesMoveBothWaysAndSnapshotByName) {
+  MetricsRegistry registry;
+  Gauge& g1 = registry.gauge("queue_depth");
+  Gauge& g2 = registry.gauge("queue_depth");
+  EXPECT_EQ(&g1, &g2);  // cacheable, like counters and histograms
+  g1.add(5);
+  g2.add(-2);
+  g1.decrement();
+  EXPECT_EQ(g1.value(), 2);
+  g1.set(-7);  // levels are signed; a set overwrites accumulated movement
+  std::map<std::string, std::int64_t> gauges;
+  registry.snapshot(nullptr, nullptr, &gauges);
+  EXPECT_EQ(gauges.at("queue_depth"), -7);
+}
+
 TEST(Histogram, MergeIsAssociativeAndCommutative) {
   // Split one sample stream across three histograms, then fold the
   // snapshots in several different orders/trees: every fold must equal

@@ -1,0 +1,153 @@
+// Windowed-collection properties the telemetry poller leans on: diffing
+// successive cumulative snapshots is exact (identical snapshots diff to
+// nothing, diff + merge round-trips to the newer cumulative, counter
+// resets clamp instead of wrapping), and the window rotator keeps exactly
+// the last N grid-aligned windows, sealing empty ones across poller
+// stalls so "p95 over the last 10s" never mixes in stale activity.
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ffsm::obs {
+namespace {
+
+ObsSnapshot sample_snapshot() {
+  ObsSnapshot s;
+  s.counters["cluster.drain"] = 10;
+  s.counters["wire.sent"] = 4;
+  s.gauges["cluster.queue_depth"] = 3;
+  HistogramSnapshot h;
+  h.sum = 300;
+  h.buckets[5] = 2;
+  h.buckets[9] = 1;
+  s.histograms["gen.request"] = h;
+  return s;
+}
+
+TEST(ObsSnapshotDiff, IdenticalSnapshotsDiffToEmpty) {
+  const ObsSnapshot s = sample_snapshot();
+  EXPECT_TRUE(ObsSnapshot::diff(s, s).empty());
+  EXPECT_TRUE(ObsSnapshot::diff({}, {}).empty());
+}
+
+TEST(ObsSnapshotDiff, DiffPlusMergeRoundTripsToCumulative) {
+  const ObsSnapshot older = sample_snapshot();
+  ObsSnapshot newer = older;
+  newer.counters["cluster.drain"] += 5;
+  newer.counters["cluster.submit"] = 2;     // series born between polls
+  newer.gauges["cluster.queue_depth"] = 1;  // the level moved down
+  newer.histograms["gen.request"].buckets[5] += 3;
+  newer.histograms["gen.request"].sum += 90;
+
+  const ObsSnapshot delta = ObsSnapshot::diff(newer, older);
+  EXPECT_EQ(delta.counters.at("cluster.drain"), 5u);
+  EXPECT_EQ(delta.counters.at("cluster.submit"), 2u);
+  EXPECT_EQ(delta.counters.count("wire.sent"), 0u);  // unmoved -> dropped
+  EXPECT_EQ(delta.gauges.at("cluster.queue_depth"), -2);  // signed movement
+  EXPECT_EQ(delta.histograms.at("gen.request").buckets[5], 3u);
+  EXPECT_TRUE(delta.spans.empty());  // spans are a ring, never diffed
+
+  // The windowed-collection invariant: older + diff(newer, older) == newer,
+  // so per-window activity sums back to the cumulative view exactly.
+  ObsSnapshot rebuilt = older;
+  rebuilt.merge(delta);
+  EXPECT_EQ(rebuilt, newer);
+}
+
+TEST(ObsSnapshotDiff, ResetsClampToTheNewCumulative) {
+  // A respawned source re-counts from zero: its fresh cumulative value is
+  // the window's activity, never an unsigned wraparound.
+  ObsSnapshot older;
+  older.counters["requests"] = 100;
+  ObsSnapshot newer;
+  newer.counters["requests"] = 7;
+  EXPECT_EQ(ObsSnapshot::diff(newer, older).counters.at("requests"), 7u);
+
+  // Same whole-histogram clamp when any bucket went backwards.
+  older = {};
+  newer = {};
+  older.histograms["lat"].buckets[3] = 9;
+  older.histograms["lat"].sum = 50;
+  newer.histograms["lat"].buckets[3] = 2;
+  newer.histograms["lat"].sum = 10;
+  const ObsSnapshot delta = ObsSnapshot::diff(newer, older);
+  EXPECT_EQ(delta.histograms.at("lat").buckets[3], 2u);
+  EXPECT_EQ(delta.histograms.at("lat").sum, 10u);
+}
+
+TEST(WindowedObs, FirstIngestCountsInFullThenDeltas) {
+  WindowedObs windows({.windows = 4, .window_us = 1000});
+  ObsSnapshot cumulative;
+  cumulative.counters["requests"] = 12;
+  windows.ingest("shard0", cumulative, 100);
+  // A worker that appears mid-flight contributes its history once...
+  EXPECT_EQ(windows.merged().counters.at("requests"), 12u);
+  cumulative.counters["requests"] = 15;
+  windows.ingest("shard0", cumulative, 200);
+  // ...then only deltas; re-ingesting must not double-count the base.
+  EXPECT_EQ(windows.merged().counters.at("requests"), 15u);
+  EXPECT_EQ(windows.merged(1).counters.at("requests"), 15u);
+}
+
+TEST(WindowedObs, WindowsAreGridAlignedAndRotationDropsOldest) {
+  WindowedObs windows({.windows = 3, .window_us = 1000});
+  ObsSnapshot cumulative;
+  cumulative.counters["c"] = 1;
+  windows.ingest("s", cumulative, 1250);  // lands in [1000, 2000)
+  ASSERT_EQ(windows.windows().size(), 1u);
+  EXPECT_EQ(windows.windows()[0].start_us, 1000u);  // grid, not 1250
+  EXPECT_EQ(windows.windows()[0].end_us, 2000u);
+
+  for (std::uint64_t t = 2100; t <= 5100; t += 1000) {
+    cumulative.counters["c"] += 1;
+    windows.ingest("s", cumulative, t);
+  }
+  // Ingests reached [5000, 6000); only the newest 3 windows survive.
+  const std::vector<ObsWindow> retained = windows.windows();
+  ASSERT_EQ(retained.size(), 3u);
+  EXPECT_EQ(retained.front().start_us, 3000u);  // [1000,2000) and
+  EXPECT_EQ(retained.back().end_us, 6000u);     // [2000,3000) were dropped
+  for (std::size_t i = 0; i + 1 < retained.size(); ++i)
+    EXPECT_EQ(retained[i].end_us, retained[i + 1].start_us);  // contiguous
+  // The first window's full-history contribution (counter value 1) left
+  // the horizon with it; only the three 1-per-window deltas remain.
+  EXPECT_EQ(windows.merged().counters.at("c"), 3u);
+  EXPECT_EQ(windows.merged(1).counters.at("c"), 1u);
+}
+
+TEST(WindowedObs, StalledPollerSealsEmptyWindowsInBetween) {
+  WindowedObs windows({.windows = 8, .window_us = 1000});
+  ObsSnapshot cumulative;
+  cumulative.counters["c"] = 1;
+  windows.ingest("s", cumulative, 0);
+  cumulative.counters["c"] = 2;
+  windows.ingest("s", cumulative, 4500);  // the poller skipped 3 boundaries
+  const std::vector<ObsWindow> retained = windows.windows();
+  ASSERT_EQ(retained.size(), 5u);  // [0,1k) .. [4k,5k), gap windows sealed
+  for (std::size_t i = 1; i + 1 < retained.size(); ++i)
+    EXPECT_TRUE(retained[i].activity.empty()) << i;
+  EXPECT_EQ(retained.back().activity.counters.at("c"), 1u);
+}
+
+TEST(WindowedObs, MultipleSourcesMergeIntoOneWindow) {
+  WindowedObs windows({.windows = 2, .window_us = 1000});
+  ObsSnapshot a;
+  a.counters["requests"] = 3;
+  a.gauges["depth"] = 2;
+  ObsSnapshot b;
+  b.counters["requests"] = 4;
+  b.gauges["depth"] = 5;
+  windows.ingest("shard0", a, 100);
+  windows.ingest("shard1", b, 200);
+  const ObsSnapshot merged = windows.merged();
+  EXPECT_EQ(merged.counters.at("requests"), 7u);  // cluster-wide sum
+  EXPECT_EQ(merged.gauges.at("depth"), 7);
+}
+
+}  // namespace
+}  // namespace ffsm::obs

@@ -418,6 +418,7 @@ std::vector<Frame> binary_sample_frames(Xoshiro256& rng) {
     Frame& serve = add(FrameType::kServe);
     serve.key = "counters-10";
     serve.count = 3;
+    serve.parent = 0xfeed'beef;  // the v5 cross-process stitching id
   }
   {
     Frame& request = add(FrameType::kRequest);
@@ -475,6 +476,8 @@ std::vector<Frame> binary_sample_frames(Xoshiro256& rng) {
     Frame& obs = add(FrameType::kObs);
     obs.obs.counters["requests"] = 12;
     obs.obs.counters["two words"] = 1;
+    obs.obs.gauges["worker.live_connections"] = 2;
+    obs.obs.gauges["queue depth"] = -7;  // gauges are signed, names escape
     obs::HistogramSnapshot h;
     h.sum = 12345;
     h.buckets[0] = 3;
@@ -611,6 +614,27 @@ TEST(WireCodecRobustness, TextCodecMatchesFreeFunctions) {
   EXPECT_THROW((void)codec->encode(frame), ContractViolation);
 }
 
+// The serve frame on the text wire: v5 grew the parent span id (the
+// cross-process trace stitching handle), so the line is now
+// `serve <key> <count> <parent>` — it must round-trip, and the v4 shape
+// without the parent must throw rather than decode as parent 0.
+TEST(WireServeCodec, TextFrameCarriesParentSpanId) {
+  const std::unique_ptr<WireCodec> codec = make_wire_codec(false);
+  Frame serve;
+  serve.type = FrameType::kServe;
+  serve.key = "two words";  // escaped token on the wire
+  serve.count = 5;
+  serve.parent = 0xfeed;
+  const std::string text = codec->encode(serve);
+  const Frame back = codec->decode(text);
+  EXPECT_EQ(back.type, FrameType::kServe);
+  EXPECT_EQ(back.key, serve.key);
+  EXPECT_EQ(back.count, serve.count);
+  EXPECT_EQ(back.parent, serve.parent);
+  EXPECT_EQ(codec->encode(back), text);
+  EXPECT_THROW((void)codec->decode("serve k 3\n"), ContractViolation);
+}
+
 // The warm-handoff frame on the text wire: query and import round-trip
 // byte-identically through the codec interface (there is no deprecated
 // free-function pair for this frame type).
@@ -716,6 +740,8 @@ TEST(WireObsCodec, TextFramesRoundTripByteIdentically) {
   reply.type = FrameType::kObs;
   reply.obs.counters["requests"] = 12;
   reply.obs.counters["two words"] = 3;
+  reply.obs.gauges["cluster.queue_depth"] = 4;
+  reply.obs.gauges["net sent"] = -2;  // signed: a window delta can shrink
   obs::HistogramSnapshot h;
   h.sum = 999;
   h.buckets[0] = 2;
@@ -773,6 +799,8 @@ TEST(WireObsCodec, MalformedTextFramesThrow) {
   EXPECT_THROW(
       (void)codec->decode("obs\ncounter a 1\ncounter a 2\nend\n"),
       ContractViolation);  // duplicate counter
+  EXPECT_THROW((void)codec->decode("obs\ngauge a 1\ngauge a 2\nend\n"),
+               ContractViolation);  // duplicate gauge
   EXPECT_THROW((void)codec->decode("obs\nhist a 1 1\nhist a 1 1\nend\n"),
                ContractViolation);  // duplicate histogram (also short line)
   EXPECT_THROW((void)codec->decode("obs\nhist a 0 1 64 1\nend\n"),

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "fusion/generator.hpp"
+#include "obs/obs.hpp"
 #include "sim/cluster.hpp"
 #include "test_support.hpp"
 #include "util/contracts.hpp"
@@ -313,6 +316,54 @@ TEST(SubprocessCluster, UnspawnableWorkerRoutesThroughFailedDrainPath) {
   const auto clean = cluster.drain();
   EXPECT_TRUE(clean.responses.empty());
   EXPECT_TRUE(clean.failed_tops.empty());
+}
+
+TEST(SubprocessCluster, WorkerSpansStitchUnderParentServeSpans) {
+  // Cross-process trace stitching over three processes — this one plus
+  // two shard workers. The serve frame carries the parent-side
+  // cluster.serve_top span id; every worker-side gen.request span must
+  // parent-link under one of those ids, so one Chrome trace shows the
+  // cluster drain and the worker generation as a single tree.
+  const SubprocessFixture fx;
+  SubprocessCluster subprocess(fx);
+  FusionCluster& cluster = *subprocess.cluster;
+
+  // Make sure both shards see work (and therefore both workers spawn):
+  // if "small" and "large" hash onto the same shard, register a third
+  // top on the other one.
+  std::set<std::size_t> used = {cluster.shard_of("small"),
+                                cluster.shard_of("large")};
+  for (int i = 0; used.size() < cluster.shard_count(); ++i) {
+    const std::string key = "stitch" + std::to_string(i);
+    if (!used.insert(cluster.shard_of(key)).second) continue;
+    cluster.add_top(key, fx.small.top);
+    cluster.submit(key, "extra", {fx.small_originals, 1});
+  }
+  cluster.submit("small", "a", {fx.small_originals, 1});
+  cluster.submit("large", "b", {fx.large_originals, 1});
+  const auto report = cluster.drain();
+  EXPECT_TRUE(report.failed_tops.empty());
+  ASSERT_GE(report.responses.size(), 2u);
+  for (SubprocessBackend* backend : subprocess.backends)
+    ASSERT_GT(backend->worker_pid(), 0);  // three processes, really
+
+  const obs::ObsSnapshot snapshot = cluster.obs_snapshot();
+  std::set<std::uint64_t> serve_top_ids;
+  for (const obs::TraceSpan& span : snapshot.spans)
+    if (span.name == "cluster.serve_top" && span.source.empty())
+      serve_top_ids.insert(span.id);
+  ASSERT_FALSE(serve_top_ids.empty());
+
+  std::set<std::string> stitched_sources;
+  for (const obs::TraceSpan& span : snapshot.spans) {
+    if (span.source.empty() || span.name != "gen.request") continue;
+    EXPECT_TRUE(serve_top_ids.count(span.parent))
+        << span.name << " from " << span.source
+        << " parented under unknown span " << span.parent;
+    stitched_sources.insert(span.source);
+  }
+  // Both workers contributed stitched spans, not just one.
+  EXPECT_EQ(stitched_sources.size(), cluster.shard_count());
 }
 
 TEST(SubprocessCluster, MalformedRequestIsRequeuedAtTheCluster) {

@@ -157,6 +157,11 @@ TEST(WireNegotiation, StaleHelloVersionIsRejected) {
   EXPECT_THROW(
       (void)parse_client_hello("hello 3 bin,text", offers_binary, offers_text),
       ContractViolation);
+  // Version 4 (pre-stitching) peers encode the serve frame without the
+  // parent span id and the obs frame without gauges — same rule.
+  EXPECT_THROW(
+      (void)parse_client_hello("hello 4 bin,text", offers_binary, offers_text),
+      ContractViolation);
   // The current client/worker pair still agrees with itself.
   std::string hello = client_hello(WireMode::kAuto);
   hello.pop_back();  // read_line strips the '\n'

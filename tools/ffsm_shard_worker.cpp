@@ -49,6 +49,8 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -64,8 +66,10 @@
 #include <vector>
 
 #include "fsm/serialize.hpp"
+#include "net/exposition_server.hpp"
 #include "net/line_channel.hpp"
 #include "net/listener.hpp"
+#include "obs/exposition.hpp"
 #include "obs/obs.hpp"
 #include "sim/messages.hpp"
 #include "sim/server.hpp"
@@ -166,7 +170,11 @@ std::vector<Frame> run_serve(Worker& worker, const Frame& command,
       service.submit(std::move(frame.request.client),
                      std::move(frame.request.request));
     }
-    served = service.drain();
+    // The serve frame carries the parent-side span id that caused this
+    // batch (0 from a pre-stitching parent); handing it to drain parents
+    // this connection's gen.request spans under the originating
+    // cluster.serve_top once the snapshots are merged.
+    served = service.drain(command.parent);
   } catch (...) {
     // The parent still holds every request of this batch; reset the
     // service queue so a retry cannot serve duplicates.
@@ -240,6 +248,20 @@ struct TraceFile {
       if (span.source.empty()) span.source = source;
       spans.push_back(std::move(span));
     }
+    write_locked();
+  }
+
+  /// Rewrites the file with whatever has been absorbed so far (possibly
+  /// nothing — an empty trace is still loadable). The signal-flush path:
+  /// an operator kill must leave a valid file even when no connection has
+  /// finished yet.
+  void rewrite() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    write_locked();
+  }
+
+ private:
+  void write_locked() {
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "ffsm_shard_worker: cannot write trace to '%s'\n",
@@ -251,6 +273,59 @@ struct TraceFile {
 };
 
 TraceFile* g_trace_file = nullptr;  // set once in main, before any thread
+
+/// --metrics-port sink: the process-wide view behind the exposition
+/// endpoint. Connections register their Obs while live and fold their
+/// final counters in when they end, so a scrape sees in-flight activity
+/// plus the totals of every finished connection, with
+/// `worker.live_connections` as the level gauge. Span data stays out —
+/// spans belong to --trace-out, not a scrape body.
+struct MetricsHub {
+  std::mutex mutex;
+  std::vector<const obs::Obs*> live;
+  obs::ObsSnapshot finished;
+
+  void add(const obs::Obs* obs) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    live.push_back(obs);
+  }
+
+  void remove(const obs::Obs* obs) {
+    obs::ObsSnapshot snap = obs->snapshot();
+    snap.spans.clear();  // bounded: counters accumulate, spans would not
+    const std::lock_guard<std::mutex> lock(mutex);
+    live.erase(std::remove(live.begin(), live.end(), obs), live.end());
+    finished.merge(snap);
+  }
+
+  [[nodiscard]] obs::ObsSnapshot snapshot() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    obs::ObsSnapshot out = finished;
+    for (const obs::Obs* obs : live) {
+      obs::ObsSnapshot snap = obs->snapshot();
+      snap.spans.clear();
+      out.merge(snap);
+    }
+    out.gauges["worker.live_connections"] =
+        static_cast<std::int64_t>(live.size());
+    return out;
+  }
+
+  [[nodiscard]] std::size_t live_count() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return live.size();
+  }
+
+  /// Signal-flush helper: absorbs every live connection's spans into
+  /// `trace`. The registry lock keeps each Obs alive for the duration —
+  /// connections unregister before their Worker is destroyed.
+  void absorb_live_into(TraceFile& trace) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const obs::Obs* obs : live) trace.absorb(*obs);
+  }
+};
+
+MetricsHub* g_metrics_hub = nullptr;  // set once in main, before any thread
 
 /// The kCacheWarm dual command: empty entries = export query (answered
 /// with the service's hottest cache entries), non-empty = import into the
@@ -561,11 +636,48 @@ bool serve_connection_impl(Worker& worker, net::LineChannel& channel,
 
 bool serve_connection(net::LineChannel& channel, WireMode mode) {
   Worker worker;
+  if (g_metrics_hub != nullptr) g_metrics_hub->add(&worker.obs);
   const bool clean = serve_connection_impl(worker, channel, mode);
   // Flush this connection's spans whether it ended cleanly or tore —
   // a trace of the run that died is the one an operator wants most.
   if (g_trace_file != nullptr) g_trace_file->absorb(worker.obs);
+  if (g_metrics_hub != nullptr) g_metrics_hub->remove(&worker.obs);
   return clean;
+}
+
+// ------------------------------------------------------- signal handling
+//
+// SIGTERM/SIGINT must leave loadable telemetry behind: an operator killing
+// a wedged worker wants the trace of the run that wedged, not an empty
+// file. The handler itself only writes one byte to a self-pipe
+// (async-signal-safe); a watcher thread does the actual flushing —
+// absorbing live connections' spans into --trace-out and printing the
+// final exposition to stderr — then exits the process.
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_terminate_signal(int) {
+  const char byte = 1;
+  // Failure (full pipe) is fine: one pending byte already means "flush".
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+void watch_terminate_signals() {
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  if (g_trace_file != nullptr) {
+    if (g_metrics_hub != nullptr) g_metrics_hub->absorb_live_into(*g_trace_file);
+    g_trace_file->rewrite();  // valid even when nothing was absorbed
+  }
+  if (g_metrics_hub != nullptr) {
+    const std::string body = obs::render_exposition(g_metrics_hub->snapshot());
+    std::fprintf(stderr, "ffsm_shard_worker: final metrics on shutdown\n%s",
+                 body.c_str());
+  }
+  // _exit, not exit: connection threads are mid-serve and their statics /
+  // destructors must not run under them.
+  ::_exit(0);
 }
 
 int listen_forever(std::uint16_t port, WireMode mode) {
@@ -614,16 +726,23 @@ int main(int argc, char** argv) {
 
   bool listen_mode = false;  // default: stdio bridge mode
   std::uint16_t listen_port = 0;
+  bool metrics_mode = false;
+  std::uint16_t metrics_port = 0;
   ffsm::WireMode wire = ffsm::WireMode::kAuto;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* port_text = nullptr;
+    const char* metrics_text = nullptr;
     const char* wire_text = nullptr;
     if (arg == "--listen" && i + 1 < argc) {
       port_text = argv[++i];
     } else if (arg.rfind("--listen=", 0) == 0) {
       port_text = arg.c_str() + std::strlen("--listen=");
+    } else if (arg == "--metrics-port" && i + 1 < argc) {
+      metrics_text = argv[++i];
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      metrics_text = arg.c_str() + std::strlen("--metrics-port=");
     } else if (arg == "--wire" && i + 1 < argc) {
       wire_text = argv[++i];
     } else if (arg.rfind("--wire=", 0) == 0) {
@@ -634,8 +753,8 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(std::strlen("--trace-out="));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--listen <port>] [--wire {text,bin,auto}] "
-                   "[--trace-out <file.json>]\n",
+                   "usage: %s [--listen <port>] [--metrics-port <port>] "
+                   "[--wire {text,bin,auto}] [--trace-out <file.json>]\n",
                    argv[0]);
       return 2;
     }
@@ -648,6 +767,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       listen_mode = true;
+    }
+    if (metrics_text != nullptr) {
+      if (!ffsm::net::parse_port(metrics_text, metrics_port)) {
+        std::fprintf(stderr, "ffsm_shard_worker: bad metrics port '%s'\n",
+                     metrics_text);
+        return 2;
+      }
+      metrics_mode = true;
     }
     // Same strictness for the wire: "binary" or "Text" silently meaning
     // auto would make a negotiation bug invisible.
@@ -662,6 +789,51 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) {
     trace_file.path = std::move(trace_out);
     g_trace_file = &trace_file;
+  }
+
+  // The hub always exists (it is the live-connection registry the signal
+  // flush walks); the exposition endpoint over it is opt-in.
+  MetricsHub metrics_hub;
+  g_metrics_hub = &metrics_hub;
+  std::optional<ffsm::net::ExpositionServer> metrics_server;
+  if (metrics_mode) {
+    try {
+      metrics_server.emplace(
+          metrics_port, [&metrics_hub](std::string_view path) -> std::string {
+            if (path == "/metrics")
+              return ffsm::obs::render_exposition(metrics_hub.snapshot());
+            if (path == "/health")
+              return "ok ffsm_shard_worker " +
+                     std::to_string(metrics_hub.live_count()) +
+                     " live connection(s)\n";
+            return {};  // 404
+          });
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "ffsm_shard_worker: metrics port: %s\n",
+                   error.what());
+      return 2;
+    }
+    // stderr, not stdout: in stdio mode stdout is the wire, and in listen
+    // mode the `listening <port>` banner contract allows nothing else.
+    std::fprintf(stderr, "ffsm_shard_worker: metrics on port %u\n",
+                 static_cast<unsigned>(metrics_server->port()));
+  }
+
+  // SIGTERM/SIGINT flush --trace-out and the final metrics before exit
+  // (see watch_terminate_signals). SA_RESTART so installing the handler
+  // does not perturb the wire loops' syscalls; the watcher thread, not an
+  // interrupted read, carries the shutdown.
+  if (::pipe(g_signal_pipe) == 0) {
+    std::thread(watch_terminate_signals).detach();
+    struct sigaction term = {};
+    term.sa_handler = on_terminate_signal;
+    ::sigemptyset(&term.sa_mask);
+    term.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &term, nullptr);
+    ::sigaction(SIGINT, &term, nullptr);
+  } else {
+    std::fprintf(stderr,
+                 "ffsm_shard_worker: no signal pipe; default SIGTERM\n");
   }
 
   if (!listen_mode) {
